@@ -1,0 +1,53 @@
+"""Shared benchmark-report harness.
+
+Every experiment benchmark computes its paper-shaped table once (module
+cache), registers it here, and the ``benchmarks/conftest.py`` terminal
+hook prints all registered tables at the end of the run — so
+``pytest benchmarks/ --benchmark-only`` emits both pytest-benchmark
+timings and the experiment tables the paper reports.
+
+Tables are also persisted under ``benchmarks/results/`` so that
+EXPERIMENTS.md can quote them verbatim.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def format_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def report(exp_id: str, title: str, headers: list[str], rows: list[list]) -> str:
+    """Format, persist, and return an experiment table."""
+    text = format_table(f"{exp_id}: {title}", headers, rows)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text

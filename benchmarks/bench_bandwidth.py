@@ -1,0 +1,145 @@
+"""E15 — bandwidth as a cost (§3.1 extension).
+
+§3.1 names *available bandwidth* among the costs a cost space should
+express.  This experiment gives the integrated optimizer a
+congestion-aware evaluator (ground truth latency pricing plus a
+surcharge for stream rates exceeding 80% of a path's bottleneck
+capacity) on a transit-stub network with class-based link capacities
+(fat transit core, thin stub edges), and compares against the
+bandwidth-oblivious optimizer on heavy-rate workloads:
+
+  * congestion events (links over cap) per circuit,
+  * excess traffic (rate beyond cap, weighted by latency),
+  * plain network usage paid for the congestion avoidance.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from _harness import report
+from repro.core.bandwidth_costs import BandwidthAwareEvaluator
+from repro.core.costs import GroundTruthEvaluator
+from repro.network.bandwidth import BandwidthMatrix, assign_link_capacities
+from repro.network.topology import TransitStubParams, transit_stub_topology
+from repro.sbon.overlay import Overlay
+from repro.workloads.queries import WorkloadParams, random_query
+
+INSTANCES = 20
+TOPOLOGY = TransitStubParams(
+    num_transit_domains=3,
+    transit_nodes_per_domain=3,
+    stub_domains_per_transit_node=2,
+    nodes_per_stub_domain=5,
+)
+
+
+@lru_cache(maxsize=1)
+def environment():
+    topo = transit_stub_topology(TOPOLOGY, seed=15)
+    overlay = Overlay.build(topo, vector_dims=2, embedding_rounds=40, seed=15)
+    capacities = assign_link_capacities(
+        topo, transit_capacity=500.0, stub_capacity=60.0, edge_capacity=15.0, seed=15
+    )
+    bandwidth = BandwidthMatrix.from_topology(topo, capacities=capacities)
+    return overlay, bandwidth
+
+
+def _congestion_stats(circuit, bandwidth, latencies, utilization_cap=0.8):
+    """(congested links, latency-weighted congestion damage).
+
+    Damage = Σ latency × (rate − cap·bottleneck) over congested links —
+    overload traffic weighted by how long it sits in the network, the
+    quantity the bandwidth-aware evaluator actually prices.
+    """
+    congested = 0
+    damage = 0.0
+    for link in circuit.links:
+        u = circuit.host_of(link.source)
+        v = circuit.host_of(link.target)
+        if u == v:
+            continue
+        allowed = utilization_cap * bandwidth.bottleneck(u, v)
+        if link.rate > allowed:
+            congested += 1
+            damage += latencies.latency(u, v) * (link.rate - allowed)
+    return congested, damage
+
+
+@lru_cache(maxsize=1)
+def comparison():
+    overlay, bandwidth = environment()
+    plain_judge = GroundTruthEvaluator(overlay.latencies)
+    # Heavy streams: rates 20-60 against stub capacities of ~60.
+    params = WorkloadParams(
+        num_producers=3,
+        rate_bounds=(20.0, 60.0),
+        selectivity_bounds=(0.2, 0.8),
+        clustered=True,
+        cluster_span=25,
+    )
+    rows = {}
+    for name, evaluator in (
+        ("oblivious", None),
+        ("bandwidth-aware",
+         BandwidthAwareEvaluator(overlay.latencies, bandwidth,
+                                 congestion_weight=8.0)),
+    ):
+        congested_total = 0
+        excess_total = 0.0
+        usage_total = 0.0
+        for seed in range(INSTANCES):
+            query, stats = random_query(overlay.num_nodes, params, seed=seed)
+            kwargs = {"refinement_candidates": 8}
+            if evaluator is not None:
+                kwargs["evaluator"] = evaluator
+            optimizer = overlay.integrated_optimizer(**kwargs)
+            result = optimizer.optimize(query, stats)
+            congested, excess = _congestion_stats(
+                result.circuit, bandwidth, overlay.latencies
+            )
+            congested_total += congested
+            excess_total += excess
+            usage_total += plain_judge.evaluate(result.circuit).network_usage
+        rows[name] = [
+            name,
+            congested_total,
+            excess_total / INSTANCES,
+            usage_total / INSTANCES,
+        ]
+    return [rows["oblivious"], rows["bandwidth-aware"]]
+
+
+def test_report_bandwidth(benchmark):
+    overlay, bandwidth = environment()
+    query, stats = random_query(
+        overlay.num_nodes, WorkloadParams(num_producers=3), seed=0
+    )
+    aware = overlay.integrated_optimizer(
+        evaluator=BandwidthAwareEvaluator(overlay.latencies, bandwidth)
+    )
+    benchmark(aware.optimize, query, stats)
+
+    rows = comparison()
+    report(
+        "E15",
+        f"Bandwidth-aware placement vs oblivious "
+        f"({INSTANCES} heavy 3-way joins, class-based capacities)",
+        ["optimizer", "congested links (total)", "mean congestion damage",
+         "mean network usage"],
+        rows,
+    )
+    oblivious, aware_row = rows
+    # Awareness reduces both congested-link count and latency-weighted
+    # damage, possibly paying some plain usage for the detours.
+    assert aware_row[1] <= oblivious[1]
+    assert aware_row[2] < oblivious[2]
+
+
+def test_bandwidth_matrix_construction_speed(benchmark):
+    overlay, _ = environment()
+    topo = overlay.topology
+    caps = assign_link_capacities(topo, seed=1)
+    benchmark(BandwidthMatrix.from_topology, topo, caps)

@@ -1,0 +1,142 @@
+"""E10 — the decentralized catalog substrate (Chord + Hilbert).
+
+§3.2's physical mapping relies on two properties this experiment
+verifies quantitatively:
+
+  (a) Chord lookups cost O(log n) hops — mean hops ≈ ½·log2(n);
+  (b) the Hilbert curve preserves locality far better than the Z-order
+      (Morton) baseline, measured by the mean/max spatial jump between
+      consecutive curve indices and by catalog nearest-neighbor
+      accuracy;
+  (c) the catalog's nearest-node answers match the exhaustive ground
+      truth almost always at modest scan widths.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+from _harness import report
+from repro.dht.catalog import CoordinateCatalog
+from repro.dht.chord import ChordRing
+from repro.dht.hilbert import HilbertMapper, hilbert_decode, morton_decode
+
+RING_SIZES = [16, 64, 256, 1024]
+LOOKUPS = 300
+
+
+@lru_cache(maxsize=1)
+def hop_scaling():
+    rows = []
+    for n in RING_SIZES:
+        ring = ChordRing(id_bits=24)
+        for i in range(n):
+            ring.join(name=f"node-{i}")
+        rng = np.random.default_rng(n)
+        origins = ring.node_ids
+        hops = []
+        for _ in range(LOOKUPS):
+            key = int(rng.integers(0, 1 << 24))
+            origin = origins[int(rng.integers(0, len(origins)))]
+            hops.append(ring.lookup(key, origin=origin).hops)
+        rows.append(
+            [n, float(np.mean(hops)), int(np.max(hops)),
+             0.5 * math.log2(n)]
+        )
+    return rows
+
+
+@lru_cache(maxsize=1)
+def curve_locality():
+    rows = []
+    bits, dims = 5, 2
+    for name, decode in (("hilbert", hilbert_decode), ("morton", morton_decode)):
+        jumps = []
+        prev = decode(0, bits, dims)
+        for index in range(1, 1 << (bits * dims)):
+            cur = decode(index, bits, dims)
+            jumps.append(sum(abs(a - b) for a, b in zip(prev, cur)))
+            prev = cur
+        rows.append([name, float(np.mean(jumps)), int(np.max(jumps))])
+    return rows
+
+
+@lru_cache(maxsize=1)
+def catalog_accuracy():
+    mapper = HilbertMapper(lows=(0.0, 0.0), highs=(100.0, 100.0), bits=9)
+    catalog = CoordinateCatalog(mapper, ring_size=64)
+    rng = np.random.default_rng(9)
+    points = rng.uniform(0, 100, size=(120, 2))
+    for node, point in enumerate(points):
+        catalog.publish(node, point)
+    rows = []
+    for scan_width in (2, 4, 8, 16):
+        correct = 0
+        scanned = []
+        for i in range(LOOKUPS):
+            query = rng.uniform(0, 100, size=2)
+            approx, stats = catalog.nearest(query, scan_width=scan_width)
+            exact = catalog.exhaustive_nearest(query)
+            if approx.physical_node == exact.physical_node:
+                correct += 1
+            scanned.append(stats.ring_entries_scanned)
+        rows.append(
+            [scan_width, f"{100 * correct / LOOKUPS:.1f}%", float(np.mean(scanned))]
+        )
+    return rows
+
+
+def test_report_dht(benchmark):
+    ring = ChordRing(id_bits=24)
+    for i in range(256):
+        ring.join(name=f"node-{i}")
+    benchmark(ring.lookup, 12345678)
+
+    report(
+        "E10a",
+        "Chord lookup hops vs ring size (theory: ~0.5*log2 n)",
+        ["nodes", "mean hops", "max hops", "0.5*log2(n)"],
+        hop_scaling(),
+    )
+    report(
+        "E10b",
+        "Space-filling curve locality (5-bit, 2-D grid; jump = |Δcell| L1)",
+        ["curve", "mean jump", "max jump"],
+        curve_locality(),
+    )
+    report(
+        "E10c",
+        "Catalog nearest-node accuracy vs scan width (120 published nodes)",
+        ["scan width", "accuracy vs exhaustive", "ring entries scanned (mean)"],
+        catalog_accuracy(),
+    )
+    # O(log n) shape: mean hops within 2x of theory.
+    for n, mean_hops, _, theory in hop_scaling():
+        assert mean_hops <= 2 * theory + 1
+    # Hilbert: every jump is 1; Morton jumps.
+    locality = {row[0]: row for row in curve_locality()}
+    assert locality["hilbert"][2] == 1
+    assert locality["morton"][2] > 1
+    # Accuracy is monotone in scan width and high at 8+.
+    acc = [float(row[1].rstrip("%")) for row in catalog_accuracy()]
+    assert acc[-1] >= acc[0]
+    assert acc[2] >= 85.0
+
+
+def test_catalog_publish_speed(benchmark):
+    mapper = HilbertMapper(lows=(0.0, 0.0), highs=(100.0, 100.0), bits=9)
+    catalog = CoordinateCatalog(mapper, ring_size=64)
+    counter = iter(range(10_000_000))
+
+    def publish():
+        catalog.publish(next(counter), [50.0, 50.0])
+
+    benchmark(publish)
+
+
+def test_hilbert_encode_speed(benchmark):
+    mapper = HilbertMapper(lows=(0.0, 0.0, 0.0), highs=(1.0, 1.0, 1.0), bits=10)
+    benchmark(mapper.key_for, [0.3, 0.7, 0.5])

@@ -1,0 +1,137 @@
+"""E1 / Figure 1 — integrated vs two-step optimization.
+
+Reproduces the paper's Figure 1 claim: separating plan generation from
+service placement picks Query Plan 1 (cross-cluster join pairing) and
+loses to the integrated optimizer, which virtually places every
+candidate plan and discovers that Query Plan 2 (intra-cluster pairing)
+yields lower total data latency.
+
+Two parts:
+  (a) the exact Figure 1 scenario — reports each optimizer's plan and
+      true network usage;
+  (b) a generalization sweep — random clustered 4-producer queries on a
+      transit-stub network; reports win rate and cost ratios of
+      two-step and random against integrated.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from _harness import report
+from repro.core.costs import GroundTruthEvaluator
+from repro.core.optimizer import IntegratedOptimizer, RandomOptimizer, TwoStepOptimizer
+from repro.network.topology import TransitStubParams, transit_stub_topology
+from repro.sbon.overlay import Overlay
+from repro.workloads.queries import WorkloadParams, random_query
+from repro.workloads.scenarios import figure1_scenario
+
+SWEEP_INSTANCES = 40
+SWEEP_TOPOLOGY = TransitStubParams(
+    num_transit_domains=3,
+    transit_nodes_per_domain=4,
+    stub_domains_per_transit_node=3,
+    nodes_per_stub_domain=4,
+)  # 12 + 12*3*4 = 156 nodes
+
+
+@lru_cache(maxsize=1)
+def scenario_results():
+    sc = figure1_scenario()
+    gt = GroundTruthEvaluator(sc.latencies)
+    integ = IntegratedOptimizer(sc.cost_space).optimize(sc.query, sc.stats)
+    two = TwoStepOptimizer(sc.cost_space).optimize(sc.query, sc.stats)
+    return {
+        "integrated": (str(integ.plan), gt.evaluate(integ.circuit).network_usage),
+        "two-step": (str(two.plan), gt.evaluate(two.circuit).network_usage),
+    }
+
+
+@lru_cache(maxsize=1)
+def sweep_overlay() -> Overlay:
+    topo = transit_stub_topology(SWEEP_TOPOLOGY, seed=1)
+    return Overlay.build(topo, vector_dims=2, embedding_rounds=40, seed=1)
+
+
+@lru_cache(maxsize=1)
+def sweep_results():
+    overlay = sweep_overlay()
+    gt = GroundTruthEvaluator(overlay.latencies)
+    params = WorkloadParams(num_producers=4, clustered=True, cluster_span=30)
+    ratios_two, ratios_rand = [], []
+    wins_two = ties = 0
+    for seed in range(SWEEP_INSTANCES):
+        query, stats = random_query(overlay.num_nodes, params, seed=seed)
+        integ = overlay.integrated_optimizer().optimize(query, stats)
+        two = overlay.two_step_optimizer().optimize(query, stats)
+        rand = overlay.random_optimizer(seed=seed).optimize(query, stats)
+        u_i = gt.evaluate(integ.circuit).network_usage
+        u_t = gt.evaluate(two.circuit).network_usage
+        u_r = gt.evaluate(rand.circuit).network_usage
+        if u_i > 0:
+            ratios_two.append(u_t / u_i)
+            ratios_rand.append(u_r / u_i)
+        if u_i < u_t - 1e-9:
+            wins_two += 1
+        elif abs(u_i - u_t) <= 1e-9:
+            ties += 1
+    return {
+        "instances": SWEEP_INSTANCES,
+        "wins": wins_two,
+        "ties": ties,
+        "two_step_ratio_mean": float(np.mean(ratios_two)),
+        "two_step_ratio_p90": float(np.percentile(ratios_two, 90)),
+        "random_ratio_mean": float(np.mean(ratios_rand)),
+    }
+
+
+def test_report_figure1(benchmark):
+    sc = figure1_scenario()
+    optimizer = IntegratedOptimizer(sc.cost_space)
+    benchmark(optimizer.optimize, sc.query, sc.stats)
+
+    res = scenario_results()
+    sweep = sweep_results()
+    report(
+        "E1a",
+        "Figure 1 scenario: plan choice and true network usage",
+        ["optimizer", "plan", "network usage (rate*ms)"],
+        [
+            ["integrated", res["integrated"][0], res["integrated"][1]],
+            ["two-step", res["two-step"][0], res["two-step"][1]],
+        ],
+    )
+    report(
+        "E1b",
+        f"Generalization: {sweep['instances']} random clustered 4-way joins, "
+        f"{sweep_overlay().num_nodes}-node transit-stub",
+        ["baseline", "cost ratio vs integrated (mean)", "p90", "integrated strictly better"],
+        [
+            [
+                "two-step",
+                sweep["two_step_ratio_mean"],
+                sweep["two_step_ratio_p90"],
+                f"{sweep['wins']}/{sweep['instances']} (ties {sweep['ties']})",
+            ],
+            ["random", sweep["random_ratio_mean"], "-", "-"],
+        ],
+    )
+    assert res["integrated"][1] < res["two-step"][1]
+    assert sweep["two_step_ratio_mean"] >= 1.0
+
+
+def test_two_step_optimize_speed(benchmark):
+    sc = figure1_scenario()
+    optimizer = TwoStepOptimizer(sc.cost_space)
+    benchmark(optimizer.optimize, sc.query, sc.stats)
+
+
+def test_sweep_single_instance_speed(benchmark):
+    overlay = sweep_overlay()
+    query, stats = random_query(
+        overlay.num_nodes, WorkloadParams(num_producers=4), seed=0
+    )
+    optimizer = overlay.integrated_optimizer()
+    benchmark(optimizer.optimize, query, stats)

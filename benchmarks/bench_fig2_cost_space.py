@@ -1,0 +1,87 @@
+"""E2 / Figure 2 — 600 nodes in a 3-D cost space.
+
+Reproduces the construction behind the paper's Figure 2: a 600-node
+transit-stub topology embedded into a cost space with two latency
+dimensions (x, y) and one squared-CPU-load dimension (z).  Reports the
+embedding quality and the load-dimension geometry (the overloaded
+"node a" must tower over the population).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from _harness import report
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.core.weighting import squared
+from repro.network.vivaldi import embed_latency_matrix
+from repro.workloads.scenarios import figure2_scenario
+
+
+@lru_cache(maxsize=1)
+def figure2_data():
+    topo, latencies, loads = figure2_scenario(seed=0)
+    embedding = embed_latency_matrix(
+        latencies, dimensions=2, rounds=30, neighbors_per_round=4, seed=0
+    )
+    spec = CostSpaceSpec.latency_load(vector_dims=2, load_weighting=squared(100.0))
+    space = CostSpace.from_embedding(
+        spec, embedding.coordinates, {"cpu_load": loads}
+    )
+    return topo, latencies, loads, embedding, space
+
+
+def test_report_figure2(benchmark):
+    topo, latencies, loads, embedding, space = figure2_data()
+
+    # Benchmark the coordinate construction step (embedding cached).
+    benchmark(
+        CostSpace.from_embedding,
+        CostSpaceSpec.latency_load(vector_dims=2, load_weighting=squared(100.0)),
+        embedding.coordinates,
+        {"cpu_load": loads},
+    )
+
+    scalars = np.array([space.coordinate(i).scalar[0] for i in range(600)])
+    vectors = space.vector_matrix()
+    span = float(np.linalg.norm(vectors.max(axis=0) - vectors.min(axis=0)))
+    report(
+        "E2",
+        "Figure 2: 600-node transit-stub in a (latency, latency, load^2) cost space",
+        ["quantity", "value"],
+        [
+            ["nodes", 600],
+            ["embedding dims (vector)", 2],
+            ["median relative embedding error", embedding.median_relative_error],
+            ["mean relative embedding error", embedding.mean_relative_error],
+            ["latency-plane span (ms)", span],
+            ["median load coordinate", float(np.median(scalars))],
+            ["p99 load coordinate", float(np.percentile(scalars, 99))],
+            ["overloaded node a load coordinate", float(scalars[0])],
+            ["node a percentile", float((scalars < scalars[0]).mean() * 100)],
+        ],
+    )
+    assert embedding.median_relative_error < 0.35
+    assert scalars[0] > np.percentile(scalars, 99)
+
+
+def test_embedding_speed_100_nodes(benchmark):
+    _, latencies, _, _, _ = figure2_data()
+    sub = latencies.submatrix(list(range(100)))
+    benchmark(
+        embed_latency_matrix, sub, dimensions=2, rounds=10, neighbors_per_round=4
+    )
+
+
+def test_cost_space_distance_speed(benchmark):
+    *_, space = figure2_data()
+
+    def distances():
+        total = 0.0
+        for j in range(1, 200):
+            total += space.distance(0, j)
+        return total
+
+    benchmark(distances)

@@ -1,0 +1,121 @@
+"""E3 / Figure 3 — virtual placement + physical mapping.
+
+Part (a) reproduces the figure exactly: one unpinned service between
+two producers and a consumer; the latency-nearest node N1 is overloaded,
+so the full-cost-space mapping selects the lightly loaded N2.
+
+Part (b) quantifies the *mapping error* — the distance between the
+ideal (virtual) coordinate and the chosen physical node — as node
+density grows, normalized by the mean inter-node latency.  The paper
+claims this error "remains small for realistic topologies".
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from _harness import report
+from repro.core.coordinates import CostCoordinate
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.core.optimizer import IntegratedOptimizer
+from repro.core.physical_mapping import ExhaustiveMapper
+from repro.network.latency import LatencyMatrix
+from repro.network.topology import random_geometric_topology
+from repro.network.vivaldi import embed_latency_matrix
+from repro.workloads.scenarios import figure3_scenario
+
+DENSITIES = [25, 50, 100, 200, 400]
+TARGETS_PER_DENSITY = 200
+
+
+@lru_cache(maxsize=1)
+def figure3_result():
+    sc = figure3_scenario()
+    result = IntegratedOptimizer(sc.cost_space).optimize(sc.query, sc.stats)
+    sid = result.circuit.unpinned_ids()[0]
+    return sc, result, sid
+
+
+@lru_cache(maxsize=1)
+def density_sweep():
+    rows = []
+    for n in DENSITIES:
+        topo = random_geometric_topology(n, radius=0.25, seed=n)
+        latencies = LatencyMatrix.from_topology(topo)
+        embedding = embed_latency_matrix(
+            latencies, dimensions=2, rounds=30, neighbors_per_round=4, seed=n
+        )
+        space = CostSpace.from_embedding(
+            CostSpaceSpec.latency_only(vector_dims=2), embedding.coordinates
+        )
+        mapper = ExhaustiveMapper(space)
+        vectors = space.vector_matrix()
+        lows, highs = vectors.min(axis=0), vectors.max(axis=0)
+        rng = np.random.default_rng(n)
+        errors = []
+        for _ in range(TARGETS_PER_DENSITY):
+            target = CostCoordinate(tuple(rng.uniform(lows, highs)))
+            node, _ = mapper.map_coordinate(target)
+            errors.append(target.distance_to(space.coordinate(node)))
+        mean_latency = latencies.mean_latency()
+        rows.append(
+            [
+                n,
+                float(np.mean(errors)),
+                float(np.percentile(errors, 95)),
+                mean_latency,
+                float(np.mean(errors) / mean_latency),
+            ]
+        )
+    return rows
+
+
+def test_report_figure3(benchmark):
+    sc, result, sid = figure3_result()
+    optimizer = IntegratedOptimizer(sc.cost_space)
+    benchmark(optimizer.optimize, sc.query, sc.stats)
+
+    chosen = result.circuit.host_of(sid)
+    target = CostCoordinate(tuple(sc.star), (0.0,))
+    n1, n2 = sc.cost_space.coordinate(sc.n1), sc.cost_space.coordinate(sc.n2)
+    report(
+        "E3a",
+        "Figure 3: mapping with a load dimension (star = ideal coordinate)",
+        ["candidate", "latency dist to star", "full-space dist to star", "chosen"],
+        [
+            ["N1 (loaded 0.9)", target.vector_distance_to(n1),
+             target.distance_to(n1), "yes" if chosen == sc.n1 else "no"],
+            ["N2 (idle 0.05)", target.vector_distance_to(n2),
+             target.distance_to(n2), "yes" if chosen == sc.n2 else "no"],
+        ],
+    )
+    assert chosen == sc.n2
+
+    rows = density_sweep()
+    report(
+        "E3b",
+        "Mapping error vs node density (geometric topologies, 2-D latency space)",
+        ["nodes", "mean error (ms)", "p95 error (ms)", "mean latency (ms)",
+         "error / mean latency"],
+        rows,
+    )
+    # "Error remains small": under 35% of mean latency at >= 100 nodes.
+    for row in rows:
+        if row[0] >= 100:
+            assert row[4] < 0.35
+
+
+def test_exhaustive_mapping_speed_400_nodes(benchmark):
+    rows = density_sweep()  # warm cache
+    del rows
+    topo = random_geometric_topology(400, radius=0.25, seed=400)
+    latencies = LatencyMatrix.from_topology(topo)
+    embedding = embed_latency_matrix(latencies, dimensions=2, rounds=10, seed=1)
+    space = CostSpace.from_embedding(
+        CostSpaceSpec.latency_only(vector_dims=2), embedding.coordinates
+    )
+    mapper = ExhaustiveMapper(space)
+    target = CostCoordinate(tuple(space.vector_matrix().mean(axis=0)))
+    benchmark(mapper.map_coordinate, target)

@@ -1,0 +1,152 @@
+"""E4 / Figure 4 — multi-query optimization pruned by cost-space radius.
+
+Part (a) reproduces the figure: three deployed circuits, radius r that
+covers only the nearby one (C3); the optimizer examines one candidate
+and taps C3's join service.
+
+Part (b) sweeps the radius on a larger deployed population and reports
+the pruning trade-off: candidates examined (optimizer work) vs. reuse
+rate and cost savings.  The paper's claim is that a modest radius keeps
+nearly all of the savings while examining a small fraction of the
+system's services.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from functools import lru_cache
+
+import numpy as np
+
+from _harness import report
+from repro.core.multi_query import MultiQueryOptimizer
+from repro.core.optimizer import IntegratedOptimizer
+from repro.network.topology import transit_stub_topology, TransitStubParams
+from repro.sbon.overlay import Overlay
+from repro.workloads.queries import WorkloadParams, random_query
+from repro.workloads.scenarios import figure4_scenario
+
+POPULATION = 12  # deployed circuits in the sweep
+NEW_QUERIES = 10
+
+
+@lru_cache(maxsize=1)
+def sweep_overlay() -> Overlay:
+    topo = transit_stub_topology(
+        TransitStubParams(
+            num_transit_domains=3,
+            transit_nodes_per_domain=3,
+            stub_domains_per_transit_node=2,
+            nodes_per_stub_domain=5,
+        ),  # 9 + 9*2*5 = 99 nodes
+        seed=2,
+    )
+    return Overlay.build(topo, vector_dims=2, embedding_rounds=40, seed=2)
+
+
+@lru_cache(maxsize=1)
+def deployed_population():
+    """Deploy POPULATION circuits; half share producer sets pairwise."""
+    overlay = sweep_overlay()
+    integ = overlay.integrated_optimizer()
+    deployments = []
+    params = WorkloadParams(num_producers=3, clustered=True, cluster_span=25)
+    for i in range(POPULATION):
+        query, stats = random_query(overlay.num_nodes, params, name=f"dep{i}", seed=i)
+        deployments.append((query, stats, integ.optimize(query, stats)))
+    # New queries: same producers as a deployed one, different consumer.
+    new_queries = []
+    for j in range(NEW_QUERIES):
+        base_query, base_stats, _ = deployments[j % POPULATION]
+        consumer = dataclasses.replace(
+            base_query.consumer,
+            name=f"new{j}.C",
+            node=(base_query.consumer.node + 7 + j) % overlay.num_nodes,
+        )
+        new_queries.append(
+            (dataclasses.replace(base_query, name=f"new{j}", consumer=consumer),
+             base_stats)
+        )
+    return deployments, new_queries
+
+
+@lru_cache(maxsize=1)
+def radius_sweep():
+    overlay = sweep_overlay()
+    deployments, new_queries = deployed_population()
+    span = float(
+        np.linalg.norm(
+            overlay.cost_space.vector_matrix().max(axis=0)
+            - overlay.cost_space.vector_matrix().min(axis=0)
+        )
+    )
+    rows = []
+    for fraction in (0.0, 0.05, 0.1, 0.2, 0.4, 1.0, float("inf")):
+        radius = span * fraction if np.isfinite(fraction) else float("inf")
+        mq = MultiQueryOptimizer(overlay.cost_space, radius=radius)
+        for _, _, result in deployments:
+            mq.deploy(result)
+        examined, reused, savings = [], 0, []
+        for query, stats in new_queries:
+            out = mq.optimize(query, stats)
+            examined.append(out.candidates_examined)
+            if out.reuse_happened:
+                reused += 1
+            savings.append(out.savings / max(out.standalone.cost.total, 1e-9))
+        rows.append(
+            [
+                "inf" if not np.isfinite(fraction) else f"{fraction:.2f}",
+                float(np.mean(examined)),
+                f"{reused}/{len(new_queries)}",
+                float(np.mean(savings) * 100),
+            ]
+        )
+    return rows
+
+
+def test_report_figure4(benchmark):
+    sc = figure4_scenario()
+    mq = MultiQueryOptimizer(sc.cost_space, radius=sc.radius)
+    integ = IntegratedOptimizer(sc.cost_space)
+    for query, stats in sc.existing:
+        mq.deploy(integ.optimize(query, stats))
+
+    out = benchmark(mq.optimize, sc.new_query, sc.new_stats)
+    report(
+        "E4a",
+        "Figure 4 scenario: 3 deployed circuits, radius covers only C3",
+        ["quantity", "value"],
+        [
+            ["deployed services", out.total_deployed],
+            ["candidates examined (within r)", out.candidates_examined],
+            ["service reused", out.reused[0].circuit_name if out.reused else "-"],
+            ["standalone cost", out.standalone.cost.total],
+            ["with-reuse cost", out.cost.total],
+            ["savings (%)", 100 * out.savings / out.standalone.cost.total],
+        ],
+    )
+    assert out.candidates_examined == 1
+    assert out.reuse_happened
+
+    rows = radius_sweep()
+    report(
+        "E4b",
+        f"Radius sweep: {POPULATION} deployed circuits, {NEW_QUERIES} new queries "
+        "(radius as fraction of cost-space span)",
+        ["radius/span", "mean candidates examined", "reuse rate", "mean savings (%)"],
+        rows,
+    )
+    # Pruning shape: examined grows with radius; savings saturate.
+    examined = [r[1] for r in rows]
+    assert examined == sorted(examined)
+    assert rows[0][1] == 0.0  # zero radius examines nothing
+
+
+def test_multi_query_optimize_speed(benchmark):
+    overlay = sweep_overlay()
+    deployments, new_queries = deployed_population()
+    mq = MultiQueryOptimizer(overlay.cost_space, radius=float("inf"))
+    for _, _, result in deployments:
+        mq.deploy(result)
+    query, stats = new_queries[0]
+    benchmark(mq.optimize, query, stats)

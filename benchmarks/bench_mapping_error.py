@@ -1,0 +1,145 @@
+"""E6 — mapping error across topology families and dimensionality.
+
+§3.2: "The magnitude of the mapping error depends on the dimensionality
+of the cost space and the distribution of physical nodes within that
+cost space.  However, experiments have shown that for realistic
+topologies and latency cost spaces this error remains small."
+
+Two sweeps over 150-node populations:
+  (a) topology family (transit-stub, geometric, uniform-random) at 2-D;
+  (b) embedding dimensionality (2-5) on the transit-stub family.
+
+Error = distance from a random target coordinate to the nearest
+published node, normalized by mean pairwise latency.  Both the
+exhaustive mapper (distribution-of-nodes error only) and the catalog
+mapper (plus Hilbert-locality error) are reported.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from _harness import report
+from repro.core.coordinates import CostCoordinate
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.core.physical_mapping import CatalogMapper, ExhaustiveMapper, build_catalog
+from repro.network.latency import LatencyMatrix
+from repro.network.topology import (
+    TransitStubParams,
+    random_geometric_topology,
+    transit_stub_topology,
+    uniform_delay_topology,
+)
+from repro.network.vivaldi import embed_latency_matrix
+
+N_NODES = 150
+TARGETS = 150
+
+
+def _make_topology(family: str):
+    if family == "transit-stub":
+        params = TransitStubParams(
+            num_transit_domains=3,
+            transit_nodes_per_domain=3,
+            stub_domains_per_transit_node=3,
+            nodes_per_stub_domain=5,
+        )  # 9 + 9*3*5 = 144 nodes
+        return transit_stub_topology(params, seed=1)
+    if family == "geometric":
+        return random_geometric_topology(N_NODES, radius=0.22, seed=1)
+    if family == "uniform":
+        return uniform_delay_topology(N_NODES, seed=1)
+    raise ValueError(family)
+
+
+def _errors(space: CostSpace, latencies: LatencyMatrix, use_catalog: bool, seed: int):
+    if use_catalog:
+        catalog = build_catalog(space, bits=8, ring_size=48)
+        mapper = CatalogMapper(space, catalog, scan_width=8)
+    else:
+        mapper = ExhaustiveMapper(space)
+    vectors = space.vector_matrix()
+    lows, highs = vectors.min(axis=0), vectors.max(axis=0)
+    rng = np.random.default_rng(seed)
+    errors = []
+    for _ in range(TARGETS):
+        target = CostCoordinate(tuple(rng.uniform(lows, highs)))
+        node, _ = mapper.map_coordinate(target)
+        errors.append(target.distance_to(space.coordinate(node)))
+    return np.array(errors) / latencies.mean_latency()
+
+
+@lru_cache(maxsize=1)
+def family_sweep():
+    rows = []
+    for family in ("transit-stub", "geometric", "uniform"):
+        topo = _make_topology(family)
+        latencies = LatencyMatrix.from_topology(topo)
+        emb = embed_latency_matrix(latencies, dimensions=2, rounds=30,
+                                   neighbors_per_round=4, seed=2)
+        space = CostSpace.from_embedding(
+            CostSpaceSpec.latency_only(vector_dims=2), emb.coordinates
+        )
+        ex = _errors(space, latencies, use_catalog=False, seed=5)
+        cat = _errors(space, latencies, use_catalog=True, seed=5)
+        rows.append(
+            [family, topo.num_nodes, float(ex.mean()), float(cat.mean()),
+             float(np.percentile(cat, 95))]
+        )
+    return rows
+
+
+@lru_cache(maxsize=1)
+def dimension_sweep():
+    topo = _make_topology("transit-stub")
+    latencies = LatencyMatrix.from_topology(topo)
+    rows = []
+    for dims in (2, 3, 4, 5):
+        emb = embed_latency_matrix(latencies, dimensions=dims, rounds=30,
+                                   neighbors_per_round=4, seed=3)
+        space = CostSpace.from_embedding(
+            CostSpaceSpec.latency_only(vector_dims=dims), emb.coordinates
+        )
+        ex = _errors(space, latencies, use_catalog=False, seed=7)
+        cat = _errors(space, latencies, use_catalog=True, seed=7)
+        rows.append([dims, float(ex.mean()), float(cat.mean()),
+                     float(cat.mean() - ex.mean())])
+    return rows
+
+
+def test_report_mapping_error(benchmark):
+    rows_family = family_sweep()
+    rows_dims = dimension_sweep()
+
+    topo = _make_topology("geometric")
+    latencies = LatencyMatrix.from_topology(topo)
+    emb = embed_latency_matrix(latencies, dimensions=2, rounds=10, seed=1)
+    space = CostSpace.from_embedding(
+        CostSpaceSpec.latency_only(vector_dims=2), emb.coordinates
+    )
+    catalog = build_catalog(space, bits=8, ring_size=48)
+    mapper = CatalogMapper(space, catalog)
+    target = CostCoordinate(tuple(space.vector_matrix().mean(axis=0)))
+    benchmark(mapper.map_coordinate, target)
+
+    report(
+        "E6a",
+        "Mapping error by topology family (error / mean latency, 2-D space)",
+        ["family", "nodes", "exhaustive mean", "catalog mean", "catalog p95"],
+        rows_family,
+    )
+    report(
+        "E6b",
+        "Mapping error vs cost-space dimensionality (transit-stub)",
+        ["dims", "exhaustive mean", "catalog mean", "hilbert penalty"],
+        rows_dims,
+    )
+    # Realistic (structured) topologies: error stays small.
+    for family, _, ex_mean, cat_mean, _ in rows_family:
+        if family != "uniform":
+            assert ex_mean < 0.35
+    # Catalog error >= exhaustive error (it is an approximation).
+    for row in rows_dims:
+        assert row[2] >= row[1] - 1e-9

@@ -1,0 +1,141 @@
+"""E5 — virtual-placement quality: relaxation vs alternatives.
+
+The paper (§3.2) claims relaxation placement "minimizes the costs and
+approximates optimal placement locations ... with respect to global
+network utilization".  This experiment places single-join circuits on
+random geometric populations with four strategies and compares the true
+network usage (Σ rate × latency) against the exhaustive optimum
+(feasible only for single-service circuits):
+
+  relaxation   spring equilibrium in the cost space, then mapping
+  gradient     Weiszfeld descent on Σ rate·dist, then mapping
+  centroid     unweighted centroid, then mapping
+  random       uniform random host
+
+Reported as mean cost ratio to the exhaustive optimum (1.0 = optimal).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from _harness import report
+from repro.core.circuit import Circuit
+from repro.core.costs import GroundTruthEvaluator, network_usage
+from repro.core.optimizer import IntegratedOptimizer, pinned_vector_positions
+from repro.core.physical_mapping import ExhaustiveMapper, map_circuit
+from repro.core.virtual_placement import (
+    centroid_placement,
+    gradient_descent_placement,
+    relaxation_placement,
+)
+from repro.network.latency import LatencyMatrix
+from repro.network.topology import random_geometric_topology
+from repro.network.vivaldi import embed_latency_matrix
+from repro.sbon.overlay import Overlay
+from repro.query.generator import enumerate_all_plans
+from repro.workloads.queries import WorkloadParams, random_query
+
+NUM_NODES = 120
+INSTANCES = 30
+
+
+@lru_cache(maxsize=1)
+def population():
+    topo = random_geometric_topology(NUM_NODES, radius=0.22, seed=7)
+    return Overlay.build(topo, vector_dims=2, embedding_rounds=40, seed=7)
+
+
+def _optimal_single_service_cost(circuit: Circuit, latencies: LatencyMatrix) -> float:
+    """Exhaustive optimum for a circuit with exactly one unpinned service."""
+    (sid,) = circuit.unpinned_ids()
+    best = float("inf")
+    for node in range(latencies.num_nodes):
+        circuit.assign(sid, node)
+        best = min(best, network_usage(circuit, latencies.latency))
+    return best
+
+
+@lru_cache(maxsize=1)
+def quality_results():
+    overlay = population()
+    latencies = overlay.latencies
+    space = overlay.cost_space
+    mapper = ExhaustiveMapper(space)
+    rng = np.random.default_rng(3)
+    ratios = {"relaxation": [], "gradient": [], "centroid": [], "random": []}
+    algorithms = {
+        "relaxation": relaxation_placement,
+        "gradient": gradient_descent_placement,
+        "centroid": centroid_placement,
+    }
+    params = WorkloadParams(num_producers=2)
+    for seed in range(INSTANCES):
+        query, stats = random_query(overlay.num_nodes, params, seed=seed)
+        plan = enumerate_all_plans(query.producer_names)[0]
+        circuit = Circuit.from_plan(plan, query, stats)
+        optimal = _optimal_single_service_cost(circuit.copy(), latencies)
+        if optimal <= 0:
+            continue
+        pinned = pinned_vector_positions(circuit, space)
+        for name, algorithm in algorithms.items():
+            placed = circuit.copy()
+            vp = algorithm(placed, pinned)
+            map_circuit(placed, vp, space, mapper)
+            ratios[name].append(network_usage(placed, latencies.latency) / optimal)
+        random_circuit = circuit.copy()
+        (sid,) = random_circuit.unpinned_ids()
+        random_circuit.assign(sid, int(rng.integers(overlay.num_nodes)))
+        ratios["random"].append(
+            network_usage(random_circuit, latencies.latency) / optimal
+        )
+    return ratios
+
+
+def test_report_placement_quality(benchmark):
+    overlay = population()
+    query, stats = random_query(overlay.num_nodes, WorkloadParams(num_producers=2), seed=0)
+    plan = enumerate_all_plans(query.producer_names)[0]
+    circuit = Circuit.from_plan(plan, query, stats)
+    pinned = pinned_vector_positions(circuit, overlay.cost_space)
+    benchmark(relaxation_placement, circuit, pinned)
+
+    ratios = quality_results()
+    rows = [
+        [
+            name,
+            float(np.mean(vals)),
+            float(np.median(vals)),
+            float(np.percentile(vals, 95)),
+        ]
+        for name, vals in ratios.items()
+    ]
+    report(
+        "E5",
+        f"Placement quality vs exhaustive optimum "
+        f"({INSTANCES} single-join circuits, {NUM_NODES}-node geometric)",
+        ["algorithm", "mean cost ratio", "median", "p95"],
+        rows,
+    )
+    means = {name: float(np.mean(vals)) for name, vals in ratios.items()}
+    assert means["relaxation"] < 1.35          # near-optimal
+    assert means["relaxation"] < means["random"] / 2  # far below random
+    assert means["gradient"] <= means["centroid"] + 0.2
+
+
+def test_gradient_descent_speed(benchmark):
+    overlay = population()
+    query, stats = random_query(overlay.num_nodes, WorkloadParams(num_producers=3), seed=1)
+    plan = enumerate_all_plans(query.producer_names)[0]
+    circuit = Circuit.from_plan(plan, query, stats)
+    pinned = pinned_vector_positions(circuit, overlay.cost_space)
+    benchmark(gradient_descent_placement, circuit, pinned)
+
+
+def test_full_optimize_five_producers_speed(benchmark):
+    overlay = population()
+    query, stats = random_query(overlay.num_nodes, WorkloadParams(num_producers=5), seed=2)
+    optimizer = overlay.integrated_optimizer()
+    benchmark(optimizer.optimize, query, stats)

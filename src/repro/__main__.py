@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``optimize``  — build an overlay, draw (or describe) a query, and run
+  the integrated optimizer; prints the candidate plans, the winner, and
+  the two-step comparison.
+* ``simulate``  — install a random workload and run the tick simulator
+  with load drift and periodic re-optimization.
+* ``execute``   — optimize a query and then execute the winning circuit
+  on synthetic streams, validating the cost model.
+* ``topology``  — generate a topology and print its statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.costs import GroundTruthEvaluator
+from repro.engine import CircuitExecutor
+from repro.network.dynamics import LoadProcess
+from repro.network.topology import (
+    TransitStubParams,
+    random_geometric_topology,
+    transit_stub_topology,
+)
+from repro.sbon.overlay import Overlay
+from repro.sbon.simulator import Simulation, SimulationConfig
+from repro.workloads.queries import WorkloadParams, random_query, random_workload
+
+__all__ = ["main"]
+
+
+def _make_topology(args):
+    if args.topology == "transit-stub":
+        scale = max(1, round(args.nodes / 600))
+        params = TransitStubParams(
+            num_transit_domains=4 * scale if args.nodes >= 600 else 2,
+            transit_nodes_per_domain=6 if args.nodes >= 600 else 3,
+            stub_domains_per_transit_node=4 if args.nodes >= 600 else 2,
+            nodes_per_stub_domain=6 if args.nodes >= 600 else 5,
+        )
+        return transit_stub_topology(params, seed=args.seed)
+    return random_geometric_topology(args.nodes, seed=args.seed)
+
+
+def _build_overlay(args) -> Overlay:
+    topology = _make_topology(args)
+    print(
+        f"overlay: {topology.num_nodes} nodes ({topology.name}), "
+        f"embedding {args.dims}-D ..."
+    )
+    return Overlay.build(
+        topology, vector_dims=args.dims, embedding_rounds=args.rounds, seed=args.seed
+    )
+
+
+def cmd_topology(args) -> int:
+    topology = _make_topology(args)
+    from repro.network.latency import LatencyMatrix
+
+    lm = LatencyMatrix.from_topology(topology)
+    print(f"name        : {topology.name}")
+    print(f"nodes       : {topology.num_nodes}")
+    print(f"links       : {len(topology.links)}")
+    print(f"mean latency: {lm.mean_latency():.1f} ms")
+    print(f"diameter    : {lm.max_latency():.1f} ms")
+    if topology.node_tags:
+        transit = len(topology.nodes_tagged("transit"))
+        print(f"transit     : {transit} / stub: {topology.num_nodes - transit}")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    overlay = _build_overlay(args)
+    query, stats = random_query(
+        overlay.num_nodes,
+        WorkloadParams(num_producers=args.producers, clustered=args.clustered),
+        seed=args.seed,
+    )
+    print(f"query: {args.producers} producers, consumer on node {query.consumer.node}")
+    integrated = overlay.integrated_optimizer().optimize(query, stats)
+    two_step = overlay.two_step_optimizer().optimize(query, stats)
+    judge = GroundTruthEvaluator(overlay.latencies)
+    print(f"\ncandidates evaluated: {integrated.placements_evaluated}")
+    for candidate in sorted(integrated.candidates, key=lambda c: c.cost.total)[:5]:
+        print(f"  {candidate.cost.total:10.1f}  {candidate.plan}")
+    usage_i = judge.evaluate(integrated.circuit).network_usage
+    usage_t = judge.evaluate(two_step.circuit).network_usage
+    print(f"\nintegrated: usage {usage_i:10.1f}  {integrated.plan}")
+    print(f"two-step  : usage {usage_t:10.1f}  {two_step.plan}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    overlay = _build_overlay(args)
+    workload = random_workload(
+        overlay.num_nodes,
+        args.queries,
+        WorkloadParams(num_producers=args.producers),
+        seed=args.seed,
+    )
+    optimizer = overlay.integrated_optimizer()
+    for query, stats in workload:
+        overlay.install(optimizer.optimize(query, stats))
+    print(f"installed {args.queries} circuits; initial usage "
+          f"{overlay.total_network_usage():.1f}")
+    sim = Simulation(
+        overlay,
+        load_process=LoadProcess(overlay.num_nodes, seed=args.seed),
+        config=SimulationConfig(reopt_interval=args.reopt_interval),
+    )
+    series = sim.run(args.ticks)
+    summary = series.summary()
+    for key, value in summary.items():
+        print(f"{key:14s}: {value:.1f}")
+    return 0
+
+
+def cmd_execute(args) -> int:
+    overlay = _build_overlay(args)
+    query, stats = random_query(
+        overlay.num_nodes,
+        WorkloadParams(
+            num_producers=args.producers,
+            selectivity_bounds=(0.1, 0.5),
+        ),
+        seed=args.seed,
+    )
+    result = overlay.integrated_optimizer().optimize(query, stats)
+    judge = GroundTruthEvaluator(overlay.latencies)
+    estimated = judge.evaluate(result.circuit).network_usage
+    print(f"plan: {result.plan}")
+    print(f"estimated usage: {estimated:.1f}")
+    executor = CircuitExecutor.from_query(
+        result.circuit, query, stats, overlay.latencies, seed=args.seed
+    )
+    report = executor.run(args.ticks)
+    measured = report.measured_network_usage()
+    print(f"measured usage : {measured:.1f} (ratio {measured / max(estimated, 1e-9):.3f})")
+    print(f"delivered      : {report.delivered} tuples, "
+          f"mean latency {report.mean_delivery_latency_ms():.0f} ms")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cost-space query optimization for stream overlays "
+        "(ICDE'05 reproduction)",
+    )
+    parser.add_argument("--nodes", type=int, default=99, help="overlay size")
+    parser.add_argument(
+        "--topology", choices=("transit-stub", "geometric"), default="transit-stub"
+    )
+    parser.add_argument("--dims", type=int, default=2, help="embedding dims")
+    parser.add_argument("--rounds", type=int, default=40, help="Vivaldi rounds")
+    parser.add_argument("--seed", type=int, default=0)
+
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("topology", help="generate a topology, print stats")
+
+    p_opt = sub.add_parser("optimize", help="optimize one random query")
+    p_opt.add_argument("--producers", type=int, default=4)
+    p_opt.add_argument("--clustered", action="store_true")
+
+    p_sim = sub.add_parser("simulate", help="run the tick simulator")
+    p_sim.add_argument("--queries", type=int, default=4)
+    p_sim.add_argument("--producers", type=int, default=3)
+    p_sim.add_argument("--ticks", type=int, default=60)
+    p_sim.add_argument("--reopt-interval", type=int, default=5)
+
+    p_exe = sub.add_parser("execute", help="execute a circuit on streams")
+    p_exe.add_argument("--producers", type=int, default=3)
+    p_exe.add_argument("--ticks", type=int, default=2000)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "topology": cmd_topology,
+        "optimize": cmd_optimize,
+        "simulate": cmd_simulate,
+        "execute": cmd_execute,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,282 @@
+"""Circuits: instantiated queries in the SBON (§3).
+
+A *circuit* is the instantiation of a query: pinned services (producers
+and consumer, with pre-defined network locations) plus unpinned services
+(joins, aggregates) that the optimizer is free to place, connected by
+directed links each carrying an estimated stream rate.
+
+``Circuit.from_plan`` compiles a logical plan + query spec into a
+circuit; placement is recorded in ``circuit.placement`` and filled in
+by the physical-mapping stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.model import QuerySpec
+from repro.query.operators import ServiceKind, ServiceSpec, processing_load
+from repro.query.plan import JoinNode, LeafNode, LogicalPlan, PlanNode
+from repro.query.selectivity import Statistics
+
+__all__ = ["Service", "CircuitLink", "Circuit", "effective_statistics"]
+
+
+@dataclass(frozen=True)
+class Service:
+    """One service instance in a circuit.
+
+    Attributes:
+        service_id: unique id within the circuit (e.g. ``"q1/join0"``).
+        spec: the service's kind and parameters.
+        pinned_node: physical node for pinned services, None if unpinned.
+        producers: the set of producer names whose data this service's
+            output reflects — the *reuse key* for multi-query
+            optimization (two services with equal kind and producer set
+            compute the same stream).
+    """
+
+    service_id: str
+    spec: ServiceSpec
+    pinned_node: int | None
+    producers: frozenset[str]
+
+    @property
+    def is_pinned(self) -> bool:
+        return self.pinned_node is not None
+
+    @property
+    def kind(self) -> ServiceKind:
+        return self.spec.kind
+
+    def reuse_key(self) -> tuple[ServiceKind, frozenset[str]]:
+        """Key under which identical services can be merged (§2.2)."""
+        return (self.spec.kind, self.producers)
+
+
+@dataclass(frozen=True)
+class CircuitLink:
+    """A directed stream link between two services of a circuit."""
+
+    source: str
+    target: str
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("link rate must be non-negative")
+        if self.source == self.target:
+            raise ValueError("link endpoints must differ")
+
+
+@dataclass
+class Circuit:
+    """A query circuit: services, links, and a (partial) placement.
+
+    Attributes:
+        name: circuit identifier.
+        services: service id -> :class:`Service`.
+        links: directed links with rates.
+        placement: service id -> physical node; pinned services are
+            pre-assigned, unpinned ones appear once mapped.
+    """
+
+    name: str
+    services: dict[str, Service] = field(default_factory=dict)
+    links: list[CircuitLink] = field(default_factory=list)
+    placement: dict[str, int] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+
+    def add_service(self, service: Service) -> None:
+        if service.service_id in self.services:
+            raise ValueError(f"duplicate service id {service.service_id}")
+        self.services[service.service_id] = service
+        if service.is_pinned:
+            self.placement[service.service_id] = service.pinned_node
+
+    def add_link(self, source: str, target: str, rate: float) -> None:
+        if source not in self.services or target not in self.services:
+            raise ValueError("link endpoints must be existing services")
+        self.links.append(CircuitLink(source, target, rate))
+
+    @classmethod
+    def from_plan(
+        cls,
+        plan: LogicalPlan,
+        query: QuerySpec,
+        stats: Statistics,
+        name: str | None = None,
+    ) -> "Circuit":
+        """Compile a logical plan into a circuit for ``query``.
+
+        Producers become pinned RELAY sources at their producer nodes;
+        each join node becomes an unpinned JOIN service; an optional
+        aggregate (``query.aggregate_factor``) is appended before the
+        pinned consumer sink.  Link rates come from the product-form
+        rate model over *effective* (post-filter) statistics.
+        """
+        if plan.producers != frozenset(query.producer_names):
+            raise ValueError("plan covers different producers than the query")
+        effective = effective_statistics(query, stats)
+        circuit = cls(name=name or query.name)
+
+        # Pinned producer sources.
+        for producer in query.producers:
+            circuit.add_service(
+                Service(
+                    service_id=f"{circuit.name}/src:{producer.name}",
+                    spec=ServiceSpec.relay(),
+                    pinned_node=producer.node,
+                    producers=frozenset((producer.name,)),
+                )
+            )
+
+        counter = 0
+
+        def build(node: PlanNode) -> tuple[str, float]:
+            """Recursively add services; return (service_id, output_rate)."""
+            nonlocal counter
+            if isinstance(node, LeafNode):
+                sid = f"{circuit.name}/src:{node.producer}"
+                return sid, effective.rate(node.producer)
+            assert isinstance(node, JoinNode)
+            left_id, left_rate = build(node.left)
+            right_id, right_rate = build(node.right)
+            sid = f"{circuit.name}/join{counter}"
+            counter += 1
+            circuit.add_service(
+                Service(
+                    service_id=sid,
+                    spec=ServiceSpec.join(),
+                    pinned_node=None,
+                    producers=node.producers,
+                )
+            )
+            circuit.add_link(left_id, sid, left_rate)
+            circuit.add_link(right_id, sid, right_rate)
+            return sid, node.output_rate(effective)
+
+        tail_id, tail_rate = build(plan.root)
+
+        if query.aggregate_factor is not None:
+            agg_id = f"{circuit.name}/agg"
+            circuit.add_service(
+                Service(
+                    service_id=agg_id,
+                    spec=ServiceSpec.aggregate(),
+                    pinned_node=None,
+                    producers=plan.producers,
+                )
+            )
+            circuit.add_link(tail_id, agg_id, tail_rate)
+            tail_id, tail_rate = agg_id, tail_rate * query.aggregate_factor
+
+        sink_id = f"{circuit.name}/sink:{query.consumer.name}"
+        circuit.add_service(
+            Service(
+                service_id=sink_id,
+                spec=ServiceSpec.relay(),
+                pinned_node=query.consumer.node,
+                producers=plan.producers,
+            )
+        )
+        circuit.add_link(tail_id, sink_id, tail_rate)
+        return circuit
+
+    # -- structure queries -------------------------------------------------
+
+    def pinned_ids(self) -> list[str]:
+        """Ids of pinned services, in insertion order."""
+        return [sid for sid, s in self.services.items() if s.is_pinned]
+
+    def unpinned_ids(self) -> list[str]:
+        """Ids of unpinned services, in insertion order."""
+        return [sid for sid, s in self.services.items() if not s.is_pinned]
+
+    def neighbors(self, service_id: str) -> list[tuple[str, float]]:
+        """Services linked to ``service_id`` with the connecting rate."""
+        if service_id not in self.services:
+            raise KeyError(f"no service {service_id}")
+        out: list[tuple[str, float]] = []
+        for link in self.links:
+            if link.source == service_id:
+                out.append((link.target, link.rate))
+            elif link.target == service_id:
+                out.append((link.source, link.rate))
+        return out
+
+    def input_rate(self, service_id: str) -> float:
+        """Total stream rate entering a service."""
+        return sum(l.rate for l in self.links if l.target == service_id)
+
+    def output_links(self, service_id: str) -> list[CircuitLink]:
+        return [l for l in self.links if l.source == service_id]
+
+    def source_ids(self) -> list[str]:
+        """Services with no incoming links (the producers)."""
+        targets = {l.target for l in self.links}
+        return [sid for sid in self.services if sid not in targets]
+
+    def sink_ids(self) -> list[str]:
+        """Services with no outgoing links (the consumer side)."""
+        sources = {l.source for l in self.links}
+        return [sid for sid in self.services if sid not in sources]
+
+    # -- placement ---------------------------------------------------------
+
+    def assign(self, service_id: str, node: int) -> None:
+        """Place an unpinned service on a physical node."""
+        service = self.services.get(service_id)
+        if service is None:
+            raise KeyError(f"no service {service_id}")
+        if service.is_pinned and node != service.pinned_node:
+            raise ValueError(f"cannot move pinned service {service_id}")
+        if node < 0:
+            raise ValueError("node index must be non-negative")
+        self.placement[service_id] = node
+
+    def host_of(self, service_id: str) -> int:
+        """Physical node hosting a service (raises if unplaced)."""
+        if service_id not in self.placement:
+            raise KeyError(f"service {service_id} is not placed")
+        return self.placement[service_id]
+
+    def is_fully_placed(self) -> bool:
+        return all(sid in self.placement for sid in self.services)
+
+    def hosts(self) -> set[int]:
+        """All physical nodes used by the current placement."""
+        return set(self.placement.values())
+
+    def load_on(self, node: int) -> float:
+        """CPU load this circuit's services add to ``node``."""
+        total = 0.0
+        for sid, service in self.services.items():
+            if self.placement.get(sid) == node:
+                total += processing_load(service.spec, self.input_rate(sid))
+        return total
+
+    def total_rate(self) -> float:
+        """Sum of all link rates (data volume the circuit moves)."""
+        return sum(l.rate for l in self.links)
+
+    def copy(self) -> "Circuit":
+        """Deep-enough copy: shared immutable services, fresh placement."""
+        return Circuit(
+            name=self.name,
+            services=dict(self.services),
+            links=list(self.links),
+            placement=dict(self.placement),
+        )
+
+
+def effective_statistics(query: QuerySpec, stats: Statistics) -> Statistics:
+    """Statistics with the query's pushed-down filters applied to rates."""
+    rates = {}
+    for producer in query.producers:
+        base = stats.rate(producer.name)
+        rates[producer.name] = base * query.filters.get(producer.name, 1.0)
+    return Statistics(
+        rates, dict(stats.selectivities), stats.default_selectivity
+    )

@@ -1,0 +1,287 @@
+"""The cost space: a metric space over physical nodes (§3.1).
+
+A :class:`CostSpaceSpec` fixes the *semantics* of a space — how many
+vector dimensions, which scalar metrics with which weighting functions —
+which "must be known by all nodes in the SBON".  A :class:`CostSpace`
+is then a concrete snapshot: one :class:`CostCoordinate` per physical
+node, built from a latency embedding (vector part) and current node
+metrics (scalar part).
+
+An SBON can run multiple independent cost spaces for different
+application classes; in this library that is simply multiple
+``CostSpace`` instances over the same node population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.coordinates import CostCoordinate
+from repro.core.weighting import WeightingFunction, squared
+
+__all__ = ["ScalarDimension", "CostSpaceSpec", "CostSpace"]
+
+
+@dataclass(frozen=True)
+class ScalarDimension:
+    """Semantics of one scalar dimension: metric name + weighting."""
+
+    metric: str
+    weighting: WeightingFunction
+
+    def describe(self) -> str:
+        return f"{self.metric}:{self.weighting.describe()}"
+
+
+@dataclass(frozen=True)
+class CostSpaceSpec:
+    """Shared semantics of a cost space (dimensions, units, weightings).
+
+    Attributes:
+        vector_dims: number of latency-embedding dimensions.
+        scalar_dimensions: ordered scalar dimensions.
+        name: identifier of the space (there may be several per SBON).
+    """
+
+    vector_dims: int
+    scalar_dimensions: tuple[ScalarDimension, ...] = ()
+    name: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.vector_dims < 1:
+            raise ValueError("cost space needs at least one vector dimension")
+        metrics = [d.metric for d in self.scalar_dimensions]
+        if len(metrics) != len(set(metrics)):
+            raise ValueError("duplicate scalar metric names")
+
+    @property
+    def dims(self) -> int:
+        return self.vector_dims + len(self.scalar_dimensions)
+
+    @classmethod
+    def latency_only(cls, vector_dims: int = 2, name: str = "latency") -> "CostSpaceSpec":
+        """A pure latency space (the simplest space in §3.1)."""
+        return cls(vector_dims=vector_dims, name=name)
+
+    @classmethod
+    def latency_load(
+        cls,
+        vector_dims: int = 2,
+        load_weighting: WeightingFunction | None = None,
+        name: str = "latency+load",
+    ) -> "CostSpaceSpec":
+        """Figure 2's space: latency dims plus a squared-CPU-load dim."""
+        weighting = load_weighting or squared()
+        return cls(
+            vector_dims=vector_dims,
+            scalar_dimensions=(ScalarDimension("cpu_load", weighting),),
+            name=name,
+        )
+
+    @classmethod
+    def latency_load_memory(
+        cls,
+        vector_dims: int = 2,
+        load_weighting: WeightingFunction | None = None,
+        memory_weighting: WeightingFunction | None = None,
+        name: str = "latency+load+memory",
+    ) -> "CostSpaceSpec":
+        """Latency dims plus CPU-load and memory-consumption dims (§3.1).
+
+        Memory consumption is the other scalar cost the paper names;
+        the default weighting is squared, like the load dimension.
+        """
+        return cls(
+            vector_dims=vector_dims,
+            scalar_dimensions=(
+                ScalarDimension("cpu_load", load_weighting or squared()),
+                ScalarDimension("memory", memory_weighting or squared()),
+            ),
+            name=name,
+        )
+
+
+@dataclass
+class CostSpace:
+    """A snapshot of every node's coordinate in one cost space.
+
+    Build with :meth:`from_embedding`; refresh scalar parts with
+    :meth:`update_metrics` as node state changes (the iterative
+    recomputation of §3.2).
+    """
+
+    spec: CostSpaceSpec
+    coordinates: list[CostCoordinate] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for coord in self.coordinates:
+            self._check_shape(coord)
+
+    def _check_shape(self, coord: CostCoordinate) -> None:
+        if coord.vector_dims != self.spec.vector_dims:
+            raise ValueError(
+                f"coordinate has {coord.vector_dims} vector dims, "
+                f"space requires {self.spec.vector_dims}"
+            )
+        if coord.scalar_dims != len(self.spec.scalar_dimensions):
+            raise ValueError(
+                f"coordinate has {coord.scalar_dims} scalar dims, "
+                f"space requires {len(self.spec.scalar_dimensions)}"
+            )
+
+    @classmethod
+    def from_embedding(
+        cls,
+        spec: CostSpaceSpec,
+        embedding: np.ndarray,
+        metrics: dict[str, np.ndarray | list[float]] | None = None,
+    ) -> "CostSpace":
+        """Construct coordinates from an embedding plus node metrics.
+
+        Args:
+            spec: the space semantics.
+            embedding: ``(n, spec.vector_dims)`` latency coordinates.
+            metrics: raw metric arrays (length n) keyed by metric name;
+                required for every scalar dimension in the spec.
+        """
+        embedding = np.asarray(embedding, dtype=float)
+        if embedding.ndim != 2 or embedding.shape[1] != spec.vector_dims:
+            raise ValueError(
+                f"embedding must be (n, {spec.vector_dims}), got {embedding.shape}"
+            )
+        metrics = metrics or {}
+        n = embedding.shape[0]
+        scalar_columns = cls._weighted_scalars(spec, metrics, n)
+        coords = [
+            CostCoordinate.from_arrays(embedding[i], scalar_columns[:, i])
+            for i in range(n)
+        ]
+        return cls(spec=spec, coordinates=coords)
+
+    @staticmethod
+    def _weighted_scalars(
+        spec: CostSpaceSpec,
+        metrics: dict[str, np.ndarray | list[float]],
+        n: int,
+    ) -> np.ndarray:
+        columns = np.zeros((len(spec.scalar_dimensions), n))
+        for row, dim in enumerate(spec.scalar_dimensions):
+            if dim.metric not in metrics:
+                raise ValueError(f"missing metric {dim.metric!r} for cost space")
+            raw = np.asarray(metrics[dim.metric], dtype=float)
+            if raw.shape != (n,):
+                raise ValueError(
+                    f"metric {dim.metric!r} must have shape ({n},), got {raw.shape}"
+                )
+            columns[row] = [dim.weighting(v) for v in raw]
+        return columns
+
+    # -- access ----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.coordinates)
+
+    def coordinate(self, node: int) -> CostCoordinate:
+        """The full coordinate of a physical node."""
+        return self.coordinates[node]
+
+    def vector_matrix(self) -> np.ndarray:
+        """``(n, vector_dims)`` array of all vector parts."""
+        return np.array([c.vector for c in self.coordinates])
+
+    def full_matrix(self) -> np.ndarray:
+        """``(n, dims)`` array of all full coordinates."""
+        return np.array([c.full_array() for c in self.coordinates])
+
+    def distance(self, u: int, v: int) -> float:
+        """Full cost-space distance between two nodes."""
+        return self.coordinates[u].distance_to(self.coordinates[v])
+
+    def vector_distance(self, u: int, v: int) -> float:
+        """Latency-estimating distance (vector dims only)."""
+        return self.coordinates[u].vector_distance_to(self.coordinates[v])
+
+    def estimated_latency(self, u: int, v: int) -> float:
+        """Alias for :meth:`vector_distance`, named for intent."""
+        return self.vector_distance(u, v)
+
+    # -- updates ---------------------------------------------------------
+
+    def update_metrics(self, metrics: dict[str, np.ndarray | list[float]]) -> None:
+        """Recompute all scalar components from fresh metric values."""
+        n = self.num_nodes
+        columns = self._weighted_scalars(self.spec, metrics, n)
+        self.coordinates = [
+            CostCoordinate(coord.vector, tuple(float(v) for v in columns[:, i]))
+            for i, coord in enumerate(self.coordinates)
+        ]
+
+    def update_vector(self, node: int, vector: np.ndarray | list[float]) -> None:
+        """Replace one node's vector part (embedding refinement)."""
+        old = self.coordinates[node]
+        new = CostCoordinate.from_arrays(vector, old.scalar)
+        self._check_shape(new)
+        self.coordinates[node] = new
+
+    # -- queries ---------------------------------------------------------
+
+    def nearest_node(
+        self,
+        target: CostCoordinate,
+        exclude: set[int] | None = None,
+    ) -> int:
+        """Exhaustive nearest physical node to a target coordinate.
+
+        The reference ("oracle") physical mapping; the decentralized
+        catalog approximates this.
+        """
+        self._check_shape(target)
+        exclude = exclude or set()
+        best_node = -1
+        best_dist = float("inf")
+        for node, coord in enumerate(self.coordinates):
+            if node in exclude:
+                continue
+            d = target.distance_to(coord)
+            if d < best_dist:
+                best_dist = d
+                best_node = node
+        if best_node < 0:
+            raise ValueError("no eligible node")
+        return best_node
+
+    def nodes_within(
+        self,
+        target: CostCoordinate,
+        radius: float,
+        exclude: set[int] | None = None,
+    ) -> list[int]:
+        """All nodes within ``radius`` of ``target`` in the full space."""
+        self._check_shape(target)
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        exclude = exclude or set()
+        return [
+            node
+            for node, coord in enumerate(self.coordinates)
+            if node not in exclude and target.distance_to(coord) <= radius
+        ]
+
+    def bounding_box(self, margin: float = 0.05) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """(lows, highs) of all full coordinates, padded by ``margin``.
+
+        Used to configure the Hilbert mapper of the catalog backend.
+        """
+        matrix = self.full_matrix()
+        lows = matrix.min(axis=0)
+        highs = matrix.max(axis=0)
+        span = np.maximum(highs - lows, 1e-9)
+        lows = lows - margin * span
+        highs = highs + margin * span
+        return (
+            tuple(float(v) for v in lows),
+            tuple(float(v) for v in highs),
+        )

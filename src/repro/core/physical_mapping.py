@@ -1,0 +1,190 @@
+"""Physical mapping: cost-space coordinates → physical nodes (§3.2).
+
+Virtual placement yields an idealistic coordinate per unpinned service;
+physical mapping finds a real node close to it.  The target coordinate
+has *ideal (zero) scalar components*, so the full-space distance from
+the target to a node is ``sqrt(|Δvector|² + Σ scalar²)`` — a loaded
+node "seems far away when the entire cost space coordinate is
+considered" (Figure 3) even if it is close in latency.
+
+Two interchangeable backends:
+
+* :class:`ExhaustiveMapper` — scans every node; the ground truth.
+* :class:`CatalogMapper` — queries the decentralized Hilbert/Chord
+  catalog; approximate but requires no global knowledge.
+
+The difference between the catalog's answer and the exhaustive answer —
+and between either answer and the virtual coordinate itself — is the
+*mapping error* studied in experiments E3/E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.circuit import Circuit
+from repro.core.coordinates import CostCoordinate
+from repro.core.cost_space import CostSpace
+from repro.core.virtual_placement import VirtualPlacement
+from repro.dht.catalog import CoordinateCatalog
+from repro.dht.hilbert import HilbertMapper
+
+__all__ = [
+    "ServiceMapping",
+    "MappingResult",
+    "ExhaustiveMapper",
+    "CatalogMapper",
+    "map_circuit",
+    "build_catalog",
+]
+
+
+@dataclass(frozen=True)
+class ServiceMapping:
+    """The outcome of mapping one service.
+
+    Attributes:
+        service_id: the mapped (unpinned) service.
+        node: chosen physical node.
+        target: the virtual coordinate (ideal scalars).
+        mapping_error: full-space distance from target to chosen node.
+        dht_hops: routing hops if the catalog backend was used.
+    """
+
+    service_id: str
+    node: int
+    target: CostCoordinate
+    mapping_error: float
+    dht_hops: int = 0
+
+
+@dataclass
+class MappingResult:
+    """Mapping outcome for a whole circuit."""
+
+    mappings: list[ServiceMapping] = field(default_factory=list)
+
+    @property
+    def total_error(self) -> float:
+        return sum(m.mapping_error for m in self.mappings)
+
+    @property
+    def max_error(self) -> float:
+        return max((m.mapping_error for m in self.mappings), default=0.0)
+
+    @property
+    def total_dht_hops(self) -> int:
+        return sum(m.dht_hops for m in self.mappings)
+
+    def node_of(self, service_id: str) -> int:
+        for m in self.mappings:
+            if m.service_id == service_id:
+                return m.node
+        raise KeyError(f"service {service_id} was not mapped")
+
+
+class ExhaustiveMapper:
+    """Ground-truth mapper: full scan of the cost space's coordinates."""
+
+    def __init__(self, cost_space: CostSpace, excluded: set[int] | None = None):
+        self.cost_space = cost_space
+        self.excluded = set(excluded or ())
+
+    def map_coordinate(self, target: CostCoordinate) -> tuple[int, int]:
+        """Return (nearest node, dht_hops=0)."""
+        node = self.cost_space.nearest_node(target, exclude=self.excluded)
+        return node, 0
+
+    def exclude(self, node: int) -> None:
+        """Mark a node ineligible (failed or administratively drained)."""
+        self.excluded.add(node)
+
+    def include(self, node: int) -> None:
+        self.excluded.discard(node)
+
+
+class CatalogMapper:
+    """Decentralized mapper backed by the Hilbert/Chord catalog.
+
+    Nodes must have been published (see :func:`build_catalog`).  The
+    mapper can fall back to nothing: if the scan returns no candidates
+    (catalog empty), it raises, mirroring a system with no capacity.
+    """
+
+    def __init__(
+        self,
+        cost_space: CostSpace,
+        catalog: CoordinateCatalog,
+        scan_width: int = 8,
+        excluded: set[int] | None = None,
+    ):
+        self.cost_space = cost_space
+        self.catalog = catalog
+        self.scan_width = scan_width
+        self.excluded = set(excluded or ())
+
+    def map_coordinate(self, target: CostCoordinate) -> tuple[int, int]:
+        """Return (approximately nearest node, DHT routing hops)."""
+        entry, stats = self.catalog.nearest(
+            target.full_array(), scan_width=self.scan_width, exclude=self.excluded
+        )
+        if entry is None:
+            raise RuntimeError("catalog has no eligible published nodes")
+        return entry.physical_node, stats.dht_hops
+
+    def exclude(self, node: int) -> None:
+        self.excluded.add(node)
+
+    def include(self, node: int) -> None:
+        self.excluded.discard(node)
+
+
+def build_catalog(
+    cost_space: CostSpace,
+    bits: int = 10,
+    ring_size: int = 64,
+    alive: list[bool] | None = None,
+) -> CoordinateCatalog:
+    """Publish every (alive) node's full coordinate into a fresh catalog."""
+    lows, highs = cost_space.bounding_box()
+    mapper = HilbertMapper(lows, highs, bits=bits)
+    catalog = CoordinateCatalog(mapper, ring_size=ring_size)
+    for node in range(cost_space.num_nodes):
+        if alive is not None and not alive[node]:
+            continue
+        catalog.publish(node, cost_space.coordinate(node).full_array())
+    return catalog
+
+
+def map_circuit(
+    circuit: Circuit,
+    placement: VirtualPlacement,
+    cost_space: CostSpace,
+    mapper: ExhaustiveMapper | CatalogMapper,
+) -> MappingResult:
+    """Map every unpinned service of a circuit and assign its host.
+
+    The target coordinate of a service is its virtual vector position
+    with ideal (zero) scalar components.  The circuit's ``placement``
+    dict is updated in place.
+    """
+    scalar_dims = len(cost_space.spec.scalar_dimensions)
+    result = MappingResult()
+    for service_id in circuit.unpinned_ids():
+        vector = placement.position_of(service_id)
+        target = CostCoordinate.from_arrays(vector, np.zeros(scalar_dims))
+        node, hops = mapper.map_coordinate(target)
+        circuit.assign(service_id, node)
+        error = target.distance_to(cost_space.coordinate(node))
+        result.mappings.append(
+            ServiceMapping(
+                service_id=service_id,
+                node=node,
+                target=target,
+                mapping_error=error,
+                dht_hops=hops,
+            )
+        )
+    return result

@@ -1,0 +1,102 @@
+"""Multiple independent cost spaces per SBON (§3.1).
+
+"The SBON can support multiple independent cost spaces, each to suit
+different classes of applications.  The semantics (dimensions, units,
+and weighting functions) of a particular cost-space must be known by
+all nodes in the SBON."
+
+The registry holds named cost spaces over the same node population and
+enforces the shared-semantics rule: registering a space under an
+existing name requires an identical spec (a node disagreeing about the
+semantics would corrupt every placement decision).  Queries select the
+space they optimize in by name — e.g. a latency-sensitive trading
+application uses ``"latency"`` while batch analytics use
+``"latency+load"`` with an aggressive load weighting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+
+__all__ = ["CostSpaceRegistry"]
+
+
+def _specs_compatible(a: CostSpaceSpec, b: CostSpaceSpec) -> bool:
+    """Same semantics: dims, metric names, weighting identities/scales."""
+    if a.vector_dims != b.vector_dims:
+        return False
+    if len(a.scalar_dimensions) != len(b.scalar_dimensions):
+        return False
+    for da, db in zip(a.scalar_dimensions, b.scalar_dimensions):
+        if da.metric != db.metric:
+            return False
+        if da.weighting.describe() != db.weighting.describe():
+            return False
+    return True
+
+
+@dataclass
+class CostSpaceRegistry:
+    """Named cost spaces over one node population."""
+
+    num_nodes: int
+    _spaces: dict[str, CostSpace] = field(default_factory=dict)
+
+    def register(self, space: CostSpace) -> None:
+        """Add a space under its spec's name; re-registration must agree.
+
+        Raises:
+            ValueError: on a node-count mismatch, or if a space with the
+                same name but *different semantics* already exists —
+                the inconsistency §3.1 forbids.
+        """
+        if space.num_nodes != self.num_nodes:
+            raise ValueError(
+                f"space has {space.num_nodes} nodes, registry expects {self.num_nodes}"
+            )
+        name = space.spec.name
+        existing = self._spaces.get(name)
+        if existing is not None and not _specs_compatible(existing.spec, space.spec):
+            raise ValueError(
+                f"cost space {name!r} already registered with different semantics"
+            )
+        self._spaces[name] = space
+
+    def get(self, name: str) -> CostSpace:
+        """The space registered under ``name``."""
+        if name not in self._spaces:
+            raise KeyError(
+                f"no cost space {name!r}; available: {sorted(self._spaces)}"
+            )
+        return self._spaces[name]
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._spaces)
+
+    def __len__(self) -> int:
+        return len(self._spaces)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._spaces
+
+    def update_all_metrics(self, metrics: dict[str, np.ndarray | list[float]]) -> None:
+        """Push fresh node metrics into every space that uses them.
+
+        Each space consumes only the metrics its spec declares; spaces
+        with no scalar dimensions are untouched.
+        """
+        for space in self._spaces.values():
+            needed = {d.metric for d in space.spec.scalar_dimensions}
+            if not needed:
+                continue
+            missing = needed - set(metrics)
+            if missing:
+                raise ValueError(
+                    f"space {space.spec.name!r} needs metrics {sorted(missing)}"
+                )
+            space.update_metrics({m: metrics[m] for m in needed})

@@ -1,0 +1,325 @@
+"""Dynamic re-optimization of running circuits (§3.3).
+
+Long-running queries outlive the conditions they were optimized for.
+The paper describes two recovery mechanisms, both implemented here:
+
+* **Local re-optimization** — each node hosting part of a circuit can
+  re-run virtual placement + physical mapping for the services it
+  hosts, migrating a service to a better node.  This is cheap,
+  decentralized, and runs continuously.  A *migration threshold*
+  (relative cost improvement required) prevents oscillation, since
+  migrations are not free in a real system.
+* **Full re-optimization** — when drift is stronger (e.g. selectivity
+  estimates changed as the circuit matured), a node triggers a complete
+  integrated optimization while the original circuit still runs; if the
+  new candidate is sufficiently cheaper, a "parallel circuit" replaces
+  the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.circuit import Circuit
+from repro.core.coordinates import CostCoordinate
+from repro.core.costs import CircuitCost, CostEvaluator, CostSpaceEvaluator
+from repro.core.cost_space import CostSpace
+from repro.core.optimizer import (
+    IntegratedOptimizer,
+    OptimizationResult,
+    pinned_vector_positions,
+)
+from repro.core.physical_mapping import CatalogMapper, ExhaustiveMapper
+from repro.core.virtual_placement import relaxation_placement
+from repro.query.model import QuerySpec
+from repro.query.selectivity import Statistics
+
+__all__ = ["Migration", "ReoptimizationReport", "Reoptimizer"]
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One service movement decided by local re-optimization."""
+
+    service_id: str
+    from_node: int
+    to_node: int
+    cost_before: float
+    cost_after: float
+
+    @property
+    def improvement(self) -> float:
+        return self.cost_before - self.cost_after
+
+
+@dataclass
+class ReoptimizationReport:
+    """What one re-optimization pass did to a circuit."""
+
+    migrations: list[Migration] = field(default_factory=list)
+    cost_before: CircuitCost | None = None
+    cost_after: CircuitCost | None = None
+    full_reoptimization: bool = False
+    replaced_plan: bool = False
+
+    @property
+    def migrated(self) -> bool:
+        return bool(self.migrations)
+
+    @property
+    def improvement(self) -> float:
+        if self.cost_before is None or self.cost_after is None:
+            return 0.0
+        return self.cost_before.total - self.cost_after.total
+
+
+class Reoptimizer:
+    """Re-optimizes running circuits against a *current* cost space.
+
+    The cost space passed in is expected to be refreshed externally
+    (``CostSpace.update_metrics`` / ``update_vector``) as the network
+    drifts; the re-optimizer only reads it.
+
+    Args:
+        cost_space: current cost-space snapshot.
+        mapper: physical-mapping backend for migrations.
+        evaluator: circuit pricing (cost-space estimates by default).
+        migration_threshold: minimum *relative* total-cost improvement
+            required to perform a migration (hysteresis).
+        load_weight: load-penalty weight, as in the optimizers.
+    """
+
+    def __init__(
+        self,
+        cost_space: CostSpace,
+        mapper: ExhaustiveMapper | CatalogMapper | None = None,
+        evaluator: CostEvaluator | None = None,
+        migration_threshold: float = 0.02,
+        load_weight: float = 1.0,
+    ):
+        if migration_threshold < 0:
+            raise ValueError("migration_threshold must be non-negative")
+        self.cost_space = cost_space
+        self.mapper = mapper or ExhaustiveMapper(cost_space)
+        self.evaluator = evaluator or CostSpaceEvaluator(cost_space)
+        self.migration_threshold = migration_threshold
+        self.load_weight = load_weight
+
+    # -- local re-optimization ----------------------------------------------
+
+    def local_step(self, circuit: Circuit) -> ReoptimizationReport:
+        """One decentralized pass: re-place and maybe migrate each service.
+
+        For every unpinned service (in isolation, holding the others
+        fixed — exactly what its host can do locally): recompute the
+        ideal coordinate from current neighbor positions, remap it, and
+        migrate if the circuit total improves by more than the
+        threshold.
+        """
+        if not circuit.is_fully_placed():
+            raise ValueError("circuit must be placed before re-optimization")
+        report = ReoptimizationReport()
+        report.cost_before = self.evaluator.evaluate(
+            circuit, load_weight=self.load_weight
+        )
+        current_cost = report.cost_before
+        scalar_dims = len(self.cost_space.spec.scalar_dimensions)
+
+        for sid in circuit.unpinned_ids():
+            target_vector = self._local_target(circuit, sid)
+            target = CostCoordinate.from_arrays(
+                target_vector, np.zeros(scalar_dims)
+            )
+            candidate_node, _ = self.mapper.map_coordinate(target)
+            old_node = circuit.host_of(sid)
+            if candidate_node == old_node:
+                continue
+            circuit.assign(sid, candidate_node)
+            new_cost = self.evaluator.evaluate(circuit, load_weight=self.load_weight)
+            required = current_cost.total * (1 - self.migration_threshold)
+            if new_cost.total < required:
+                report.migrations.append(
+                    Migration(
+                        service_id=sid,
+                        from_node=old_node,
+                        to_node=candidate_node,
+                        cost_before=current_cost.total,
+                        cost_after=new_cost.total,
+                    )
+                )
+                current_cost = new_cost
+            else:
+                circuit.assign(sid, old_node)  # revert
+
+        report.cost_after = current_cost
+        return report
+
+    def _local_target(self, circuit: Circuit, service_id: str) -> np.ndarray:
+        """Rate-weighted centroid of a service's neighbors' current hosts.
+
+        The single-service spring equilibrium: the local analogue of
+        relaxation placement, computable by the hosting node alone.
+        """
+        weights = []
+        points = []
+        for neighbor, rate in circuit.neighbors(service_id):
+            host = circuit.host_of(neighbor)
+            points.append(self.cost_space.coordinate(host).vector_array())
+            weights.append(rate)
+        if not points:
+            host = circuit.host_of(service_id)
+            return self.cost_space.coordinate(host).vector_array()
+        weights_arr = np.asarray(weights, dtype=float)
+        total = weights_arr.sum()
+        if total <= 0:
+            return np.asarray(points).mean(axis=0)
+        return (np.asarray(points) * weights_arr[:, None]).sum(axis=0) / total
+
+    def run_until_stable(
+        self, circuit: Circuit, max_passes: int = 20
+    ) -> ReoptimizationReport:
+        """Repeat local passes until no migration happens (or cap)."""
+        combined = ReoptimizationReport()
+        for _ in range(max_passes):
+            report = self.local_step(circuit)
+            if combined.cost_before is None:
+                combined.cost_before = report.cost_before
+            combined.cost_after = report.cost_after
+            combined.migrations.extend(report.migrations)
+            if not report.migrated:
+                break
+        return combined
+
+    # -- local plan rewriting ------------------------------------------------
+
+    def rewrite_step(
+        self, circuit: Circuit, stats: Statistics
+    ) -> tuple[Circuit, list[str]]:
+        """Apply profitable local plan rewrites (§3.3).
+
+        For every pair of adjacent joins colocated on one host (the only
+        situation where a node may rewrite "as long as it is running all
+        affected services"):
+
+        1. try :func:`reorder_adjacent_joins` — keep it if the estimated
+           circuit cost drops;
+        2. try :func:`recompose_colocated_joins` — keep it if the cost
+           does not increase (merging colocated joins removes a
+           migration unit for free).
+
+        Returns:
+            (possibly rewritten circuit, descriptions of applied
+            rewrites).  The input circuit is never mutated.
+        """
+        from repro.core.rewriting import (
+            colocated_join_pairs,
+            recompose_colocated_joins,
+            reorder_adjacent_joins,
+        )
+
+        current = circuit.copy()
+        applied: list[str] = []
+        progress = True
+        while progress:
+            progress = False
+            for upstream, downstream in colocated_join_pairs(current):
+                cost_before = self.evaluator.evaluate(
+                    current, load_weight=self.load_weight
+                ).total
+                reordered = reorder_adjacent_joins(
+                    current, upstream, downstream, stats
+                )
+                if reordered.applied:
+                    cost_after = self.evaluator.evaluate(
+                        reordered.circuit, load_weight=self.load_weight
+                    ).total
+                    if cost_after < cost_before - 1e-12:
+                        current = reordered.circuit
+                        applied.append(reordered.description)
+                        progress = True
+                        break
+                merged = recompose_colocated_joins(current, upstream, downstream)
+                cost_after = self.evaluator.evaluate(
+                    merged.circuit, load_weight=self.load_weight
+                ).total
+                if cost_after <= cost_before + 1e-12:
+                    current = merged.circuit
+                    applied.append(merged.description)
+                    progress = True
+                    break
+        return current, applied
+
+    # -- full re-optimization -------------------------------------------------
+
+    def full_reoptimize(
+        self,
+        circuit: Circuit,
+        query: QuerySpec,
+        stats: Statistics,
+        replace_threshold: float = 0.05,
+    ) -> tuple[ReoptimizationReport, OptimizationResult | None]:
+        """Re-run integrated optimization; replace the circuit if it pays.
+
+        Models the paper's "stronger form of re-optimization": deploy a
+        parallel circuit and cancel the original iff the new one is at
+        least ``replace_threshold`` (relative) cheaper under *current*
+        statistics and network state.
+
+        Returns:
+            (report, new_result) — ``new_result`` is None if the
+            original circuit was kept.
+        """
+        if replace_threshold < 0:
+            raise ValueError("replace_threshold must be non-negative")
+        report = ReoptimizationReport(full_reoptimization=True)
+        report.cost_before = self.evaluator.evaluate(
+            circuit, load_weight=self.load_weight
+        )
+        optimizer = IntegratedOptimizer(
+            self.cost_space,
+            mapper=self.mapper,
+            evaluator=self.evaluator,
+            load_weight=self.load_weight,
+        )
+        fresh = optimizer.optimize(query, stats)
+        required = report.cost_before.total * (1 - replace_threshold)
+        if fresh.cost.total < required:
+            report.replaced_plan = True
+            report.cost_after = fresh.cost
+            return report, fresh
+        report.cost_after = report.cost_before
+        return report, None
+
+    # -- failure handling -------------------------------------------------
+
+    def evacuate(self, circuit: Circuit, failed_node: int) -> list[Migration]:
+        """Force services off a failed node, ignoring thresholds."""
+        migrations: list[Migration] = []
+        was_excluded = failed_node in self.mapper.excluded
+        self.mapper.exclude(failed_node)
+        try:
+            scalar_dims = len(self.cost_space.spec.scalar_dimensions)
+            for sid in circuit.unpinned_ids():
+                if circuit.host_of(sid) != failed_node:
+                    continue
+                target_vector = self._local_target(circuit, sid)
+                target = CostCoordinate.from_arrays(
+                    target_vector, np.zeros(scalar_dims)
+                )
+                before = self.evaluator.evaluate(
+                    circuit, load_weight=self.load_weight
+                ).total
+                new_node, _ = self.mapper.map_coordinate(target)
+                circuit.assign(sid, new_node)
+                after = self.evaluator.evaluate(
+                    circuit, load_weight=self.load_weight
+                ).total
+                migrations.append(
+                    Migration(sid, failed_node, new_node, before, after)
+                )
+        finally:
+            if not was_excluded:
+                self.mapper.include(failed_node)
+        return migrations

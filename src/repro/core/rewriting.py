@@ -1,0 +1,260 @@
+"""Local plan rewriting during re-optimization (§3.3).
+
+"As part of re-optimization, a node can perform limited plan re-writing
+as long as it is running all affected services.  This could involve the
+reordering of services, the decomposition of existing services into
+sub-services to reduce load, or the re-composition of services to
+reduce network communication."
+
+Three rewrites are implemented, each strictly local (it only touches
+services that share a host, or a single service):
+
+* :func:`recompose_colocated_joins` — two adjacent JOIN services hosted
+  on the *same* node are merged into one multi-way join service.  The
+  inter-service link disappears (it was intra-node and free, but the
+  merged service has lower fixed overhead and one less migration unit).
+* :func:`decompose_join` — the inverse: a multi-way join whose host is
+  overloaded is split back into a two-way join tree so the pieces can
+  be placed on different nodes.
+* :func:`reorder_adjacent_joins` — for two adjacent joins on one host,
+  try the alternative associations of their three inputs and keep the
+  one with the lowest intermediate rate (a classic local join
+  reordering, valid because the host runs both services).
+
+All rewrites take and return :class:`~repro.core.circuit.Circuit`
+objects; they never touch services on other hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.circuit import Circuit, Service
+from repro.query.operators import ServiceKind, ServiceSpec
+from repro.query.selectivity import Statistics, rate_of_subset
+
+__all__ = [
+    "RewriteResult",
+    "colocated_join_pairs",
+    "recompose_colocated_joins",
+    "decompose_join",
+    "reorder_adjacent_joins",
+]
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """Outcome of a rewrite attempt.
+
+    Attributes:
+        circuit: the rewritten circuit (a fresh object; input untouched).
+        applied: True if a rewrite actually happened.
+        description: human-readable summary of what changed.
+    """
+
+    circuit: Circuit
+    applied: bool
+    description: str = ""
+
+
+def _adjacent_join_pairs(circuit: Circuit) -> list[tuple[str, str]]:
+    """(upstream, downstream) pairs of directly linked JOIN services."""
+    pairs = []
+    for link in circuit.links:
+        src = circuit.services.get(link.source)
+        dst = circuit.services.get(link.target)
+        if (
+            src is not None
+            and dst is not None
+            and src.kind is ServiceKind.JOIN
+            and dst.kind is ServiceKind.JOIN
+        ):
+            pairs.append((link.source, link.target))
+    return pairs
+
+
+def colocated_join_pairs(circuit: Circuit) -> list[tuple[str, str]]:
+    """Adjacent join pairs whose services share a physical host."""
+    if not circuit.is_fully_placed():
+        raise ValueError("circuit must be placed to find colocated services")
+    return [
+        (up, down)
+        for up, down in _adjacent_join_pairs(circuit)
+        if circuit.host_of(up) == circuit.host_of(down)
+    ]
+
+
+def recompose_colocated_joins(
+    circuit: Circuit, upstream: str, downstream: str
+) -> RewriteResult:
+    """Merge two colocated adjacent joins into one multi-way join.
+
+    The merged service keeps the downstream id (its output links are
+    unchanged), absorbs the upstream's inputs, and covers the union of
+    producers.  Only valid when both run on the same host (§3.3).
+    """
+    if circuit.host_of(upstream) != circuit.host_of(downstream):
+        raise ValueError("recomposition requires colocated services")
+    up_svc = circuit.services[upstream]
+    down_svc = circuit.services[downstream]
+    if up_svc.kind is not ServiceKind.JOIN or down_svc.kind is not ServiceKind.JOIN:
+        raise ValueError("recomposition applies to JOIN services")
+
+    merged = Circuit(name=circuit.name)
+    for sid, service in circuit.services.items():
+        if sid == upstream:
+            continue
+        if sid == downstream:
+            service = Service(
+                service_id=sid,
+                spec=down_svc.spec,
+                pinned_node=down_svc.pinned_node,
+                producers=up_svc.producers | down_svc.producers,
+            )
+        merged.services[sid] = service
+    for link in circuit.links:
+        if link.source == upstream and link.target == downstream:
+            continue  # the intra-node link disappears
+        source = downstream if link.source == upstream else link.source
+        target = downstream if link.target == upstream else link.target
+        merged.add_link(source, target, link.rate)
+    for sid, node in circuit.placement.items():
+        if sid != upstream:
+            merged.placement[sid] = node
+    return RewriteResult(
+        circuit=merged,
+        applied=True,
+        description=f"merged {upstream} into {downstream}",
+    )
+
+
+def decompose_join(
+    circuit: Circuit,
+    service_id: str,
+    stats: Statistics,
+) -> RewriteResult:
+    """Split a multi-way join back into a two-way join plus a sub-join.
+
+    The inputs are partitioned greedily: the most selective input pair
+    (lowest joint output rate) becomes the new sub-service, which feeds
+    the remaining join.  The sub-service starts on the same host (a
+    later re-optimization pass is free to migrate it — that is the
+    point of decomposing "to reduce load").
+
+    Returns ``applied=False`` when the service has only two inputs.
+    """
+    service = circuit.services[service_id]
+    if service.kind is not ServiceKind.JOIN:
+        raise ValueError("decomposition applies to JOIN services")
+    in_links = [l for l in circuit.links if l.target == service_id]
+    if len(in_links) <= 2:
+        return RewriteResult(circuit.copy(), False, "already a two-way join")
+
+    def input_producers(link) -> frozenset[str]:
+        return circuit.services[link.source].producers
+
+    # Pick the pair of inputs with the smallest combined output rate.
+    best_pair = None
+    best_rate = float("inf")
+    for i in range(len(in_links)):
+        for j in range(i + 1, len(in_links)):
+            joint = input_producers(in_links[i]) | input_producers(in_links[j])
+            rate = rate_of_subset(stats, joint)
+            if rate < best_rate:
+                best_rate = rate
+                best_pair = (in_links[i], in_links[j])
+    assert best_pair is not None
+    a, b = best_pair
+
+    sub_id = f"{service_id}.sub"
+    rewritten = circuit.copy()
+    rewritten.services = dict(circuit.services)
+    rewritten.links = [l for l in circuit.links if l not in (a, b)]
+    rewritten.placement = dict(circuit.placement)
+
+    sub_producers = input_producers(a) | input_producers(b)
+    rewritten.services[sub_id] = Service(
+        service_id=sub_id,
+        spec=ServiceSpec.join(),
+        pinned_node=None,
+        producers=sub_producers,
+    )
+    rewritten.links.append(type(a)(a.source, sub_id, a.rate))
+    rewritten.links.append(type(b)(b.source, sub_id, b.rate))
+    rewritten.links.append(type(a)(sub_id, service_id, best_rate))
+    rewritten.placement[sub_id] = circuit.host_of(service_id)
+    return RewriteResult(
+        rewritten, True, f"split {service_id}: new sub-join {sub_id} over {sorted(sub_producers)}"
+    )
+
+
+def reorder_adjacent_joins(
+    circuit: Circuit,
+    upstream: str,
+    downstream: str,
+    stats: Statistics,
+) -> RewriteResult:
+    """Try the alternative associations of two colocated adjacent joins.
+
+    With upstream = (X ⋈ Y) feeding downstream = (· ⋈ Z), the host can
+    locally re-associate to (X ⋈ Z)·Y or (Y ⋈ Z)·X.  The association
+    with the lowest intermediate rate wins; if the current one is
+    already best, nothing changes.
+
+    Only the upstream's *producer grouping* changes — both services
+    stay on their host, so this is a legal local rewrite.
+    """
+    if circuit.host_of(upstream) != circuit.host_of(downstream):
+        raise ValueError("reordering requires colocated services")
+    up_svc = circuit.services[upstream]
+    up_inputs = [l for l in circuit.links if l.target == upstream]
+    down_inputs = [
+        l for l in circuit.links if l.target == downstream and l.source != upstream
+    ]
+    if len(up_inputs) != 2 or len(down_inputs) != 1:
+        return RewriteResult(circuit.copy(), False, "shape not reorderable")
+
+    x_link, y_link = up_inputs
+    z_link = down_inputs[0]
+    x = circuit.services[x_link.source].producers
+    y = circuit.services[y_link.source].producers
+    z = circuit.services[z_link.source].producers
+
+    options = {
+        "xy": (x | y, x_link, y_link, z_link),
+        "xz": (x | z, x_link, z_link, y_link),
+        "yz": (y | z, y_link, z_link, x_link),
+    }
+    rates = {
+        key: rate_of_subset(stats, group)
+        for key, (group, *_rest) in options.items()
+    }
+    best_key = min(rates, key=rates.get)
+    if best_key == "xy":
+        return RewriteResult(circuit.copy(), False, "current association optimal")
+
+    group, first, second, third = options[best_key]
+    rewritten = circuit.copy()
+    rewritten.services = dict(circuit.services)
+    rewritten.links = [
+        l for l in circuit.links if l not in (x_link, y_link, z_link)
+    ]
+    rewritten.services[upstream] = Service(
+        service_id=upstream,
+        spec=up_svc.spec,
+        pinned_node=up_svc.pinned_node,
+        producers=group,
+    )
+    link_cls = type(x_link)
+    rewritten.links.append(link_cls(first.source, upstream, first.rate))
+    rewritten.links.append(link_cls(second.source, upstream, second.rate))
+    rewritten.links.append(link_cls(third.source, downstream, third.rate))
+    # The upstream -> downstream link now carries the new group's rate.
+    rewritten.links = [
+        l for l in rewritten.links
+        if not (l.source == upstream and l.target == downstream)
+    ]
+    rewritten.links.append(link_cls(upstream, downstream, rates[best_key]))
+    return RewriteResult(
+        rewritten, True, f"re-associated {upstream} to join {sorted(group)}"
+    )

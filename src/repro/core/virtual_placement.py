@@ -1,0 +1,294 @@
+"""Virtual placement: ideal coordinates for unpinned services (§3.2).
+
+Virtual placement runs *before* any service is instantiated: given the
+circuit's link structure, the pinned endpoints' vector coordinates, and
+the link data rates, compute the coordinate in the **vector dimensions
+only** where each unpinned service would ideally sit.  (Scalar
+dimensions are ideal at zero and join at physical-mapping time.)
+
+Algorithms, per the paper:
+
+* **Relaxation placement** [Pietzuch et al., TR-26-04] — circuits are
+  modelled as springs whose constant equals the link data rate and
+  whose extension is the latency; services are massless bodies.  The
+  equilibrium minimizes Σ rate·dist² (a proxy for the network
+  utilization Σ rate·dist), found by iterative per-service relaxation:
+  each unpinned service repeatedly moves to the rate-weighted centroid
+  of its neighbors.
+* **Centroid placement** — unweighted centroid of neighbors, iterated.
+* **Gradient descent placement** [Bonfils & Bonnet] — minimizes the
+  *true* utilization objective Σ rate·dist with Weiszfeld-style
+  iterations (each service moves to the rate/distance-weighted centroid
+  of its neighbors).
+
+All three return a :class:`VirtualPlacement` mapping each unpinned
+service id to a vector coordinate, plus convergence diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.circuit import Circuit
+
+__all__ = [
+    "VirtualPlacement",
+    "relaxation_placement",
+    "centroid_placement",
+    "gradient_descent_placement",
+    "exact_spring_equilibrium",
+    "placement_energy",
+    "placement_utilization",
+]
+
+
+@dataclass
+class VirtualPlacement:
+    """Result of a virtual-placement run.
+
+    Attributes:
+        positions: unpinned service id -> vector coordinate (ndarray).
+        iterations: relaxation sweeps performed.
+        converged: True if movement fell below tolerance before the
+            iteration cap.
+        objective: final value of the algorithm's objective function.
+    """
+
+    positions: dict[str, np.ndarray]
+    iterations: int
+    converged: bool
+    objective: float
+
+    def position_of(self, service_id: str) -> np.ndarray:
+        if service_id not in self.positions:
+            raise KeyError(f"no virtual position for {service_id}")
+        return self.positions[service_id]
+
+
+def _pinned_and_unpinned(
+    circuit: Circuit, pinned_positions: dict[str, np.ndarray]
+) -> tuple[dict[str, np.ndarray], list[str]]:
+    """Validate inputs; return (pinned positions, unpinned ids)."""
+    pinned_ids = set(circuit.pinned_ids())
+    missing = pinned_ids - set(pinned_positions)
+    if missing:
+        raise ValueError(f"missing vector positions for pinned services {sorted(missing)}")
+    unpinned = circuit.unpinned_ids()
+    positions = {sid: np.asarray(p, dtype=float) for sid, p in pinned_positions.items()}
+    dims = {p.shape for p in positions.values()}
+    if len(dims) > 1:
+        raise ValueError("pinned positions have inconsistent dimensionality")
+    return positions, unpinned
+
+
+def _initial_guess(
+    circuit: Circuit,
+    positions: dict[str, np.ndarray],
+    unpinned: list[str],
+) -> dict[str, np.ndarray]:
+    """Start every unpinned service at the mean of the pinned endpoints."""
+    pinned_matrix = np.array([positions[sid] for sid in circuit.pinned_ids()])
+    center = pinned_matrix.mean(axis=0)
+    return {sid: center.copy() for sid in unpinned}
+
+
+def _sweep(
+    circuit: Circuit,
+    positions: dict[str, np.ndarray],
+    unpinned: list[str],
+    rate_weighted: bool,
+    distance_weighted: bool,
+) -> float:
+    """One relaxation sweep; returns the largest movement distance."""
+    max_move = 0.0
+    for sid in unpinned:
+        weights = []
+        points = []
+        for neighbor, rate in circuit.neighbors(sid):
+            weight = rate if rate_weighted else 1.0
+            if distance_weighted:
+                dist = float(np.linalg.norm(positions[sid] - positions[neighbor]))
+                weight = weight / max(dist, 1e-9)
+            weights.append(weight)
+            points.append(positions[neighbor])
+        if not points:
+            continue
+        weights_arr = np.asarray(weights, dtype=float)
+        total = weights_arr.sum()
+        if total <= 0:
+            continue
+        new_pos = (np.asarray(points) * weights_arr[:, None]).sum(axis=0) / total
+        max_move = max(max_move, float(np.linalg.norm(new_pos - positions[sid])))
+        positions[sid] = new_pos
+    return max_move
+
+
+def _iterate(
+    circuit: Circuit,
+    pinned_positions: dict[str, np.ndarray],
+    rate_weighted: bool,
+    distance_weighted: bool,
+    max_iterations: int,
+    tolerance: float,
+    objective_fn,
+) -> VirtualPlacement:
+    positions, unpinned = _pinned_and_unpinned(circuit, pinned_positions)
+    if not unpinned:
+        return VirtualPlacement({}, 0, True, objective_fn(circuit, positions))
+    positions.update(_initial_guess(circuit, positions, unpinned))
+
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        move = _sweep(circuit, positions, unpinned, rate_weighted, distance_weighted)
+        if move < tolerance:
+            converged = True
+            break
+    return VirtualPlacement(
+        positions={sid: positions[sid] for sid in unpinned},
+        iterations=iterations,
+        converged=converged,
+        objective=objective_fn(circuit, positions),
+    )
+
+
+def placement_energy(circuit: Circuit, positions: dict[str, np.ndarray]) -> float:
+    """Spring energy Σ rate × dist² over circuit links (relaxation objective)."""
+    total = 0.0
+    for link in circuit.links:
+        d = float(np.linalg.norm(positions[link.source] - positions[link.target]))
+        total += link.rate * d * d
+    return total
+
+
+def placement_utilization(circuit: Circuit, positions: dict[str, np.ndarray]) -> float:
+    """Network utilization Σ rate × dist over circuit links (true objective)."""
+    total = 0.0
+    for link in circuit.links:
+        d = float(np.linalg.norm(positions[link.source] - positions[link.target]))
+        total += link.rate * d
+    return total
+
+
+def relaxation_placement(
+    circuit: Circuit,
+    pinned_positions: dict[str, np.ndarray],
+    max_iterations: int = 200,
+    tolerance: float = 1e-4,
+) -> VirtualPlacement:
+    """Spring relaxation: services settle at rate-weighted neighbor centroids.
+
+    The fixed point is the global minimum of the spring energy
+    Σ rate·dist² (the energy is convex), so iteration order does not
+    change the answer, only the convergence speed.
+    """
+    return _iterate(
+        circuit,
+        pinned_positions,
+        rate_weighted=True,
+        distance_weighted=False,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        objective_fn=placement_energy,
+    )
+
+
+def centroid_placement(
+    circuit: Circuit,
+    pinned_positions: dict[str, np.ndarray],
+    max_iterations: int = 200,
+    tolerance: float = 1e-4,
+) -> VirtualPlacement:
+    """Unweighted centroid placement (rate-oblivious baseline)."""
+    return _iterate(
+        circuit,
+        pinned_positions,
+        rate_weighted=False,
+        distance_weighted=False,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        objective_fn=placement_energy,
+    )
+
+
+def exact_spring_equilibrium(
+    circuit: Circuit,
+    pinned_positions: dict[str, np.ndarray],
+) -> VirtualPlacement:
+    """Closed-form spring equilibrium via a linear solve.
+
+    The spring energy Σ rate·dist² is a convex quadratic, so its
+    minimum satisfies, per unpinned service *i* and per dimension::
+
+        (Σ_j k_ij) x_i - Σ_{j unpinned} k_ij x_j = Σ_{j pinned} k_ij p_j
+
+    which is a (symmetric, diagonally dominant) linear system — the
+    graph Laplacian restricted to unpinned services.  This is the
+    ground truth the iterative :func:`relaxation_placement` converges
+    to; tests verify their agreement, and it is useful when exactness
+    matters more than decentralizability.
+    """
+    positions, unpinned = _pinned_and_unpinned(circuit, pinned_positions)
+    if not unpinned:
+        return VirtualPlacement({}, 0, True, placement_energy(circuit, positions))
+    index = {sid: rank for rank, sid in enumerate(unpinned)}
+    n = len(unpinned)
+    dims = next(iter(positions.values())).shape[0]
+
+    laplacian = np.zeros((n, n))
+    rhs = np.zeros((n, dims))
+    for sid in unpinned:
+        i = index[sid]
+        for neighbor, rate in circuit.neighbors(sid):
+            laplacian[i, i] += rate
+            if neighbor in index:
+                laplacian[i, index[neighbor]] -= rate
+            else:
+                rhs[i] += rate * positions[neighbor]
+
+    # Isolated services (no links) keep a zero row; pin them to the
+    # pinned centroid to keep the system solvable.
+    center = np.mean(
+        [positions[sid] for sid in circuit.pinned_ids()], axis=0
+    )
+    for sid in unpinned:
+        i = index[sid]
+        if laplacian[i, i] == 0:
+            laplacian[i, i] = 1.0
+            rhs[i] = center
+
+    solution = np.linalg.solve(laplacian, rhs)
+    placed = {sid: solution[index[sid]] for sid in unpinned}
+    positions.update(placed)
+    return VirtualPlacement(
+        positions=placed,
+        iterations=0,
+        converged=True,
+        objective=placement_energy(circuit, positions),
+    )
+
+
+def gradient_descent_placement(
+    circuit: Circuit,
+    pinned_positions: dict[str, np.ndarray],
+    max_iterations: int = 500,
+    tolerance: float = 1e-5,
+) -> VirtualPlacement:
+    """Weiszfeld-style descent on the true utilization Σ rate·dist.
+
+    Each unpinned service iterates toward the rate/distance-weighted
+    centroid of its neighbors — the update of the classic Weiszfeld
+    algorithm for the (weighted) geometric median, generalized to the
+    circuit graph.
+    """
+    return _iterate(
+        circuit,
+        pinned_positions,
+        rate_weighted=True,
+        distance_weighted=True,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        objective_fn=placement_utilization,
+    )

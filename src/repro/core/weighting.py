@@ -1,0 +1,112 @@
+"""Weighting functions for scalar cost-space dimensions.
+
+A node computes its scalar coordinate components by applying a
+deployer-supplied *weighting function* to a raw local metric (CPU load,
+memory pressure, ...).  The paper requires the function to be
+non-negative with zero representing the ideal value, and uses the
+*squared* function for CPU load in Figure 2 so that overloaded nodes
+appear far away from everything in the cost space.
+
+All functions here map a raw metric in ``[0, 1]`` (fraction of
+capacity) to a non-negative coordinate in cost-space units; the
+``scale`` parameter expresses how many latency-milliseconds of penalty
+a fully-loaded node is worth, making scalar and vector dimensions
+commensurable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "WeightingFunction",
+    "squared",
+    "linear",
+    "exponential",
+    "threshold",
+    "zero",
+]
+
+
+@dataclass(frozen=True)
+class WeightingFunction:
+    """A named, validated scalar weighting function.
+
+    Attributes:
+        name: identifier (part of the cost-space semantics every node
+            must agree on, §3.1).
+        fn: the raw mapping from metric value to penalty.
+        scale: multiplier converting the unit penalty to cost-space
+            (latency-equivalent) units.
+    """
+
+    name: str
+    fn: Callable[[float], float]
+    scale: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.scale < 0:
+            raise ValueError("scale must be non-negative")
+
+    def __call__(self, value: float) -> float:
+        """Apply the function; validates non-negativity of the result."""
+        if value < 0:
+            raise ValueError(f"raw metric value {value} must be non-negative")
+        result = self.fn(value) * self.scale
+        if result < 0:
+            raise ValueError(
+                f"weighting function {self.name} produced negative cost {result}"
+            )
+        return result
+
+    def describe(self) -> str:
+        return f"{self.name}(scale={self.scale})"
+
+
+def squared(scale: float = 100.0) -> WeightingFunction:
+    """The paper's default: penalty grows with the square of the load.
+
+    Mild load is nearly free; overload dominates the coordinate,
+    "discouraging the use of overloaded nodes" (Figure 2).
+    """
+    return WeightingFunction("squared", lambda v: v * v, scale)
+
+
+def linear(scale: float = 100.0) -> WeightingFunction:
+    """Penalty proportional to the metric."""
+    return WeightingFunction("linear", lambda v: v, scale)
+
+
+def exponential(steepness: float = 4.0, scale: float = 100.0) -> WeightingFunction:
+    """Penalty ~ (e^{s·v} - 1)/(e^{s} - 1): near-flat then explosive.
+
+    Models hard capacity walls more aggressively than ``squared``.
+    """
+    if steepness <= 0:
+        raise ValueError("steepness must be positive")
+    denom = math.exp(steepness) - 1.0
+
+    def fn(value: float) -> float:
+        return (math.exp(steepness * value) - 1.0) / denom
+
+    return WeightingFunction(f"exponential[{steepness}]", fn, scale)
+
+
+def threshold(knee: float = 0.7, scale: float = 100.0) -> WeightingFunction:
+    """Zero below ``knee``, then linear to 1: "free until contended"."""
+    if not 0 < knee < 1:
+        raise ValueError("knee must be in (0, 1)")
+
+    def fn(value: float) -> float:
+        if value <= knee:
+            return 0.0
+        return (value - knee) / (1.0 - knee)
+
+    return WeightingFunction(f"threshold[{knee}]", fn, scale)
+
+
+def zero() -> WeightingFunction:
+    """Ignore the metric entirely (scalar dimension disabled)."""
+    return WeightingFunction("zero", lambda v: 0.0, 0.0)

@@ -1,0 +1,35 @@
+"""Decentralized catalog substrate: Hilbert curves + Chord DHT.
+
+Implements the paper's coordinate catalog (§3.2): nodes publish their
+cost-space coordinates under Hilbert-curve keys in a Chord ring, and
+nearest-coordinate queries resolve with O(log n) routing plus a short
+ring-neighborhood scan.
+"""
+
+from repro.dht.catalog import CatalogEntry, CatalogQueryStats, CoordinateCatalog
+from repro.dht.chord import ChordNode, ChordRing, LookupResult, hash_to_id
+from repro.dht.directory import ServiceAdvertisement, ServiceDirectory
+from repro.dht.hilbert import (
+    HilbertMapper,
+    hilbert_decode,
+    hilbert_encode,
+    morton_decode,
+    morton_encode,
+)
+
+__all__ = [
+    "CatalogEntry",
+    "CatalogQueryStats",
+    "CoordinateCatalog",
+    "ChordNode",
+    "ChordRing",
+    "LookupResult",
+    "hash_to_id",
+    "ServiceAdvertisement",
+    "ServiceDirectory",
+    "HilbertMapper",
+    "hilbert_decode",
+    "hilbert_encode",
+    "morton_decode",
+    "morton_encode",
+]

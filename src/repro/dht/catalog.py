@@ -1,0 +1,278 @@
+"""Decentralized coordinate catalog: Hilbert keys over a Chord ring.
+
+This is the physical-mapping backend of §3.2: every SBON node publishes
+its cost-space coordinate into a DHT after transforming it to a
+one-dimensional key with a Hilbert curve; a lookup of a desired
+coordinate then returns (approximately) the node with the closest
+existing coordinate.
+
+Because the Hilbert curve only *approximately* preserves locality, a
+single key lookup can miss the true nearest node.  The catalog
+therefore scans a small ring neighborhood around the query key
+(``scan_width`` entries in each direction) and ranks the collected
+candidates by true distance — the standard technique for
+space-filling-curve indexes.  The gap between this answer and the
+exhaustive nearest node is the *mapping error* studied in experiments
+E3/E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.dht.chord import ChordRing, hash_to_id
+from repro.dht.hilbert import HilbertMapper
+
+__all__ = ["CatalogEntry", "CoordinateCatalog", "CatalogQueryStats"]
+
+DistanceFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+def _euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.linalg.norm(a - b))
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """A published (physical node, cost-space coordinate) pair."""
+
+    physical_node: int
+    coordinate: tuple[float, ...]
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.coordinate, dtype=float)
+
+
+@dataclass
+class CatalogQueryStats:
+    """Bookkeeping for one nearest-node query.
+
+    Attributes:
+        dht_hops: Chord routing hops for the initial key lookup.
+        ring_entries_scanned: catalog entries inspected in the
+            neighborhood scan (a proxy for extra one-hop messages).
+        candidates: number of distinct published nodes considered.
+    """
+
+    dht_hops: int = 0
+    ring_entries_scanned: int = 0
+    candidates: int = 0
+
+
+class CoordinateCatalog:
+    """Publish/query cost-space coordinates through a simulated Chord DHT.
+
+    Args:
+        mapper: quantizer from continuous coordinates to Hilbert keys.
+        ring: an existing Chord ring to use; if None, a fresh ring is
+            created and ``ring_size`` virtual nodes are joined (hashed
+            ids), modelling a deployed DHT substrate.
+        ring_size: number of DHT participants when creating a ring.
+        distance: metric used to rank candidates; Euclidean by default
+            (the cost-space distance in the full coordinate space).
+    """
+
+    def __init__(
+        self,
+        mapper: HilbertMapper,
+        ring: ChordRing | None = None,
+        ring_size: int = 64,
+        distance: DistanceFn = _euclidean,
+    ):
+        self.mapper = mapper
+        self.distance = distance
+        # Reserve low-order salt bits so nodes sharing a quantization
+        # cell still get distinct store keys.
+        id_bits = mapper.key_bits + 16
+        if ring is None:
+            ring = ChordRing(id_bits=id_bits)
+            for i in range(ring_size):
+                ring.join(name=f"dht-node-{i}")
+        else:
+            if ring.id_bits < mapper.key_bits:
+                raise ValueError(
+                    "ring identifier space too small for the Hilbert keys"
+                )
+            if len(ring) == 0:
+                raise ValueError("ring must have at least one node")
+        self.ring = ring
+        self._published: dict[int, CatalogEntry] = {}
+
+    # -- publishing ------------------------------------------------------
+
+    def publish(self, physical_node: int, coordinate: np.ndarray | list[float]) -> int:
+        """Publish (or refresh) a node's coordinate; returns its DHT key.
+
+        Keys are salted with the physical node id so that two nodes in
+        the same quantization cell do not collide in the store.
+        """
+        coordinate = np.asarray(coordinate, dtype=float)
+        key = self._salted_key(physical_node, coordinate)
+        entry = CatalogEntry(physical_node, tuple(float(v) for v in coordinate))
+        previous = self._published.get(physical_node)
+        if previous is not None:
+            self.withdraw(physical_node)
+        self.ring.put(key, entry)
+        self._published[physical_node] = entry
+        self._keys = getattr(self, "_keys", {})
+        self._keys[physical_node] = key
+        return key
+
+    def withdraw(self, physical_node: int) -> None:
+        """Remove a node's published coordinate (e.g., on failure)."""
+        if physical_node not in self._published:
+            raise KeyError(f"node {physical_node} has not published")
+        key = self._keys[physical_node]
+        owner = self.ring.lookup(key).owner
+        self.ring.node(owner).store.pop(key, None)
+        del self._published[physical_node]
+        del self._keys[physical_node]
+
+    def _salted_key(self, physical_node: int, coordinate: np.ndarray) -> int:
+        base = self.mapper.key_for(coordinate)
+        # Shift the Hilbert key into the high bits of the ring id space and
+        # salt the low bits, so ring order still follows curve order.
+        spare_bits = self.ring.id_bits - self.mapper.key_bits
+        if spare_bits <= 0:
+            return base
+        salt = hash_to_id(physical_node, spare_bits) if spare_bits > 0 else 0
+        return (base << spare_bits) | salt
+
+    @property
+    def published_nodes(self) -> list[int]:
+        """Physical node ids currently published."""
+        return sorted(self._published)
+
+    def entry_for(self, physical_node: int) -> CatalogEntry:
+        """The published entry of one node."""
+        return self._published[physical_node]
+
+    # -- queries ---------------------------------------------------------
+
+    def nearest(
+        self,
+        coordinate: np.ndarray | list[float],
+        scan_width: int = 8,
+        exclude: set[int] | None = None,
+    ) -> tuple[CatalogEntry | None, CatalogQueryStats]:
+        """Find the published node nearest to ``coordinate``.
+
+        Performs one Chord lookup for the query's Hilbert key, then
+        scans ``scan_width`` published entries in each ring direction
+        and returns the candidate at minimum true distance.
+
+        Args:
+            coordinate: the desired cost-space point.
+            scan_width: neighborhood half-width (entries per direction).
+            exclude: physical node ids to ignore (e.g., failed nodes).
+
+        Returns:
+            ``(entry, stats)`` — entry is None if nothing is published.
+        """
+        entries, stats = self._neighborhood(coordinate, scan_width, exclude)
+        if not entries:
+            return None, stats
+        point = np.asarray(coordinate, dtype=float)
+        best = min(entries, key=lambda e: self.distance(point, e.as_array()))
+        return best, stats
+
+    def k_nearest(
+        self,
+        coordinate: np.ndarray | list[float],
+        k: int,
+        scan_width: int = 8,
+        exclude: set[int] | None = None,
+    ) -> tuple[list[CatalogEntry], CatalogQueryStats]:
+        """The ``k`` published nodes nearest to ``coordinate`` (approx.)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        entries, stats = self._neighborhood(
+            coordinate, max(scan_width, k), exclude
+        )
+        point = np.asarray(coordinate, dtype=float)
+        ranked = sorted(entries, key=lambda e: self.distance(point, e.as_array()))
+        return ranked[:k], stats
+
+    def within_radius(
+        self,
+        coordinate: np.ndarray | list[float],
+        radius: float,
+        scan_width: int = 16,
+        exclude: set[int] | None = None,
+    ) -> tuple[list[CatalogEntry], CatalogQueryStats]:
+        """Published nodes within ``radius`` of ``coordinate`` (approx.).
+
+        This is the hyper-sphere search of §3.4 used to prune
+        multi-query optimization: only services hosted on nodes inside
+        the ball are considered for reuse.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        entries, stats = self._neighborhood(coordinate, scan_width, exclude)
+        point = np.asarray(coordinate, dtype=float)
+        hits = [
+            e for e in entries if self.distance(point, e.as_array()) <= radius
+        ]
+        return hits, stats
+
+    def _neighborhood(
+        self,
+        coordinate: np.ndarray | list[float],
+        scan_width: int,
+        exclude: set[int] | None,
+    ) -> tuple[list[CatalogEntry], CatalogQueryStats]:
+        """Collect published entries near the query key on the ring."""
+        coordinate = np.asarray(coordinate, dtype=float)
+        spare_bits = self.ring.id_bits - self.mapper.key_bits
+        key = self.mapper.key_for(coordinate) << max(spare_bits, 0)
+        route = self.ring.lookup(key)
+        stats = CatalogQueryStats(dht_hops=route.hops)
+
+        exclude = exclude or set()
+        collected: dict[int, CatalogEntry] = {}
+
+        # Walk successors and predecessors from the owner, gathering
+        # published entries until scan_width per direction is reached.
+        for direction in ("successor", "predecessor"):
+            node_id = route.owner
+            gathered = 0
+            visited = 0
+            while gathered < scan_width and visited < len(self.ring):
+                node = self.ring.node(node_id)
+                stored = sorted(node.store.items())
+                if direction == "predecessor":
+                    stored = list(reversed(stored))
+                for _, value in stored:
+                    if isinstance(value, CatalogEntry):
+                        stats.ring_entries_scanned += 1
+                        if value.physical_node not in exclude:
+                            if value.physical_node not in collected:
+                                collected[value.physical_node] = value
+                                gathered += 1
+                        if gathered >= scan_width:
+                            break
+                node_id = getattr(node, direction)
+                visited += 1
+
+        stats.candidates = len(collected)
+        return list(collected.values()), stats
+
+    # -- ground truth ----------------------------------------------------
+
+    def exhaustive_nearest(
+        self,
+        coordinate: np.ndarray | list[float],
+        exclude: set[int] | None = None,
+    ) -> CatalogEntry | None:
+        """True nearest published node (reference for mapping error)."""
+        exclude = exclude or set()
+        point = np.asarray(coordinate, dtype=float)
+        candidates = [
+            e for n, e in self._published.items() if n not in exclude
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: self.distance(point, e.as_array()))

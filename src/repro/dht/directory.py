@@ -1,0 +1,167 @@
+"""Decentralized service directory for multi-query reuse (§3.4).
+
+"For each unpinned service in a circuit, one implementation could use
+the Hilbert DHT to look up the closest n nodes that may already be
+running the same service.  This effectively searches around the
+hyper-sphere surrounding each unpinned service."
+
+Deployed services are published into the same Hilbert-keyed Chord ring
+as node coordinates, under the *host's* cost-space coordinate, together
+with their reuse key (service kind + producer set).  A reuse lookup
+routes to the query coordinate's key and scans the ring neighborhood,
+returning in-radius services — no global registry required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dht.chord import ChordRing, hash_to_id
+from repro.dht.hilbert import HilbertMapper
+
+__all__ = ["ServiceAdvertisement", "ServiceDirectory"]
+
+
+@dataclass(frozen=True)
+class ServiceAdvertisement:
+    """A published, reusable service instance.
+
+    Attributes:
+        circuit_name: owning circuit.
+        service_id: id within the circuit.
+        node: physical host.
+        reuse_key: hashable service identity (kind, producers).
+        coordinate: the host's full cost-space coordinate at publish
+            time.
+        output_rate: rate of the stream the service produces.
+    """
+
+    circuit_name: str
+    service_id: str
+    node: int
+    reuse_key: tuple
+    coordinate: tuple[float, ...]
+    output_rate: float
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.coordinate, dtype=float)
+
+
+class ServiceDirectory:
+    """Hilbert/Chord-backed directory of running services."""
+
+    def __init__(
+        self,
+        mapper: HilbertMapper,
+        ring: ChordRing | None = None,
+        ring_size: int = 64,
+    ):
+        self.mapper = mapper
+        id_bits = mapper.key_bits + 16
+        if ring is None:
+            ring = ChordRing(id_bits=id_bits)
+            for i in range(ring_size):
+                ring.join(name=f"dir-node-{i}")
+        elif ring.id_bits < mapper.key_bits:
+            raise ValueError("ring identifier space too small for directory keys")
+        self.ring = ring
+        self._keys: dict[tuple[str, str], int] = {}
+        self.lookups = 0
+        self.lookup_hops = 0
+
+    def _storage_key(self, ad: ServiceAdvertisement) -> int:
+        base = self.mapper.key_for(ad.as_array())
+        spare = self.ring.id_bits - self.mapper.key_bits
+        salt = hash_to_id(f"{ad.circuit_name}/{ad.service_id}", spare)
+        return (base << spare) | salt
+
+    # -- publication -------------------------------------------------------
+
+    def publish(self, ad: ServiceAdvertisement) -> int:
+        """Advertise a running service; returns its directory key."""
+        handle = (ad.circuit_name, ad.service_id)
+        if handle in self._keys:
+            self.withdraw(ad.circuit_name, ad.service_id)
+        key = self._storage_key(ad)
+        self.ring.put(key, ad)
+        self._keys[handle] = key
+        return key
+
+    def withdraw(self, circuit_name: str, service_id: str | None = None) -> int:
+        """Remove one service's ad, or all of a circuit's; returns count."""
+        removed = 0
+        handles = [
+            h
+            for h in list(self._keys)
+            if h[0] == circuit_name and (service_id is None or h[1] == service_id)
+        ]
+        for handle in handles:
+            key = self._keys.pop(handle)
+            owner = self.ring.lookup(key).owner
+            self.ring.node(owner).store.pop(key, None)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    # -- search ------------------------------------------------------------
+
+    def search(
+        self,
+        coordinate: np.ndarray | list[float],
+        reuse_key: tuple,
+        radius: float,
+        scan_width: int = 16,
+    ) -> tuple[list[ServiceAdvertisement], int]:
+        """Services matching ``reuse_key`` within ``radius`` of a point.
+
+        Routes one Chord lookup to the coordinate's Hilbert key, then
+        scans ``scan_width`` advertisements in each ring direction.
+
+        Returns:
+            (matching ads sorted by distance, ads examined in-radius) —
+            the second number is the optimizer-work metric of Figure 4.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        point = np.asarray(coordinate, dtype=float)
+        spare = self.ring.id_bits - self.mapper.key_bits
+        key = self.mapper.key_for(point) << spare
+        route = self.ring.lookup(key)
+        self.lookups += 1
+        self.lookup_hops += route.hops
+
+        collected: dict[tuple[str, str], ServiceAdvertisement] = {}
+        for direction in ("successor", "predecessor"):
+            node_id = route.owner
+            gathered = 0
+            visited = 0
+            while gathered < scan_width and visited < len(self.ring):
+                node = self.ring.node(node_id)
+                stored = sorted(node.store.items())
+                if direction == "predecessor":
+                    stored = list(reversed(stored))
+                for _, value in stored:
+                    if isinstance(value, ServiceAdvertisement):
+                        handle = (value.circuit_name, value.service_id)
+                        if handle not in collected:
+                            collected[handle] = value
+                            gathered += 1
+                        if gathered >= scan_width:
+                            break
+                node_id = getattr(node, direction)
+                visited += 1
+
+        in_radius = [
+            ad
+            for ad in collected.values()
+            if float(np.linalg.norm(ad.as_array() - point)) <= radius
+        ]
+        matches = sorted(
+            (ad for ad in in_radius if ad.reuse_key == reuse_key),
+            key=lambda ad: float(np.linalg.norm(ad.as_array() - point)),
+        )
+        return matches, len(in_radius)

@@ -1,0 +1,36 @@
+"""Executable stream engine: run placed circuits on synthetic tuples.
+
+Validates the optimizer's rate/cost model end to end: Poisson sources,
+windowed symmetric-hash joins, filters, decimating aggregates, and
+link delivery delayed by true pairwise latency.  See experiment E14.
+"""
+
+from repro.engine.executor import CircuitExecutor, ExecutionReport, LinkMeasurement
+from repro.engine.generators import (
+    SourceConfig,
+    StreamSource,
+    key_domain_for_selectivity,
+)
+from repro.engine.operators import (
+    DecimatingAggregate,
+    FilterOperator,
+    Operator,
+    RelayOperator,
+    SymmetricHashJoin,
+)
+from repro.engine.tuples import StreamTuple
+
+__all__ = [
+    "CircuitExecutor",
+    "ExecutionReport",
+    "LinkMeasurement",
+    "SourceConfig",
+    "StreamSource",
+    "key_domain_for_selectivity",
+    "DecimatingAggregate",
+    "FilterOperator",
+    "Operator",
+    "RelayOperator",
+    "SymmetricHashJoin",
+    "StreamTuple",
+]

@@ -1,0 +1,325 @@
+"""Circuit executor: run a placed circuit on actual synthetic streams.
+
+The optimizer prices circuits from *estimated* link rates; this engine
+executes the circuit — Poisson sources, windowed symmetric-hash joins,
+link delivery delayed by real pairwise latency — and measures what the
+network actually carried.  Experiment E14 compares the two: per-link
+measured vs estimated rates, and measured vs estimated network usage.
+
+Time is discrete: one tick is ``tick_ms`` milliseconds.  A tuple sent
+on a link with latency L arrives ``round(L / tick_ms)`` ticks later.
+Rates in :class:`~repro.query.selectivity.Statistics` are interpreted
+as tuples per tick.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.circuit import Circuit
+from repro.engine.generators import SourceConfig, StreamSource, key_domain_for_selectivity
+from repro.engine.operators import (
+    DecimatingAggregate,
+    FilterOperator,
+    Operator,
+    RelayOperator,
+    SymmetricHashJoin,
+)
+from repro.engine.tuples import StreamTuple
+from repro.network.latency import LatencyMatrix
+from repro.query.model import QuerySpec
+from repro.query.operators import ServiceKind
+from repro.query.selectivity import Statistics
+
+__all__ = ["LinkMeasurement", "ExecutionReport", "CircuitExecutor"]
+
+
+@dataclass
+class LinkMeasurement:
+    """Traffic observed on one circuit link."""
+
+    source: str
+    target: str
+    latency_ms: float
+    tuples: int = 0
+    size_units: float = 0.0
+
+    def rate(self, ticks: int) -> float:
+        """Measured tuples per tick."""
+        return self.tuples / ticks if ticks else 0.0
+
+    def usage(self, ticks: int) -> float:
+        """Measured rate × latency contribution."""
+        return self.rate(ticks) * self.latency_ms
+
+
+@dataclass
+class ExecutionReport:
+    """Everything measured during one execution.
+
+    Attributes:
+        ticks: simulated duration.
+        links: per-link measurements keyed by (source, target).
+        delivered: tuples that reached the consumer.
+        delivery_latencies_ms: end-to-end data latencies of delivered
+            tuples (origin tick to arrival, in ms).
+        operator_stats: per-service (processed, emitted) counters.
+    """
+
+    ticks: int
+    links: dict[tuple[str, str], LinkMeasurement] = field(default_factory=dict)
+    delivered: int = 0
+    delivery_latencies_ms: list[float] = field(default_factory=list)
+    operator_stats: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def measured_network_usage(self) -> float:
+        """Σ measured rate × latency over links (the executed objective)."""
+        return sum(m.usage(self.ticks) for m in self.links.values())
+
+    def measured_rate(self, source: str, target: str) -> float:
+        return self.links[(source, target)].rate(self.ticks)
+
+    def delivery_rate(self) -> float:
+        """Result tuples per tick at the consumer."""
+        return self.delivered / self.ticks if self.ticks else 0.0
+
+    def mean_delivery_latency_ms(self) -> float:
+        if not self.delivery_latencies_ms:
+            return 0.0
+        return float(np.mean(self.delivery_latencies_ms))
+
+    def rate_agreement(self, circuit: Circuit) -> dict[tuple[str, str], tuple[float, float]]:
+        """Per-link (measured, estimated) rate pairs for validation."""
+        out = {}
+        for link in circuit.links:
+            measured = self.measured_rate(link.source, link.target)
+            out[(link.source, link.target)] = (measured, link.rate)
+        return out
+
+
+class CircuitExecutor:
+    """Executes one placed circuit over synthetic streams.
+
+    Build with :meth:`from_query` (derives sources and windows from the
+    planner-side objects) or construct directly with explicit
+    :class:`SourceConfig` per producer.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        latencies: LatencyMatrix,
+        sources: dict[str, SourceConfig],
+        window: int = 20,
+        aggregate_factor: float | None = None,
+        tick_ms: float = 10.0,
+        seed: int = 0,
+        join_match_probabilities: dict[str, float] | None = None,
+    ):
+        if not circuit.is_fully_placed():
+            raise ValueError("circuit must be fully placed to execute")
+        if tick_ms <= 0:
+            raise ValueError("tick_ms must be positive")
+        self.circuit = circuit
+        self.latencies = latencies
+        self.window = window
+        self.tick_ms = tick_ms
+        join_match_probabilities = join_match_probabilities or {}
+
+        self._sources: dict[str, StreamSource] = {}
+        self._operators: dict[str, Operator] = {}
+        self._ports: dict[tuple[str, str], int] = {}
+        self._downstream: dict[str, list] = {}
+        self._sink_ids = set(circuit.sink_ids())
+
+        # A tuple arriving at a service can be stale by the whole
+        # upstream path delay (origin ts vs arrival tick), so join state
+        # must be retained for window + path staleness.
+        staleness: dict[str, int] = {}
+
+        def path_staleness(sid: str) -> int:
+            if sid in staleness:
+                return staleness[sid]
+            incoming_links = [l for l in circuit.links if l.target == sid]
+            worst = 0
+            for link in incoming_links:
+                worst = max(
+                    worst,
+                    path_staleness(link.source)
+                    + self._delay_ticks(link.source, sid),
+                )
+            staleness[sid] = worst
+            return worst
+
+        rng = np.random.default_rng(seed)
+        for sid, service in circuit.services.items():
+            incoming = [l for l in circuit.links if l.target == sid]
+            for port, link in enumerate(incoming):
+                self._ports[(link.source, sid)] = port
+            self._downstream[sid] = circuit.output_links(sid)
+
+            if sid in set(circuit.source_ids()):
+                (producer_name,) = service.producers
+                if producer_name not in sources:
+                    raise ValueError(f"no source config for producer {producer_name}")
+                self._sources[sid] = StreamSource(
+                    sources[producer_name], seed=int(rng.integers(1 << 31))
+                )
+                self._operators[sid] = RelayOperator()
+            elif service.kind is ServiceKind.JOIN:
+                slack = path_staleness(sid)
+                self._operators[sid] = SymmetricHashJoin(
+                    window=window,
+                    eviction_slack=slack,
+                    match_probability=join_match_probabilities.get(sid, 1.0),
+                    seed=int(rng.integers(1 << 31)),
+                )
+            elif service.kind is ServiceKind.FILTER:
+                sel = service.spec.selectivity or 1.0
+                self._operators[sid] = FilterOperator(sel, salt=len(self._operators))
+            elif service.kind is ServiceKind.AGGREGATE:
+                factor = aggregate_factor if aggregate_factor is not None else 0.5
+                self._operators[sid] = DecimatingAggregate(factor)
+            else:
+                self._operators[sid] = RelayOperator()
+
+    @classmethod
+    def from_query(
+        cls,
+        circuit: Circuit,
+        query: QuerySpec,
+        stats: Statistics,
+        latencies: LatencyMatrix,
+        window: int = 20,
+        tick_ms: float = 10.0,
+        seed: int = 0,
+    ) -> "CircuitExecutor":
+        """Derive source configs from the planner-side query objects.
+
+        Statistics rates become tuples/tick.  To realize the planner's
+        product-form rate model *exactly at every join of a multi-way
+        plan*, the shared key domain is sized for the largest pairwise
+        selectivity, and each join node applies an additional Bernoulli
+        match probability::
+
+            q(node) = Π_{a ∈ left, b ∈ right} sel(a, b)  /  s_key
+
+        where ``s_key = (2w+1) / key_domain`` is the selectivity the key
+        match alone realizes.  Since ``s_key >= max pairwise sel``,
+        ``q <= 1`` always holds, and the expected output rate of every
+        join equals the planner's ``rate_of_subset`` estimate.
+        """
+        names = query.producer_names
+        if len(names) >= 2:
+            max_sel = max(
+                stats.selectivity(a, b)
+                for i, a in enumerate(names)
+                for b in names[i + 1 :]
+            )
+        else:
+            max_sel = 1.0
+        # floor keeps s_key >= max_sel so thinning never exceeds 1.
+        domain = max(1, int((2 * window + 1) / max_sel))
+        s_key = (2 * window + 1) / domain
+
+        join_probs: dict[str, float] = {}
+        for sid, service in circuit.services.items():
+            if service.kind is not ServiceKind.JOIN:
+                continue
+            inputs = [l for l in circuit.links if l.target == sid]
+            if len(inputs) != 2:
+                continue
+            left = circuit.services[inputs[0].source].producers
+            right = circuit.services[inputs[1].source].producers
+            cross = 1.0
+            for a in left:
+                for b in right:
+                    cross *= stats.selectivity(a, b)
+            join_probs[sid] = min(1.0, cross / s_key)
+
+        sources = {
+            name: SourceConfig(
+                name=name,
+                rate=stats.rate(name),
+                key_domain=domain,
+                filter_selectivity=query.filters.get(name, 1.0),
+            )
+            for name in names
+        }
+        return cls(
+            circuit,
+            latencies,
+            sources,
+            window=window,
+            aggregate_factor=query.aggregate_factor,
+            tick_ms=tick_ms,
+            seed=seed,
+            join_match_probabilities=join_probs,
+        )
+
+    def _delay_ticks(self, source_sid: str, target_sid: str) -> int:
+        u = self.circuit.host_of(source_sid)
+        v = self.circuit.host_of(target_sid)
+        if u == v:
+            return 0
+        return max(0, round(self.latencies.latency(u, v) / self.tick_ms))
+
+    def run(self, ticks: int) -> ExecutionReport:
+        """Execute for ``ticks`` ticks; returns the measurement report."""
+        if ticks <= 0:
+            raise ValueError("ticks must be positive")
+        report = ExecutionReport(ticks=ticks)
+        for link in self.circuit.links:
+            u = self.circuit.host_of(link.source)
+            v = self.circuit.host_of(link.target)
+            latency = 0.0 if u == v else self.latencies.latency(u, v)
+            report.links[(link.source, link.target)] = LinkMeasurement(
+                source=link.source, target=link.target, latency_ms=latency
+            )
+
+        heap: list[tuple[int, int, str, str, StreamTuple]] = []
+        seq = 0
+
+        def send(sid: str, outputs: list[StreamTuple], now: int) -> None:
+            nonlocal seq
+            for link in self._downstream[sid]:
+                measurement = report.links[(sid, link.target)]
+                delay = self._delay_ticks(sid, link.target)
+                for tuple_ in outputs:
+                    measurement.tuples += 1
+                    measurement.size_units += tuple_.size
+                    heapq.heappush(
+                        heap, (now + delay, seq, sid, link.target, tuple_)
+                    )
+                    seq += 1
+
+        for now in range(ticks):
+            # 1. Sources emit.
+            for sid, source in self._sources.items():
+                fresh = source.tick(now)
+                operator = self._operators[sid]
+                outputs = []
+                for tuple_ in fresh:
+                    outputs.extend(operator.process(0, tuple_, now))
+                send(sid, outputs, now)
+
+            # 2. Deliver due messages.
+            while heap and heap[0][0] <= now:
+                _, _, from_sid, to_sid, tuple_ = heapq.heappop(heap)
+                if to_sid in self._sink_ids:
+                    report.delivered += 1
+                    report.delivery_latencies_ms.append(
+                        (now - tuple_.ts) * self.tick_ms
+                    )
+                    self._operators[to_sid].process(0, tuple_, now)
+                    continue
+                port = self._ports[(from_sid, to_sid)]
+                outputs = self._operators[to_sid].process(port, tuple_, now)
+                send(to_sid, outputs, now)
+
+        for sid, operator in self._operators.items():
+            report.operator_stats[sid] = (operator.processed, operator.emitted)
+        return report

@@ -1,0 +1,92 @@
+"""Synthetic stream sources with controllable rates and selectivities.
+
+A producer emits Poisson(rate) tuples per tick with join keys drawn
+uniformly from a domain of size ``key_domain``.  Two such streams,
+window-joined on key equality over window ``w`` ticks, match with
+expected output rate::
+
+    rate_out = rate_a * rate_b * (2 w + 1) / key_domain
+
+so configuring ``key_domain = (2 w + 1) / selectivity`` realizes any
+desired product-form selectivity — the bridge between the optimizer's
+:class:`~repro.query.selectivity.Statistics` and executable streams.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.tuples import StreamTuple
+
+__all__ = ["SourceConfig", "StreamSource", "key_domain_for_selectivity"]
+
+
+def key_domain_for_selectivity(selectivity: float, window: int) -> int:
+    """Key-domain size realizing ``selectivity`` for a given window."""
+    if not 0 < selectivity <= 1:
+        raise ValueError("selectivity must be in (0, 1]")
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    return max(1, round((2 * window + 1) / selectivity))
+
+
+@dataclass(frozen=True)
+class SourceConfig:
+    """Configuration of one synthetic source.
+
+    Attributes:
+        name: producer name (becomes tuple lineage).
+        rate: mean tuples per tick (Poisson).
+        key_domain: join keys are uniform over ``[0, key_domain)``.
+        filter_selectivity: independent thinning applied at the source
+            (a pushed-down predicate); 1.0 = no filter.
+    """
+
+    name: str
+    rate: float
+    key_domain: int
+    filter_selectivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.key_domain < 1:
+            raise ValueError("key_domain must be >= 1")
+        if not 0 < self.filter_selectivity <= 1:
+            raise ValueError("filter selectivity must be in (0, 1]")
+
+    @property
+    def effective_rate(self) -> float:
+        return self.rate * self.filter_selectivity
+
+
+class StreamSource:
+    """Poisson tuple generator for one producer."""
+
+    def __init__(self, config: SourceConfig, seed: int = 0):
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+        self.emitted = 0
+
+    def tick(self, now: int) -> list[StreamTuple]:
+        """Tuples produced during tick ``now`` (post-filter)."""
+        count = int(self._rng.poisson(self.config.rate))
+        out = []
+        for _ in range(count):
+            if (
+                self.config.filter_selectivity < 1.0
+                and self._rng.random() >= self.config.filter_selectivity
+            ):
+                continue
+            out.append(
+                StreamTuple(
+                    ts=now,
+                    key=int(self._rng.integers(self.config.key_domain)),
+                    lineage=frozenset((self.config.name,)),
+                )
+            )
+        self.emitted += len(out)
+        return out

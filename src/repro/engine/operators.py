@@ -1,0 +1,163 @@
+"""Runtime stream operators: windowed join, filter, decimating aggregate.
+
+These are the executable counterparts of the planner's
+:class:`~repro.query.operators.ServiceSpec` kinds.  Each operator
+consumes tuples (tagged with the input port they arrived on), maintains
+bounded state, and emits output tuples; all of them expose processed /
+emitted counters for the cost-model validation experiment (E14).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.engine.tuples import StreamTuple
+
+__all__ = ["Operator", "SymmetricHashJoin", "FilterOperator", "DecimatingAggregate", "RelayOperator"]
+
+
+class Operator:
+    """Base runtime operator."""
+
+    def __init__(self) -> None:
+        self.processed = 0
+        self.emitted = 0
+
+    def process(self, port: int, tuple_: StreamTuple, now: int) -> list[StreamTuple]:
+        """Consume one input tuple; return any outputs."""
+        raise NotImplementedError
+
+    def advance(self, now: int) -> list[StreamTuple]:
+        """Called once per tick after inputs; default: nothing."""
+        return []
+
+
+class SymmetricHashJoin(Operator):
+    """Two-input windowed equi-join on the tuple key.
+
+    Classic symmetric hash join: each arriving tuple probes the other
+    side's hash table for key matches within ``window`` ticks, then
+    inserts itself.  State is evicted lazily as time advances.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        eviction_slack: int = 0,
+        match_probability: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        if eviction_slack < 0:
+            raise ValueError("eviction_slack must be non-negative")
+        if not 0 < match_probability <= 1:
+            raise ValueError("match_probability must be in (0, 1]")
+        self.window = window
+        #: extra ticks of state retention beyond the semantic window,
+        #: covering network delivery delay: a tuple may arrive up to
+        #: ``eviction_slack`` ticks after its origin timestamp, and its
+        #: in-window partners must still be in state when it does.
+        self.eviction_slack = eviction_slack
+        #: additional join-predicate selectivity applied per candidate
+        #: pair (key-equal, in-window).  This is how the executor
+        #: realizes the planner's product-form selectivities exactly at
+        #: every join of a multi-way plan.
+        self.match_probability = match_probability
+        self._rng = random.Random(seed)
+        self._tables: tuple[dict[int, deque], dict[int, deque]] = ({}, {})
+
+    def _evict(self, table: dict[int, deque], now: int) -> None:
+        threshold = now - self.window - self.eviction_slack
+        for key in list(table):
+            entries = table[key]
+            while entries and entries[0].ts < threshold:
+                entries.popleft()
+            if not entries:
+                del table[key]
+
+    def process(self, port: int, tuple_: StreamTuple, now: int) -> list[StreamTuple]:
+        if port not in (0, 1):
+            raise ValueError("join has exactly two input ports")
+        self.processed += 1
+        own, other = self._tables[port], self._tables[1 - port]
+        self._evict(other, now)
+
+        outputs = []
+        for match in other.get(tuple_.key, ()):
+            if abs(match.ts - tuple_.ts) <= self.window:
+                if (
+                    self.match_probability < 1.0
+                    and self._rng.random() >= self.match_probability
+                ):
+                    continue
+                outputs.append(tuple_.merge(match))
+        own.setdefault(tuple_.key, deque()).append(tuple_)
+        self.emitted += len(outputs)
+        return outputs
+
+    def state_size(self) -> int:
+        """Tuples currently buffered (memory-pressure metric)."""
+        return sum(
+            len(entries) for table in self._tables for entries in table.values()
+        )
+
+
+class FilterOperator(Operator):
+    """Bernoulli predicate: passes a tuple with probability ``selectivity``.
+
+    Deterministic given the tuple key (hash-based), so repeated runs
+    agree and selectivity is realized in expectation over keys.
+    """
+
+    def __init__(self, selectivity: float, salt: int = 0):
+        super().__init__()
+        if not 0 < selectivity <= 1:
+            raise ValueError("selectivity must be in (0, 1]")
+        self.selectivity = selectivity
+        self._salt = salt
+
+    def process(self, port: int, tuple_: StreamTuple, now: int) -> list[StreamTuple]:
+        self.processed += 1
+        bucket = (hash((tuple_.key, self._salt)) % 10_000) / 10_000
+        if bucket < self.selectivity:
+            self.emitted += 1
+            return [tuple_]
+        return []
+
+
+class DecimatingAggregate(Operator):
+    """Windowed reduction modelled as deterministic decimation.
+
+    Emits one summary tuple per ``1/factor`` inputs, realizing the
+    planner's ``aggregate_factor`` as an output/input rate ratio.  (A
+    faithful group-by aggregate would need value semantics the rate
+    model does not use; rate behaviour is what E14 validates.)
+    """
+
+    def __init__(self, factor: float):
+        super().__init__()
+        if not 0 < factor <= 1:
+            raise ValueError("factor must be in (0, 1]")
+        self.factor = factor
+        self._credit = 0.0
+
+    def process(self, port: int, tuple_: StreamTuple, now: int) -> list[StreamTuple]:
+        self.processed += 1
+        self._credit += self.factor
+        if self._credit >= 1.0:
+            self._credit -= 1.0
+            self.emitted += 1
+            return [tuple_]
+        return []
+
+
+class RelayOperator(Operator):
+    """Pure forwarding (sources and taps)."""
+
+    def process(self, port: int, tuple_: StreamTuple, now: int) -> list[StreamTuple]:
+        self.processed += 1
+        self.emitted += 1
+        return [tuple_]

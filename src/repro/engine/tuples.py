@@ -1,0 +1,56 @@
+"""Runtime stream tuples for the execution engine.
+
+The optimizer works with *rates*; the engine moves actual tuples so the
+rate model can be validated end to end.  A tuple carries:
+
+* ``ts`` — logical creation time (tick) at its origin producer, used
+  for window joins and end-to-end latency measurement;
+* ``key`` — the join attribute (uniform over a domain whose size sets
+  the join selectivity);
+* ``lineage`` — the set of producers whose data it reflects, which lets
+  the collector verify that results really joined all inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StreamTuple"]
+
+
+@dataclass(frozen=True)
+class StreamTuple:
+    """One data item flowing through a circuit.
+
+    Attributes:
+        ts: origin tick (for a join output: the *latest* origin among
+            its constituents, the standard progress semantics).
+        key: join key value.
+        lineage: producer names merged into this tuple.
+        size: abstract size units (1.0 for base tuples; joins add).
+    """
+
+    ts: int
+    key: int
+    lineage: frozenset[str]
+    size: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ts < 0:
+            raise ValueError("ts must be non-negative")
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+
+    def merge(self, other: "StreamTuple") -> "StreamTuple":
+        """Join output: merged lineage, max ts, summed size."""
+        if self.key != other.key:
+            raise ValueError("cannot merge tuples with different keys")
+        overlap = self.lineage & other.lineage
+        if overlap:
+            raise ValueError(f"lineage overlap {sorted(overlap)}")
+        return StreamTuple(
+            ts=max(self.ts, other.ts),
+            key=self.key,
+            lineage=self.lineage | other.lineage,
+            size=self.size + other.size,
+        )

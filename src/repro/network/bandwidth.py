@@ -1,0 +1,142 @@
+"""Bandwidth substrate: link capacities and bottleneck-bandwidth paths.
+
+§3.1 lists *available bandwidth* among the costs a cost space can
+carry.  This module provides the ground truth that bandwidth-aware
+optimization needs:
+
+* per-link capacities assigned by topology class (stub links thin,
+  transit links fat — the usual Internet shape);
+* the all-pairs **bottleneck bandwidth** matrix: the widest-path
+  (max-min) capacity between every node pair, computed with a
+  Dijkstra-style widest-path search;
+The matching circuit evaluator lives in
+:mod:`repro.core.bandwidth_costs` (avoiding a core<->network import
+cycle): it prices a circuit like the ground-truth evaluator but adds a
+congestion penalty for links whose stream rate exceeds a fraction of
+the path's bottleneck capacity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.network.topology import Topology
+
+__all__ = [
+    "assign_link_capacities",
+    "widest_paths",
+    "BandwidthMatrix",
+]
+
+
+def assign_link_capacities(
+    topology: Topology,
+    transit_capacity: float = 1000.0,
+    stub_capacity: float = 100.0,
+    edge_capacity: float = 20.0,
+    seed: int = 0,
+) -> dict[tuple[int, int], float]:
+    """Per-link capacities keyed by sorted endpoint pair.
+
+    Tagged topologies (transit-stub) get class-based capacities with
+    ±25% jitter: transit-transit links are fat, transit-stub moderate,
+    stub-stub thin.  Untagged topologies get ``edge_capacity`` with the
+    same jitter on every link.
+    """
+    rng = np.random.default_rng(seed)
+    tags = topology.node_tags
+    capacities: dict[tuple[int, int], float] = {}
+    for link in topology.links:
+        if tags is not None:
+            classes = {tags[link.u], tags[link.v]}
+            if classes == {"transit"}:
+                base = transit_capacity
+            elif classes == {"transit", "stub"}:
+                base = stub_capacity
+            else:
+                base = edge_capacity
+        else:
+            base = edge_capacity
+        jitter = float(rng.uniform(0.75, 1.25))
+        key = (min(link.u, link.v), max(link.u, link.v))
+        # Parallel links: keep the fattest.
+        capacities[key] = max(capacities.get(key, 0.0), base * jitter)
+    return capacities
+
+
+def widest_paths(
+    topology: Topology,
+    capacities: dict[tuple[int, int], float],
+    source: int,
+) -> list[float]:
+    """Max-min (bottleneck) bandwidth from ``source`` to every node.
+
+    Dijkstra variant: grow the node with the currently widest path;
+    path width through a link is ``min(width so far, link capacity)``.
+    """
+    if not (0 <= source < topology.num_nodes):
+        raise ValueError("source outside topology")
+    width = [0.0] * topology.num_nodes
+    width[source] = math.inf
+    heap = [(-math.inf, source)]
+    adj = topology.adjacency()
+    done = [False] * topology.num_nodes
+    while heap:
+        neg_w, node = heapq.heappop(heap)
+        if done[node]:
+            continue
+        done[node] = True
+        for neighbor, _ in adj[node]:
+            key = (min(node, neighbor), max(node, neighbor))
+            candidate = min(width[node], capacities[key])
+            if candidate > width[neighbor]:
+                width[neighbor] = candidate
+                heapq.heappush(heap, (-candidate, neighbor))
+    return width
+
+
+class BandwidthMatrix:
+    """All-pairs bottleneck bandwidth over a capacitated topology."""
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("bandwidth matrix must be square")
+        if not np.allclose(matrix, matrix.T):
+            raise ValueError("bandwidth matrix must be symmetric")
+        self._matrix = matrix
+
+    @classmethod
+    def from_topology(
+        cls,
+        topology: Topology,
+        capacities: dict[tuple[int, int], float] | None = None,
+        seed: int = 0,
+    ) -> "BandwidthMatrix":
+        if capacities is None:
+            capacities = assign_link_capacities(topology, seed=seed)
+        n = topology.num_nodes
+        matrix = np.zeros((n, n))
+        for source in range(n):
+            matrix[source, :] = widest_paths(topology, capacities, source)
+        np.fill_diagonal(matrix, math.inf)
+        return cls(matrix)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._matrix.shape[0]
+
+    def bottleneck(self, u: int, v: int) -> float:
+        """Widest-path capacity between ``u`` and ``v``."""
+        if u == v:
+            return math.inf
+        return float(self._matrix[u, v])
+
+    def percentile(self, q: float) -> float:
+        n = self.num_nodes
+        off = self._matrix[~np.eye(n, dtype=bool)]
+        finite = off[np.isfinite(off)]
+        return float(np.percentile(finite, q)) if finite.size else 0.0

@@ -1,0 +1,213 @@
+"""Dynamic node and network behaviour models.
+
+The paper's "time challenge" (§1): SBON queries run continuously while
+node load and network latency drift, so an initially optimal circuit
+becomes stale.  This module provides the stochastic processes the
+re-optimization experiments (E7) use to drive that drift:
+
+* :class:`LoadProcess` — mean-reverting (Ornstein-Uhlenbeck-style) CPU
+  load per node, with optional hotspot events that overload a region.
+* :class:`LatencyDriftProcess` — slow multiplicative random walk on the
+  pairwise latency matrix.
+* :class:`ChurnProcess` — nodes fail and recover, forcing migrations.
+
+All processes are deterministic given their seed and advance in integer
+*ticks*, matching the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.latency import LatencyMatrix
+
+__all__ = ["LoadProcess", "LatencyDriftProcess", "ChurnProcess", "HotspotEvent"]
+
+
+@dataclass(frozen=True)
+class HotspotEvent:
+    """A transient load spike applied to a set of nodes.
+
+    Attributes:
+        start_tick: first tick the hotspot is active.
+        duration: number of ticks it lasts.
+        nodes: affected node indices.
+        extra_load: additive load applied while active.
+    """
+
+    start_tick: int
+    duration: int
+    nodes: tuple[int, ...]
+    extra_load: float
+
+    def active_at(self, tick: int) -> bool:
+        return self.start_tick <= tick < self.start_tick + self.duration
+
+
+@dataclass
+class LoadProcess:
+    """Mean-reverting per-node CPU load in ``[0, max_load]``.
+
+    Each tick: ``load += theta * (mean - load) + sigma * noise``, clamped.
+    Hotspot events add ``extra_load`` to their nodes while active, which
+    the re-optimizer must route around (the "overloaded node a" of the
+    paper's Figure 2).
+    """
+
+    num_nodes: int
+    mean_load: float = 0.3
+    theta: float = 0.1
+    sigma: float = 0.05
+    max_load: float = 1.0
+    seed: int = 0
+    hotspots: list[HotspotEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if not 0 <= self.mean_load <= self.max_load:
+            raise ValueError("mean_load must be within [0, max_load]")
+        self._rng = np.random.default_rng(self.seed)
+        self.tick = 0
+        base = self._rng.normal(self.mean_load, self.sigma, size=self.num_nodes)
+        self._loads = np.clip(base, 0.0, self.max_load)
+
+    def loads(self) -> np.ndarray:
+        """Current effective loads, including active hotspots."""
+        effective = self._loads.copy()
+        for hotspot in self.hotspots:
+            if hotspot.active_at(self.tick):
+                for node in hotspot.nodes:
+                    effective[node] = min(
+                        self.max_load, effective[node] + hotspot.extra_load
+                    )
+        return effective
+
+    def load_of(self, node: int) -> float:
+        """Current effective load of one node."""
+        return float(self.loads()[node])
+
+    def step(self, ticks: int = 1) -> np.ndarray:
+        """Advance the process and return the new effective loads."""
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        for _ in range(ticks):
+            noise = self._rng.normal(0.0, self.sigma, size=self.num_nodes)
+            self._loads = self._loads + self.theta * (self.mean_load - self._loads) + noise
+            self._loads = np.clip(self._loads, 0.0, self.max_load)
+            self.tick += 1
+        return self.loads()
+
+    def add_hotspot(self, hotspot: HotspotEvent) -> None:
+        """Schedule a hotspot event."""
+        if hotspot.duration <= 0 or hotspot.extra_load < 0:
+            raise ValueError("hotspot must have positive duration and load")
+        self.hotspots.append(hotspot)
+
+
+class LatencyDriftProcess:
+    """Slow multiplicative random walk over a latency matrix.
+
+    Each tick every pair latency is multiplied by a log-normal factor
+    and pulled gently back toward its base value, so latencies wander
+    but do not diverge.  Symmetry and positivity are preserved.
+    """
+
+    def __init__(
+        self,
+        base: LatencyMatrix,
+        drift_sigma: float = 0.02,
+        reversion: float = 0.05,
+        seed: int = 0,
+    ):
+        if drift_sigma < 0 or not 0 <= reversion <= 1:
+            raise ValueError("invalid drift parameters")
+        self._base = base.values.copy()
+        self._current = base.values.copy()
+        self._drift_sigma = drift_sigma
+        self._reversion = reversion
+        self._rng = np.random.default_rng(seed)
+        self.tick = 0
+
+    def current(self) -> LatencyMatrix:
+        """The latency matrix as of the current tick."""
+        return LatencyMatrix(self._current)
+
+    def step(self, ticks: int = 1) -> LatencyMatrix:
+        """Advance the walk and return the new matrix."""
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        n = self._base.shape[0]
+        for _ in range(ticks):
+            noise = self._rng.lognormal(0.0, self._drift_sigma, size=(n, n))
+            noise = np.triu(noise, k=1)
+            noise = noise + noise.T + np.eye(n)
+            drifted = self._current * noise
+            self._current = (
+                self._reversion * self._base + (1 - self._reversion) * drifted
+            )
+            np.fill_diagonal(self._current, 0.0)
+            self.tick += 1
+        return self.current()
+
+
+class ChurnProcess:
+    """Node failure and recovery as independent per-tick probabilities.
+
+    A failed node cannot host services and must be evacuated; the
+    re-optimizer treats its coordinate as unavailable.  ``protected``
+    nodes (typically producers/consumers, which are pinned) never fail.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        fail_prob: float = 0.002,
+        recover_prob: float = 0.05,
+        protected: set[int] | None = None,
+        seed: int = 0,
+    ):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if not 0 <= fail_prob <= 1 or not 0 <= recover_prob <= 1:
+            raise ValueError("probabilities must be in [0, 1]")
+        self.num_nodes = num_nodes
+        self.fail_prob = fail_prob
+        self.recover_prob = recover_prob
+        self.protected = protected or set()
+        self._rng = random.Random(seed)
+        self._alive = [True] * num_nodes
+        self.tick = 0
+
+    def alive(self) -> list[bool]:
+        """Per-node liveness flags."""
+        return self._alive[:]
+
+    def alive_nodes(self) -> list[int]:
+        """Indices of currently-alive nodes."""
+        return [i for i, up in enumerate(self._alive) if up]
+
+    def is_alive(self, node: int) -> bool:
+        return self._alive[node]
+
+    def step(self, ticks: int = 1) -> list[int]:
+        """Advance churn; return nodes that *failed* during these ticks."""
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        newly_failed: list[int] = []
+        for _ in range(ticks):
+            for node in range(self.num_nodes):
+                if node in self.protected:
+                    continue
+                if self._alive[node]:
+                    if self._rng.random() < self.fail_prob:
+                        self._alive[node] = False
+                        newly_failed.append(node)
+                else:
+                    if self._rng.random() < self.recover_prob:
+                        self._alive[node] = True
+            self.tick += 1
+        return newly_failed

@@ -1,0 +1,181 @@
+"""Latency matrices: all-pairs shortest-path delays over a topology.
+
+The SBON treats end-to-end latency between overlay nodes as the routing
+latency of the underlying network, i.e. the shortest-path delay through
+the topology graph.  This module computes dense all-pairs latency
+matrices with Dijkstra's algorithm and provides utilities used by the
+embedding experiments: triangle-inequality-violation (TIV) statistics,
+synthetic TIV injection, and matrix perturbation for churn experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+
+import numpy as np
+
+from repro.network.topology import Topology
+
+__all__ = [
+    "LatencyMatrix",
+    "shortest_path_latencies",
+    "dijkstra",
+]
+
+
+def dijkstra(topology: Topology, source: int) -> list[float]:
+    """Single-source shortest path delays from ``source``.
+
+    Returns:
+        A list of length ``num_nodes`` where entry ``i`` is the minimum
+        path latency from ``source`` to ``i`` (``inf`` if unreachable).
+    """
+    if not (0 <= source < topology.num_nodes):
+        raise ValueError(f"source {source} outside topology")
+    adj = topology.adjacency()
+    dist = [math.inf] * topology.num_nodes
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if d > dist[node]:
+            continue
+        for neighbor, latency in adj[node]:
+            candidate = d + latency
+            if candidate < dist[neighbor]:
+                dist[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    return dist
+
+
+def shortest_path_latencies(topology: Topology) -> np.ndarray:
+    """All-pairs shortest-path latency matrix of a connected topology."""
+    n = topology.num_nodes
+    matrix = np.zeros((n, n), dtype=float)
+    for source in range(n):
+        matrix[source, :] = dijkstra(topology, source)
+    if not np.all(np.isfinite(matrix)):
+        raise ValueError("topology is disconnected; latency matrix undefined")
+    return matrix
+
+
+class LatencyMatrix:
+    """A symmetric all-pairs latency matrix with analysis helpers.
+
+    The matrix is the ground truth that network-coordinate embeddings
+    approximate, and the oracle that placement-quality benchmarks
+    measure against.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("latency matrix must be square")
+        if not np.allclose(matrix, matrix.T, rtol=1e-9, atol=1e-9):
+            raise ValueError("latency matrix must be symmetric")
+        if np.any(np.diag(matrix) != 0):
+            raise ValueError("latency matrix diagonal must be zero")
+        if np.any(matrix < 0):
+            raise ValueError("latencies must be non-negative")
+        self._matrix = matrix
+
+    @classmethod
+    def from_topology(cls, topology: Topology) -> "LatencyMatrix":
+        """Build the matrix from shortest paths over a topology."""
+        return cls(shortest_path_latencies(topology))
+
+    @property
+    def num_nodes(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying (num_nodes x num_nodes) array (do not mutate)."""
+        return self._matrix
+
+    def latency(self, u: int, v: int) -> float:
+        """Latency between nodes ``u`` and ``v`` in milliseconds."""
+        return float(self._matrix[u, v])
+
+    def mean_latency(self) -> float:
+        """Mean off-diagonal latency."""
+        n = self.num_nodes
+        if n < 2:
+            return 0.0
+        total = float(self._matrix.sum())
+        return total / (n * (n - 1))
+
+    def max_latency(self) -> float:
+        """Maximum pairwise latency (network diameter in delay terms)."""
+        return float(self._matrix.max())
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of off-diagonal latencies."""
+        n = self.num_nodes
+        off_diag = self._matrix[~np.eye(n, dtype=bool)]
+        return float(np.percentile(off_diag, q))
+
+    def triangle_violation_fraction(self, sample_size: int = 20000, seed: int = 0) -> float:
+        """Fraction of sampled node triples violating the triangle inequality.
+
+        Internet latencies are known to violate the triangle inequality
+        [Ng & Zhang]; shortest-path matrices never do, so this is only
+        nonzero after :meth:`with_triangle_violations` perturbation.
+        """
+        n = self.num_nodes
+        if n < 3:
+            return 0.0
+        rng = random.Random(seed)
+        violations = 0
+        samples = 0
+        for _ in range(sample_size):
+            a, b, c = rng.sample(range(n), 3)
+            samples += 1
+            if self._matrix[a, c] > self._matrix[a, b] + self._matrix[b, c] + 1e-9:
+                violations += 1
+        return violations / samples if samples else 0.0
+
+    def with_triangle_violations(
+        self, fraction: float = 0.05, inflation: float = 2.0, seed: int = 0
+    ) -> "LatencyMatrix":
+        """Return a copy where a random fraction of pairs is inflated.
+
+        Inflating direct pair latencies past their shortest-path value
+        creates triangle-inequality violations, modelling real Internet
+        routing inefficiency.  Used by embedding benchmarks (E9).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if inflation < 1.0:
+            raise ValueError("inflation must be >= 1")
+        rng = random.Random(seed)
+        matrix = self._matrix.copy()
+        n = self.num_nodes
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < fraction:
+                    matrix[i, j] *= inflation
+                    matrix[j, i] = matrix[i, j]
+        return LatencyMatrix(matrix)
+
+    def perturbed(self, relative_sigma: float = 0.1, seed: int = 0) -> "LatencyMatrix":
+        """Return a copy with multiplicative log-normal noise on each pair.
+
+        Models slow latency drift for the re-optimization experiments
+        (E7).  Noise is symmetric and keeps latencies positive.
+        """
+        if relative_sigma < 0:
+            raise ValueError("relative_sigma must be non-negative")
+        rng = np.random.default_rng(seed)
+        n = self.num_nodes
+        noise = rng.lognormal(mean=0.0, sigma=relative_sigma, size=(n, n))
+        noise = np.triu(noise, k=1)
+        noise = noise + noise.T + np.eye(n)
+        return LatencyMatrix(self._matrix * noise)
+
+    def submatrix(self, nodes: list[int]) -> "LatencyMatrix":
+        """Restrict the matrix to a subset of nodes (reindexed densely)."""
+        idx = np.asarray(nodes, dtype=int)
+        return LatencyMatrix(self._matrix[np.ix_(idx, idx)])

@@ -1,0 +1,40 @@
+"""Query substrate: stream model, statistics, logical plans, enumeration.
+
+Provides the relational stream-query model (producers, consumer, join
+queries), the rate/selectivity estimation used for cost-based pruning,
+logical plan trees, and the plan-generation strategies (full
+enumeration, left-deep, Selinger-style top-k dynamic programming).
+"""
+
+from repro.query.generator import (
+    best_plan,
+    count_all_plans,
+    enumerate_all_plans,
+    enumerate_left_deep_plans,
+    top_k_plans,
+)
+from repro.query.model import Consumer, Producer, QuerySpec, StreamSchema
+from repro.query.operators import ServiceKind, ServiceSpec, processing_load
+from repro.query.plan import JoinNode, LeafNode, LogicalPlan, PlanNode
+from repro.query.selectivity import Statistics, rate_of_subset
+
+__all__ = [
+    "best_plan",
+    "count_all_plans",
+    "enumerate_all_plans",
+    "enumerate_left_deep_plans",
+    "top_k_plans",
+    "Consumer",
+    "Producer",
+    "QuerySpec",
+    "StreamSchema",
+    "ServiceKind",
+    "ServiceSpec",
+    "processing_load",
+    "JoinNode",
+    "LeafNode",
+    "LogicalPlan",
+    "PlanNode",
+    "Statistics",
+    "rate_of_subset",
+]

@@ -1,0 +1,153 @@
+"""Stream query model: schemas, producers, consumers, query specs.
+
+The SBON is data-model agnostic (§1); this library uses a relational
+stream model because it is the one the paper's running example (a
+four-way join over distributed producers, Figure 1) is drawn from.
+
+A :class:`QuerySpec` names a set of *producers* (pinned data sources
+with known stream rates), a *consumer* (pinned sink), and the relational
+work to perform — joins over all producers, plus optional per-producer
+filters and a final aggregate.  Plan generation (``repro.query.generator``)
+turns a spec into candidate logical plans; the integrated optimizer
+places each candidate into the cost space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StreamSchema", "Producer", "Consumer", "QuerySpec"]
+
+
+@dataclass(frozen=True)
+class StreamSchema:
+    """Named, typed attributes of a stream.
+
+    Types are informational strings ("int", "float", "str", ...); the
+    optimizer only uses attribute names for join-key matching.
+    """
+
+    attributes: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        names = [name for name, _ in self.attributes]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate attribute names in schema")
+
+    @classmethod
+    def of(cls, **attrs: str) -> "StreamSchema":
+        """Build a schema from keyword arguments: ``of(ts="int", v="float")``."""
+        return cls(tuple(attrs.items()))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.attributes)
+
+    def has(self, name: str) -> bool:
+        return name in self.names
+
+    def merge(self, other: "StreamSchema") -> "StreamSchema":
+        """Schema of a join output: union of attributes (first wins on dup)."""
+        seen = dict(self.attributes)
+        merged = list(self.attributes)
+        for name, type_ in other.attributes:
+            if name not in seen:
+                merged.append((name, type_))
+        return StreamSchema(tuple(merged))
+
+
+@dataclass(frozen=True)
+class Producer:
+    """A pinned data source.
+
+    Attributes:
+        name: unique producer name within a query.
+        node: physical node index hosting the source (pinned; "one
+            cannot move mountains").
+        rate: stream data rate in abstract units (e.g. KB/s).  Rates
+            flow through the selectivity model to size circuit links.
+        schema: attributes of the produced stream.
+    """
+
+    name: str
+    node: int
+    rate: float
+    schema: StreamSchema = StreamSchema.of(ts="int", value="float")
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"producer {self.name} must have positive rate")
+        if self.node < 0:
+            raise ValueError("producer node index must be non-negative")
+
+
+@dataclass(frozen=True)
+class Consumer:
+    """A pinned query sink (the application receiving results)."""
+
+    name: str
+    node: int
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("consumer node index must be non-negative")
+
+
+@dataclass
+class QuerySpec:
+    """A continuous query: join all producers, deliver to the consumer.
+
+    Optional per-producer filter selectivities model pushed-down
+    predicates; an optional aggregate models a final windowed reduction
+    before delivery.  Join selectivities live in
+    :class:`repro.query.selectivity.Statistics`, not here, because they
+    are properties of the data, shared across queries.
+
+    Attributes:
+        name: query identifier.
+        producers: the pinned sources (>= 1).
+        consumer: the pinned sink.
+        filters: optional map producer-name -> filter selectivity (0, 1].
+        aggregate_factor: if set, a final aggregate reduces the result
+            rate by this factor (0, 1].
+    """
+
+    name: str
+    producers: list[Producer]
+    consumer: Consumer
+    filters: dict[str, float] = field(default_factory=dict)
+    aggregate_factor: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.producers:
+            raise ValueError("query needs at least one producer")
+        names = [p.name for p in self.producers]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate producer names")
+        for pname, sel in self.filters.items():
+            if pname not in names:
+                raise ValueError(f"filter references unknown producer {pname}")
+            if not 0 < sel <= 1:
+                raise ValueError(f"filter selectivity {sel} outside (0, 1]")
+        if self.aggregate_factor is not None and not 0 < self.aggregate_factor <= 1:
+            raise ValueError("aggregate_factor must be in (0, 1]")
+
+    @property
+    def producer_names(self) -> list[str]:
+        return [p.name for p in self.producers]
+
+    def producer(self, name: str) -> Producer:
+        """Look up a producer by name."""
+        for p in self.producers:
+            if p.name == name:
+                return p
+        raise KeyError(f"no producer named {name}")
+
+    def effective_rate(self, name: str) -> float:
+        """Producer rate after its pushed-down filter (if any)."""
+        return self.producer(name).rate * self.filters.get(name, 1.0)
+
+    @property
+    def pinned_nodes(self) -> set[int]:
+        """All physical nodes this query is pinned to."""
+        return {p.node for p in self.producers} | {self.consumer.node}

@@ -1,0 +1,16 @@
+"""SBON runtime substrate: nodes, the overlay assembly, tick simulation."""
+
+from repro.sbon.metrics import TickRecord, TimeSeries
+from repro.sbon.node import HostedService, SBONNode
+from repro.sbon.overlay import Overlay
+from repro.sbon.simulator import Simulation, SimulationConfig
+
+__all__ = [
+    "TickRecord",
+    "TimeSeries",
+    "HostedService",
+    "SBONNode",
+    "Overlay",
+    "Simulation",
+    "SimulationConfig",
+]

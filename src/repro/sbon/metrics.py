@@ -1,0 +1,82 @@
+"""Time-series metrics for SBON simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TickRecord", "TimeSeries"]
+
+
+@dataclass(frozen=True)
+class TickRecord:
+    """Snapshot of system health at one simulation tick.
+
+    Attributes:
+        tick: simulation time.
+        network_usage: true Σ rate×latency over installed circuits.
+        mean_load: mean effective node load.
+        max_load: maximum effective node load.
+        migrations: service migrations performed this tick.
+        failures: node failures this tick.
+        circuits: number of installed circuits.
+    """
+
+    tick: int
+    network_usage: float
+    mean_load: float
+    max_load: float
+    migrations: int = 0
+    failures: int = 0
+    circuits: int = 0
+
+
+@dataclass
+class TimeSeries:
+    """An append-only sequence of tick records with summary helpers."""
+
+    records: list[TickRecord] = field(default_factory=list)
+
+    def append(self, record: TickRecord) -> None:
+        if self.records and record.tick <= self.records[-1].tick:
+            raise ValueError("tick records must be strictly increasing in time")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def usage_series(self) -> np.ndarray:
+        return np.array([r.network_usage for r in self.records])
+
+    def total_migrations(self) -> int:
+        return sum(r.migrations for r in self.records)
+
+    def total_failures(self) -> int:
+        return sum(r.failures for r in self.records)
+
+    def mean_usage(self) -> float:
+        series = self.usage_series()
+        return float(series.mean()) if series.size else 0.0
+
+    def final_usage(self) -> float:
+        return self.records[-1].network_usage if self.records else 0.0
+
+    def peak_usage(self) -> float:
+        series = self.usage_series()
+        return float(series.max()) if series.size else 0.0
+
+    def usage_percentile(self, q: float) -> float:
+        series = self.usage_series()
+        return float(np.percentile(series, q)) if series.size else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers for experiment tables."""
+        return {
+            "ticks": float(len(self)),
+            "mean_usage": self.mean_usage(),
+            "final_usage": self.final_usage(),
+            "peak_usage": self.peak_usage(),
+            "migrations": float(self.total_migrations()),
+            "failures": float(self.total_failures()),
+        }

@@ -1,0 +1,236 @@
+"""The SBON overlay: nodes + latency ground truth + cost space, glued.
+
+:class:`Overlay` is the main assembly point of the library: it owns the
+physical substrate (topology → latency matrix), embeds it into a cost
+space (Vivaldi by default), tracks per-node load, and hands out
+optimizers wired to the current state.  The typical flow::
+
+    topo    = transit_stub_topology(seed=1)
+    overlay = Overlay.build(topo, vector_dims=2, seed=1)
+    result  = overlay.integrated_optimizer().optimize(query, stats)
+    overlay.install(result)          # circuit starts consuming CPU
+    overlay.refresh_cost_space()     # loads appear in the coordinates
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.core.costs import CostSpaceEvaluator, GroundTruthEvaluator
+from repro.core.circuit import Circuit
+from repro.core.optimizer import (
+    IntegratedOptimizer,
+    OptimizationResult,
+    RandomOptimizer,
+    TwoStepOptimizer,
+)
+from repro.core.physical_mapping import CatalogMapper, ExhaustiveMapper, build_catalog
+from repro.core.multi_query import MultiQueryOptimizer
+from repro.core.reoptimizer import Reoptimizer
+from repro.core.weighting import WeightingFunction, squared
+from repro.network.latency import LatencyMatrix
+from repro.network.topology import Topology
+from repro.network.vivaldi import embed_latency_matrix
+from repro.sbon.node import HostedService, SBONNode
+
+__all__ = ["Overlay"]
+
+
+class Overlay:
+    """A running SBON: substrate state + cost space + deployed circuits."""
+
+    def __init__(
+        self,
+        latencies: LatencyMatrix,
+        cost_space: CostSpace,
+        topology: Topology | None = None,
+    ):
+        if cost_space.num_nodes != latencies.num_nodes:
+            raise ValueError("cost space and latency matrix disagree on node count")
+        self.latencies = latencies
+        self.cost_space = cost_space
+        self.topology = topology
+        self.nodes = [SBONNode(index=i) for i in range(latencies.num_nodes)]
+        self.circuits: dict[str, Circuit] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        topology: Topology,
+        vector_dims: int = 2,
+        load_weighting: WeightingFunction | None = None,
+        include_load_dimension: bool = True,
+        embedding_rounds: int = 50,
+        seed: int = 0,
+    ) -> "Overlay":
+        """Construct an overlay from a topology: embed, then assemble.
+
+        Args:
+            topology: the physical network.
+            vector_dims: latency-embedding dimensionality.
+            load_weighting: weighting of the CPU-load dimension
+                (squared, per the paper, if None).
+            include_load_dimension: False builds a pure latency space.
+            embedding_rounds: Vivaldi gossip rounds.
+            seed: embedding RNG seed.
+        """
+        latencies = LatencyMatrix.from_topology(topology)
+        embedding = embed_latency_matrix(
+            latencies, dimensions=vector_dims, rounds=embedding_rounds, seed=seed
+        )
+        if include_load_dimension:
+            spec = CostSpaceSpec.latency_load(
+                vector_dims=vector_dims,
+                load_weighting=load_weighting or squared(),
+            )
+            metrics = {"cpu_load": np.zeros(latencies.num_nodes)}
+        else:
+            spec = CostSpaceSpec.latency_only(vector_dims=vector_dims)
+            metrics = None
+        space = CostSpace.from_embedding(spec, embedding.coordinates, metrics)
+        return cls(latencies=latencies, cost_space=space, topology=topology)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.latencies.num_nodes
+
+    # -- load & liveness ---------------------------------------------------
+
+    def loads(self) -> np.ndarray:
+        """Current effective load of every node."""
+        return np.array([node.effective_load for node in self.nodes])
+
+    def memory_loads(self) -> np.ndarray:
+        """Current memory pressure of every node."""
+        return np.array([node.memory_load for node in self.nodes])
+
+    def set_background_loads(self, loads: np.ndarray | list[float]) -> None:
+        """Update background loads (from a :class:`LoadProcess`)."""
+        loads = np.asarray(loads, dtype=float)
+        if loads.shape != (self.num_nodes,):
+            raise ValueError("load vector has wrong shape")
+        for node, load in zip(self.nodes, loads):
+            node.background_load = float(load)
+
+    def alive_flags(self) -> list[bool]:
+        return [node.alive for node in self.nodes]
+
+    def failed_nodes(self) -> set[int]:
+        return {node.index for node in self.nodes if not node.alive}
+
+    def refresh_cost_space(self) -> None:
+        """Recompute the scalar dimensions from current node state.
+
+        Supplies every metric the space's spec declares; supported
+        providers are ``cpu_load`` and ``memory``.
+        """
+        declared = {d.metric for d in self.cost_space.spec.scalar_dimensions}
+        if not declared:
+            return
+        providers = {"cpu_load": self.loads, "memory": self.memory_loads}
+        unknown = declared - set(providers)
+        if unknown:
+            raise ValueError(f"no metric providers for {sorted(unknown)}")
+        self.cost_space.update_metrics(
+            {metric: providers[metric]() for metric in declared}
+        )
+
+    # -- circuit lifecycle ---------------------------------------------------
+
+    def install(self, result: OptimizationResult) -> None:
+        """Deploy an optimized circuit: host its services on nodes."""
+        self.install_circuit(result.circuit)
+
+    def install_circuit(self, circuit: Circuit) -> None:
+        """Deploy an already-placed circuit."""
+        if circuit.name in self.circuits:
+            raise ValueError(f"circuit {circuit.name} already installed")
+        if not circuit.is_fully_placed():
+            raise ValueError("circuit must be fully placed before installation")
+        for sid in circuit.unpinned_ids():
+            node = self.nodes[circuit.host_of(sid)]
+            node.host(
+                HostedService(
+                    circuit_name=circuit.name,
+                    service_id=sid,
+                    spec=circuit.services[sid].spec,
+                    input_rate=circuit.input_rate(sid),
+                )
+            )
+        self.circuits[circuit.name] = circuit
+
+    def uninstall(self, circuit_name: str) -> None:
+        """Tear a circuit down, releasing its load everywhere."""
+        if circuit_name not in self.circuits:
+            raise KeyError(f"no circuit {circuit_name}")
+        for node in self.nodes:
+            node.evict(circuit_name)
+        del self.circuits[circuit_name]
+
+    def apply_migration(self, circuit_name: str, service_id: str, to_node: int) -> None:
+        """Move one hosted service to a new node (post-reoptimization)."""
+        circuit = self.circuits[circuit_name]
+        for node in self.nodes:
+            node.evict(circuit_name, service_id)
+        self.nodes[to_node].host(
+            HostedService(
+                circuit_name=circuit_name,
+                service_id=service_id,
+                spec=circuit.services[service_id].spec,
+                input_rate=circuit.input_rate(service_id),
+            )
+        )
+        circuit.assign(service_id, to_node)
+
+    # -- factories ---------------------------------------------------------
+
+    def ground_truth_evaluator(self) -> GroundTruthEvaluator:
+        """Evaluator pricing circuits with true latencies and loads."""
+        return GroundTruthEvaluator(self.latencies, self.loads())
+
+    def estimate_evaluator(self) -> CostSpaceEvaluator:
+        """Evaluator pricing circuits with cost-space estimates."""
+        return CostSpaceEvaluator(self.cost_space)
+
+    def exhaustive_mapper(self) -> ExhaustiveMapper:
+        return ExhaustiveMapper(self.cost_space, excluded=self.failed_nodes())
+
+    def catalog_mapper(self, bits: int = 10, ring_size: int = 64) -> CatalogMapper:
+        """Decentralized mapper over a freshly published catalog."""
+        catalog = build_catalog(
+            self.cost_space, bits=bits, ring_size=ring_size, alive=self.alive_flags()
+        )
+        return CatalogMapper(self.cost_space, catalog)
+
+    def integrated_optimizer(self, **kwargs) -> IntegratedOptimizer:
+        kwargs.setdefault("mapper", self.exhaustive_mapper())
+        return IntegratedOptimizer(self.cost_space, **kwargs)
+
+    def two_step_optimizer(self, **kwargs) -> TwoStepOptimizer:
+        kwargs.setdefault("mapper", self.exhaustive_mapper())
+        return TwoStepOptimizer(self.cost_space, **kwargs)
+
+    def random_optimizer(self, seed: int = 0, **kwargs) -> RandomOptimizer:
+        return RandomOptimizer(self.cost_space, seed=seed, **kwargs)
+
+    def multi_query_optimizer(self, radius: float, **kwargs) -> MultiQueryOptimizer:
+        kwargs.setdefault("mapper", self.exhaustive_mapper())
+        return MultiQueryOptimizer(self.cost_space, radius, **kwargs)
+
+    def reoptimizer(self, **kwargs) -> Reoptimizer:
+        kwargs.setdefault("mapper", self.exhaustive_mapper())
+        return Reoptimizer(self.cost_space, **kwargs)
+
+    # -- reporting ---------------------------------------------------------
+
+    def total_network_usage(self) -> float:
+        """True Σ rate×latency over all installed circuits."""
+        from repro.core.costs import network_usage
+
+        return sum(
+            network_usage(circuit, self.latencies.latency)
+            for circuit in self.circuits.values()
+        )

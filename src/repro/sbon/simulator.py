@@ -1,0 +1,173 @@
+"""Tick-driven SBON simulation: dynamics + periodic re-optimization.
+
+The simulation advances in discrete ticks.  Each tick:
+
+1. the background-load process steps (and hotspots fire),
+2. optional churn fails/recovers nodes; failed hosts are evacuated,
+3. the cost space refreshes its scalar (load) dimensions,
+4. every ``reopt_interval`` ticks, the re-optimizer runs one local pass
+   per installed circuit and applies the resulting migrations,
+5. the true network usage and load statistics are recorded.
+
+This is the harness behind the re-optimization experiments (E7): with
+re-optimization disabled the usage series degrades as conditions drift;
+with it enabled the system tracks the moving optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import GroundTruthEvaluator
+from repro.core.reoptimizer import Reoptimizer
+from repro.network.dynamics import ChurnProcess, LatencyDriftProcess, LoadProcess
+from repro.sbon.metrics import TickRecord, TimeSeries
+from repro.sbon.overlay import Overlay
+
+__all__ = ["SimulationConfig", "Simulation"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of the tick loop.
+
+    Attributes:
+        reopt_interval: ticks between re-optimization passes; 0 disables
+            re-optimization entirely (the static baseline).
+        migration_threshold: hysteresis passed to the re-optimizer.
+        use_ground_truth_for_reopt: if True the re-optimizer prices
+            circuits with true latencies/loads (omniscient variant);
+            if False it uses cost-space estimates (deployable variant).
+        load_weight: load-penalty weight in re-optimization decisions.
+    """
+
+    reopt_interval: int = 10
+    migration_threshold: float = 0.02
+    use_ground_truth_for_reopt: bool = False
+    load_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.reopt_interval < 0:
+            raise ValueError("reopt_interval must be >= 0")
+
+
+class Simulation:
+    """Owns an overlay plus its dynamic processes and runs the tick loop."""
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        load_process: LoadProcess | None = None,
+        latency_drift: LatencyDriftProcess | None = None,
+        churn: ChurnProcess | None = None,
+        config: SimulationConfig | None = None,
+    ):
+        self.overlay = overlay
+        self.load_process = load_process
+        self.latency_drift = latency_drift
+        self.churn = churn
+        self.config = config or SimulationConfig()
+        self.series = TimeSeries()
+        self.tick = 0
+
+    def _make_reoptimizer(self) -> Reoptimizer:
+        mapper = self.overlay.exhaustive_mapper()
+        if self.config.use_ground_truth_for_reopt:
+            evaluator = GroundTruthEvaluator(
+                self.overlay.latencies, self.overlay.loads()
+            )
+        else:
+            evaluator = self.overlay.estimate_evaluator()
+        return Reoptimizer(
+            self.overlay.cost_space,
+            mapper=mapper,
+            evaluator=evaluator,
+            migration_threshold=self.config.migration_threshold,
+            load_weight=self.config.load_weight,
+        )
+
+    def step(self) -> TickRecord:
+        """Advance one tick; returns the recorded snapshot."""
+        self.tick += 1
+        migrations = 0
+        failures = 0
+
+        # 1. Background load drift.
+        if self.load_process is not None:
+            self.overlay.set_background_loads(self.load_process.step())
+
+        # 2. Latency drift.
+        if self.latency_drift is not None:
+            self.overlay.latencies = self.latency_drift.step()
+
+        # 3. Churn: fail nodes, evacuate their services.
+        if self.churn is not None:
+            newly_failed = self.churn.step()
+            failures = len(newly_failed)
+            alive = self.churn.alive()
+            for node in self.overlay.nodes:
+                if node.alive and not alive[node.index]:
+                    node.fail()
+                elif not node.alive and alive[node.index]:
+                    node.recover()
+            if newly_failed:
+                self._evacuate(newly_failed)
+
+        # 4. Refresh cost space; maybe re-optimize.
+        self.overlay.refresh_cost_space()
+        if (
+            self.config.reopt_interval
+            and self.tick % self.config.reopt_interval == 0
+        ):
+            migrations += self._reoptimize_all()
+
+        # 5. Record.
+        loads = self.overlay.loads()
+        record = TickRecord(
+            tick=self.tick,
+            network_usage=self.overlay.total_network_usage(),
+            mean_load=float(loads.mean()) if loads.size else 0.0,
+            max_load=float(loads.max()) if loads.size else 0.0,
+            migrations=migrations,
+            failures=failures,
+            circuits=len(self.overlay.circuits),
+        )
+        self.series.append(record)
+        return record
+
+    def run(self, ticks: int) -> TimeSeries:
+        """Advance ``ticks`` ticks; returns the accumulated series."""
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        for _ in range(ticks):
+            self.step()
+        return self.series
+
+    def _evacuate(self, failed: list[int]) -> None:
+        """Move services off failed nodes immediately."""
+        reopt = self._make_reoptimizer()
+        for node_id in failed:
+            reopt.mapper.exclude(node_id)
+        for circuit in self.overlay.circuits.values():
+            for node_id in failed:
+                if node_id not in circuit.hosts():
+                    continue
+                for migration in reopt.evacuate(circuit, node_id):
+                    self.overlay.apply_migration(
+                        circuit.name, migration.service_id, migration.to_node
+                    )
+
+    def _reoptimize_all(self) -> int:
+        """One local re-optimization pass over every circuit."""
+        reopt = self._make_reoptimizer()
+        migrations = 0
+        for circuit in list(self.overlay.circuits.values()):
+            report = reopt.local_step(circuit)
+            for migration in report.migrations:
+                # local_step already updated circuit.placement; sync the
+                # node-level hosting (load bookkeeping).
+                self.overlay.apply_migration(
+                    circuit.name, migration.service_id, migration.to_node
+                )
+                migrations += 1
+        return migrations

@@ -1,0 +1,29 @@
+"""Workloads: random query generation and the paper's figure scenarios."""
+
+from repro.workloads.queries import WorkloadParams, random_query, random_workload
+from repro.workloads.scenarios import (
+    Figure1Scenario,
+    Figure3Scenario,
+    Figure4Scenario,
+    figure1_scenario,
+    figure2_scenario,
+    figure3_scenario,
+    figure4_scenario,
+    perfect_cost_space,
+    planted_latency_matrix,
+)
+
+__all__ = [
+    "WorkloadParams",
+    "random_query",
+    "random_workload",
+    "Figure1Scenario",
+    "Figure3Scenario",
+    "Figure4Scenario",
+    "figure1_scenario",
+    "figure2_scenario",
+    "figure3_scenario",
+    "figure4_scenario",
+    "perfect_cost_space",
+    "planted_latency_matrix",
+]

@@ -1,0 +1,111 @@
+"""Random query workload generation.
+
+Benchmarks sweep over many random query instances; this module is the
+single source of those instances so that every experiment draws from
+the same distribution.  Given a node population, a workload instance
+is: k producers pinned to distinct random nodes with random rates, one
+consumer on another random node, and random pairwise selectivities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.query.model import Consumer, Producer, QuerySpec
+from repro.query.selectivity import Statistics
+
+__all__ = ["WorkloadParams", "random_query", "random_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Distribution parameters for random queries.
+
+    Attributes:
+        num_producers: producers per query.
+        rate_bounds: uniform bounds for producer stream rates.
+        selectivity_bounds: log-uniform bounds for join selectivities.
+        clustered: if True, producers are drawn from a small random
+            neighborhood of node indices (models geographically
+            correlated sources, which is when plan/placement
+            integration matters most); if False, uniform over nodes.
+        cluster_span: size of the index window used when clustered.
+    """
+
+    num_producers: int = 4
+    rate_bounds: tuple[float, float] = (1.0, 20.0)
+    selectivity_bounds: tuple[float, float] = (0.01, 0.5)
+    clustered: bool = False
+    cluster_span: int = 40
+
+    def __post_init__(self) -> None:
+        if self.num_producers < 1:
+            raise ValueError("num_producers must be >= 1")
+        if self.cluster_span < self.num_producers:
+            raise ValueError("cluster_span must fit all producers")
+
+
+def random_query(
+    num_nodes: int,
+    params: WorkloadParams | None = None,
+    name: str = "q",
+    seed: int = 0,
+) -> tuple[QuerySpec, Statistics]:
+    """Draw one random query + matching statistics.
+
+    Producer/consumer nodes are distinct.  Deterministic given seed.
+    """
+    params = params or WorkloadParams()
+    if num_nodes < params.num_producers + 1:
+        raise ValueError("not enough nodes for the requested producers + consumer")
+    rng = random.Random(seed)
+
+    if params.clustered:
+        start = rng.randrange(max(num_nodes - params.cluster_span, 1))
+        pool = list(range(start, min(start + params.cluster_span, num_nodes)))
+    else:
+        pool = list(range(num_nodes))
+    producer_nodes = rng.sample(pool, params.num_producers)
+
+    remaining = [n for n in range(num_nodes) if n not in set(producer_nodes)]
+    consumer_node = rng.choice(remaining)
+
+    names = [f"{name}.P{i + 1}" for i in range(params.num_producers)]
+    stats = Statistics.random(
+        names,
+        rate_bounds=params.rate_bounds,
+        selectivity_bounds=params.selectivity_bounds,
+        seed=rng.randrange(1 << 30),
+    )
+    producers = [
+        Producer(name=pname, node=pnode, rate=stats.rate(pname))
+        for pname, pnode in zip(names, producer_nodes)
+    ]
+    query = QuerySpec(
+        name=name,
+        producers=producers,
+        consumer=Consumer(name=f"{name}.C", node=consumer_node),
+    )
+    return query, stats
+
+
+def random_workload(
+    num_nodes: int,
+    num_queries: int,
+    params: WorkloadParams | None = None,
+    seed: int = 0,
+) -> list[tuple[QuerySpec, Statistics]]:
+    """Draw ``num_queries`` independent random queries."""
+    if num_queries < 0:
+        raise ValueError("num_queries must be non-negative")
+    rng = random.Random(seed)
+    return [
+        random_query(
+            num_nodes,
+            params,
+            name=f"q{i}",
+            seed=rng.randrange(1 << 30),
+        )
+        for i in range(num_queries)
+    ]

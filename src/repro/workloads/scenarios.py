@@ -1,0 +1,367 @@
+"""The paper's figure scenarios, as constructible fixtures.
+
+Each ``figureN_scenario`` builds the exact situation the paper's figure
+illustrates, with deterministic geometry, so experiments (and tests)
+can check the *qualitative* claim directly:
+
+* Figure 1 — producers clustered in pairs; the network-oblivious plan
+  pairs producers across clusters and loses to the integrated choice.
+* Figure 2 — 600-node transit-stub topology in a 3-D cost space
+  (2 latency dims + squared CPU load), with one overloaded node.
+* Figure 3 — one unpinned service between two producers and a consumer;
+  the latency-nearest node N1 is overloaded, so the full-space mapping
+  picks the lightly loaded N2.
+* Figure 4 — three deployed circuits; only the one inside radius r of
+  the new service's coordinate is considered, and tapping it wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.core.weighting import squared
+from repro.network.latency import LatencyMatrix
+from repro.network.topology import (
+    Topology,
+    TransitStubParams,
+    random_geometric_topology,
+    transit_stub_topology,
+)
+from repro.query.model import Consumer, Producer, QuerySpec
+from repro.query.selectivity import Statistics
+
+__all__ = [
+    "Figure1Scenario",
+    "figure1_scenario",
+    "figure2_scenario",
+    "Figure3Scenario",
+    "figure3_scenario",
+    "Figure4Scenario",
+    "figure4_scenario",
+    "planted_latency_matrix",
+]
+
+
+def planted_latency_matrix(
+    positions: list[tuple[float, ...]], scale: float = 1.0
+) -> LatencyMatrix:
+    """Latency matrix whose entries are Euclidean distances × scale.
+
+    Planting nodes at explicit positions makes scenario geometry exact:
+    a perfect 2-D embedding of this matrix is the positions themselves.
+    """
+    n = len(positions)
+    matrix = np.zeros((n, n))
+    pts = np.asarray(positions, dtype=float)
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = float(np.linalg.norm(pts[i] - pts[j])) * scale
+            matrix[i, j] = matrix[j, i] = d
+    return LatencyMatrix(matrix)
+
+
+def perfect_cost_space(
+    positions: list[tuple[float, ...]],
+    loads: list[float] | None = None,
+) -> CostSpace:
+    """Cost space whose vector part *is* the planted geometry."""
+    pts = np.asarray(positions, dtype=float)
+    if loads is None:
+        spec = CostSpaceSpec.latency_only(vector_dims=pts.shape[1])
+        return CostSpace.from_embedding(spec, pts)
+    spec = CostSpaceSpec.latency_load(vector_dims=pts.shape[1])
+    return CostSpace.from_embedding(spec, pts, {"cpu_load": np.asarray(loads)})
+
+
+# ---------------------------------------------------------------------------
+# Figure 1
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure1Scenario:
+    """The two-step-vs-integrated inefficiency setup.
+
+    Attributes:
+        positions: planted 2-D node positions.
+        latencies: planted latency matrix.
+        cost_space: perfect latency cost space over the positions.
+        query: the 4-producer join query.
+        stats: statistics that make the *oblivious* optimizer pick the
+            cross-cluster pairing (Query Plan 1).
+    """
+
+    positions: list[tuple[float, float]]
+    latencies: LatencyMatrix
+    cost_space: CostSpace
+    query: QuerySpec
+    stats: Statistics
+
+
+def figure1_scenario() -> Figure1Scenario:
+    """Build the paper's Figure 1 situation deterministically.
+
+    Geometry: P1,P2 in a west cluster; P3,P4 in an east cluster; the
+    consumer in the middle; a line of intermediate nodes provides
+    placement sites.  Statistics: the cross-cluster pairs (P1⋈P3,
+    P2⋈P4) have slightly *lower* selectivity than the intra-cluster
+    pairs, so a network-oblivious plan generator prefers them — but the
+    data then has to cross the network twice, which integrated
+    optimization discovers and avoids.
+    """
+    # Node layout (index: role):
+    #   0: P1 (west),   1: P2 (west),  2: P3 (east),  3: P4 (east)
+    #   4: consumer (center)
+    #   5-12: placement sites spread across the map.
+    positions: list[tuple[float, float]] = [
+        (0.0, 0.2),    # P1
+        (0.0, 0.8),    # P2
+        (10.0, 0.2),   # P3
+        (10.0, 0.8),   # P4
+        (5.0, 0.5),    # consumer
+        (0.5, 0.5),    # west hub
+        (9.5, 0.5),    # east hub
+        (2.5, 0.5),
+        (7.5, 0.5),
+        (5.0, 1.5),
+        (5.0, -0.5),
+        (1.5, 0.5),
+        (8.5, 0.5),
+    ]
+    latencies = planted_latency_matrix(positions, scale=10.0)
+    cost_space = perfect_cost_space([tuple(10.0 * c for c in p) for p in positions])
+
+    producers = [
+        Producer("P1", node=0, rate=10.0),
+        Producer("P2", node=1, rate=10.0),
+        Producer("P3", node=2, rate=10.0),
+        Producer("P4", node=3, rate=10.0),
+    ]
+    query = QuerySpec(
+        name="fig1", producers=producers, consumer=Consumer("C", node=4)
+    )
+    # Cross-cluster pairs marginally more selective: the oblivious
+    # optimizer takes the bait.
+    stats = Statistics.build(
+        rates={p.name: p.rate for p in producers},
+        pair_selectivities={
+            ("P1", "P2"): 0.050,
+            ("P3", "P4"): 0.050,
+            ("P1", "P3"): 0.040,
+            ("P2", "P4"): 0.040,
+            ("P1", "P4"): 0.045,
+            ("P2", "P3"): 0.045,
+        },
+    )
+    return Figure1Scenario(
+        positions=positions,
+        latencies=latencies,
+        cost_space=cost_space,
+        query=query,
+        stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2
+# ---------------------------------------------------------------------------
+
+
+def figure2_scenario(
+    seed: int = 0,
+) -> tuple[Topology, LatencyMatrix, np.ndarray]:
+    """The 600-node transit-stub population with one overloaded node.
+
+    Returns:
+        (topology, latency matrix, loads) — loads are moderate
+        everywhere except node 0 ("node a"), which is saturated.
+    """
+    params = TransitStubParams()  # 600 nodes by default
+    topology = transit_stub_topology(params, seed=seed)
+    latencies = LatencyMatrix.from_topology(topology)
+    rng = np.random.default_rng(seed)
+    loads = np.clip(rng.normal(0.25, 0.12, size=topology.num_nodes), 0.0, 1.0)
+    loads[0] = 0.97  # the overloaded "node a" of the figure
+    return topology, latencies, loads
+
+
+# ---------------------------------------------------------------------------
+# Figure 3
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure3Scenario:
+    """Virtual placement + physical mapping with a load tiebreak.
+
+    Attributes:
+        cost_space: planted space with loads.
+        latencies: planted latency matrix.
+        query: 2-producer join, one unpinned service.
+        stats: simple statistics.
+        n1: index of the latency-near but overloaded node.
+        n2: index of the slightly farther but idle node.
+        star: the ideal (virtual) coordinate of the unpinned service.
+    """
+
+    cost_space: CostSpace
+    latencies: LatencyMatrix
+    query: QuerySpec
+    stats: Statistics
+    n1: int
+    n2: int
+    star: np.ndarray
+
+
+def figure3_scenario() -> Figure3Scenario:
+    """Build Figure 3: N1 closer in latency, N2 wins in the full space."""
+    # 0: P1, 1: P2, 2: consumer, 3: N1 (near star, loaded), 4: N2
+    # (slightly farther, idle), 5: filler.
+    positions = [
+        (0.0, 0.0),    # P1
+        (8.0, 0.0),    # P2
+        (4.0, 6.0),    # C
+        (4.2, 2.2),    # N1 — ~at the star
+        (5.0, 3.0),    # N2 — ~1.2 away from the star
+        (12.0, 8.0),   # filler, far away
+    ]
+    loads = [0.1, 0.1, 0.1, 0.9, 0.05, 0.1]
+    latencies = planted_latency_matrix(positions, scale=10.0)
+    cost_space = perfect_cost_space(
+        [tuple(10.0 * c for c in p) for p in positions], loads
+    )
+    producers = [
+        Producer("P1", node=0, rate=5.0),
+        Producer("P2", node=1, rate=5.0),
+    ]
+    query = QuerySpec(
+        name="fig3", producers=producers, consumer=Consumer("C", node=2)
+    )
+    stats = Statistics.build(
+        rates={"P1": 5.0, "P2": 5.0},
+        pair_selectivities={("P1", "P2"): 0.1},
+    )
+    # The spring equilibrium of one service linked to P1, P2 (rate 5
+    # each) and C (rate 0.1*5*5=2.5): rate-weighted centroid.
+    weights = np.array([5.0, 5.0, 2.5])
+    anchor_points = np.array(
+        [[0.0, 0.0], [8.0, 0.0], [4.0, 6.0]], dtype=float
+    ) * 10.0
+    star = (anchor_points * weights[:, None]).sum(axis=0) / weights.sum()
+    return Figure3Scenario(
+        cost_space=cost_space,
+        latencies=latencies,
+        query=query,
+        stats=stats,
+        n1=3,
+        n2=4,
+        star=star,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure4Scenario:
+    """Multi-query radius pruning setup.
+
+    Attributes:
+        cost_space: planted latency-only space.
+        latencies: matching matrix.
+        existing: three (query, stats) pairs already deployed (C1-C3).
+        new_query: the incoming query whose optimizer should only
+            examine the nearby circuit.
+        new_stats: statistics of the new query.
+        radius: the pruning radius r that includes exactly C3's region.
+    """
+
+    cost_space: CostSpace
+    latencies: LatencyMatrix
+    existing: list[tuple[QuerySpec, Statistics]]
+    new_query: QuerySpec
+    new_stats: Statistics
+    radius: float
+
+
+def figure4_scenario(seed: int = 0) -> Figure4Scenario:
+    """Build Figure 4: three circuits, only the close one is considered.
+
+    Geography: circuits C1 and C2 live in a far "west" region; C3 joins
+    the same producers the new query wants, hosted in the "east" region
+    near the new consumer.  With radius r covering only the east, the
+    optimizer examines C3's services alone and taps C3's join.
+    """
+    topology = random_geometric_topology(60, radius=0.35, seed=seed)
+    latencies = LatencyMatrix.from_topology(topology)
+    # Perfect embedding of geometric positions keeps the geometry honest.
+    scale = 100.0 / np.sqrt(2.0)
+    positions = [
+        (x * scale, y * scale) for (x, y) in topology.positions
+    ]
+    cost_space = perfect_cost_space(positions)
+
+    pts = np.asarray(positions)
+    west = list(np.argsort(pts[:, 0])[:20])      # leftmost third
+    east = list(np.argsort(pts[:, 0])[-20:])     # rightmost third
+
+    def make_query(name: str, nodes: list[int], seed_: int) -> tuple[QuerySpec, Statistics]:
+        names = [f"{name}.P1", f"{name}.P2"]
+        stats = Statistics.random(names, seed=seed_)
+        producers = [
+            Producer(names[0], node=nodes[0], rate=stats.rate(names[0])),
+            Producer(names[1], node=nodes[1], rate=stats.rate(names[1])),
+        ]
+        query = QuerySpec(
+            name=name,
+            producers=producers,
+            consumer=Consumer(f"{name}.C", node=nodes[2]),
+        )
+        return query, stats
+
+    c1 = make_query("C1", west[0:3], seed_=seed + 1)
+    c2 = make_query("C2", west[3:6], seed_=seed + 2)
+
+    # C3 shares producers with the new query: same names, same nodes.
+    shared_names = ["S.P1", "S.P2"]
+    shared_stats = Statistics.build(
+        rates={"S.P1": 8.0, "S.P2": 8.0},
+        pair_selectivities={("S.P1", "S.P2"): 0.1},
+    )
+    shared_producers = [
+        Producer("S.P1", node=east[0], rate=8.0),
+        Producer("S.P2", node=east[1], rate=8.0),
+    ]
+    c3_query = QuerySpec(
+        name="C3",
+        producers=shared_producers,
+        consumer=Consumer("C3.C", node=east[2]),
+    )
+    new_query = QuerySpec(
+        name="new",
+        producers=shared_producers,
+        consumer=Consumer("new.C", node=east[3]),
+    )
+
+    # Radius: halfway between the east cluster's internal spread and the
+    # west-east separation, so the ball covers C3's region but not C1/C2.
+    east_pts = pts[east]
+    east_span = float(np.linalg.norm(east_pts.max(axis=0) - east_pts.min(axis=0)))
+    west_east_gap = float(
+        np.linalg.norm(pts[west].mean(axis=0) - east_pts.mean(axis=0))
+    )
+    radius = min(east_span, 0.6 * west_east_gap)
+
+    return Figure4Scenario(
+        cost_space=cost_space,
+        latencies=latencies,
+        existing=[c1, c2, (c3_query, shared_stats)],
+        new_query=new_query,
+        new_stats=shared_stats,
+        radius=radius,
+    )

@@ -1,0 +1,129 @@
+"""Integration tests: each paper figure's claim holds end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.core.costs import GroundTruthEvaluator
+from repro.core.multi_query import MultiQueryOptimizer
+from repro.core.optimizer import IntegratedOptimizer, TwoStepOptimizer
+from repro.core.weighting import squared
+from repro.network.vivaldi import embed_latency_matrix
+from repro.workloads.scenarios import (
+    figure1_scenario,
+    figure2_scenario,
+    figure3_scenario,
+    figure4_scenario,
+)
+
+
+class TestFigure1:
+    """Two-step plan choice loses to integrated optimization."""
+
+    def test_integrated_picks_intra_cluster_pairing_and_wins(self):
+        sc = figure1_scenario()
+        gt = GroundTruthEvaluator(sc.latencies)
+        integrated = IntegratedOptimizer(sc.cost_space).optimize(sc.query, sc.stats)
+        two_step = TwoStepOptimizer(sc.cost_space).optimize(sc.query, sc.stats)
+
+        usage_i = gt.evaluate(integrated.circuit).network_usage
+        usage_t = gt.evaluate(two_step.circuit).network_usage
+        assert usage_i < usage_t
+        # The paper's headline: the decomposition itself differs.
+        assert integrated.plan.signature() != two_step.plan.signature()
+
+    def test_gap_is_substantial(self):
+        sc = figure1_scenario()
+        gt = GroundTruthEvaluator(sc.latencies)
+        usage_i = gt.evaluate(
+            IntegratedOptimizer(sc.cost_space).optimize(sc.query, sc.stats).circuit
+        ).network_usage
+        usage_t = gt.evaluate(
+            TwoStepOptimizer(sc.cost_space).optimize(sc.query, sc.stats).circuit
+        ).network_usage
+        assert usage_t / usage_i > 1.2  # >20% worse
+
+
+class TestFigure2:
+    """600 nodes embed into a low-error 3-D cost space."""
+
+    def test_cost_space_construction_at_paper_scale(self):
+        topo, latencies, loads = figure2_scenario(seed=0)
+        embedding = embed_latency_matrix(
+            latencies, dimensions=2, rounds=30, neighbors_per_round=4, seed=0
+        )
+        # Transit-stub latencies embed with modest error (the paper's
+        # "slight error" claim [16]).
+        assert embedding.median_relative_error < 0.35
+
+        spec = CostSpaceSpec.latency_load(vector_dims=2, load_weighting=squared(100.0))
+        space = CostSpace.from_embedding(
+            spec, embedding.coordinates, {"cpu_load": loads}
+        )
+        assert space.num_nodes == 600
+        # The overloaded "node a" towers over the rest in the load dim.
+        scalars = np.array([space.coordinate(i).scalar[0] for i in range(600)])
+        assert scalars[0] > np.percentile(scalars, 99)
+
+
+class TestFigure3:
+    """Physical mapping prefers idle N2 over loaded-but-closer N1."""
+
+    def test_mapping_picks_n2(self):
+        sc = figure3_scenario()
+        result = IntegratedOptimizer(sc.cost_space).optimize(sc.query, sc.stats)
+        join_sid = result.circuit.unpinned_ids()[0]
+        assert result.circuit.host_of(join_sid) == sc.n2
+
+    def test_virtual_position_matches_analytic_star(self):
+        sc = figure3_scenario()
+        result = IntegratedOptimizer(sc.cost_space).optimize(sc.query, sc.stats)
+        join_sid = result.circuit.unpinned_ids()[0]
+        pos = result.virtual_placement.position_of(join_sid)
+        assert np.allclose(pos, sc.star, atol=0.5)
+
+    def test_without_load_dimension_n1_would_win(self):
+        sc = figure3_scenario()
+        # Rebuild the same geometry as a pure latency space.
+        vectors = np.array(
+            [sc.cost_space.coordinate(i).vector for i in range(sc.cost_space.num_nodes)]
+        )
+        latency_space = CostSpace.from_embedding(
+            CostSpaceSpec.latency_only(vector_dims=2), vectors
+        )
+        result = IntegratedOptimizer(latency_space).optimize(sc.query, sc.stats)
+        join_sid = result.circuit.unpinned_ids()[0]
+        assert result.circuit.host_of(join_sid) == sc.n1
+
+
+class TestFigure4:
+    """Radius pruning: only nearby circuits are examined; reuse wins."""
+
+    def test_pruned_optimizer_examines_one_of_three(self):
+        sc = figure4_scenario()
+        mq = MultiQueryOptimizer(sc.cost_space, radius=sc.radius)
+        integ = IntegratedOptimizer(sc.cost_space)
+        for query, stats in sc.existing:
+            mq.deploy(integ.optimize(query, stats))
+        result = mq.optimize(sc.new_query, sc.new_stats)
+        assert result.total_deployed == 3
+        assert result.candidates_examined == 1
+        assert result.reuse_happened
+        assert result.savings > 0
+
+    def test_pruning_matches_unpruned_answer_here(self):
+        # In this scenario the far circuits are useless, so pruning
+        # loses nothing: pruned and unpruned reach the same cost.
+        sc = figure4_scenario()
+
+        def run(radius):
+            mq = MultiQueryOptimizer(sc.cost_space, radius=radius)
+            integ = IntegratedOptimizer(sc.cost_space)
+            for query, stats in sc.existing:
+                mq.deploy(integ.optimize(query, stats))
+            return mq.optimize(sc.new_query, sc.new_stats)
+
+        pruned = run(sc.radius)
+        unpruned = run(float("inf"))
+        assert pruned.cost.total == pytest.approx(unpruned.cost.total)
+        assert pruned.candidates_examined < unpruned.candidates_examined

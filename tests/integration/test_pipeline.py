@@ -1,0 +1,140 @@
+"""End-to-end pipeline integration tests.
+
+Exercises the full stack: topology → latency matrix → Vivaldi embedding
+→ cost space → plan generation → virtual placement → physical mapping
+(both backends) → installation → simulation with dynamics →
+re-optimization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import GroundTruthEvaluator
+from repro.core.multi_query import MultiQueryOptimizer
+from repro.network.dynamics import HotspotEvent, LoadProcess
+from repro.network.topology import TransitStubParams, transit_stub_topology
+from repro.sbon.overlay import Overlay
+from repro.sbon.simulator import Simulation, SimulationConfig
+from repro.workloads.queries import WorkloadParams, random_query, random_workload
+
+
+SMALL_TS = TransitStubParams(
+    num_transit_domains=2,
+    transit_nodes_per_domain=3,
+    stub_domains_per_transit_node=2,
+    nodes_per_stub_domain=4,
+)  # 6 + 6*2*4 = 54 nodes
+
+
+@pytest.fixture(scope="module")
+def overlay() -> Overlay:
+    topo = transit_stub_topology(SMALL_TS, seed=11)
+    return Overlay.build(topo, vector_dims=2, embedding_rounds=40, seed=11)
+
+
+class TestOptimizeAndInstall:
+    def test_integrated_beats_random_on_ground_truth(self, overlay):
+        gt = GroundTruthEvaluator(overlay.latencies)
+        wins = 0
+        for seed in range(6):
+            query, stats = random_query(overlay.num_nodes, seed=seed)
+            integ = overlay.integrated_optimizer().optimize(query, stats)
+            rand = overlay.random_optimizer(seed=seed).optimize(query, stats)
+            if (
+                gt.evaluate(integ.circuit).network_usage
+                <= gt.evaluate(rand.circuit).network_usage
+            ):
+                wins += 1
+        assert wins >= 5
+
+    def test_catalog_mapper_end_to_end(self, overlay):
+        query, stats = random_query(overlay.num_nodes, seed=42)
+        mapper = overlay.catalog_mapper(bits=8, ring_size=32)
+        result = overlay.integrated_optimizer(mapper=mapper).optimize(query, stats)
+        assert result.circuit.is_fully_placed()
+        assert result.mapping.total_dht_hops >= 0
+
+    def test_catalog_vs_exhaustive_cost_gap_small(self, overlay):
+        gt = GroundTruthEvaluator(overlay.latencies)
+        gaps = []
+        for seed in range(5):
+            query, stats = random_query(overlay.num_nodes, seed=100 + seed)
+            ex = overlay.integrated_optimizer().optimize(query, stats)
+            cat = overlay.integrated_optimizer(
+                mapper=overlay.catalog_mapper(bits=8, ring_size=32)
+            ).optimize(query, stats)
+            ex_cost = gt.evaluate(ex.circuit).network_usage
+            cat_cost = gt.evaluate(cat.circuit).network_usage
+            if ex_cost > 0:
+                gaps.append(cat_cost / ex_cost)
+        assert np.median(gaps) < 1.5
+
+
+class TestMultiQueryPipeline:
+    def test_shared_workload_reuse_reduces_total_usage(self, overlay):
+        # Deploy one query, then a second identical-producer query from
+        # a different consumer: reuse should kick in with a wide radius.
+        params = WorkloadParams(num_producers=3)
+        query1, stats = random_query(overlay.num_nodes, params, name="qa", seed=7)
+        # Same producers, different consumer node.
+        import dataclasses
+
+        consumer2 = dataclasses.replace(
+            query1.consumer, name="qb.C",
+            node=(query1.consumer.node + 1) % overlay.num_nodes,
+        )
+        query2 = dataclasses.replace(query1, name="qb", consumer=consumer2)
+
+        mq = overlay.multi_query_optimizer(radius=float("inf"))
+        integ = overlay.integrated_optimizer()
+        first = integ.optimize(query1, stats)
+        mq.deploy(first)
+        second = mq.optimize(query2, stats)
+        assert second.reuse_happened
+        assert second.savings > 0
+
+
+class TestSimulationPipeline:
+    def test_reoptimization_recovers_from_hotspot(self):
+        topo = transit_stub_topology(SMALL_TS, seed=5)
+        overlay = Overlay.build(topo, vector_dims=2, embedding_rounds=40, seed=5)
+        workload = random_workload(overlay.num_nodes, 3, seed=5)
+        integ = overlay.integrated_optimizer()
+        for query, stats in workload:
+            overlay.install(integ.optimize(query, stats))
+
+        hosts = sorted(
+            {
+                c.host_of(sid)
+                for c in overlay.circuits.values()
+                for sid in c.unpinned_ids()
+            }
+        )
+        load = LoadProcess(overlay.num_nodes, mean_load=0.1, sigma=0.01, seed=5)
+        load.add_hotspot(
+            HotspotEvent(start_tick=3, duration=10_000, nodes=tuple(hosts), extra_load=0.9)
+        )
+        sim = Simulation(
+            overlay,
+            load_process=load,
+            config=SimulationConfig(reopt_interval=2, migration_threshold=0.0),
+        )
+        series = sim.run(20)
+        assert series.total_migrations() >= 1
+        # Services have left the hotspotted nodes.
+        remaining = {
+            c.host_of(sid)
+            for c in overlay.circuits.values()
+            for sid in c.unpinned_ids()
+        }
+        assert remaining != set(hosts)
+
+    def test_static_system_has_flat_usage_without_dynamics(self):
+        topo = transit_stub_topology(SMALL_TS, seed=9)
+        overlay = Overlay.build(topo, vector_dims=2, embedding_rounds=30, seed=9)
+        query, stats = random_query(overlay.num_nodes, seed=9)
+        overlay.install(overlay.integrated_optimizer().optimize(query, stats))
+        sim = Simulation(overlay, config=SimulationConfig(reopt_interval=0))
+        series = sim.run(5)
+        usages = series.usage_series()
+        assert np.allclose(usages, usages[0])

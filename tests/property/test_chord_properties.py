@@ -1,0 +1,88 @@
+"""Property-based tests for the Chord ring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.chord import ChordRing
+
+
+@st.composite
+def ring_and_keys(draw):
+    id_bits = 12
+    ids = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=(1 << id_bits) - 1),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    keys = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << id_bits) - 1),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    return id_bits, sorted(ids), keys
+
+
+@given(ring_and_keys())
+@settings(max_examples=100, deadline=None)
+def test_lookup_always_finds_ground_truth_owner(setup):
+    id_bits, ids, keys = setup
+    ring = ChordRing(id_bits=id_bits)
+    for node_id in ids:
+        ring.join(node_id=node_id)
+    for key in keys:
+        result = ring.lookup(key)
+        # Ground truth: first node clockwise from key.
+        candidates = [i for i in ids if i >= key]
+        expected = min(candidates) if candidates else min(ids)
+        assert result.owner == expected
+
+
+@given(ring_and_keys())
+@settings(max_examples=60, deadline=None)
+def test_put_get_roundtrip_and_invariants(setup):
+    id_bits, ids, keys = setup
+    ring = ChordRing(id_bits=id_bits)
+    for node_id in ids:
+        ring.join(node_id=node_id)
+    for i, key in enumerate(keys):
+        ring.put(key, f"value-{i}")
+    for i, key in enumerate(keys):
+        value, _ = ring.get(key)
+        # Later puts to the same key overwrite; find the last writer.
+        last = max(j for j, k in enumerate(keys) if k == key)
+        assert value == f"value-{last}"
+    ring.verify_invariants()
+
+
+@given(ring_and_keys(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_leave_preserves_data_and_invariants(setup, data):
+    id_bits, ids, keys = setup
+    if len(ids) < 2:
+        return
+    ring = ChordRing(id_bits=id_bits)
+    for node_id in ids:
+        ring.join(node_id=node_id)
+    for key in keys:
+        ring.put(key, key * 7)
+    departing = data.draw(st.sampled_from(ids))
+    ring.leave(departing)
+    ring.verify_invariants()
+    for key in keys:
+        value, _ = ring.get(key)
+        assert value == key * 7
+
+
+@given(ring_and_keys())
+@settings(max_examples=50, deadline=None)
+def test_hop_count_bounded_by_id_bits(setup):
+    id_bits, ids, keys = setup
+    ring = ChordRing(id_bits=id_bits)
+    for node_id in ids:
+        ring.join(node_id=node_id)
+    for key in keys:
+        assert ring.lookup(key).hops <= id_bits + 1

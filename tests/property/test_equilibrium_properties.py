@@ -1,0 +1,86 @@
+"""Property tests: iterative relaxation agrees with the exact solver."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import Circuit
+from repro.core.optimizer import pinned_vector_positions
+from repro.core.virtual_placement import (
+    exact_spring_equilibrium,
+    placement_energy,
+    relaxation_placement,
+)
+from repro.query.generator import enumerate_all_plans
+from repro.query.model import Consumer, Producer, QuerySpec
+from repro.query.selectivity import Statistics
+from repro.workloads.scenarios import perfect_cost_space
+
+position = st.tuples(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+
+
+@st.composite
+def instances(draw):
+    num_producers = draw(st.integers(min_value=2, max_value=4))
+    n = num_producers + 1 + draw(st.integers(min_value=1, max_value=5))
+    positions = [draw(position) for _ in range(n)]
+    seed = draw(st.integers(min_value=0, max_value=1 << 16))
+    plan_idx = draw(st.integers(min_value=0, max_value=1 << 10))
+    names = [f"P{i}" for i in range(num_producers)]
+    stats = Statistics.random(names, seed=seed)
+    producers = [
+        Producer(name, node=i, rate=stats.rate(name))
+        for i, name in enumerate(names)
+    ]
+    query = QuerySpec(
+        name="q", producers=producers, consumer=Consumer("C", node=num_producers)
+    )
+    return positions, query, stats, plan_idx
+
+
+@given(instances())
+@settings(max_examples=50, deadline=None)
+def test_relaxation_converges_to_exact_equilibrium(instance):
+    positions, query, stats, plan_idx = instance
+    space = perfect_cost_space(positions)
+    plans = enumerate_all_plans(query.producer_names)
+    plan = plans[plan_idx % len(plans)]
+    circuit = Circuit.from_plan(plan, query, stats)
+    pinned = pinned_vector_positions(circuit, space)
+
+    exact = exact_spring_equilibrium(circuit, pinned)
+    iterative = relaxation_placement(
+        circuit, pinned, max_iterations=2000, tolerance=1e-8
+    )
+    scale = max(
+        1.0,
+        float(np.linalg.norm(np.ptp(np.array(list(pinned.values())), axis=0))),
+    )
+    for sid, exact_pos in exact.positions.items():
+        gap = float(np.linalg.norm(exact_pos - iterative.position_of(sid)))
+        assert gap <= 1e-3 * scale
+
+
+@given(instances())
+@settings(max_examples=50, deadline=None)
+def test_exact_equilibrium_is_a_local_minimum(instance):
+    positions, query, stats, plan_idx = instance
+    space = perfect_cost_space(positions)
+    plans = enumerate_all_plans(query.producer_names)
+    plan = plans[plan_idx % len(plans)]
+    circuit = Circuit.from_plan(plan, query, stats)
+    pinned = pinned_vector_positions(circuit, space)
+    exact = exact_spring_equilibrium(circuit, pinned)
+
+    base = dict(pinned)
+    base.update(exact.positions)
+    base_energy = placement_energy(circuit, base)
+    rng = np.random.default_rng(0)
+    for sid in exact.positions:
+        for _ in range(4):
+            nudged = {k: v.copy() for k, v in base.items()}
+            nudged[sid] = nudged[sid] + rng.normal(0, 0.5, size=2)
+            assert placement_energy(circuit, nudged) >= base_energy - 1e-6

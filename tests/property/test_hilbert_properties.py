@@ -1,0 +1,103 @@
+"""Property-based tests for the Hilbert curve."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.hilbert import (
+    HilbertMapper,
+    hilbert_decode,
+    hilbert_encode,
+    morton_decode,
+    morton_encode,
+)
+
+
+@st.composite
+def curve_params(draw):
+    bits = draw(st.integers(min_value=1, max_value=6))
+    dims = draw(st.integers(min_value=1, max_value=4))
+    return bits, dims
+
+
+@given(curve_params(), st.data())
+@settings(max_examples=150)
+def test_hilbert_roundtrip(params, data):
+    bits, dims = params
+    coords = tuple(
+        data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        for _ in range(dims)
+    )
+    index = hilbert_encode(coords, bits)
+    assert 0 <= index < (1 << (bits * dims))
+    assert hilbert_decode(index, bits, dims) == coords
+
+
+@given(curve_params(), st.data())
+@settings(max_examples=150)
+def test_morton_roundtrip(params, data):
+    bits, dims = params
+    coords = tuple(
+        data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        for _ in range(dims)
+    )
+    index = morton_encode(coords, bits)
+    assert morton_decode(index, bits, dims) == coords
+
+
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=2, max_value=3))
+@settings(max_examples=20, deadline=None)
+def test_hilbert_is_bijective_over_whole_grid(bits, dims):
+    total = 1 << (bits * dims)
+    if total > 4096:
+        total = 4096  # truncated prefix is still injective
+    seen = set()
+    for index in range(total):
+        cell = hilbert_decode(index, bits, dims)
+        assert cell not in seen
+        seen.add(cell)
+
+
+@given(st.integers(min_value=1, max_value=5), st.data())
+@settings(max_examples=80, deadline=None)
+def test_hilbert_adjacent_indices_adjacent_cells(bits, data):
+    dims = data.draw(st.integers(min_value=2, max_value=3))
+    top = (1 << (bits * dims)) - 2
+    index = data.draw(st.integers(min_value=0, max_value=top))
+    a = hilbert_decode(index, bits, dims)
+    b = hilbert_decode(index + 1, bits, dims)
+    assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=60)
+def test_mapper_fit_quantize_never_fails_on_fitted_points(points):
+    pts = np.asarray(points)
+    mapper = HilbertMapper.fit(pts, bits=8)
+    for p in pts:
+        cell = mapper.quantize(p)
+        assert all(0 <= c < 256 for c in cell)
+        key = mapper.key_for(p)
+        assert 0 <= key < (1 << mapper.key_bits)
+
+
+@given(
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+)
+@settings(max_examples=80)
+def test_mapper_dequantize_bounded_error(x, y):
+    mapper = HilbertMapper(lows=(0.0, 0.0), highs=(100.0, 100.0), bits=10)
+    point = np.array([x, y])
+    back = mapper.dequantize(mapper.quantize(point))
+    cell = 100.0 / ((1 << 10) - 1)
+    assert np.all(np.abs(back - point) <= cell)

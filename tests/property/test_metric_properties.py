@@ -1,0 +1,85 @@
+"""Property-based tests for metric-space structure."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coordinates import CostCoordinate
+from repro.network.latency import LatencyMatrix
+from repro.network.topology import Topology
+
+finite_float = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+non_negative = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+@st.composite
+def coordinate_triples(draw):
+    vdims = draw(st.integers(min_value=1, max_value=4))
+    sdims = draw(st.integers(min_value=0, max_value=2))
+
+    def coord():
+        vec = tuple(draw(finite_float) for _ in range(vdims))
+        sca = tuple(draw(non_negative) for _ in range(sdims))
+        return CostCoordinate(vec, sca)
+
+    return coord(), coord(), coord()
+
+
+@given(coordinate_triples())
+@settings(max_examples=200)
+def test_cost_distance_metric_axioms(coords):
+    a, b, c = coords
+    # Non-negativity and identity.
+    assert a.distance_to(b) >= 0
+    assert a.distance_to(a) == 0
+    # Symmetry.
+    assert a.distance_to(b) == b.distance_to(a)
+    # Triangle inequality (Euclidean, so must hold exactly up to fp).
+    assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+@given(coordinate_triples())
+@settings(max_examples=100)
+def test_vector_distance_never_exceeds_full_distance(coords):
+    a, b, _ = coords
+    assert a.vector_distance_to(b) <= a.distance_to(b) + 1e-9
+
+
+@st.composite
+def random_topologies(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    topo = Topology(num_nodes=n)
+    # Spanning chain keeps it connected; extra random links.
+    for i in range(1, n):
+        topo.add_link(
+            i - 1, i, draw(st.floats(min_value=0.1, max_value=50.0, allow_nan=False))
+        )
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            topo.add_link(
+                u, v, draw(st.floats(min_value=0.1, max_value=50.0, allow_nan=False))
+            )
+    return topo
+
+
+@given(random_topologies())
+@settings(max_examples=100, deadline=None)
+def test_shortest_path_matrix_satisfies_triangle_inequality(topo):
+    lm = LatencyMatrix.from_topology(topo)
+    m = lm.values
+    n = lm.num_nodes
+    for a in range(n):
+        for b in range(n):
+            for c in range(n):
+                assert m[a, c] <= m[a, b] + m[b, c] + 1e-9
+
+
+@given(random_topologies())
+@settings(max_examples=80, deadline=None)
+def test_shortest_paths_never_exceed_direct_links(topo):
+    lm = LatencyMatrix.from_topology(topo)
+    for link in topo.links:
+        assert lm.latency(link.u, link.v) <= link.latency_ms + 1e-9

@@ -1,0 +1,81 @@
+"""Property-based tests for plan generation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.generator import (
+    count_all_plans,
+    enumerate_all_plans,
+    enumerate_left_deep_plans,
+    top_k_plans,
+)
+from repro.query.selectivity import Statistics, rate_of_subset
+
+names_strategy = st.integers(min_value=1, max_value=5).map(
+    lambda n: [f"P{i}" for i in range(n)]
+)
+
+
+@given(names_strategy)
+@settings(max_examples=20, deadline=None)
+def test_full_enumeration_count_and_coverage(names):
+    plans = enumerate_all_plans(names)
+    assert len(plans) == count_all_plans(len(names))
+    signatures = {p.signature() for p in plans}
+    assert len(signatures) == len(plans)
+    for plan in plans:
+        assert plan.producers == frozenset(names)
+        assert plan.num_services == len(names) - 1
+
+
+@given(names_strategy, st.integers(min_value=0, max_value=1 << 16))
+@settings(max_examples=40, deadline=None)
+def test_topk_best_matches_brute_force(names, seed):
+    stats = Statistics.random(names, seed=seed)
+    dp = top_k_plans(names, stats, k=1)[0]
+    brute = min(
+        enumerate_all_plans(names), key=lambda p: p.intermediate_rate_cost(stats)
+    )
+    assert abs(
+        dp.intermediate_rate_cost(stats) - brute.intermediate_rate_cost(stats)
+    ) <= 1e-9 * max(1.0, brute.intermediate_rate_cost(stats))
+
+
+@given(names_strategy, st.integers(min_value=0, max_value=1 << 16))
+@settings(max_examples=30, deadline=None)
+def test_topk_subset_of_enumeration_costs(names, seed):
+    stats = Statistics.random(names, seed=seed)
+    all_costs = {
+        p.signature(): p.intermediate_rate_cost(stats)
+        for p in enumerate_all_plans(names)
+    }
+    for plan in top_k_plans(names, stats, k=4):
+        sig = plan.signature()
+        assert sig in all_costs
+        assert abs(plan.intermediate_rate_cost(stats) - all_costs[sig]) <= 1e-9 * max(
+            1.0, all_costs[sig]
+        )
+
+
+@given(names_strategy)
+@settings(max_examples=20, deadline=None)
+def test_left_deep_plans_are_subset_of_all_plans(names):
+    all_sigs = {p.signature() for p in enumerate_all_plans(names)}
+    for plan in enumerate_left_deep_plans(names):
+        assert plan.is_left_deep()
+        assert plan.signature() in all_sigs
+
+
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=0, max_value=1 << 16),
+)
+@settings(max_examples=40, deadline=None)
+def test_root_rate_identical_across_plans(n, seed):
+    # All plans over the same producers produce the same final stream:
+    # the root output rate must be plan-independent.
+    names = [f"P{i}" for i in range(n)]
+    stats = Statistics.random(names, seed=seed)
+    expected = rate_of_subset(stats, set(names))
+    for plan in enumerate_all_plans(names):
+        assert abs(plan.root.output_rate(stats) - expected) <= 1e-9 * expected

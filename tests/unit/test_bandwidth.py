@@ -1,0 +1,202 @@
+"""Unit tests for the bandwidth substrate and congestion-aware pricing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth_costs import BandwidthAwareEvaluator
+from repro.core.circuit import Circuit
+from repro.core.costs import GroundTruthEvaluator
+from repro.core.optimizer import IntegratedOptimizer
+from repro.network.bandwidth import (
+    BandwidthMatrix,
+    assign_link_capacities,
+    widest_paths,
+)
+from repro.network.latency import LatencyMatrix
+from repro.network.topology import (
+    Topology,
+    TransitStubParams,
+    transit_stub_topology,
+)
+from repro.query.model import Consumer, Producer, QuerySpec
+from repro.query.plan import JoinNode, LeafNode, LogicalPlan
+from repro.query.selectivity import Statistics
+
+
+def small_ts():
+    return transit_stub_topology(
+        TransitStubParams(
+            num_transit_domains=2,
+            transit_nodes_per_domain=2,
+            stub_domains_per_transit_node=1,
+            nodes_per_stub_domain=3,
+        ),
+        seed=0,
+    )
+
+
+class TestCapacities:
+    def test_class_based_capacities(self):
+        topo = small_ts()
+        caps = assign_link_capacities(topo, seed=0)
+        tags = topo.node_tags
+        for (u, v), cap in caps.items():
+            classes = {tags[u], tags[v]}
+            if classes == {"transit"}:
+                assert cap >= 1000 * 0.75
+            elif classes == {"stub"}:
+                assert cap <= 20 * 1.25
+
+    def test_untagged_topology_uniform_class(self):
+        topo = Topology(num_nodes=3)
+        topo.add_link(0, 1, 1.0)
+        topo.add_link(1, 2, 1.0)
+        caps = assign_link_capacities(topo, edge_capacity=10.0, seed=1)
+        for cap in caps.values():
+            assert 7.5 <= cap <= 12.5
+
+
+class TestWidestPaths:
+    def test_chain_bottleneck(self):
+        topo = Topology(num_nodes=3)
+        topo.add_link(0, 1, 1.0)
+        topo.add_link(1, 2, 1.0)
+        caps = {(0, 1): 100.0, (1, 2): 10.0}
+        width = widest_paths(topo, caps, 0)
+        assert width[1] == 100.0
+        assert width[2] == 10.0
+
+    def test_prefers_fat_detour(self):
+        # 0-2 direct thin link vs fat path through 1.
+        topo = Topology(num_nodes=3)
+        topo.add_link(0, 2, 1.0)
+        topo.add_link(0, 1, 1.0)
+        topo.add_link(1, 2, 1.0)
+        caps = {(0, 2): 5.0, (0, 1): 50.0, (1, 2): 40.0}
+        width = widest_paths(topo, caps, 0)
+        assert width[2] == 40.0
+
+    def test_source_is_infinite(self):
+        topo = Topology(num_nodes=2)
+        topo.add_link(0, 1, 1.0)
+        width = widest_paths(topo, {(0, 1): 7.0}, 0)
+        assert width[0] == math.inf
+
+    def test_invalid_source(self):
+        topo = Topology(num_nodes=2)
+        topo.add_link(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            widest_paths(topo, {(0, 1): 1.0}, 5)
+
+
+class TestBandwidthMatrix:
+    def test_from_topology_symmetry_and_diag(self):
+        topo = small_ts()
+        bw = BandwidthMatrix.from_topology(topo, seed=0)
+        assert bw.bottleneck(0, 0) == math.inf
+        assert bw.bottleneck(0, 3) == bw.bottleneck(3, 0)
+        assert bw.bottleneck(0, 3) > 0
+
+    def test_stub_pairs_thinner_than_transit_pairs(self):
+        topo = small_ts()
+        bw = BandwidthMatrix.from_topology(topo, seed=0)
+        transit = topo.nodes_tagged("transit")
+        stub = topo.nodes_tagged("stub")
+        t_bw = bw.bottleneck(transit[0], transit[-1])
+        s_bw = bw.bottleneck(stub[0], stub[-1])
+        assert s_bw < t_bw
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            BandwidthMatrix(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+
+class TestBandwidthAwareEvaluator:
+    def _setup(self):
+        # Line: P(0) -thin- M(1) -fat- C(2); alt host 3 reachable fat.
+        topo = Topology(num_nodes=4)
+        topo.add_link(0, 1, 10.0)
+        topo.add_link(1, 2, 10.0)
+        topo.add_link(1, 3, 10.0)
+        caps = {(0, 1): 100.0, (1, 2): 2.0, (1, 3): 100.0}
+        lm = LatencyMatrix.from_topology(topo)
+        bw = BandwidthMatrix.from_topology(topo, capacities=caps)
+        query = QuerySpec(
+            "q",
+            [Producer("A", node=0, rate=10.0), Producer("B", node=3, rate=10.0)],
+            Consumer("C", node=2),
+        )
+        stats = Statistics.build({"A": 10.0, "B": 10.0}, {("A", "B"): 0.05})
+        circuit = Circuit.from_plan(
+            LogicalPlan(JoinNode(LeafNode("A"), LeafNode("B"))), query, stats
+        )
+        return lm, bw, circuit
+
+    def test_no_penalty_when_under_cap(self):
+        lm, bw, circuit = self._setup()
+        circuit.assign("q/join0", 1)
+        ev = BandwidthAwareEvaluator(lm, bw, utilization_cap=0.8)
+        # join output rate 5 crosses the (1,2) bottleneck of 2 -> penalty.
+        assert ev.congestion_penalty(circuit) > 0
+
+    def test_penalty_zero_on_fat_paths(self):
+        lm, bw, circuit = self._setup()
+        circuit.assign("q/join0", 1)
+        fat = BandwidthMatrix(np.full((4, 4), 1e9) - np.diag([0.0] * 4))
+        ev = BandwidthAwareEvaluator(lm, fat)
+        assert ev.congestion_penalty(circuit) == 0.0
+        base = GroundTruthEvaluator(lm).evaluate(circuit)
+        assert ev.evaluate(circuit).total == pytest.approx(base.total)
+
+    def test_total_includes_penalty(self):
+        lm, bw, circuit = self._setup()
+        circuit.assign("q/join0", 1)
+        congested = BandwidthAwareEvaluator(lm, bw).evaluate(circuit)
+        plain = GroundTruthEvaluator(lm).evaluate(circuit)
+        assert congested.total > plain.total
+        assert congested.network_usage == pytest.approx(plain.network_usage)
+
+    def test_parameter_validation(self):
+        lm, bw, _ = self._setup()
+        with pytest.raises(ValueError):
+            BandwidthAwareEvaluator(lm, bw, utilization_cap=0.0)
+        with pytest.raises(ValueError):
+            BandwidthAwareEvaluator(lm, bw, congestion_weight=-1.0)
+
+    def test_size_mismatch_rejected(self):
+        lm, _, _ = self._setup()
+        small_bw = BandwidthMatrix(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            BandwidthAwareEvaluator(lm, small_bw)
+
+    def test_optimizer_with_bandwidth_avoids_thin_link(self):
+        # With the congestion-aware evaluator guiding selection, the
+        # optimizer should not route the heavy stream across the thin
+        # (1,2) link when a placement avoiding it exists.
+        lm, bw, circuit = self._setup()
+        from repro.workloads.scenarios import perfect_cost_space
+
+        # Perfect 1-D-ish space from latencies via classical positions.
+        positions = [(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (10.0, 10.0)]
+        space = perfect_cost_space(positions)
+        query = QuerySpec(
+            "q",
+            [Producer("A", node=0, rate=10.0), Producer("B", node=3, rate=10.0)],
+            Consumer("C", node=2),
+        )
+        stats = Statistics.build({"A": 10.0, "B": 10.0}, {("A", "B"): 0.05})
+        aware = IntegratedOptimizer(
+            space, evaluator=BandwidthAwareEvaluator(lm, bw, congestion_weight=50.0)
+        ).optimize(query, stats)
+        ev = BandwidthAwareEvaluator(lm, bw, congestion_weight=50.0)
+        assert ev.congestion_penalty(aware.circuit) <= min(
+            ev.congestion_penalty(_assign(aware.circuit.copy(), host))
+            for host in range(4)
+        ) + 1e-9
+
+
+def _assign(circuit, host):
+    circuit.assign(circuit.unpinned_ids()[0], host)
+    return circuit

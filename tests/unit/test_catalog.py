@@ -1,0 +1,123 @@
+"""Unit tests for the coordinate catalog (Hilbert keys over Chord)."""
+
+import numpy as np
+import pytest
+
+from repro.dht.catalog import CoordinateCatalog
+from repro.dht.hilbert import HilbertMapper
+
+
+def make_catalog(bits=8, ring_size=32) -> CoordinateCatalog:
+    mapper = HilbertMapper(lows=(0.0, 0.0), highs=(100.0, 100.0), bits=bits)
+    return CoordinateCatalog(mapper, ring_size=ring_size)
+
+
+class TestPublish:
+    def test_publish_and_lookup_self(self):
+        catalog = make_catalog()
+        catalog.publish(7, [25.0, 75.0])
+        entry, _ = catalog.nearest([25.0, 75.0])
+        assert entry.physical_node == 7
+
+    def test_republish_updates_coordinate(self):
+        catalog = make_catalog()
+        catalog.publish(1, [10.0, 10.0])
+        catalog.publish(2, [90.0, 90.0])
+        catalog.publish(1, [89.0, 89.0])  # node 1 moved
+        assert catalog.entry_for(1).coordinate == (89.0, 89.0)
+        entry, _ = catalog.nearest([0.0, 0.0])
+        # nobody is near the origin anymore; nearest is whichever of the
+        # two is closer: both ~126 away, node 1 at (89,89) is closest.
+        assert entry.physical_node in (1, 2)
+
+    def test_withdraw(self):
+        catalog = make_catalog()
+        catalog.publish(3, [50.0, 50.0])
+        catalog.withdraw(3)
+        entry, _ = catalog.nearest([50.0, 50.0])
+        assert entry is None
+
+    def test_withdraw_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_catalog().withdraw(9)
+
+    def test_published_nodes_listing(self):
+        catalog = make_catalog()
+        catalog.publish(5, [1.0, 1.0])
+        catalog.publish(2, [2.0, 2.0])
+        assert catalog.published_nodes == [2, 5]
+
+    def test_same_cell_nodes_both_stored(self):
+        catalog = make_catalog()
+        catalog.publish(1, [50.0, 50.0])
+        catalog.publish(2, [50.0, 50.0])
+        entries, _ = catalog.k_nearest([50.0, 50.0], k=2)
+        assert {e.physical_node for e in entries} == {1, 2}
+
+
+class TestNearest:
+    def test_nearest_matches_exhaustive_on_spread_points(self):
+        catalog = make_catalog()
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 100, size=(40, 2))
+        for node, point in enumerate(points):
+            catalog.publish(node, point)
+        mismatches = 0
+        for _ in range(30):
+            query = rng.uniform(0, 100, size=2)
+            approx, _ = catalog.nearest(query, scan_width=8)
+            exact = catalog.exhaustive_nearest(query)
+            if approx.physical_node != exact.physical_node:
+                mismatches += 1
+        # The scan is approximate but should almost always agree.
+        assert mismatches <= 3
+
+    def test_empty_catalog_returns_none(self):
+        entry, stats = make_catalog().nearest([1.0, 2.0])
+        assert entry is None
+        assert stats.candidates == 0
+
+    def test_exclusion(self):
+        catalog = make_catalog()
+        catalog.publish(1, [10.0, 10.0])
+        catalog.publish(2, [12.0, 12.0])
+        entry, _ = catalog.nearest([10.0, 10.0], exclude={1})
+        assert entry.physical_node == 2
+
+    def test_stats_reports_hops(self):
+        catalog = make_catalog(ring_size=64)
+        catalog.publish(1, [10.0, 10.0])
+        _, stats = catalog.nearest([10.0, 10.0])
+        assert stats.dht_hops >= 0
+        assert stats.candidates >= 1
+
+
+class TestKNearestAndRadius:
+    def _populated(self) -> CoordinateCatalog:
+        catalog = make_catalog()
+        for node, xy in enumerate([(10, 10), (12, 10), (14, 10), (90, 90)]):
+            catalog.publish(node, [float(xy[0]), float(xy[1])])
+        return catalog
+
+    def test_k_nearest_ordering(self):
+        catalog = self._populated()
+        entries, _ = catalog.k_nearest([10.0, 10.0], k=3, scan_width=8)
+        assert [e.physical_node for e in entries] == [0, 1, 2]
+
+    def test_k_nearest_validates_k(self):
+        with pytest.raises(ValueError):
+            self._populated().k_nearest([0.0, 0.0], k=0)
+
+    def test_within_radius_excludes_far_nodes(self):
+        catalog = self._populated()
+        hits, _ = catalog.within_radius([10.0, 10.0], radius=5.0, scan_width=8)
+        assert {e.physical_node for e in hits} == {0, 1, 2}
+
+    def test_within_radius_zero(self):
+        catalog = self._populated()
+        hits, _ = catalog.within_radius([10.0, 10.0], radius=0.0, scan_width=8)
+        assert {e.physical_node for e in hits} == {0}
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            self._populated().within_radius([0.0, 0.0], radius=-1.0)

@@ -1,0 +1,139 @@
+"""Unit tests for the Chord ring simulation."""
+
+import math
+
+import pytest
+
+from repro.dht.chord import ChordRing, hash_to_id
+
+
+class TestHashToId:
+    def test_within_range(self):
+        for value in ("a", "b", 42, "node-7"):
+            assert 0 <= hash_to_id(value, 16) < (1 << 16)
+
+    def test_deterministic(self):
+        assert hash_to_id("x", 32) == hash_to_id("x", 32)
+
+
+class TestMembership:
+    def test_join_by_explicit_id(self):
+        ring = ChordRing(id_bits=8)
+        ring.join(node_id=10)
+        ring.join(node_id=200)
+        assert ring.node_ids == [10, 200]
+
+    def test_join_duplicate_rejected(self):
+        ring = ChordRing(id_bits=8)
+        ring.join(node_id=10)
+        with pytest.raises(ValueError):
+            ring.join(node_id=10)
+
+    def test_join_requires_id_or_name(self):
+        ring = ChordRing(id_bits=8)
+        with pytest.raises(ValueError):
+            ring.join()
+
+    def test_single_node_points_to_itself(self):
+        ring = ChordRing(id_bits=8)
+        node = ring.join(node_id=5)
+        assert node.successor == 5
+        assert node.predecessor == 5
+
+    def test_leave_transfers_keys(self):
+        ring = ChordRing(id_bits=8)
+        ring.join(node_id=10)
+        ring.join(node_id=100)
+        ring.put(50, "v")  # owner: 100
+        ring.leave(100)
+        assert ring.get(50)[0] == "v"
+
+    def test_cannot_remove_last_node(self):
+        ring = ChordRing(id_bits=8)
+        ring.join(node_id=1)
+        with pytest.raises(ValueError):
+            ring.leave(1)
+
+    def test_invariants_after_churn(self):
+        ring = ChordRing(id_bits=16)
+        for i in range(20):
+            ring.join(name=f"n{i}")
+        for node_id in ring.node_ids[:5]:
+            ring.leave(node_id)
+        for i in range(20, 30):
+            ring.join(name=f"n{i}")
+        ring.verify_invariants()
+
+
+class TestLookup:
+    def _ring(self, n=32) -> ChordRing:
+        ring = ChordRing(id_bits=16)
+        for i in range(n):
+            ring.join(name=f"node-{i}")
+        return ring
+
+    def test_lookup_matches_ground_truth(self):
+        ring = self._ring()
+        for key in range(0, 1 << 16, 997):
+            assert ring.lookup(key).owner == ring._owner_of(key)
+
+    def test_lookup_from_any_origin(self):
+        ring = self._ring()
+        key = 12345
+        owners = {ring.lookup(key, origin=o).owner for o in ring.node_ids}
+        assert len(owners) == 1
+
+    def test_hops_logarithmic(self):
+        ring = self._ring(n=64)
+        hops = [ring.lookup(key).hops for key in range(0, 1 << 16, 499)]
+        mean_hops = sum(hops) / len(hops)
+        # Chord theory: ~0.5*log2(n) = 3; allow generous slack.
+        assert mean_hops <= 2 * math.log2(64)
+
+    def test_lookup_on_empty_ring(self):
+        with pytest.raises(ValueError):
+            ChordRing(id_bits=8).lookup(1)
+
+    def test_lookup_bad_origin(self):
+        ring = self._ring(n=4)
+        with pytest.raises(KeyError):
+            ring.lookup(1, origin=999999)
+
+    def test_path_starts_at_origin_ends_at_owner(self):
+        ring = self._ring()
+        origin = ring.node_ids[3]
+        result = ring.lookup(777, origin=origin)
+        assert result.path[0] == origin
+        assert result.path[-1] == result.owner
+
+
+class TestStorage:
+    def test_put_get_roundtrip(self):
+        ring = ChordRing(id_bits=12)
+        for i in range(8):
+            ring.join(name=i)
+        ring.put(100, {"coord": (1, 2)})
+        value, _ = ring.get(100)
+        assert value == {"coord": (1, 2)}
+
+    def test_get_missing_returns_none(self):
+        ring = ChordRing(id_bits=12)
+        ring.join(node_id=0)
+        value, _ = ring.get(55)
+        assert value is None
+
+    def test_keys_stored_at_owner(self):
+        ring = ChordRing(id_bits=12)
+        for i in range(8):
+            ring.join(name=i)
+        for key in range(0, 1 << 12, 97):
+            ring.put(key, key)
+        ring.verify_invariants()
+
+    def test_join_takes_over_keys(self):
+        ring = ChordRing(id_bits=8)
+        ring.join(node_id=200)
+        ring.put(40, "v")  # owner: 200 (wraps)
+        ring.join(node_id=100)  # 40 now owned by 100
+        assert ring.node(100).store.get(40) == "v"
+        ring.verify_invariants()

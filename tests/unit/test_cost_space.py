@@ -1,0 +1,140 @@
+"""Unit tests for the cost-space snapshot."""
+
+import numpy as np
+import pytest
+
+from repro.core.coordinates import CostCoordinate
+from repro.core.cost_space import CostSpace, CostSpaceSpec, ScalarDimension
+from repro.core.weighting import linear, squared
+
+
+def load_space(loads=(0.0, 0.5, 1.0)) -> CostSpace:
+    spec = CostSpaceSpec.latency_load(vector_dims=2, load_weighting=squared(100.0))
+    embedding = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])[: len(loads)]
+    return CostSpace.from_embedding(
+        spec, embedding, {"cpu_load": np.array(loads)}
+    )
+
+
+class TestSpec:
+    def test_requires_vector_dims(self):
+        with pytest.raises(ValueError):
+            CostSpaceSpec(vector_dims=0)
+
+    def test_duplicate_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            CostSpaceSpec(
+                vector_dims=2,
+                scalar_dimensions=(
+                    ScalarDimension("cpu", linear()),
+                    ScalarDimension("cpu", squared()),
+                ),
+            )
+
+    def test_latency_only_factory(self):
+        spec = CostSpaceSpec.latency_only(vector_dims=3)
+        assert spec.dims == 3
+        assert not spec.scalar_dimensions
+
+    def test_latency_load_factory(self):
+        spec = CostSpaceSpec.latency_load(vector_dims=2)
+        assert spec.dims == 3
+        assert spec.scalar_dimensions[0].metric == "cpu_load"
+
+
+class TestConstruction:
+    def test_from_embedding_shapes(self):
+        space = load_space()
+        assert space.num_nodes == 3
+        assert space.coordinate(0).dims == 3
+
+    def test_wrong_embedding_shape_rejected(self):
+        spec = CostSpaceSpec.latency_only(vector_dims=2)
+        with pytest.raises(ValueError):
+            CostSpace.from_embedding(spec, np.zeros((3, 5)))
+
+    def test_missing_metric_rejected(self):
+        spec = CostSpaceSpec.latency_load(vector_dims=2)
+        with pytest.raises(ValueError):
+            CostSpace.from_embedding(spec, np.zeros((3, 2)), {})
+
+    def test_wrong_metric_length_rejected(self):
+        spec = CostSpaceSpec.latency_load(vector_dims=2)
+        with pytest.raises(ValueError):
+            CostSpace.from_embedding(
+                spec, np.zeros((3, 2)), {"cpu_load": np.zeros(5)}
+            )
+
+    def test_weighting_applied(self):
+        space = load_space(loads=(0.0, 0.5, 1.0))
+        assert space.coordinate(0).scalar == (0.0,)
+        assert space.coordinate(1).scalar[0] == pytest.approx(25.0)
+        assert space.coordinate(2).scalar[0] == pytest.approx(100.0)
+
+
+class TestDistances:
+    def test_vector_distance_is_embedding_distance(self):
+        space = load_space()
+        assert space.vector_distance(0, 1) == pytest.approx(10.0)
+        assert space.estimated_latency(0, 1) == pytest.approx(10.0)
+
+    def test_full_distance_includes_load(self):
+        space = load_space(loads=(0.0, 0.0, 1.0))
+        # Nodes 0 and 2: vector distance 10, scalar delta 100.
+        assert space.distance(0, 2) == pytest.approx(np.hypot(10.0, 100.0))
+
+
+class TestUpdates:
+    def test_update_metrics_changes_scalars_only(self):
+        space = load_space(loads=(0.0, 0.0, 0.0))
+        before_vec = space.coordinate(1).vector
+        space.update_metrics({"cpu_load": np.array([1.0, 1.0, 1.0])})
+        assert space.coordinate(1).vector == before_vec
+        assert space.coordinate(1).scalar[0] == pytest.approx(100.0)
+
+    def test_update_vector(self):
+        space = load_space()
+        space.update_vector(0, [5.0, 5.0])
+        assert space.coordinate(0).vector == (5.0, 5.0)
+
+
+class TestQueries:
+    def test_nearest_node_pure_latency(self):
+        space = load_space(loads=(0.0, 0.0, 0.0))
+        target = CostCoordinate((9.0, 0.0), (0.0,))
+        assert space.nearest_node(target) == 1
+
+    def test_nearest_node_avoids_loaded(self):
+        # Target next to node 1, but node 1 is saturated.
+        space = load_space(loads=(0.0, 1.0, 0.0))
+        target = CostCoordinate((9.0, 0.0), (0.0,))
+        assert space.nearest_node(target) == 0
+
+    def test_nearest_node_respects_exclusion(self):
+        space = load_space(loads=(0.0, 0.0, 0.0))
+        target = CostCoordinate((9.0, 0.0), (0.0,))
+        assert space.nearest_node(target, exclude={1}) == 0
+
+    def test_nearest_with_all_excluded_raises(self):
+        space = load_space()
+        target = CostCoordinate((0.0, 0.0), (0.0,))
+        with pytest.raises(ValueError):
+            space.nearest_node(target, exclude={0, 1, 2})
+
+    def test_nodes_within_radius(self):
+        space = load_space(loads=(0.0, 0.0, 0.0))
+        target = CostCoordinate((0.0, 0.0), (0.0,))
+        assert space.nodes_within(target, radius=10.5) == [0, 1, 2]
+        assert space.nodes_within(target, radius=5.0) == [0]
+
+    def test_wrong_shape_target_rejected(self):
+        space = load_space()
+        with pytest.raises(ValueError):
+            space.nearest_node(CostCoordinate((1.0, 2.0)))  # missing scalar dim
+
+    def test_bounding_box_covers_all(self):
+        space = load_space()
+        lows, highs = space.bounding_box()
+        matrix = space.full_matrix()
+        assert np.all(matrix >= np.array(lows) - 1e-9)
+        assert np.all(matrix <= np.array(highs) + 1e-9)

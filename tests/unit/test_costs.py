@@ -1,0 +1,119 @@
+"""Unit tests for circuit cost evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.costs import (
+    CostSpaceEvaluator,
+    GroundTruthEvaluator,
+    consumer_latency,
+    network_usage,
+)
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.core.weighting import squared
+from repro.network.latency import LatencyMatrix
+from repro.query.model import Consumer, Producer, QuerySpec
+from repro.query.plan import JoinNode, LeafNode, LogicalPlan
+from repro.query.selectivity import Statistics
+from repro.workloads.scenarios import planted_latency_matrix
+
+
+def placed_circuit() -> tuple[Circuit, LatencyMatrix]:
+    """Two producers at (0,0), (10,0); consumer at (5,5); join on node 3."""
+    positions = [(0.0, 0.0), (10.0, 0.0), (5.0, 5.0), (5.0, 0.0)]
+    latencies = planted_latency_matrix(positions)
+    query = QuerySpec(
+        name="q",
+        producers=[Producer("A", node=0, rate=4.0), Producer("B", node=1, rate=4.0)],
+        consumer=Consumer("C", node=2),
+    )
+    stats = Statistics.build(
+        {"A": 4.0, "B": 4.0}, {("A", "B"): 0.25}
+    )
+    plan = LogicalPlan(JoinNode(LeafNode("A"), LeafNode("B")))
+    circuit = Circuit.from_plan(plan, query, stats)
+    circuit.assign("q/join0", 3)
+    return circuit, latencies
+
+
+class TestNetworkUsage:
+    def test_hand_computed_usage(self):
+        circuit, lm = placed_circuit()
+        # A->join: rate 4 x 5ms; B->join: 4 x 5; join->C: 4 (=4*4*0.25) x 5.
+        expected = 4 * 5.0 + 4 * 5.0 + 4.0 * 5.0
+        assert network_usage(circuit, lm.latency) == pytest.approx(expected)
+
+    def test_colocated_link_is_free(self):
+        circuit, lm = placed_circuit()
+        circuit.assign("q/join0", 0)  # join on producer A's node
+        # A->join free; B->join 4x10; join->C 4 x sqrt(50).
+        expected = 4 * 10.0 + 4.0 * lm.latency(0, 2)
+        assert network_usage(circuit, lm.latency) == pytest.approx(expected)
+
+    def test_requires_full_placement(self):
+        circuit, lm = placed_circuit()
+        del circuit.placement["q/join0"]
+        with pytest.raises(ValueError):
+            network_usage(circuit, lm.latency)
+
+
+class TestConsumerLatency:
+    def test_longest_path(self):
+        circuit, lm = placed_circuit()
+        # Both producer paths: 5 + 5 = 10.
+        assert consumer_latency(circuit, lm.latency) == pytest.approx(10.0)
+
+    def test_asymmetric_paths_take_max(self):
+        circuit, lm = placed_circuit()
+        circuit.assign("q/join0", 0)
+        expected = max(
+            0.0 + lm.latency(0, 2),          # A path: colocated then to C
+            lm.latency(1, 0) + lm.latency(0, 2),  # B path
+        )
+        assert consumer_latency(circuit, lm.latency) == pytest.approx(expected)
+
+
+class TestEvaluators:
+    def test_ground_truth_evaluator_components(self):
+        circuit, lm = placed_circuit()
+        loads = np.array([0.0, 0.0, 0.0, 0.5])
+        ev = GroundTruthEvaluator(lm, loads, load_weighting=squared(100.0))
+        cost = ev.evaluate(circuit, load_weight=2.0)
+        assert cost.network_usage == pytest.approx(60.0)
+        assert cost.load_penalty == pytest.approx(25.0)  # squared(0.5)*100
+        assert cost.total == pytest.approx(60.0 + 2.0 * 25.0)
+
+    def test_load_penalty_counts_unpinned_hosts_only(self):
+        circuit, lm = placed_circuit()
+        loads = np.array([1.0, 1.0, 1.0, 0.0])  # endpoints loaded, host idle
+        ev = GroundTruthEvaluator(lm, loads)
+        assert ev.evaluate(circuit).load_penalty == 0.0
+
+    def test_update_loads(self):
+        circuit, lm = placed_circuit()
+        ev = GroundTruthEvaluator(lm, np.zeros(4))
+        ev.update_loads(np.array([0, 0, 0, 1.0]))
+        assert ev.evaluate(circuit).load_penalty > 0
+
+    def test_update_loads_shape_checked(self):
+        _, lm = placed_circuit()
+        ev = GroundTruthEvaluator(lm)
+        with pytest.raises(ValueError):
+            ev.update_loads(np.zeros(7))
+
+    def test_cost_space_evaluator_matches_ground_truth_on_perfect_embedding(self):
+        circuit, lm = placed_circuit()
+        spec = CostSpaceSpec.latency_only(vector_dims=2)
+        embedding = np.array([(0.0, 0.0), (10.0, 0.0), (5.0, 5.0), (5.0, 0.0)])
+        space = CostSpace.from_embedding(spec, embedding)
+        est = CostSpaceEvaluator(space).evaluate(circuit)
+        true = GroundTruthEvaluator(lm).evaluate(circuit)
+        assert est.network_usage == pytest.approx(true.network_usage)
+
+    def test_cost_ordering(self):
+        circuit, lm = placed_circuit()
+        good = GroundTruthEvaluator(lm).evaluate(circuit)
+        circuit.assign("q/join0", 0)
+        bad = GroundTruthEvaluator(lm).evaluate(circuit)
+        assert good < bad  # CircuitCost ordering by total

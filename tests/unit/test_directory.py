@@ -1,0 +1,142 @@
+"""Unit tests for the decentralized service directory."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_query import MultiQueryOptimizer
+from repro.core.optimizer import IntegratedOptimizer
+from repro.dht.directory import ServiceAdvertisement, ServiceDirectory
+from repro.dht.hilbert import HilbertMapper
+from repro.query.operators import ServiceKind
+from repro.workloads.scenarios import figure4_scenario
+
+
+def make_directory(bits=8) -> ServiceDirectory:
+    mapper = HilbertMapper(lows=(0.0, 0.0), highs=(100.0, 100.0), bits=bits)
+    return ServiceDirectory(mapper, ring_size=32)
+
+
+def ad(name, sid, node, coord, key=("join", frozenset({"A", "B"})), rate=5.0):
+    return ServiceAdvertisement(
+        circuit_name=name,
+        service_id=sid,
+        node=node,
+        reuse_key=key,
+        coordinate=coord,
+        output_rate=rate,
+    )
+
+
+class TestPublishWithdraw:
+    def test_publish_search_roundtrip(self):
+        directory = make_directory()
+        directory.publish(ad("c1", "c1/j0", 3, (20.0, 20.0)))
+        matches, examined = directory.search(
+            [20.0, 20.0], ("join", frozenset({"A", "B"})), radius=10.0
+        )
+        assert len(matches) == 1
+        assert matches[0].node == 3
+        assert examined >= 1
+
+    def test_republish_replaces(self):
+        directory = make_directory()
+        directory.publish(ad("c1", "c1/j0", 3, (20.0, 20.0)))
+        directory.publish(ad("c1", "c1/j0", 4, (80.0, 80.0)))
+        assert len(directory) == 1
+        matches, _ = directory.search(
+            [80.0, 80.0], ("join", frozenset({"A", "B"})), radius=5.0
+        )
+        assert matches[0].node == 4
+
+    def test_withdraw_by_circuit(self):
+        directory = make_directory()
+        directory.publish(ad("c1", "c1/j0", 1, (10.0, 10.0)))
+        directory.publish(ad("c1", "c1/j1", 2, (12.0, 12.0)))
+        directory.publish(ad("c2", "c2/j0", 3, (14.0, 14.0)))
+        assert directory.withdraw("c1") == 2
+        assert len(directory) == 1
+
+    def test_withdraw_specific_service(self):
+        directory = make_directory()
+        directory.publish(ad("c1", "c1/j0", 1, (10.0, 10.0)))
+        directory.publish(ad("c1", "c1/j1", 2, (12.0, 12.0)))
+        assert directory.withdraw("c1", "c1/j0") == 1
+        assert len(directory) == 1
+
+
+class TestSearchSemantics:
+    def test_radius_filters(self):
+        directory = make_directory()
+        directory.publish(ad("near", "n/j0", 1, (10.0, 10.0)))
+        directory.publish(ad("far", "f/j0", 2, (90.0, 90.0)))
+        matches, examined = directory.search(
+            [10.0, 10.0], ("join", frozenset({"A", "B"})), radius=20.0
+        )
+        assert [m.circuit_name for m in matches] == ["near"]
+
+    def test_key_filters(self):
+        directory = make_directory()
+        directory.publish(ad("c1", "c1/j0", 1, (10.0, 10.0)))
+        directory.publish(
+            ad("c2", "c2/j0", 2, (11.0, 11.0), key=("join", frozenset({"X"})))
+        )
+        matches, examined = directory.search(
+            [10.0, 10.0], ("join", frozenset({"A", "B"})), radius=50.0
+        )
+        assert [m.circuit_name for m in matches] == ["c1"]
+        assert examined == 2  # both were in-radius and inspected
+
+    def test_matches_sorted_by_distance(self):
+        directory = make_directory()
+        directory.publish(ad("b", "b/j0", 2, (15.0, 10.0)))
+        directory.publish(ad("a", "a/j0", 1, (11.0, 10.0)))
+        matches, _ = directory.search(
+            [10.0, 10.0], ("join", frozenset({"A", "B"})), radius=50.0
+        )
+        assert [m.circuit_name for m in matches] == ["a", "b"]
+
+    def test_lookup_stats_accumulate(self):
+        directory = make_directory()
+        directory.publish(ad("c1", "c1/j0", 1, (10.0, 10.0)))
+        directory.search([10.0, 10.0], ("join", frozenset({"A", "B"})), radius=5.0)
+        directory.search([20.0, 20.0], ("join", frozenset({"A", "B"})), radius=5.0)
+        assert directory.lookups == 2
+        assert directory.lookup_hops >= 0
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            make_directory().search([0.0, 0.0], ("join", frozenset()), radius=-1)
+
+
+class TestDirectoryBackedMultiQuery:
+    def test_figure4_through_the_dht(self):
+        sc = figure4_scenario()
+        lows, highs = sc.cost_space.bounding_box()
+        directory = ServiceDirectory(HilbertMapper(lows, highs, bits=8), ring_size=32)
+        mq = MultiQueryOptimizer(
+            sc.cost_space, radius=sc.radius, directory=directory
+        )
+        integ = IntegratedOptimizer(sc.cost_space)
+        for query, stats in sc.existing:
+            mq.deploy(integ.optimize(query, stats))
+        assert len(directory) == 3
+        result = mq.optimize(sc.new_query, sc.new_stats)
+        assert result.reuse_happened
+        assert [d.circuit_name for d in result.reused] == ["C3"]
+        assert result.savings > 0
+        assert directory.lookups >= 1
+
+    def test_undeploy_withdraws_ads(self):
+        sc = figure4_scenario()
+        lows, highs = sc.cost_space.bounding_box()
+        directory = ServiceDirectory(HilbertMapper(lows, highs, bits=8), ring_size=32)
+        mq = MultiQueryOptimizer(
+            sc.cost_space, radius=sc.radius, directory=directory
+        )
+        integ = IntegratedOptimizer(sc.cost_space)
+        for query, stats in sc.existing:
+            mq.deploy(integ.optimize(query, stats))
+        mq.undeploy("C3")
+        assert len(directory) == 2
+        result = mq.optimize(sc.new_query, sc.new_stats)
+        assert not result.reuse_happened

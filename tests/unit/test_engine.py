@@ -1,0 +1,251 @@
+"""Unit tests for the executable stream engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.engine.executor import CircuitExecutor
+from repro.engine.generators import (
+    SourceConfig,
+    StreamSource,
+    key_domain_for_selectivity,
+)
+from repro.engine.operators import (
+    DecimatingAggregate,
+    FilterOperator,
+    RelayOperator,
+    SymmetricHashJoin,
+)
+from repro.engine.tuples import StreamTuple
+from repro.query.model import Consumer, Producer, QuerySpec
+from repro.query.plan import JoinNode, LeafNode, LogicalPlan
+from repro.query.selectivity import Statistics
+from repro.workloads.scenarios import planted_latency_matrix
+
+
+def t(ts, key, name="A", size=1.0) -> StreamTuple:
+    return StreamTuple(ts=ts, key=key, lineage=frozenset((name,)), size=size)
+
+
+class TestStreamTuple:
+    def test_merge_combines(self):
+        merged = t(5, 7, "A").merge(t(9, 7, "B"))
+        assert merged.ts == 9
+        assert merged.lineage == frozenset({"A", "B"})
+        assert merged.size == 2.0
+
+    def test_merge_requires_same_key(self):
+        with pytest.raises(ValueError):
+            t(1, 1, "A").merge(t(1, 2, "B"))
+
+    def test_merge_rejects_lineage_overlap(self):
+        with pytest.raises(ValueError):
+            t(1, 1, "A").merge(t(1, 1, "A"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamTuple(ts=-1, key=0, lineage=frozenset(("A",)))
+        with pytest.raises(ValueError):
+            StreamTuple(ts=0, key=0, lineage=frozenset(("A",)), size=0.0)
+
+
+class TestStreamSource:
+    def test_mean_rate_realized(self):
+        source = StreamSource(SourceConfig("A", rate=3.0, key_domain=100), seed=1)
+        total = sum(len(source.tick(now)) for now in range(2000))
+        assert total / 2000 == pytest.approx(3.0, rel=0.1)
+
+    def test_filter_thins_stream(self):
+        full = StreamSource(SourceConfig("A", rate=5.0, key_domain=10), seed=2)
+        thinned = StreamSource(
+            SourceConfig("A", rate=5.0, key_domain=10, filter_selectivity=0.2), seed=2
+        )
+        n_full = sum(len(full.tick(now)) for now in range(1000))
+        n_thin = sum(len(thinned.tick(now)) for now in range(1000))
+        assert n_thin / n_full == pytest.approx(0.2, rel=0.2)
+
+    def test_keys_within_domain(self):
+        source = StreamSource(SourceConfig("A", rate=4.0, key_domain=7), seed=0)
+        for now in range(100):
+            for tuple_ in source.tick(now):
+                assert 0 <= tuple_.key < 7
+
+    def test_key_domain_for_selectivity(self):
+        assert key_domain_for_selectivity(0.1, window=20) == 410
+        assert key_domain_for_selectivity(1.0, window=0) == 1
+        with pytest.raises(ValueError):
+            key_domain_for_selectivity(0.0, 10)
+
+
+class TestSymmetricHashJoin:
+    def test_matches_within_window(self):
+        join = SymmetricHashJoin(window=5)
+        assert join.process(0, t(0, 42, "A"), now=0) == []
+        out = join.process(1, t(3, 42, "B"), now=3)
+        assert len(out) == 1
+        assert out[0].lineage == frozenset({"A", "B"})
+
+    def test_no_match_outside_window(self):
+        join = SymmetricHashJoin(window=5)
+        join.process(0, t(0, 42, "A"), now=0)
+        assert join.process(1, t(6, 42, "B"), now=6) == []
+
+    def test_no_match_on_different_keys(self):
+        join = SymmetricHashJoin(window=5)
+        join.process(0, t(0, 1, "A"), now=0)
+        assert join.process(1, t(0, 2, "B"), now=0) == []
+
+    def test_each_pair_matched_once(self):
+        join = SymmetricHashJoin(window=10)
+        join.process(0, t(0, 5, "A"), now=0)
+        first = join.process(1, t(1, 5, "B"), now=1)
+        again = join.process(0, t(2, 5, "A2"), now=2)
+        # first emitted A-B; the new A2 matches B once.
+        assert len(first) == 1 and len(again) == 1
+        assert join.emitted == 2
+
+    def test_state_evicted(self):
+        join = SymmetricHashJoin(window=2)
+        for now in range(20):
+            join.process(0, t(now, now % 3, "A"), now=now)
+            join.process(1, t(now, (now + 1) % 3, "B"), now=now)
+        assert join.state_size() < 40  # bounded, not all 40 tuples
+
+    def test_eviction_slack_keeps_delayed_partners(self):
+        strict = SymmetricHashJoin(window=2, eviction_slack=0)
+        slacked = SymmetricHashJoin(window=2, eviction_slack=10)
+        for join in (strict, slacked):
+            join.process(0, t(0, 9, "A"), now=0)
+        # B generated at ts=1 (in window) but delivered at now=8.
+        assert strict.process(1, t(1, 9, "B"), now=8) == []
+        assert len(slacked.process(1, t(1, 9, "B"), now=8)) == 1
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            SymmetricHashJoin(window=1).process(2, t(0, 0), now=0)
+
+
+class TestFilterAndAggregate:
+    def test_filter_selectivity_realized(self):
+        op = FilterOperator(0.3)
+        passed = sum(
+            len(op.process(0, t(0, key), now=0)) for key in range(5000)
+        )
+        assert passed / 5000 == pytest.approx(0.3, abs=0.05)
+
+    def test_filter_deterministic(self):
+        a, b = FilterOperator(0.5, salt=1), FilterOperator(0.5, salt=1)
+        for key in range(100):
+            assert len(a.process(0, t(0, key), 0)) == len(b.process(0, t(0, key), 0))
+
+    def test_aggregate_factor_realized(self):
+        op = DecimatingAggregate(0.25)
+        emitted = sum(len(op.process(0, t(0, i), 0)) for i in range(1000))
+        assert emitted == 250
+
+    def test_relay_passes_everything(self):
+        op = RelayOperator()
+        assert len(op.process(0, t(0, 0), 0)) == 1
+        assert op.processed == op.emitted == 1
+
+
+def executed_setup(window=20, ticks=2500, sel=0.1, seed=3):
+    positions = [(0.0, 0.0), (80.0, 0.0), (40.0, 60.0), (40.0, 20.0)]
+    lm = planted_latency_matrix(positions)
+    query = QuerySpec(
+        "q",
+        [Producer("A", node=0, rate=4.0), Producer("B", node=1, rate=4.0)],
+        Consumer("C", node=2),
+    )
+    stats = Statistics.build({"A": 4.0, "B": 4.0}, {("A", "B"): sel})
+    plan = LogicalPlan(JoinNode(LeafNode("A"), LeafNode("B")))
+    circuit = Circuit.from_plan(plan, query, stats)
+    circuit.assign("q/join0", 3)
+    executor = CircuitExecutor.from_query(
+        circuit, query, stats, lm, window=window, seed=seed
+    )
+    return circuit, executor.run(ticks)
+
+
+class TestCircuitExecutor:
+    def test_source_rates_match_statistics(self):
+        circuit, report = executed_setup()
+        measured, predicted = report.rate_agreement(circuit)[("q/src:A", "q/join0")]
+        assert measured == pytest.approx(predicted, rel=0.1)
+
+    def test_join_output_rate_matches_rate_model(self):
+        circuit, report = executed_setup()
+        measured, predicted = report.rate_agreement(circuit)[("q/join0", "q/sink:C")]
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+    def test_measured_usage_matches_estimate(self):
+        from repro.core.costs import GroundTruthEvaluator
+
+        positions = [(0.0, 0.0), (80.0, 0.0), (40.0, 60.0), (40.0, 20.0)]
+        lm = planted_latency_matrix(positions)
+        circuit, report = executed_setup()
+        estimated = GroundTruthEvaluator(lm).evaluate(circuit).network_usage
+        assert report.measured_network_usage() == pytest.approx(estimated, rel=0.15)
+
+    def test_delivered_tuples_have_full_lineage(self):
+        circuit, report = executed_setup(ticks=500)
+        assert report.delivered > 0
+        # Sink relay processed = delivered.
+        processed, _ = report.operator_stats["q/sink:C"]
+        assert processed == report.delivered
+
+    def test_delivery_latency_positive_and_bounded(self):
+        circuit, report = executed_setup(ticks=1000)
+        mean_latency = report.mean_delivery_latency_ms()
+        assert mean_latency > 0
+        # Bounded by window wait + two hops worth of delay, generously.
+        assert mean_latency < 20 * 10.0 + 500.0
+
+    def test_requires_placed_circuit(self):
+        positions = [(0.0, 0.0), (80.0, 0.0), (40.0, 60.0)]
+        lm = planted_latency_matrix(positions)
+        query = QuerySpec(
+            "q",
+            [Producer("A", node=0, rate=4.0), Producer("B", node=1, rate=4.0)],
+            Consumer("C", node=2),
+        )
+        stats = Statistics.build({"A": 4.0, "B": 4.0}, {("A", "B"): 0.1})
+        plan = LogicalPlan(JoinNode(LeafNode("A"), LeafNode("B")))
+        circuit = Circuit.from_plan(plan, query, stats)
+        with pytest.raises(ValueError):
+            CircuitExecutor.from_query(circuit, query, stats, lm)
+
+    def test_aggregate_factor_applies_end_to_end(self):
+        positions = [(0.0, 0.0), (80.0, 0.0), (40.0, 60.0), (40.0, 20.0)]
+        lm = planted_latency_matrix(positions)
+        query = QuerySpec(
+            "q",
+            [Producer("A", node=0, rate=4.0), Producer("B", node=1, rate=4.0)],
+            Consumer("C", node=2),
+            aggregate_factor=0.25,
+        )
+        stats = Statistics.build({"A": 4.0, "B": 4.0}, {("A", "B"): 0.1})
+        plan = LogicalPlan(JoinNode(LeafNode("A"), LeafNode("B")))
+        circuit = Circuit.from_plan(plan, query, stats)
+        circuit.assign("q/join0", 3)
+        circuit.assign("q/agg", 3)
+        executor = CircuitExecutor.from_query(circuit, query, stats, lm, seed=5)
+        report = executor.run(2000)
+        measured, predicted = report.rate_agreement(circuit)[("q/agg", "q/sink:C")]
+        assert measured == pytest.approx(predicted, rel=0.2)
+
+    def test_invalid_ticks(self):
+        positions = [(0.0, 0.0), (80.0, 0.0), (40.0, 60.0), (40.0, 20.0)]
+        lm = planted_latency_matrix(positions)
+        query = QuerySpec(
+            "q",
+            [Producer("A", node=0, rate=4.0), Producer("B", node=1, rate=4.0)],
+            Consumer("C", node=2),
+        )
+        stats = Statistics.build({"A": 4.0, "B": 4.0}, {("A", "B"): 0.1})
+        plan = LogicalPlan(JoinNode(LeafNode("A"), LeafNode("B")))
+        circuit = Circuit.from_plan(plan, query, stats)
+        circuit.assign("q/join0", 3)
+        executor = CircuitExecutor.from_query(circuit, query, stats, lm)
+        with pytest.raises(ValueError):
+            executor.run(0)

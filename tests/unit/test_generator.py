@@ -1,0 +1,132 @@
+"""Unit tests for plan enumeration strategies."""
+
+import pytest
+
+from repro.query.generator import (
+    best_plan,
+    count_all_plans,
+    enumerate_all_plans,
+    enumerate_left_deep_plans,
+    top_k_plans,
+)
+from repro.query.selectivity import Statistics
+
+
+def stats(names, seed=0) -> Statistics:
+    return Statistics.random(list(names), seed=seed)
+
+
+class TestCounting:
+    def test_double_factorial_counts(self):
+        assert count_all_plans(1) == 1
+        assert count_all_plans(2) == 1
+        assert count_all_plans(3) == 3
+        assert count_all_plans(4) == 15
+        assert count_all_plans(5) == 105
+
+    def test_enumeration_matches_count(self):
+        for n in (1, 2, 3, 4, 5):
+            names = [f"P{i}" for i in range(n)]
+            assert len(enumerate_all_plans(names)) == count_all_plans(n)
+
+    def test_enumeration_signatures_unique(self):
+        plans = enumerate_all_plans(["A", "B", "C", "D"])
+        signatures = {p.signature() for p in plans}
+        assert len(signatures) == len(plans)
+
+    def test_enumeration_covers_all_producers(self):
+        names = ["A", "B", "C", "D"]
+        for plan in enumerate_all_plans(names):
+            assert plan.producers == frozenset(names)
+
+    def test_enumeration_limit(self):
+        with pytest.raises(ValueError):
+            enumerate_all_plans([f"P{i}" for i in range(10)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_all_plans(["A", "A"])
+
+
+class TestLeftDeep:
+    def test_count(self):
+        # n!/2 distinct left-deep trees (first join commutes): 4!/2 = 12.
+        assert len(enumerate_left_deep_plans(["A", "B", "C", "D"])) == 12
+
+    def test_all_left_deep(self):
+        for plan in enumerate_left_deep_plans(["A", "B", "C"]):
+            assert plan.is_left_deep()
+
+    def test_single_producer(self):
+        plans = enumerate_left_deep_plans(["A"])
+        assert len(plans) == 1
+        assert plans[0].num_services == 0
+
+
+class TestTopK:
+    def test_k1_is_global_optimum_small(self):
+        names = ["A", "B", "C", "D"]
+        st = stats(names, seed=3)
+        dp_best = top_k_plans(names, st, k=1)[0]
+        brute_best = min(
+            enumerate_all_plans(names), key=lambda p: p.intermediate_rate_cost(st)
+        )
+        assert dp_best.intermediate_rate_cost(st) == pytest.approx(
+            brute_best.intermediate_rate_cost(st)
+        )
+
+    def test_results_sorted_by_cost(self):
+        names = ["A", "B", "C", "D", "E"]
+        st = stats(names, seed=1)
+        plans = top_k_plans(names, st, k=5)
+        costs = [p.intermediate_rate_cost(st) for p in plans]
+        assert costs == sorted(costs)
+
+    def test_left_deep_restriction(self):
+        names = ["A", "B", "C", "D"]
+        st = stats(names, seed=2)
+        for plan in top_k_plans(names, st, k=4, bushy=False):
+            assert plan.is_left_deep()
+
+    def test_left_deep_never_cheaper_than_bushy_best(self):
+        names = ["A", "B", "C", "D", "E"]
+        st = stats(names, seed=9)
+        bushy = top_k_plans(names, st, k=1, bushy=True)[0]
+        ld = top_k_plans(names, st, k=1, bushy=False)[0]
+        assert bushy.intermediate_rate_cost(st) <= ld.intermediate_rate_cost(st) + 1e-9
+
+    def test_scales_to_ten_producers(self):
+        names = [f"P{i}" for i in range(10)]
+        st = stats(names, seed=4)
+        plans = top_k_plans(names, st, k=3)
+        assert len(plans) == 3
+        for plan in plans:
+            assert plan.producers == frozenset(names)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            top_k_plans(["A", "B"], stats(["A", "B"]), k=0)
+
+    def test_distinct_signatures(self):
+        names = ["A", "B", "C", "D", "E"]
+        st = stats(names, seed=7)
+        plans = top_k_plans(names, st, k=8)
+        sigs = [p.signature() for p in plans]
+        assert len(sigs) == len(set(sigs))
+
+
+class TestBestPlan:
+    def test_best_plan_minimizes_oblivious_cost(self):
+        names = ["A", "B", "C"]
+        st = Statistics.build(
+            rates={"A": 10.0, "B": 10.0, "C": 10.0},
+            pair_selectivities={
+                ("A", "B"): 0.01,
+                ("B", "C"): 0.5,
+                ("A", "C"): 0.5,
+            },
+        )
+        plan = best_plan(names, st)
+        # The cheapest first join is A-B (most selective).
+        internals = plan.root.internal_nodes()
+        assert internals[0].producers == frozenset({"A", "B"})

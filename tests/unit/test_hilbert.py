@@ -1,0 +1,134 @@
+"""Unit tests for the Hilbert curve and coordinate quantization."""
+
+import numpy as np
+import pytest
+
+from repro.dht.hilbert import (
+    HilbertMapper,
+    hilbert_decode,
+    hilbert_encode,
+    morton_decode,
+    morton_encode,
+)
+
+
+class TestHilbertCurve:
+    def test_2d_order1_visits_all_cells(self):
+        seen = {hilbert_decode(i, bits=1, dims=2) for i in range(4)}
+        assert seen == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_roundtrip_2d(self):
+        for x in range(8):
+            for y in range(8):
+                idx = hilbert_encode((x, y), bits=3)
+                assert hilbert_decode(idx, bits=3, dims=2) == (x, y)
+
+    def test_roundtrip_3d(self):
+        for x in range(4):
+            for y in range(4):
+                for z in range(4):
+                    idx = hilbert_encode((x, y, z), bits=2)
+                    assert hilbert_decode(idx, bits=2, dims=3) == (x, y, z)
+
+    def test_curve_is_continuous(self):
+        # Consecutive indices differ by exactly one grid step (the
+        # defining property of the Hilbert curve).
+        bits, dims = 4, 2
+        previous = hilbert_decode(0, bits, dims)
+        for i in range(1, 1 << (bits * dims)):
+            current = hilbert_decode(i, bits, dims)
+            manhattan = sum(abs(a - b) for a, b in zip(previous, current))
+            assert manhattan == 1, f"jump at index {i}"
+            previous = current
+
+    def test_out_of_range_coordinate_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_encode((8, 0), bits=3)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_decode(1 << 6, bits=3, dims=2)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            hilbert_encode((0,), bits=0)
+
+
+class TestMorton:
+    def test_roundtrip(self):
+        for x in range(8):
+            for y in range(8):
+                idx = morton_encode((x, y), bits=3)
+                assert morton_decode(idx, bits=3, dims=2) == (x, y)
+
+    def test_morton_has_jumps_hilbert_does_not(self):
+        # Z-order famously jumps across the space; verify our baseline
+        # really is worse in worst-case step length.
+        bits, dims = 3, 2
+
+        def max_step(decode):
+            worst = 0
+            prev = decode(0, bits, dims)
+            for i in range(1, 1 << (bits * dims)):
+                cur = decode(i, bits, dims)
+                worst = max(worst, sum(abs(a - b) for a, b in zip(prev, cur)))
+                prev = cur
+            return worst
+
+        assert max_step(hilbert_decode) == 1
+        assert max_step(morton_decode) > 1
+
+
+class TestHilbertMapper:
+    def _mapper(self) -> HilbertMapper:
+        return HilbertMapper(lows=(0.0, 0.0), highs=(100.0, 100.0), bits=8)
+
+    def test_quantize_corners(self):
+        mapper = self._mapper()
+        assert mapper.quantize([0.0, 0.0]) == (0, 0)
+        assert mapper.quantize([100.0, 100.0]) == (255, 255)
+
+    def test_quantize_clamps_outside_box(self):
+        mapper = self._mapper()
+        assert mapper.quantize([-5.0, 200.0]) == (0, 255)
+
+    def test_dequantize_roundtrip_error_bounded(self):
+        mapper = self._mapper()
+        point = np.array([37.3, 81.9])
+        cell = mapper.quantize(point)
+        back = mapper.dequantize(cell)
+        cell_size = 100.0 / 255
+        assert np.all(np.abs(back - point) <= cell_size)
+
+    def test_key_for_is_deterministic(self):
+        mapper = self._mapper()
+        assert mapper.key_for([10.0, 20.0]) == mapper.key_for([10.0, 20.0])
+
+    def test_key_bits(self):
+        assert self._mapper().key_bits == 16
+
+    def test_fit_covers_points(self):
+        pts = np.array([[1.0, 2.0], [5.0, -3.0], [9.0, 4.0]])
+        mapper = HilbertMapper.fit(pts, bits=6)
+        for p in pts:
+            cell = mapper.quantize(p)
+            assert all(0 < c < (1 << 6) - 1 for c in cell), "margin keeps points interior"
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HilbertMapper.fit(np.zeros((0, 2)))
+
+    def test_nearby_points_nearby_keys(self):
+        # Locality: two points in the same cell share a key.
+        mapper = self._mapper()
+        assert mapper.key_for([50.0, 50.0]) == mapper.key_for([50.05, 50.05])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            HilbertMapper(lows=(0.0,), highs=(0.0,))
+        with pytest.raises(ValueError):
+            HilbertMapper(lows=(0.0, 0.0), highs=(1.0,))
+
+    def test_wrong_dimensionality_rejected(self):
+        with pytest.raises(ValueError):
+            self._mapper().quantize([1.0, 2.0, 3.0])

@@ -1,0 +1,47 @@
+"""Unit tests for the landmark (GNP-style) embedding."""
+
+import pytest
+
+from repro.network.landmark import LandmarkEmbedding, embed_with_landmarks
+from repro.network.latency import LatencyMatrix
+from repro.network.topology import grid_topology
+from repro.workloads.scenarios import planted_latency_matrix
+
+
+class TestLandmarkEmbedding:
+    def test_planted_matrix_embeds_accurately(self):
+        positions = [
+            (0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0),
+            (5.0, 5.0), (3.0, 7.0), (8.0, 2.0), (1.0, 4.0),
+        ]
+        lm = planted_latency_matrix(positions)
+        result = embed_with_landmarks(lm, dimensions=2, iterations=120, seed=0)
+        assert result.median_relative_error < 0.15
+
+    def test_landmark_count_validation(self):
+        lm = LatencyMatrix.from_topology(grid_topology(3, 3))
+        with pytest.raises(ValueError):
+            LandmarkEmbedding(lm, dimensions=2, num_landmarks=2)  # < d+1
+        with pytest.raises(ValueError):
+            LandmarkEmbedding(lm, dimensions=2, num_landmarks=10)  # > n
+
+    def test_default_landmark_count(self):
+        lm = LatencyMatrix.from_topology(grid_topology(4, 4))
+        emb = LandmarkEmbedding(lm, dimensions=2)
+        assert 3 <= emb.num_landmarks <= 16
+
+    def test_coordinates_cover_all_nodes(self):
+        lm = LatencyMatrix.from_topology(grid_topology(3, 3))
+        result = embed_with_landmarks(lm, dimensions=2, iterations=30, seed=1)
+        assert result.coordinates.shape == (9, 2)
+
+    def test_rejects_bad_dimensions(self):
+        lm = LatencyMatrix.from_topology(grid_topology(3, 3))
+        with pytest.raises(ValueError):
+            LandmarkEmbedding(lm, dimensions=0)
+
+    def test_samples_reflect_two_phase_cost(self):
+        lm = LatencyMatrix.from_topology(grid_topology(3, 3))
+        emb = LandmarkEmbedding(lm, dimensions=2, num_landmarks=4, seed=0)
+        result = emb.embed(iterations=10)
+        assert result.samples_used == 4 * 9

@@ -1,0 +1,94 @@
+"""Unit tests for multi-query optimization with radius pruning."""
+
+import pytest
+
+from repro.core.multi_query import MultiQueryOptimizer
+from repro.core.optimizer import IntegratedOptimizer
+from repro.workloads.scenarios import figure4_scenario
+
+
+def deployed_scenario(radius=None):
+    sc = figure4_scenario()
+    r = sc.radius if radius is None else radius
+    mq = MultiQueryOptimizer(sc.cost_space, radius=r)
+    integ = IntegratedOptimizer(sc.cost_space)
+    for query, stats in sc.existing:
+        mq.deploy(integ.optimize(query, stats))
+    return sc, mq
+
+
+class TestRegistry:
+    def test_deploy_registers_unpinned_services(self):
+        _, mq = deployed_scenario()
+        assert len(mq.deployed) == 3  # one join per 2-producer circuit
+        names = {d.circuit_name for d in mq.deployed}
+        assert names == {"C1", "C2", "C3"}
+
+    def test_undeploy(self):
+        _, mq = deployed_scenario()
+        mq.undeploy("C1")
+        assert {d.circuit_name for d in mq.deployed} == {"C2", "C3"}
+
+    def test_radius_validation(self):
+        sc = figure4_scenario()
+        with pytest.raises(ValueError):
+            MultiQueryOptimizer(sc.cost_space, radius=-1.0)
+
+
+class TestReuse:
+    def test_fig4_reuses_only_nearby_circuit(self):
+        sc, mq = deployed_scenario()
+        result = mq.optimize(sc.new_query, sc.new_stats)
+        assert result.reuse_happened
+        assert [d.circuit_name for d in result.reused] == ["C3"]
+        assert result.candidates_examined == 1  # C1/C2 pruned away
+        assert result.total_deployed == 3
+        assert result.savings > 0
+
+    def test_zero_radius_prunes_everything(self):
+        sc, mq = deployed_scenario(radius=0.0)
+        result = mq.optimize(sc.new_query, sc.new_stats)
+        assert not result.reuse_happened
+        assert result.candidates_examined == 0
+        assert result.savings == 0.0
+
+    def test_infinite_radius_examines_all(self):
+        sc, mq = deployed_scenario(radius=float("inf"))
+        result = mq.optimize(sc.new_query, sc.new_stats)
+        assert result.candidates_examined == result.total_deployed == 3
+        assert result.reuse_happened
+
+    def test_empty_registry_falls_back_to_standalone(self):
+        sc = figure4_scenario()
+        mq = MultiQueryOptimizer(sc.cost_space, radius=sc.radius)
+        result = mq.optimize(sc.new_query, sc.new_stats)
+        assert not result.reuse_happened
+        assert result.cost.total == pytest.approx(result.standalone.cost.total)
+
+    def test_reused_circuit_has_tap_pinned_to_existing_host(self):
+        sc, mq = deployed_scenario()
+        result = mq.optimize(sc.new_query, sc.new_stats)
+        tap_ids = [
+            sid for sid in result.circuit.services if "/tap" in sid
+        ]
+        assert len(tap_ids) == 1
+        tap_host = result.circuit.host_of(tap_ids[0])
+        assert tap_host == result.reused[0].node
+
+    def test_reused_circuit_cheaper_than_standalone(self):
+        sc, mq = deployed_scenario()
+        result = mq.optimize(sc.new_query, sc.new_stats)
+        assert result.cost.total < result.standalone.cost.total
+
+    def test_tap_skips_upstream_sources(self):
+        # The rewritten circuit should not re-stream producer data that
+        # the tapped service already consumes.
+        sc, mq = deployed_scenario()
+        result = mq.optimize(sc.new_query, sc.new_stats)
+        source_ids = [sid for sid in result.circuit.services if "/src:" in sid]
+        assert source_ids == []  # whole join tree was tapped
+
+    def test_result_reports_fully_placed_circuit(self):
+        sc, mq = deployed_scenario()
+        result = mq.optimize(sc.new_query, sc.new_stats)
+        assert result.circuit.is_fully_placed()

@@ -1,0 +1,99 @@
+"""Unit tests for service specs and weighting functions."""
+
+import pytest
+
+from repro.core.weighting import exponential, linear, squared, threshold, zero
+from repro.query.operators import ServiceKind, ServiceSpec, processing_load
+
+
+class TestServiceSpec:
+    def test_factories(self):
+        assert ServiceSpec.join().kind is ServiceKind.JOIN
+        assert ServiceSpec.filter(0.5).selectivity == 0.5
+        assert ServiceSpec.aggregate().kind is ServiceKind.AGGREGATE
+        assert ServiceSpec.union().kind is ServiceKind.UNION
+        assert ServiceSpec.relay().kind is ServiceKind.RELAY
+
+    def test_selectivity_validation(self):
+        with pytest.raises(ValueError):
+            ServiceSpec.filter(0.0)
+        with pytest.raises(ValueError):
+            ServiceSpec.filter(1.5)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            ServiceSpec.join(window_seconds=0)
+
+    def test_load_coefficient_override(self):
+        spec = ServiceSpec.join(load_coefficient=0.5)
+        assert spec.effective_load_coefficient == 0.5
+
+    def test_default_coefficients_ordered(self):
+        # Joins cost more than filters cost more than relays.
+        join = ServiceSpec.join().effective_load_coefficient
+        filt = ServiceSpec.filter(0.5).effective_load_coefficient
+        relay = ServiceSpec.relay().effective_load_coefficient
+        assert join > filt > relay
+
+
+class TestProcessingLoad:
+    def test_linear_in_rate(self):
+        spec = ServiceSpec.join()
+        assert processing_load(spec, 20.0) == pytest.approx(
+            2 * processing_load(spec, 10.0)
+        )
+
+    def test_zero_rate_zero_load(self):
+        assert processing_load(ServiceSpec.join(), 0.0) == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            processing_load(ServiceSpec.join(), -1.0)
+
+
+class TestWeightingFunctions:
+    def test_squared_shape(self):
+        w = squared(scale=100.0)
+        assert w(0.0) == 0.0
+        assert w(0.5) == pytest.approx(25.0)
+        assert w(1.0) == pytest.approx(100.0)
+
+    def test_linear_shape(self):
+        w = linear(scale=10.0)
+        assert w(0.5) == pytest.approx(5.0)
+
+    def test_exponential_monotone_and_bounded(self):
+        w = exponential(steepness=4.0, scale=100.0)
+        assert w(0.0) == pytest.approx(0.0)
+        assert w(1.0) == pytest.approx(100.0)
+        assert w(0.3) < w(0.7)
+
+    def test_exponential_sharper_than_squared_near_one(self):
+        # The exponential's knee is sharper: at mid-load it is cheaper
+        # relative to its full-scale value than squared.
+        e = exponential(steepness=6.0, scale=1.0)
+        s = squared(scale=1.0)
+        assert e(0.5) < s(0.5)
+
+    def test_threshold_free_below_knee(self):
+        w = threshold(knee=0.7, scale=100.0)
+        assert w(0.5) == 0.0
+        assert w(0.7) == 0.0
+        assert w(1.0) == pytest.approx(100.0)
+
+    def test_zero_function(self):
+        w = zero()
+        assert w(0.9) == 0.0
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValueError):
+            squared()(-0.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            exponential(steepness=0.0)
+        with pytest.raises(ValueError):
+            threshold(knee=1.0)
+
+    def test_describe(self):
+        assert "squared" in squared().describe()

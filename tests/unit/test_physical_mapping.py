@@ -1,0 +1,156 @@
+"""Unit tests for physical mapping (exhaustive and catalog backends)."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.coordinates import CostCoordinate
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.core.physical_mapping import (
+    CatalogMapper,
+    ExhaustiveMapper,
+    build_catalog,
+    map_circuit,
+)
+from repro.core.virtual_placement import relaxation_placement
+from repro.core.weighting import squared
+from repro.query.model import Consumer, Producer, QuerySpec
+from repro.query.plan import JoinNode, LeafNode, LogicalPlan
+from repro.query.selectivity import Statistics
+
+
+def grid_space(loads=None) -> CostSpace:
+    """A 5x5 grid of nodes at integer coordinates scaled by 10."""
+    points = np.array(
+        [[10.0 * x, 10.0 * y] for x in range(5) for y in range(5)]
+    )
+    if loads is None:
+        spec = CostSpaceSpec.latency_only(vector_dims=2)
+        return CostSpace.from_embedding(spec, points)
+    spec = CostSpaceSpec.latency_load(vector_dims=2, load_weighting=squared(100.0))
+    return CostSpace.from_embedding(spec, points, {"cpu_load": np.asarray(loads)})
+
+
+class TestExhaustiveMapper:
+    def test_maps_to_nearest_node(self):
+        space = grid_space()
+        mapper = ExhaustiveMapper(space)
+        node, hops = mapper.map_coordinate(CostCoordinate((11.0, 9.0)))
+        assert node == 5 * 1 + 1  # grid node (1, 1)
+        assert hops == 0
+
+    def test_exclusion(self):
+        space = grid_space()
+        mapper = ExhaustiveMapper(space, excluded={6})
+        node, _ = mapper.map_coordinate(CostCoordinate((11.0, 9.0)))
+        assert node != 6
+
+    def test_include_reverses_exclusion(self):
+        space = grid_space()
+        mapper = ExhaustiveMapper(space)
+        mapper.exclude(6)
+        mapper.include(6)
+        node, _ = mapper.map_coordinate(CostCoordinate((11.0, 9.0)))
+        assert node == 6
+
+    def test_load_changes_choice(self):
+        loads = [0.0] * 25
+        loads[6] = 1.0  # saturate grid node (1,1)
+        space = grid_space(loads)
+        mapper = ExhaustiveMapper(space)
+        node, _ = mapper.map_coordinate(CostCoordinate((11.0, 9.0), (0.0,)))
+        assert node != 6
+
+
+class TestCatalogMapper:
+    def test_catalog_agrees_with_exhaustive_mostly(self):
+        space = grid_space()
+        catalog = build_catalog(space, bits=8, ring_size=32)
+        cat_mapper = CatalogMapper(space, catalog, scan_width=12)
+        ex_mapper = ExhaustiveMapper(space)
+        rng = np.random.default_rng(1)
+        agreements = 0
+        for _ in range(20):
+            target = CostCoordinate(tuple(rng.uniform(0, 40, size=2)))
+            cat_node, _ = cat_mapper.map_coordinate(target)
+            ex_node, _ = ex_mapper.map_coordinate(target)
+            if cat_node == ex_node:
+                agreements += 1
+        assert agreements >= 16
+
+    def test_alive_filter_in_build(self):
+        space = grid_space()
+        alive = [True] * 25
+        alive[0] = False
+        catalog = build_catalog(space, alive=alive)
+        assert 0 not in catalog.published_nodes
+
+    def test_mapper_exclusion(self):
+        space = grid_space()
+        catalog = build_catalog(space)
+        mapper = CatalogMapper(space, catalog)
+        mapper.exclude(6)
+        node, _ = mapper.map_coordinate(CostCoordinate((11.0, 9.0)))
+        assert node != 6
+
+    def test_empty_catalog_raises(self):
+        space = grid_space()
+        catalog = build_catalog(space, alive=[False] * 25)
+        mapper = CatalogMapper(space, catalog)
+        with pytest.raises(RuntimeError):
+            mapper.map_coordinate(CostCoordinate((1.0, 1.0)))
+
+
+class TestMapCircuit:
+    def _setup(self):
+        space = grid_space()
+        query = QuerySpec(
+            name="q",
+            producers=[
+                Producer("A", node=0, rate=4.0),
+                Producer("B", node=20, rate=4.0),
+            ],
+            consumer=Consumer("C", node=24),
+        )
+        stats = Statistics.build({"A": 4.0, "B": 4.0}, {("A", "B"): 0.25})
+        plan = LogicalPlan(JoinNode(LeafNode("A"), LeafNode("B")))
+        circuit = Circuit.from_plan(plan, query, stats)
+        pinned = {
+            sid: space.coordinate(circuit.services[sid].pinned_node).vector_array()
+            for sid in circuit.pinned_ids()
+        }
+        placement = relaxation_placement(circuit, pinned)
+        return space, circuit, placement
+
+    def test_assigns_all_unpinned(self):
+        space, circuit, placement = self._setup()
+        result = map_circuit(circuit, placement, space, ExhaustiveMapper(space))
+        assert circuit.is_fully_placed()
+        assert len(result.mappings) == 1
+
+    def test_mapping_error_is_distance_to_chosen_node(self):
+        space, circuit, placement = self._setup()
+        result = map_circuit(circuit, placement, space, ExhaustiveMapper(space))
+        m = result.mappings[0]
+        expected = m.target.distance_to(space.coordinate(m.node))
+        assert m.mapping_error == pytest.approx(expected)
+
+    def test_result_accessors(self):
+        space, circuit, placement = self._setup()
+        result = map_circuit(circuit, placement, space, ExhaustiveMapper(space))
+        assert result.node_of("q/join0") == result.mappings[0].node
+        with pytest.raises(KeyError):
+            result.node_of("nope")
+        assert result.max_error == result.total_error  # single service
+        assert result.total_dht_hops == 0
+
+    def test_exhaustive_error_lower_bound_for_catalog(self):
+        space, circuit, placement = self._setup()
+        ex_result = map_circuit(
+            circuit.copy(), placement, space, ExhaustiveMapper(space)
+        )
+        catalog = build_catalog(space)
+        cat_result = map_circuit(
+            circuit.copy(), placement, space, CatalogMapper(space, catalog)
+        )
+        assert ex_result.total_error <= cat_result.total_error + 1e-9

@@ -1,0 +1,100 @@
+"""Unit tests for logical plan trees."""
+
+import pytest
+
+from repro.query.plan import JoinNode, LeafNode, LogicalPlan
+from repro.query.selectivity import Statistics
+
+
+def stats3() -> Statistics:
+    return Statistics.build(
+        rates={"A": 10.0, "B": 5.0, "C": 2.0},
+        pair_selectivities={("A", "B"): 0.1, ("B", "C"): 0.2, ("A", "C"): 0.5},
+    )
+
+
+def left_deep_abc() -> LogicalPlan:
+    return LogicalPlan(JoinNode(JoinNode(LeafNode("A"), LeafNode("B")), LeafNode("C")))
+
+
+class TestPlanNodes:
+    def test_leaf_producers(self):
+        assert LeafNode("A").producers == frozenset({"A"})
+
+    def test_join_producers_union(self):
+        node = JoinNode(LeafNode("A"), LeafNode("B"))
+        assert node.producers == frozenset({"A", "B"})
+
+    def test_join_rejects_overlapping_children(self):
+        with pytest.raises(ValueError):
+            JoinNode(LeafNode("A"), JoinNode(LeafNode("A"), LeafNode("B")))
+
+    def test_output_rates(self):
+        stats = stats3()
+        ab = JoinNode(LeafNode("A"), LeafNode("B"))
+        assert ab.output_rate(stats) == pytest.approx(5.0)
+        abc = JoinNode(ab, LeafNode("C"))
+        assert abc.output_rate(stats) == pytest.approx(1.0)
+
+    def test_input_rate_sums_children(self):
+        stats = stats3()
+        ab = JoinNode(LeafNode("A"), LeafNode("B"))
+        assert ab.input_rate(stats) == pytest.approx(15.0)
+
+    def test_internal_nodes_bottom_up(self):
+        plan = left_deep_abc()
+        internals = plan.root.internal_nodes()
+        assert len(internals) == 2
+        assert internals[0].producers == frozenset({"A", "B"})
+        assert internals[1].producers == frozenset({"A", "B", "C"})
+
+    def test_leaves_in_order(self):
+        plan = left_deep_abc()
+        assert [l.producer for l in plan.root.leaves()] == ["A", "B", "C"]
+
+
+class TestSignatures:
+    def test_commutative_joins_share_signature(self):
+        ab = JoinNode(LeafNode("A"), LeafNode("B"))
+        ba = JoinNode(LeafNode("B"), LeafNode("A"))
+        assert ab.signature() == ba.signature()
+
+    def test_different_shapes_differ(self):
+        left_deep = left_deep_abc()
+        other = LogicalPlan(
+            JoinNode(JoinNode(LeafNode("A"), LeafNode("C")), LeafNode("B"))
+        )
+        assert left_deep.signature() != other.signature()
+
+
+class TestLogicalPlan:
+    def test_num_services(self):
+        assert left_deep_abc().num_services == 2
+        assert LogicalPlan(LeafNode("A")).num_services == 0
+
+    def test_is_left_deep(self):
+        assert left_deep_abc().is_left_deep()
+        bushy = LogicalPlan(
+            JoinNode(
+                JoinNode(LeafNode("A"), LeafNode("B")),
+                JoinNode(LeafNode("C"), LeafNode("D")),
+            )
+        )
+        assert not bushy.is_left_deep()
+
+    def test_intermediate_rate_cost(self):
+        stats = stats3()
+        plan = left_deep_abc()
+        # (A join B) rate 5 + (AB join C) rate 1 = 6.
+        assert plan.intermediate_rate_cost(stats) == pytest.approx(6.0)
+
+    def test_cost_depends_on_order(self):
+        stats = stats3()
+        good = left_deep_abc()  # AB first: 5 + 1
+        bad = LogicalPlan(
+            JoinNode(JoinNode(LeafNode("A"), LeafNode("C")), LeafNode("B"))
+        )  # AC first: 10*2*0.5=10, + 1 -> 11
+        assert good.intermediate_rate_cost(stats) < bad.intermediate_rate_cost(stats)
+
+    def test_str_rendering(self):
+        assert "⋈" in str(left_deep_abc())

@@ -1,0 +1,171 @@
+"""Unit tests for the precomputed-plans baseline and cost-space registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.core.optimizer import IntegratedOptimizer
+from repro.core.precomputed import (
+    PlanBook,
+    PrecomputedPlansOptimizer,
+    perturbed_cost_space,
+)
+from repro.core.registry import CostSpaceRegistry
+from repro.core.weighting import linear, squared
+from repro.workloads.queries import random_query
+from repro.workloads.scenarios import figure1_scenario, perfect_cost_space
+
+
+class TestPerturbedCostSpace:
+    def test_perturbation_changes_vectors_not_structure(self):
+        sc = figure1_scenario()
+        guessed = perturbed_cost_space(sc.cost_space, 0.05, 0.2, seed=1)
+        assert guessed.num_nodes == sc.cost_space.num_nodes
+        assert guessed.spec.name == sc.cost_space.spec.name
+        assert not np.allclose(
+            guessed.vector_matrix(), sc.cost_space.vector_matrix()
+        )
+        # The original is untouched.
+        assert sc.cost_space.coordinate(0).vector == tuple(
+            figure1_scenario().cost_space.coordinate(0).vector
+        )
+
+    def test_zero_sigma_is_identity_on_vectors(self):
+        sc = figure1_scenario()
+        guessed = perturbed_cost_space(sc.cost_space, 0.0, 0.0, seed=1)
+        assert np.allclose(guessed.vector_matrix(), sc.cost_space.vector_matrix())
+
+
+class TestPrecomputedPlansOptimizer:
+    def test_compile_collects_distinct_plans(self):
+        sc = figure1_scenario()
+        pre = PrecomputedPlansOptimizer(sc.cost_space, num_assumptions=5, seed=3)
+        book = pre.compile(sc.query, sc.stats)
+        assert isinstance(book, PlanBook)
+        assert 1 <= len(book) <= 5
+
+    def test_optimize_requires_compilation(self):
+        sc = figure1_scenario()
+        pre = PrecomputedPlansOptimizer(sc.cost_space)
+        with pytest.raises(KeyError):
+            pre.optimize(sc.query, sc.stats)
+
+    def test_optimize_returns_plan_from_book(self):
+        sc = figure1_scenario()
+        pre = PrecomputedPlansOptimizer(sc.cost_space, num_assumptions=4, seed=2)
+        book = pre.compile(sc.query, sc.stats)
+        result = pre.optimize(sc.query, sc.stats)
+        assert result.plan.signature() in book.plans
+        assert result.circuit.is_fully_placed()
+        assert result.placements_evaluated == len(book)
+
+    def test_never_better_than_fresh_integration(self):
+        # The book is a subset of the integrated optimizer's candidates,
+        # so its best estimated cost cannot be lower.
+        sc = figure1_scenario()
+        pre = PrecomputedPlansOptimizer(sc.cost_space, num_assumptions=3, seed=5)
+        pre.compile(sc.query, sc.stats)
+        stale = pre.optimize(sc.query, sc.stats)
+        fresh = IntegratedOptimizer(sc.cost_space).optimize(sc.query, sc.stats)
+        assert fresh.cost.total <= stale.cost.total + 1e-9
+
+    def test_validates_num_assumptions(self):
+        sc = figure1_scenario()
+        with pytest.raises(ValueError):
+            PrecomputedPlansOptimizer(sc.cost_space, num_assumptions=0)
+
+
+class TestCostSpaceRegistry:
+    def _space(self, name="latency", n=5, with_load=False):
+        positions = [(float(i), 0.0) for i in range(n)]
+        if with_load:
+            spec = CostSpaceSpec.latency_load(vector_dims=2, name=name)
+            return CostSpace.from_embedding(
+                spec, np.asarray(positions), {"cpu_load": np.zeros(n)}
+            )
+        spec = CostSpaceSpec.latency_only(vector_dims=2, name=name)
+        return CostSpace.from_embedding(spec, np.asarray(positions))
+
+    def test_register_and_get(self):
+        registry = CostSpaceRegistry(num_nodes=5)
+        registry.register(self._space("latency"))
+        registry.register(self._space("latency+load", with_load=True))
+        assert registry.names == ["latency", "latency+load"]
+        assert registry.get("latency").spec.vector_dims == 2
+        assert "latency" in registry and len(registry) == 2
+
+    def test_node_count_mismatch_rejected(self):
+        registry = CostSpaceRegistry(num_nodes=9)
+        with pytest.raises(ValueError):
+            registry.register(self._space(n=5))
+
+    def test_reregistration_same_semantics_allowed(self):
+        registry = CostSpaceRegistry(num_nodes=5)
+        registry.register(self._space("latency"))
+        registry.register(self._space("latency"))  # refresh snapshot
+        assert len(registry) == 1
+
+    def test_conflicting_semantics_rejected(self):
+        registry = CostSpaceRegistry(num_nodes=5)
+        spec_a = CostSpaceSpec.latency_load(
+            vector_dims=2, load_weighting=squared(), name="shared"
+        )
+        spec_b = CostSpaceSpec.latency_load(
+            vector_dims=2, load_weighting=linear(), name="shared"
+        )
+        positions = np.asarray([(float(i), 0.0) for i in range(5)])
+        registry.register(
+            CostSpace.from_embedding(spec_a, positions, {"cpu_load": np.zeros(5)})
+        )
+        with pytest.raises(ValueError):
+            registry.register(
+                CostSpace.from_embedding(spec_b, positions, {"cpu_load": np.zeros(5)})
+            )
+
+    def test_unknown_name(self):
+        registry = CostSpaceRegistry(num_nodes=5)
+        with pytest.raises(KeyError):
+            registry.get("nope")
+
+    def test_update_all_metrics_routes_per_space(self):
+        registry = CostSpaceRegistry(num_nodes=5)
+        registry.register(self._space("latency"))
+        registry.register(self._space("latency+load", with_load=True))
+        registry.update_all_metrics({"cpu_load": np.full(5, 1.0)})
+        loaded = registry.get("latency+load")
+        assert loaded.coordinate(0).scalar[0] > 0
+        # The pure-latency space is untouched (has no scalar dims).
+        assert registry.get("latency").coordinate(0).scalar == ()
+
+    def test_update_all_metrics_missing_metric(self):
+        registry = CostSpaceRegistry(num_nodes=5)
+        registry.register(self._space("latency+load", with_load=True))
+        with pytest.raises(ValueError):
+            registry.update_all_metrics({"memory": np.zeros(5)})
+
+
+class TestQueryPerSpaceSelection:
+    def test_different_spaces_can_give_different_placements(self):
+        # A loaded nearest node: the latency-only space uses it, the
+        # latency+load space avoids it (Figure 3 logic through the
+        # registry API).
+        from repro.workloads.scenarios import figure3_scenario
+
+        sc = figure3_scenario()
+        registry = CostSpaceRegistry(num_nodes=sc.cost_space.num_nodes)
+        registry.register(sc.cost_space)  # "latency+load"
+        vectors = sc.cost_space.vector_matrix()
+        latency_only = CostSpace.from_embedding(
+            CostSpaceSpec.latency_only(vector_dims=2, name="latency"), vectors
+        )
+        registry.register(latency_only)
+
+        with_load = IntegratedOptimizer(registry.get("latency+load")).optimize(
+            sc.query, sc.stats
+        )
+        without = IntegratedOptimizer(registry.get("latency")).optimize(
+            sc.query, sc.stats
+        )
+        sid = with_load.circuit.unpinned_ids()[0]
+        assert with_load.circuit.host_of(sid) == sc.n2
+        assert without.circuit.host_of(without.circuit.unpinned_ids()[0]) == sc.n1

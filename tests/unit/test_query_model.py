@@ -1,0 +1,93 @@
+"""Unit tests for the stream query model."""
+
+import pytest
+
+from repro.query.model import Consumer, Producer, QuerySpec, StreamSchema
+
+
+class TestStreamSchema:
+    def test_of_constructor(self):
+        schema = StreamSchema.of(ts="int", value="float")
+        assert schema.names == ("ts", "value")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            StreamSchema((("a", "int"), ("a", "float")))
+
+    def test_has(self):
+        schema = StreamSchema.of(x="int")
+        assert schema.has("x")
+        assert not schema.has("y")
+
+    def test_merge_unions_attributes(self):
+        a = StreamSchema.of(ts="int", v="float")
+        b = StreamSchema.of(ts="int", w="str")
+        merged = a.merge(b)
+        assert merged.names == ("ts", "v", "w")
+
+
+class TestProducer:
+    def test_valid(self):
+        p = Producer("P1", node=3, rate=2.5)
+        assert p.rate == 2.5
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            Producer("P1", node=0, rate=0.0)
+
+    def test_rejects_negative_node(self):
+        with pytest.raises(ValueError):
+            Producer("P1", node=-1, rate=1.0)
+
+
+class TestQuerySpec:
+    def _query(self, **kwargs) -> QuerySpec:
+        producers = [
+            Producer("A", node=0, rate=2.0),
+            Producer("B", node=1, rate=3.0),
+        ]
+        defaults = dict(
+            name="q", producers=producers, consumer=Consumer("C", node=2)
+        )
+        defaults.update(kwargs)
+        return QuerySpec(**defaults)
+
+    def test_producer_names(self):
+        assert self._query().producer_names == ["A", "B"]
+
+    def test_requires_producers(self):
+        with pytest.raises(ValueError):
+            self._query(producers=[])
+
+    def test_duplicate_producer_names_rejected(self):
+        producers = [
+            Producer("A", node=0, rate=1.0),
+            Producer("A", node=1, rate=1.0),
+        ]
+        with pytest.raises(ValueError):
+            self._query(producers=producers)
+
+    def test_filter_validation(self):
+        with pytest.raises(ValueError):
+            self._query(filters={"Z": 0.5})  # unknown producer
+        with pytest.raises(ValueError):
+            self._query(filters={"A": 1.5})  # selectivity out of range
+
+    def test_effective_rate_applies_filter(self):
+        q = self._query(filters={"A": 0.5})
+        assert q.effective_rate("A") == 1.0
+        assert q.effective_rate("B") == 3.0
+
+    def test_aggregate_factor_validation(self):
+        with pytest.raises(ValueError):
+            self._query(aggregate_factor=0.0)
+        assert self._query(aggregate_factor=0.2).aggregate_factor == 0.2
+
+    def test_pinned_nodes(self):
+        assert self._query().pinned_nodes == {0, 1, 2}
+
+    def test_producer_lookup(self):
+        q = self._query()
+        assert q.producer("A").node == 0
+        with pytest.raises(KeyError):
+            q.producer("nope")

@@ -1,0 +1,73 @@
+"""Unit tests for rewrite_step integration in the re-optimizer."""
+
+import pytest
+
+from repro.core.optimizer import IntegratedOptimizer
+from repro.core.reoptimizer import Reoptimizer
+from repro.workloads.scenarios import perfect_cost_space
+from tests.unit.test_rewriting import three_way_setup
+
+
+def line_space(n=8):
+    return perfect_cost_space([(10.0 * i, 0.0) for i in range(n)])
+
+
+class TestRewriteStep:
+    def test_colocated_joins_get_merged(self):
+        space = line_space()
+        circuit, query, stats = three_way_setup()
+        circuit.assign("q/join0", 5)
+        circuit.assign("q/join1", 5)
+        reopt = Reoptimizer(space)
+        rewritten, applied = reopt.rewrite_step(circuit, stats)
+        assert applied  # something happened
+        # After rewriting, at most one join remains on node 5 (either a
+        # reorder then merge, or a straight merge).
+        joins = [
+            sid
+            for sid, svc in rewritten.services.items()
+            if svc.kind.value == "join"
+        ]
+        assert len(joins) == 1
+        assert rewritten.is_fully_placed()
+
+    def test_separated_joins_untouched(self):
+        space = line_space()
+        circuit, query, stats = three_way_setup()
+        circuit.assign("q/join0", 4)
+        circuit.assign("q/join1", 6)
+        reopt = Reoptimizer(space)
+        rewritten, applied = reopt.rewrite_step(circuit, stats)
+        assert applied == []
+        assert set(rewritten.services) == set(circuit.services)
+
+    def test_input_circuit_not_mutated(self):
+        space = line_space()
+        circuit, query, stats = three_way_setup()
+        circuit.assign("q/join0", 5)
+        circuit.assign("q/join1", 5)
+        before_services = set(circuit.services)
+        Reoptimizer(space).rewrite_step(circuit, stats)
+        assert set(circuit.services) == before_services
+
+    def test_rewrite_never_increases_estimated_cost(self):
+        space = line_space()
+        circuit, query, stats = three_way_setup(sel_ab=0.9, sel_bc=0.01)
+        circuit.assign("q/join0", 5)
+        circuit.assign("q/join1", 5)
+        reopt = Reoptimizer(space)
+        before = reopt.evaluator.evaluate(circuit).total
+        rewritten, _ = reopt.rewrite_step(circuit, stats)
+        after = reopt.evaluator.evaluate(rewritten).total
+        assert after <= before + 1e-9
+
+    def test_rewritten_circuit_still_migratable(self):
+        space = line_space()
+        circuit, query, stats = three_way_setup()
+        circuit.assign("q/join0", 0)
+        circuit.assign("q/join1", 0)
+        reopt = Reoptimizer(space)
+        rewritten, _ = reopt.rewrite_step(circuit, stats)
+        report = reopt.local_step(rewritten)
+        # Merged service can still migrate toward the circuit's center.
+        assert report.cost_after.total <= report.cost_before.total

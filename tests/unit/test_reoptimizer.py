@@ -1,0 +1,127 @@
+"""Unit tests for local and full re-optimization."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.optimizer import IntegratedOptimizer
+from repro.core.reoptimizer import Reoptimizer
+from repro.query.model import Consumer, Producer, QuerySpec
+from repro.query.plan import JoinNode, LeafNode, LogicalPlan
+from repro.query.selectivity import Statistics
+from repro.workloads.scenarios import perfect_cost_space
+
+
+def line_setup():
+    """Nodes on a line at x = 0..10 (scaled by 10); 2-producer join."""
+    positions = [(10.0 * x, 0.0) for x in range(11)]
+    space = perfect_cost_space(positions)
+    query = QuerySpec(
+        name="q",
+        producers=[
+            Producer("A", node=0, rate=5.0),
+            Producer("B", node=10, rate=5.0),
+        ],
+        consumer=Consumer("C", node=5),
+    )
+    stats = Statistics.build({"A": 5.0, "B": 5.0}, {("A", "B"): 0.2})
+    plan = LogicalPlan(JoinNode(LeafNode("A"), LeafNode("B")))
+    circuit = Circuit.from_plan(plan, query, stats)
+    return space, query, stats, circuit
+
+
+class TestLocalStep:
+    def test_migrates_badly_placed_service(self):
+        space, _, _, circuit = line_setup()
+        circuit.assign("q/join0", 0)  # far from optimum (~x=50)
+        reopt = Reoptimizer(space)
+        report = reopt.local_step(circuit)
+        assert report.migrated
+        new_host = circuit.host_of("q/join0")
+        assert 3 <= new_host <= 7
+        assert report.improvement > 0
+
+    def test_stable_placement_does_not_migrate(self):
+        space, _, _, circuit = line_setup()
+        circuit.assign("q/join0", 5)  # already at the optimum
+        report = Reoptimizer(space).local_step(circuit)
+        assert not report.migrated
+        assert report.improvement == 0.0
+
+    def test_threshold_blocks_marginal_migration(self):
+        space, _, _, circuit = line_setup()
+        circuit.assign("q/join0", 4)  # one hop from optimal
+        strict = Reoptimizer(space, migration_threshold=0.9)
+        report = strict.local_step(circuit)
+        assert not report.migrated
+        assert circuit.host_of("q/join0") == 4  # reverted
+
+    def test_requires_placed_circuit(self):
+        space, _, _, circuit = line_setup()
+        with pytest.raises(ValueError):
+            Reoptimizer(space).local_step(circuit)
+
+    def test_run_until_stable_terminates(self):
+        space, _, _, circuit = line_setup()
+        circuit.assign("q/join0", 0)
+        report = Reoptimizer(space).run_until_stable(circuit)
+        follow_up = Reoptimizer(space).local_step(circuit)
+        assert not follow_up.migrated
+        assert report.cost_after.total <= report.cost_before.total
+
+    def test_negative_threshold_rejected(self):
+        space, _, _, _ = line_setup()
+        with pytest.raises(ValueError):
+            Reoptimizer(space, migration_threshold=-0.1)
+
+
+class TestFullReoptimize:
+    def test_keeps_circuit_when_still_good(self):
+        space, query, stats, circuit = line_setup()
+        result = IntegratedOptimizer(space).optimize(query, stats)
+        reopt = Reoptimizer(space)
+        report, fresh = reopt.full_reoptimize(result.circuit, query, stats)
+        assert fresh is None
+        assert not report.replaced_plan
+
+    def test_replaces_circuit_after_drift(self):
+        space, query, stats, circuit = line_setup()
+        circuit.assign("q/join0", 0)  # a stale, bad placement
+        reopt = Reoptimizer(space)
+        report, fresh = reopt.full_reoptimize(circuit, query, stats)
+        assert report.replaced_plan
+        assert fresh is not None
+        assert fresh.cost.total < report.cost_before.total
+
+    def test_replace_threshold_validation(self):
+        space, query, stats, circuit = line_setup()
+        circuit.assign("q/join0", 5)
+        with pytest.raises(ValueError):
+            Reoptimizer(space).full_reoptimize(
+                circuit, query, stats, replace_threshold=-1.0
+            )
+
+
+class TestEvacuate:
+    def test_moves_services_off_failed_node(self):
+        space, _, _, circuit = line_setup()
+        circuit.assign("q/join0", 5)
+        reopt = Reoptimizer(space)
+        migrations = reopt.evacuate(circuit, failed_node=5)
+        assert len(migrations) == 1
+        assert circuit.host_of("q/join0") != 5
+
+    def test_noop_if_nothing_hosted_there(self):
+        space, _, _, circuit = line_setup()
+        circuit.assign("q/join0", 5)
+        migrations = Reoptimizer(space).evacuate(circuit, failed_node=2)
+        assert migrations == []
+
+    def test_preserves_preexisting_exclusions(self):
+        space, _, _, circuit = line_setup()
+        circuit.assign("q/join0", 5)
+        reopt = Reoptimizer(space)
+        reopt.mapper.exclude(9)
+        reopt.evacuate(circuit, failed_node=5)
+        assert 9 in reopt.mapper.excluded
+        assert 5 not in reopt.mapper.excluded  # temporary exclusion undone

@@ -1,0 +1,172 @@
+"""Unit tests for local plan rewriting (recompose / decompose / reorder)."""
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.rewriting import (
+    colocated_join_pairs,
+    decompose_join,
+    recompose_colocated_joins,
+    reorder_adjacent_joins,
+)
+from repro.query.model import Consumer, Producer, QuerySpec
+from repro.query.operators import ServiceKind
+from repro.query.plan import JoinNode, LeafNode, LogicalPlan
+from repro.query.selectivity import Statistics, rate_of_subset
+
+
+def three_way_setup(sel_ab=0.1, sel_bc=0.2, sel_ac=0.5):
+    producers = [
+        Producer("A", node=0, rate=10.0),
+        Producer("B", node=1, rate=5.0),
+        Producer("C", node=2, rate=2.0),
+    ]
+    query = QuerySpec(name="q", producers=producers, consumer=Consumer("S", node=3))
+    stats = Statistics.build(
+        rates={"A": 10.0, "B": 5.0, "C": 2.0},
+        pair_selectivities={
+            ("A", "B"): sel_ab, ("B", "C"): sel_bc, ("A", "C"): sel_ac
+        },
+    )
+    plan = LogicalPlan(
+        JoinNode(JoinNode(LeafNode("A"), LeafNode("B")), LeafNode("C"))
+    )
+    circuit = Circuit.from_plan(plan, query, stats)
+    return circuit, query, stats
+
+
+class TestColocationDetection:
+    def test_colocated_pair_found(self):
+        circuit, _, _ = three_way_setup()
+        circuit.assign("q/join0", 5)
+        circuit.assign("q/join1", 5)
+        assert colocated_join_pairs(circuit) == [("q/join0", "q/join1")]
+
+    def test_separated_pair_not_found(self):
+        circuit, _, _ = three_way_setup()
+        circuit.assign("q/join0", 5)
+        circuit.assign("q/join1", 6)
+        assert colocated_join_pairs(circuit) == []
+
+    def test_requires_placement(self):
+        circuit, _, _ = three_way_setup()
+        with pytest.raises(ValueError):
+            colocated_join_pairs(circuit)
+
+
+class TestRecompose:
+    def _merged(self):
+        circuit, query, stats = three_way_setup()
+        circuit.assign("q/join0", 5)
+        circuit.assign("q/join1", 5)
+        return recompose_colocated_joins(circuit, "q/join0", "q/join1"), stats
+
+    def test_merges_into_downstream(self):
+        result, _ = self._merged()
+        assert result.applied
+        circuit = result.circuit
+        assert "q/join0" not in circuit.services
+        merged = circuit.services["q/join1"]
+        assert merged.producers == frozenset({"A", "B", "C"})
+
+    def test_inputs_rewired(self):
+        result, _ = self._merged()
+        circuit = result.circuit
+        inputs = {l.source for l in circuit.links if l.target == "q/join1"}
+        assert inputs == {"q/src:A", "q/src:B", "q/src:C"}
+
+    def test_intra_node_link_removed(self):
+        result, _ = self._merged()
+        circuit = result.circuit
+        assert not any(
+            l.source == "q/join0" or l.target == "q/join0" for l in circuit.links
+        )
+        # 3 producer inputs + 1 output to sink = 4 links.
+        assert len(circuit.links) == 4
+
+    def test_placement_preserved(self):
+        result, _ = self._merged()
+        assert result.circuit.host_of("q/join1") == 5
+        assert result.circuit.is_fully_placed()
+
+    def test_rejects_non_colocated(self):
+        circuit, _, _ = three_way_setup()
+        circuit.assign("q/join0", 5)
+        circuit.assign("q/join1", 6)
+        with pytest.raises(ValueError):
+            recompose_colocated_joins(circuit, "q/join0", "q/join1")
+
+
+class TestDecompose:
+    def test_round_trip_recompose_then_decompose(self):
+        (merged_result, stats) = TestRecompose()._merged()
+        merged = merged_result.circuit
+        result = decompose_join(merged, "q/join1", stats)
+        assert result.applied
+        circuit = result.circuit
+        sub = circuit.services["q/join1.sub"]
+        assert sub.kind is ServiceKind.JOIN
+        # Greedy split picks the most selective pair: rates are
+        # AB=5, BC=2, AC=10 -> picks B,C.
+        assert sub.producers == frozenset({"B", "C"})
+        # Sub-join starts on the multi-join's host.
+        assert circuit.host_of("q/join1.sub") == circuit.host_of("q/join1")
+
+    def test_sub_join_link_rate_is_pair_rate(self):
+        (merged_result, stats) = TestRecompose()._merged()
+        result = decompose_join(merged_result.circuit, "q/join1", stats)
+        link = next(
+            l for l in result.circuit.links if l.source == "q/join1.sub"
+        )
+        assert link.rate == pytest.approx(rate_of_subset(stats, {"B", "C"}))
+
+    def test_two_way_join_not_decomposed(self):
+        circuit, _, stats = three_way_setup()
+        circuit.assign("q/join0", 5)
+        circuit.assign("q/join1", 5)
+        result = decompose_join(circuit, "q/join0", stats)
+        assert not result.applied
+
+
+class TestReorder:
+    def test_reorders_to_cheaper_association(self):
+        # AB join is expensive (sel 0.9); BC is cheap -> reorder should
+        # re-associate the upstream to join B with C.
+        circuit, _, stats = three_way_setup(sel_ab=0.9, sel_bc=0.01, sel_ac=0.5)
+        circuit.assign("q/join0", 5)
+        circuit.assign("q/join1", 5)
+        result = reorder_adjacent_joins(circuit, "q/join0", "q/join1", stats)
+        assert result.applied
+        upstream = result.circuit.services["q/join0"]
+        assert upstream.producers == frozenset({"B", "C"})
+        # The link into the downstream carries the new pair rate.
+        link = next(
+            l
+            for l in result.circuit.links
+            if l.source == "q/join0" and l.target == "q/join1"
+        )
+        assert link.rate == pytest.approx(rate_of_subset(stats, {"B", "C"}))
+
+    def test_keeps_optimal_association(self):
+        circuit, _, stats = three_way_setup(sel_ab=0.001, sel_bc=0.5, sel_ac=0.5)
+        circuit.assign("q/join0", 5)
+        circuit.assign("q/join1", 5)
+        result = reorder_adjacent_joins(circuit, "q/join0", "q/join1", stats)
+        assert not result.applied
+
+    def test_rejects_non_colocated(self):
+        circuit, _, stats = three_way_setup()
+        circuit.assign("q/join0", 5)
+        circuit.assign("q/join1", 6)
+        with pytest.raises(ValueError):
+            reorder_adjacent_joins(circuit, "q/join0", "q/join1", stats)
+
+    def test_total_producer_coverage_preserved(self):
+        circuit, _, stats = three_way_setup(sel_ab=0.9, sel_bc=0.01, sel_ac=0.5)
+        circuit.assign("q/join0", 5)
+        circuit.assign("q/join1", 5)
+        result = reorder_adjacent_joins(circuit, "q/join0", "q/join1", stats)
+        downstream = result.circuit.services["q/join1"]
+        assert downstream.producers == frozenset({"A", "B", "C"})
+        inputs = {l.source for l in result.circuit.links if l.target == "q/join1"}
+        assert "q/join0" in inputs and "q/src:A" in inputs

@@ -1,0 +1,161 @@
+"""Unit tests for SBON nodes, the overlay, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.query.operators import ServiceSpec
+from repro.sbon.metrics import TickRecord, TimeSeries
+from repro.sbon.node import HostedService, SBONNode
+from repro.sbon.overlay import Overlay
+from repro.network.topology import grid_topology
+from repro.workloads.queries import random_query
+
+
+class TestSBONNode:
+    def _service(self, name="q", sid="q/join0", rate=10.0) -> HostedService:
+        return HostedService(name, sid, ServiceSpec.join(), rate)
+
+    def test_effective_load_combines_background_and_induced(self):
+        node = SBONNode(index=0, background_load=0.3)
+        node.host(self._service(rate=10.0))  # join: 0.02 * 10 = 0.2
+        assert node.effective_load == pytest.approx(0.5)
+
+    def test_load_clamped_to_one(self):
+        node = SBONNode(index=0, background_load=0.9)
+        node.host(self._service(rate=100.0))
+        assert node.effective_load == 1.0
+        assert node.headroom == 0.0
+
+    def test_capacity_scales_load(self):
+        node = SBONNode(index=0, capacity=2.0, background_load=0.5)
+        assert node.effective_load == 0.25
+
+    def test_duplicate_hosting_rejected(self):
+        node = SBONNode(index=0)
+        node.host(self._service())
+        with pytest.raises(ValueError):
+            node.host(self._service())
+
+    def test_evict_by_circuit(self):
+        node = SBONNode(index=0)
+        node.host(self._service(sid="q/join0"))
+        node.host(self._service(sid="q/join1"))
+        assert node.evict("q") == 2
+        assert node.induced_load == 0.0
+
+    def test_evict_specific_service(self):
+        node = SBONNode(index=0)
+        node.host(self._service(sid="q/join0"))
+        node.host(self._service(sid="q/join1"))
+        assert node.evict("q", "q/join0") == 1
+        assert len(node.hosted) == 1
+
+    def test_fail_evacuates(self):
+        node = SBONNode(index=0)
+        node.host(self._service())
+        orphans = node.fail()
+        assert len(orphans) == 1
+        assert not node.alive
+        with pytest.raises(RuntimeError):
+            node.host(self._service())
+        node.recover()
+        assert node.alive
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SBONNode(index=0, capacity=0.0)
+        with pytest.raises(ValueError):
+            SBONNode(index=0, background_load=-1.0)
+
+
+class TestOverlay:
+    def _overlay(self) -> Overlay:
+        return Overlay.build(grid_topology(4, 4), vector_dims=2, embedding_rounds=20, seed=0)
+
+    def test_build_wires_sizes(self):
+        overlay = self._overlay()
+        assert overlay.num_nodes == 16
+        assert overlay.cost_space.num_nodes == 16
+
+    def test_optimize_install_uninstall_cycle(self):
+        overlay = self._overlay()
+        query, stats = random_query(16, seed=1)
+        result = overlay.integrated_optimizer().optimize(query, stats)
+        overlay.install(result)
+        assert result.circuit.name in overlay.circuits
+        assert overlay.total_network_usage() > 0
+        loads_with = overlay.loads().sum()
+        overlay.uninstall(result.circuit.name)
+        assert overlay.total_network_usage() == 0
+        assert overlay.loads().sum() < loads_with
+
+    def test_double_install_rejected(self):
+        overlay = self._overlay()
+        query, stats = random_query(16, seed=1)
+        result = overlay.integrated_optimizer().optimize(query, stats)
+        overlay.install(result)
+        with pytest.raises(ValueError):
+            overlay.install(result)
+
+    def test_install_requires_placement(self):
+        overlay = self._overlay()
+        query, stats = random_query(16, seed=2)
+        from repro.core.circuit import Circuit
+        from repro.query.generator import best_plan
+
+        circuit = Circuit.from_plan(
+            best_plan(query.producer_names, stats), query, stats
+        )
+        with pytest.raises(ValueError):
+            overlay.install_circuit(circuit)
+
+    def test_refresh_cost_space_reflects_load(self):
+        overlay = self._overlay()
+        overlay.set_background_loads(np.full(16, 0.5))
+        overlay.refresh_cost_space()
+        assert overlay.cost_space.coordinate(0).scalar[0] > 0
+
+    def test_apply_migration_moves_load(self):
+        overlay = self._overlay()
+        query, stats = random_query(16, seed=1)
+        result = overlay.integrated_optimizer().optimize(query, stats)
+        overlay.install(result)
+        sid = result.circuit.unpinned_ids()[0]
+        old = result.circuit.host_of(sid)
+        new = (old + 1) % 16
+        overlay.apply_migration(result.circuit.name, sid, new)
+        assert result.circuit.host_of(sid) == new
+        assert any(
+            s.service_id == sid for s in overlay.nodes[new].hosted
+        )
+        assert not any(
+            s.service_id == sid for s in overlay.nodes[old].hosted
+        )
+
+    def test_bad_load_vector_rejected(self):
+        with pytest.raises(ValueError):
+            self._overlay().set_background_loads(np.zeros(5))
+
+
+class TestTimeSeries:
+    def test_append_enforces_time_order(self):
+        ts = TimeSeries()
+        ts.append(TickRecord(1, 10.0, 0.1, 0.2))
+        with pytest.raises(ValueError):
+            ts.append(TickRecord(1, 11.0, 0.1, 0.2))
+
+    def test_summaries(self):
+        ts = TimeSeries()
+        ts.append(TickRecord(1, 10.0, 0.1, 0.2, migrations=2))
+        ts.append(TickRecord(2, 20.0, 0.1, 0.2, failures=1))
+        assert ts.mean_usage() == 15.0
+        assert ts.final_usage() == 20.0
+        assert ts.peak_usage() == 20.0
+        assert ts.total_migrations() == 2
+        assert ts.total_failures() == 1
+        assert ts.summary()["ticks"] == 2.0
+
+    def test_empty_series(self):
+        ts = TimeSeries()
+        assert ts.mean_usage() == 0.0
+        assert ts.final_usage() == 0.0

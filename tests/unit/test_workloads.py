@@ -1,0 +1,106 @@
+"""Unit tests for workload generation and figure scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.queries import WorkloadParams, random_query, random_workload
+from repro.workloads.scenarios import (
+    figure1_scenario,
+    figure2_scenario,
+    figure3_scenario,
+    figure4_scenario,
+    planted_latency_matrix,
+)
+
+
+class TestRandomQuery:
+    def test_nodes_distinct(self):
+        query, _ = random_query(20, seed=4)
+        nodes = [p.node for p in query.producers] + [query.consumer.node]
+        assert len(nodes) == len(set(nodes))
+
+    def test_rates_match_stats(self):
+        query, stats = random_query(20, seed=2)
+        for p in query.producers:
+            assert p.rate == pytest.approx(stats.rate(p.name))
+
+    def test_deterministic(self):
+        a, sa = random_query(20, seed=9)
+        b, sb = random_query(20, seed=9)
+        assert [p.node for p in a.producers] == [p.node for p in b.producers]
+        assert sa.rates == sb.rates
+
+    def test_clustered_producers_nearby_indices(self):
+        params = WorkloadParams(num_producers=4, clustered=True, cluster_span=10)
+        query, _ = random_query(200, params, seed=0)
+        nodes = [p.node for p in query.producers]
+        assert max(nodes) - min(nodes) < 10
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            random_query(3, WorkloadParams(num_producers=4))
+
+    def test_workload_size_and_names(self):
+        workload = random_workload(30, 5, seed=1)
+        assert len(workload) == 5
+        names = {q.name for q, _ in workload}
+        assert len(names) == 5
+
+
+class TestScenarios:
+    def test_figure1_geometry(self):
+        sc = figure1_scenario()
+        assert sc.latencies.num_nodes == len(sc.positions)
+        assert sc.cost_space.num_nodes == len(sc.positions)
+        # West producers far from east producers.
+        assert sc.latencies.latency(0, 2) > 5 * sc.latencies.latency(0, 1)
+
+    def test_figure1_oblivious_prefers_cross_pairs(self):
+        from repro.query.generator import best_plan
+
+        sc = figure1_scenario()
+        plan = best_plan(sc.query.producer_names, sc.stats)
+        pairs = {
+            frozenset(n.producers)
+            for n in plan.root.internal_nodes()
+            if len(n.producers) == 2
+        }
+        # The bait worked: at least one cross-cluster pair chosen.
+        assert pairs & {
+            frozenset({"P1", "P3"}),
+            frozenset({"P2", "P4"}),
+            frozenset({"P1", "P4"}),
+            frozenset({"P2", "P3"}),
+        }
+
+    def test_figure2_population(self):
+        topo, lm, loads = figure2_scenario(seed=0)
+        assert topo.num_nodes == 600
+        assert lm.num_nodes == 600
+        assert loads[0] > 0.9  # node a overloaded
+        assert np.all((loads >= 0) & (loads <= 1))
+
+    def test_figure3_star_between_endpoints(self):
+        sc = figure3_scenario()
+        # The star must sit strictly between the pinned endpoints.
+        xs = [0.0, 80.0, 40.0]
+        assert min(xs) < sc.star[0] < max(xs)
+
+    def test_figure3_n1_closer_in_latency(self):
+        sc = figure3_scenario()
+        n1 = sc.cost_space.coordinate(sc.n1)
+        n2 = sc.cost_space.coordinate(sc.n2)
+        from repro.core.coordinates import CostCoordinate
+
+        target = CostCoordinate(tuple(sc.star), (0.0,))
+        assert target.vector_distance_to(n1) < target.vector_distance_to(n2)
+        assert target.distance_to(n1) > target.distance_to(n2)
+
+    def test_figure4_shared_producers(self):
+        sc = figure4_scenario()
+        c3_query, _ = sc.existing[2]
+        assert c3_query.producer_names == sc.new_query.producer_names
+
+    def test_planted_matrix_is_euclidean(self):
+        lm = planted_latency_matrix([(0.0, 0.0), (3.0, 4.0)], scale=2.0)
+        assert lm.latency(0, 1) == pytest.approx(10.0)
