@@ -3,25 +3,54 @@
 A :class:`CostSpaceSpec` fixes the *semantics* of a space — how many
 vector dimensions, which scalar metrics with which weighting functions —
 which "must be known by all nodes in the SBON".  A :class:`CostSpace`
-is then a concrete snapshot: one :class:`CostCoordinate` per physical
-node, built from a latency embedding (vector part) and current node
-metrics (scalar part).
+is then a concrete snapshot: one coordinate per physical node, built
+from a latency embedding (vector part) and current node metrics (scalar
+part).
 
 An SBON can run multiple independent cost spaces for different
 application classes; in this library that is simply multiple
 ``CostSpace`` instances over the same node population.
+
+Performance architecture (struct-of-arrays)
+-------------------------------------------
+
+The snapshot's source of truth is a single contiguous ``(n, dims)``
+float64 matrix (``full_matrix()``); :class:`CostCoordinate` objects are
+thin *views* materialized lazily for API compatibility.  Every hot
+query — :meth:`nearest_node`, :meth:`nodes_within`, :meth:`distance`,
+:meth:`bounding_box` — is a single vectorized expression over that
+matrix, and the batched forms :meth:`nearest_nodes` /
+:meth:`distances_from` amortize one matrix pass over many targets
+(physical mapping, reuse search).  Updates (:meth:`update_metrics`,
+:meth:`update_vector`) write the matrix in place and invalidate the
+coordinate-view cache.  ``full_matrix()``/``vector_matrix()`` return
+read-only views of the live matrix — copy before mutating.
+
+Scalar reference implementations of the queries are retained
+(``nearest_node_scalar``, ``nodes_within_scalar``) as the ground truth
+for equivalence tests and before/after benchmarks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.coordinates import CostCoordinate
 from repro.core.weighting import WeightingFunction, squared
 
-__all__ = ["ScalarDimension", "CostSpaceSpec", "CostSpace"]
+__all__ = [
+    "ScalarDimension",
+    "CostSpaceSpec",
+    "CostSpace",
+    "nearest_node_scalar",
+    "nodes_within_scalar",
+]
+
+#: Cap on elements in one batched-query difference tensor (~32 MB of
+#: float64); larger target batches are processed in chunks of this size.
+_BATCH_ELEMENT_BUDGET = 4_000_000
 
 
 @dataclass(frozen=True)
@@ -103,21 +132,43 @@ class CostSpaceSpec:
         )
 
 
-@dataclass
 class CostSpace:
     """A snapshot of every node's coordinate in one cost space.
 
     Build with :meth:`from_embedding`; refresh scalar parts with
     :meth:`update_metrics` as node state changes (the iterative
     recomputation of §3.2).
+
+    State lives in one ``(n, dims)`` float matrix (vector columns first,
+    then one column per scalar dimension); ``coordinates`` /
+    :meth:`coordinate` expose lazily-built :class:`CostCoordinate`
+    views of its rows.
     """
 
-    spec: CostSpaceSpec
-    coordinates: list[CostCoordinate] = field(default_factory=list)
-
-    def __post_init__(self) -> None:
-        for coord in self.coordinates:
+    def __init__(
+        self,
+        spec: CostSpaceSpec,
+        coordinates: list[CostCoordinate] | None = None,
+    ):
+        self.spec = spec
+        coordinates = coordinates or []
+        for coord in coordinates:
             self._check_shape(coord)
+        matrix = np.empty((len(coordinates), spec.dims), dtype=float)
+        for i, coord in enumerate(coordinates):
+            matrix[i] = coord.full_array()
+        self._matrix = matrix
+        self._coord_cache: list[CostCoordinate] | None = (
+            list(coordinates) if coordinates else None
+        )
+
+    @classmethod
+    def _from_matrix(cls, spec: CostSpaceSpec, matrix: np.ndarray) -> "CostSpace":
+        """Internal: wrap an already-validated ``(n, dims)`` matrix."""
+        space = cls(spec=spec)
+        space._matrix = np.ascontiguousarray(matrix, dtype=float)
+        space._coord_cache = None
+        return space
 
     def _check_shape(self, coord: CostCoordinate) -> None:
         if coord.vector_dims != self.spec.vector_dims:
@@ -154,11 +205,8 @@ class CostSpace:
         metrics = metrics or {}
         n = embedding.shape[0]
         scalar_columns = cls._weighted_scalars(spec, metrics, n)
-        coords = [
-            CostCoordinate.from_arrays(embedding[i], scalar_columns[:, i])
-            for i in range(n)
-        ]
-        return cls(spec=spec, coordinates=coords)
+        matrix = np.hstack([embedding, scalar_columns.T])
+        return cls._from_matrix(spec, matrix)
 
     @staticmethod
     def _weighted_scalars(
@@ -166,6 +214,7 @@ class CostSpace:
         metrics: dict[str, np.ndarray | list[float]],
         n: int,
     ) -> np.ndarray:
+        """Weighted ``(scalar_dims, n)`` columns, one vectorized pass each."""
         columns = np.zeros((len(spec.scalar_dimensions), n))
         for row, dim in enumerate(spec.scalar_dimensions):
             if dim.metric not in metrics:
@@ -175,38 +224,63 @@ class CostSpace:
                 raise ValueError(
                     f"metric {dim.metric!r} must have shape ({n},), got {raw.shape}"
                 )
-            columns[row] = [dim.weighting(v) for v in raw]
+            columns[row] = dim.weighting.apply_array(raw)
         return columns
 
     # -- access ----------------------------------------------------------
 
     @property
     def num_nodes(self) -> int:
-        return len(self.coordinates)
+        return self._matrix.shape[0]
+
+    @property
+    def coordinates(self) -> list[CostCoordinate]:
+        """All coordinates as :class:`CostCoordinate` views (lazy, cached)."""
+        if self._coord_cache is None:
+            vd = self.spec.vector_dims
+            self._coord_cache = [
+                CostCoordinate(tuple(row[:vd]), tuple(row[vd:]))
+                for row in self._matrix.tolist()
+            ]
+        return self._coord_cache
 
     def coordinate(self, node: int) -> CostCoordinate:
         """The full coordinate of a physical node."""
         return self.coordinates[node]
 
     def vector_matrix(self) -> np.ndarray:
-        """``(n, vector_dims)`` array of all vector parts."""
-        return np.array([c.vector for c in self.coordinates])
+        """``(n, vector_dims)`` read-only view of all vector parts."""
+        view = self._matrix[:, : self.spec.vector_dims]
+        view.flags.writeable = False
+        return view
 
     def full_matrix(self) -> np.ndarray:
-        """``(n, dims)`` array of all full coordinates."""
-        return np.array([c.full_array() for c in self.coordinates])
+        """``(n, dims)`` read-only view of all full coordinates."""
+        view = self._matrix[:]
+        view.flags.writeable = False
+        return view
 
     def distance(self, u: int, v: int) -> float:
         """Full cost-space distance between two nodes."""
-        return self.coordinates[u].distance_to(self.coordinates[v])
+        return float(np.linalg.norm(self._matrix[u] - self._matrix[v]))
 
     def vector_distance(self, u: int, v: int) -> float:
         """Latency-estimating distance (vector dims only)."""
-        return self.coordinates[u].vector_distance_to(self.coordinates[v])
+        vd = self.spec.vector_dims
+        return float(np.linalg.norm(self._matrix[u, :vd] - self._matrix[v, :vd]))
 
     def estimated_latency(self, u: int, v: int) -> float:
         """Alias for :meth:`vector_distance`, named for intent."""
         return self.vector_distance(u, v)
+
+    def scalar_penalty(self, node: int) -> float:
+        """Euclidean magnitude of one node's scalar part (0 if none)."""
+        return float(np.linalg.norm(self._matrix[node, self.spec.vector_dims:]))
+
+    def scalar_penalties(self) -> np.ndarray:
+        """Per-node scalar penalties in one vectorized pass."""
+        scalars = self._matrix[:, self.spec.vector_dims:]
+        return np.sqrt(np.einsum("ns,ns->n", scalars, scalars))
 
     # -- updates ---------------------------------------------------------
 
@@ -214,19 +288,54 @@ class CostSpace:
         """Recompute all scalar components from fresh metric values."""
         n = self.num_nodes
         columns = self._weighted_scalars(self.spec, metrics, n)
-        self.coordinates = [
-            CostCoordinate(coord.vector, tuple(float(v) for v in columns[:, i]))
-            for i, coord in enumerate(self.coordinates)
-        ]
+        self._matrix[:, self.spec.vector_dims:] = columns.T
+        self._coord_cache = None
 
     def update_vector(self, node: int, vector: np.ndarray | list[float]) -> None:
         """Replace one node's vector part (embedding refinement)."""
-        old = self.coordinates[node]
-        new = CostCoordinate.from_arrays(vector, old.scalar)
-        self._check_shape(new)
-        self.coordinates[node] = new
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.spec.vector_dims,):
+            raise ValueError(
+                f"coordinate has {vector.shape[0] if vector.ndim == 1 else '?'} "
+                f"vector dims, space requires {self.spec.vector_dims}"
+            )
+        self._matrix[node, : self.spec.vector_dims] = vector
+        self._coord_cache = None
+
+    def update_vectors(self, embedding: np.ndarray) -> None:
+        """Replace every node's vector part in one batched write."""
+        embedding = np.asarray(embedding, dtype=float)
+        if embedding.shape != (self.num_nodes, self.spec.vector_dims):
+            raise ValueError(
+                f"embedding must be ({self.num_nodes}, {self.spec.vector_dims}), "
+                f"got {embedding.shape}"
+            )
+        self._matrix[:, : self.spec.vector_dims] = embedding
+        self._coord_cache = None
 
     # -- queries ---------------------------------------------------------
+
+    def _target_array(self, target: CostCoordinate | np.ndarray) -> np.ndarray:
+        if isinstance(target, CostCoordinate):
+            self._check_shape(target)
+            return target.full_array()
+        target = np.asarray(target, dtype=float)
+        if target.shape != (self.spec.dims,):
+            raise ValueError(
+                f"target must have {self.spec.dims} dims, got {target.shape}"
+            )
+        return target
+
+    def distances_from(self, target: CostCoordinate | np.ndarray) -> np.ndarray:
+        """Full-space distance from ``target`` to every node, in one pass.
+
+        Accepts a :class:`CostCoordinate` or a raw ``(dims,)`` array.
+        This is the batched primitive behind physical mapping, the
+        multi-query reuse search, and placement refinement.
+        """
+        t = self._target_array(target)
+        diff = self._matrix - t
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
     def nearest_node(
         self,
@@ -236,22 +345,66 @@ class CostSpace:
         """Exhaustive nearest physical node to a target coordinate.
 
         The reference ("oracle") physical mapping; the decentralized
-        catalog approximates this.
+        catalog approximates this.  One vectorized matrix pass.
         """
-        self._check_shape(target)
-        exclude = exclude or set()
-        best_node = -1
-        best_dist = float("inf")
-        for node, coord in enumerate(self.coordinates):
-            if node in exclude:
-                continue
-            d = target.distance_to(coord)
-            if d < best_dist:
-                best_dist = d
-                best_node = node
-        if best_node < 0:
+        dists = self.distances_from(target)
+        if exclude:
+            for node in exclude:
+                if 0 <= node < dists.shape[0]:
+                    dists[node] = np.inf
+        if dists.shape[0] == 0 or not np.isfinite(dists.min(initial=np.inf)):
             raise ValueError("no eligible node")
-        return best_node
+        return int(np.argmin(dists))
+
+    def nearest_nodes(
+        self,
+        targets: np.ndarray | list[CostCoordinate],
+        exclude: set[int] | None = None,
+    ) -> np.ndarray:
+        """Nearest node for each of ``m`` targets in one batched pass.
+
+        Args:
+            targets: ``(m, dims)`` array or list of coordinates.
+
+        Returns:
+            ``(m,)`` int array of node indices.
+        """
+        if len(targets) == 0:
+            return np.zeros(0, dtype=int)
+        if isinstance(targets, np.ndarray):
+            t = np.asarray(targets, dtype=float)
+            if t.ndim != 2 or t.shape[1] != self.spec.dims:
+                raise ValueError(
+                    f"targets must be (m, {self.spec.dims}), got {t.shape}"
+                )
+        else:
+            t = np.empty((len(targets), self.spec.dims), dtype=float)
+            for i, coord in enumerate(targets):
+                t[i] = self._target_array(coord)
+        n = self.num_nodes
+        if n == 0:
+            raise ValueError("no eligible node")
+        excluded = (
+            [node for node in exclude if 0 <= node < n] if exclude else []
+        )
+        # Squared distances suffice for the argmin; ties resolve to the
+        # lowest index, matching the scalar reference scan.  Direct
+        # differences (not the expanded cross-term form) keep the
+        # per-element rounding identical to single-target queries.
+        # Targets are processed in chunks so the (chunk, n, dims)
+        # difference tensor stays bounded regardless of circuit size.
+        chunk = max(1, _BATCH_ELEMENT_BUDGET // max(n * self.spec.dims, 1))
+        result = np.empty(t.shape[0], dtype=int)
+        for start in range(0, t.shape[0], chunk):
+            block = t[start:start + chunk]
+            diff = block[:, None, :] - self._matrix[None, :, :]
+            d2 = np.einsum("mnd,mnd->mn", diff, diff)
+            if excluded:
+                d2[:, excluded] = np.inf
+            if not np.all(np.isfinite(d2.min(axis=1))):
+                raise ValueError("no eligible node")
+            result[start:start + chunk] = np.argmin(d2, axis=1)
+        return result
 
     def nodes_within(
         self,
@@ -260,24 +413,21 @@ class CostSpace:
         exclude: set[int] | None = None,
     ) -> list[int]:
         """All nodes within ``radius`` of ``target`` in the full space."""
-        self._check_shape(target)
         if radius < 0:
             raise ValueError("radius must be non-negative")
-        exclude = exclude or set()
-        return [
-            node
-            for node, coord in enumerate(self.coordinates)
-            if node not in exclude and target.distance_to(coord) <= radius
-        ]
+        dists = self.distances_from(target)
+        inside = np.flatnonzero(dists <= radius)
+        if exclude:
+            return [int(node) for node in inside if int(node) not in exclude]
+        return [int(node) for node in inside]
 
     def bounding_box(self, margin: float = 0.05) -> tuple[tuple[float, ...], tuple[float, ...]]:
         """(lows, highs) of all full coordinates, padded by ``margin``.
 
         Used to configure the Hilbert mapper of the catalog backend.
         """
-        matrix = self.full_matrix()
-        lows = matrix.min(axis=0)
-        highs = matrix.max(axis=0)
+        lows = self._matrix.min(axis=0)
+        highs = self._matrix.max(axis=0)
         span = np.maximum(highs - lows, 1e-9)
         lows = lows - margin * span
         highs = highs + margin * span
@@ -285,3 +435,49 @@ class CostSpace:
             tuple(float(v) for v in lows),
             tuple(float(v) for v in highs),
         )
+
+
+# -- scalar reference implementations ------------------------------------
+#
+# The pre-vectorization query paths, retained verbatim as the ground
+# truth for equivalence tests and the before/after benchmark tables.
+
+
+def nearest_node_scalar(
+    space: CostSpace,
+    target: CostCoordinate,
+    exclude: set[int] | None = None,
+) -> int:
+    """Per-node Python-loop nearest node (reference implementation)."""
+    space._check_shape(target)
+    exclude = exclude or set()
+    best_node = -1
+    best_dist = float("inf")
+    for node, coord in enumerate(space.coordinates):
+        if node in exclude:
+            continue
+        d = target.distance_to(coord)
+        if d < best_dist:
+            best_dist = d
+            best_node = node
+    if best_node < 0:
+        raise ValueError("no eligible node")
+    return best_node
+
+
+def nodes_within_scalar(
+    space: CostSpace,
+    target: CostCoordinate,
+    radius: float,
+    exclude: set[int] | None = None,
+) -> list[int]:
+    """Per-node Python-loop radius query (reference implementation)."""
+    space._check_shape(target)
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    exclude = exclude or set()
+    return [
+        node
+        for node, coord in enumerate(space.coordinates)
+        if node not in exclude and target.distance_to(coord) <= radius
+    ]

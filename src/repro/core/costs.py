@@ -157,7 +157,7 @@ class CostSpaceEvaluator:
         return self.cost_space.vector_distance(u, v)
 
     def node_penalty(self, node: int) -> float:
-        return self.cost_space.coordinate(node).scalar_penalty()
+        return self.cost_space.scalar_penalty(node)
 
     def evaluate(self, circuit: Circuit, load_weight: float = 1.0) -> CircuitCost:
         return _evaluate(circuit, self.latency, self.node_penalty, load_weight)

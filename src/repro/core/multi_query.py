@@ -217,11 +217,15 @@ class MultiQueryOptimizer:
                 for ad in ads
             ]
             return matches, examined
+        if not self.deployed:
+            return [], 0
+        # One cost-space pass prices the whole registry; per-service
+        # distances are then plain array lookups.
+        distances = self.cost_space.distances_from(target)
         matches: list[DeployedService] = []
         examined = 0
         for dep in self.deployed:
-            host_coord = self.cost_space.coordinate(dep.node)
-            if target.distance_to(host_coord) <= self.radius:
+            if distances[dep.node] <= self.radius:
                 examined += 1
                 if dep.reuse_key() == key:
                     matches.append(dep)
@@ -276,10 +280,14 @@ class MultiQueryOptimizer:
                 )
                 examined_total += examined
                 if matches:
+                    # Rank only the matched hosts: O(matches) row
+                    # lookups, not another full matrix pass.
+                    target_arr = target.full_array()
+                    full = self.cost_space.full_matrix()
                     best = min(
                         matches,
-                        key=lambda d: target.distance_to(
-                            self.cost_space.coordinate(d.node)
+                        key=lambda d: float(
+                            np.linalg.norm(full[d.node] - target_arr)
                         ),
                     )
                     taps[producers] = best

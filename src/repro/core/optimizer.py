@@ -142,27 +142,20 @@ class _PlacingOptimizerBase:
         constraints, true loads — influence *where* services land, not
         just which plan wins.  With ``candidates=0`` this is a no-op.
         """
-        from repro.core.coordinates import CostCoordinate
-
         scalar_dims = len(self.cost_space.spec.scalar_dimensions)
         cost = self.evaluator.evaluate(circuit, load_weight=self.load_weight)
         if candidates <= 0:
             return cost
         excluded = getattr(self.mapper, "excluded", set())
         for sid in circuit.unpinned_ids():
-            target = CostCoordinate.from_arrays(
-                placement.position_of(sid), np.zeros(scalar_dims)
+            target = np.concatenate(
+                [placement.position_of(sid), np.zeros(scalar_dims)]
             )
-            ranked = sorted(
-                (
-                    node
-                    for node in range(self.cost_space.num_nodes)
-                    if node not in excluded
-                ),
-                key=lambda node: target.distance_to(
-                    self.cost_space.coordinate(node)
-                ),
-            )[:candidates]
+            distances = self.cost_space.distances_from(target)
+            order = np.argsort(distances, kind="stable")
+            ranked = [
+                int(node) for node in order if int(node) not in excluded
+            ][:candidates]
             best_node = circuit.host_of(sid)
             for node in ranked:
                 if node == best_node:

@@ -97,6 +97,18 @@ class ExhaustiveMapper:
         node = self.cost_space.nearest_node(target, exclude=self.excluded)
         return node, 0
 
+    def map_coordinates(self, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`map_coordinate`: one matrix pass for m targets.
+
+        Args:
+            targets: ``(m, dims)`` full-coordinate array.
+
+        Returns:
+            ``(nodes, hops)`` int arrays of length m (hops all zero).
+        """
+        nodes = self.cost_space.nearest_nodes(targets, exclude=self.excluded)
+        return nodes, np.zeros(len(nodes), dtype=int)
+
     def exclude(self, node: int) -> None:
         """Mark a node ineligible (failed or administratively drained)."""
         self.excluded.add(node)
@@ -134,6 +146,19 @@ class CatalogMapper:
             raise RuntimeError("catalog has no eligible published nodes")
         return entry.physical_node, stats.dht_hops
 
+    def map_coordinates(self, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched mapping; each target still routes through the DHT."""
+        nodes = np.empty(len(targets), dtype=int)
+        hops = np.empty(len(targets), dtype=int)
+        scalar_dims = len(self.cost_space.spec.scalar_dimensions)
+        vector_dims = self.cost_space.spec.vector_dims
+        for i, row in enumerate(np.asarray(targets, dtype=float)):
+            target = CostCoordinate.from_arrays(row[:vector_dims], row[vector_dims:])
+            if target.scalar_dims != scalar_dims:
+                raise ValueError("target has wrong dimensionality for this space")
+            nodes[i], hops[i] = self.map_coordinate(target)
+        return nodes, hops
+
     def exclude(self, node: int) -> None:
         self.excluded.add(node)
 
@@ -151,10 +176,11 @@ def build_catalog(
     lows, highs = cost_space.bounding_box()
     mapper = HilbertMapper(lows, highs, bits=bits)
     catalog = CoordinateCatalog(mapper, ring_size=ring_size)
+    full = cost_space.full_matrix()
     for node in range(cost_space.num_nodes):
         if alive is not None and not alive[node]:
             continue
-        catalog.publish(node, cost_space.coordinate(node).full_array())
+        catalog.publish(node, full[node].copy())
     return catalog
 
 
@@ -168,23 +194,34 @@ def map_circuit(
 
     The target coordinate of a service is its virtual vector position
     with ideal (zero) scalar components.  The circuit's ``placement``
-    dict is updated in place.
+    dict is updated in place.  All services map in one batched call
+    (mappings are independent: neither exclusions nor coordinates
+    change mid-circuit), one cost-space pass for the whole circuit.
     """
     scalar_dims = len(cost_space.spec.scalar_dimensions)
     result = MappingResult()
-    for service_id in circuit.unpinned_ids():
-        vector = placement.position_of(service_id)
-        target = CostCoordinate.from_arrays(vector, np.zeros(scalar_dims))
-        node, hops = mapper.map_coordinate(target)
+    unpinned = circuit.unpinned_ids()
+    if not unpinned:
+        return result
+    targets = np.zeros((len(unpinned), cost_space.spec.dims))
+    for i, service_id in enumerate(unpinned):
+        targets[i, : cost_space.spec.vector_dims] = placement.position_of(service_id)
+    nodes, hops = mapper.map_coordinates(targets)
+    diff = targets - cost_space.full_matrix()[nodes]
+    errors = np.sqrt(np.einsum("md,md->m", diff, diff))
+    for i, service_id in enumerate(unpinned):
+        node = int(nodes[i])
         circuit.assign(service_id, node)
-        error = target.distance_to(cost_space.coordinate(node))
+        target = CostCoordinate.from_arrays(
+            targets[i, : cost_space.spec.vector_dims], np.zeros(scalar_dims)
+        )
         result.mappings.append(
             ServiceMapping(
                 service_id=service_id,
                 node=node,
                 target=target,
-                mapping_error=error,
-                dht_hops=hops,
+                mapping_error=float(errors[i]),
+                dht_hops=int(hops[i]),
             )
         )
     return result

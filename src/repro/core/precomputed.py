@@ -57,8 +57,7 @@ def perturbed_cost_space(
     span = float(np.linalg.norm(vectors.max(axis=0) - vectors.min(axis=0)))
     noise = rng.normal(0.0, vector_sigma * max(span, 1e-9), size=vectors.shape)
     guessed = copy.deepcopy(space)
-    for node in range(space.num_nodes):
-        guessed.update_vector(node, vectors[node] + noise[node])
+    guessed.update_vectors(vectors + noise)
     if space.spec.scalar_dimensions:
         # Guess a fresh load pattern of comparable magnitude.
         loads = np.clip(rng.normal(0.3, load_sigma, size=space.num_nodes), 0, 1)

@@ -162,20 +162,19 @@ class Reoptimizer:
         The single-service spring equilibrium: the local analogue of
         relaxation placement, computable by the hosting node alone.
         """
-        weights = []
-        points = []
-        for neighbor, rate in circuit.neighbors(service_id):
-            host = circuit.host_of(neighbor)
-            points.append(self.cost_space.coordinate(host).vector_array())
-            weights.append(rate)
-        if not points:
-            host = circuit.host_of(service_id)
-            return self.cost_space.coordinate(host).vector_array()
-        weights_arr = np.asarray(weights, dtype=float)
+        vectors = self.cost_space.vector_matrix()
+        neighbors = circuit.neighbors(service_id)
+        if not neighbors:
+            return vectors[circuit.host_of(service_id)].copy()
+        hosts = [circuit.host_of(neighbor) for neighbor, _ in neighbors]
+        points = vectors[hosts]
+        weights_arr = np.fromiter(
+            (rate for _, rate in neighbors), dtype=float, count=len(neighbors)
+        )
         total = weights_arr.sum()
         if total <= 0:
-            return np.asarray(points).mean(axis=0)
-        return (np.asarray(points) * weights_arr[:, None]).sum(axis=0) / total
+            return points.mean(axis=0)
+        return weights_arr @ points / total
 
     def run_until_stable(
         self, circuit: Circuit, max_passes: int = 20

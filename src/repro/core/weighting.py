@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 __all__ = [
     "WeightingFunction",
     "squared",
@@ -40,11 +42,16 @@ class WeightingFunction:
         fn: the raw mapping from metric value to penalty.
         scale: multiplier converting the unit penalty to cost-space
             (latency-equivalent) units.
+        array_fn: optional vectorized form of ``fn`` operating on a
+            whole ndarray at once.  All factories in this module supply
+            one; custom functions without it fall back to an element
+            loop in :meth:`apply_array`.
     """
 
     name: str
     fn: Callable[[float], float]
     scale: float = 100.0
+    array_fn: Callable[[np.ndarray], np.ndarray] | None = None
 
     def __post_init__(self) -> None:
         if self.scale < 0:
@@ -61,6 +68,27 @@ class WeightingFunction:
             )
         return result
 
+    def apply_array(self, values: np.ndarray) -> np.ndarray:
+        """Apply the weighting to a whole metric array in one shot.
+
+        Semantically identical to ``[self(v) for v in values]`` (same
+        validation, same floating-point operations) but evaluated with
+        array math when the factory supplied an ``array_fn``.
+        """
+        values = np.asarray(values, dtype=float)
+        if np.any(values < 0):
+            bad = float(values[values < 0][0])
+            raise ValueError(f"raw metric value {bad} must be non-negative")
+        if self.array_fn is None:
+            return np.array([self(v) for v in values], dtype=float)
+        result = self.array_fn(values) * self.scale
+        if np.any(result < 0):
+            bad = float(result[result < 0][0])
+            raise ValueError(
+                f"weighting function {self.name} produced negative cost {bad}"
+            )
+        return result
+
     def describe(self) -> str:
         return f"{self.name}(scale={self.scale})"
 
@@ -71,12 +99,12 @@ def squared(scale: float = 100.0) -> WeightingFunction:
     Mild load is nearly free; overload dominates the coordinate,
     "discouraging the use of overloaded nodes" (Figure 2).
     """
-    return WeightingFunction("squared", lambda v: v * v, scale)
+    return WeightingFunction("squared", lambda v: v * v, scale, array_fn=lambda v: v * v)
 
 
 def linear(scale: float = 100.0) -> WeightingFunction:
     """Penalty proportional to the metric."""
-    return WeightingFunction("linear", lambda v: v, scale)
+    return WeightingFunction("linear", lambda v: v, scale, array_fn=lambda v: v.copy())
 
 
 def exponential(steepness: float = 4.0, scale: float = 100.0) -> WeightingFunction:
@@ -91,7 +119,10 @@ def exponential(steepness: float = 4.0, scale: float = 100.0) -> WeightingFuncti
     def fn(value: float) -> float:
         return (math.exp(steepness * value) - 1.0) / denom
 
-    return WeightingFunction(f"exponential[{steepness}]", fn, scale)
+    def array_fn(values: np.ndarray) -> np.ndarray:
+        return (np.exp(steepness * values) - 1.0) / denom
+
+    return WeightingFunction(f"exponential[{steepness}]", fn, scale, array_fn=array_fn)
 
 
 def threshold(knee: float = 0.7, scale: float = 100.0) -> WeightingFunction:
@@ -104,9 +135,12 @@ def threshold(knee: float = 0.7, scale: float = 100.0) -> WeightingFunction:
             return 0.0
         return (value - knee) / (1.0 - knee)
 
-    return WeightingFunction(f"threshold[{knee}]", fn, scale)
+    def array_fn(values: np.ndarray) -> np.ndarray:
+        return np.where(values <= knee, 0.0, (values - knee) / (1.0 - knee))
+
+    return WeightingFunction(f"threshold[{knee}]", fn, scale, array_fn=array_fn)
 
 
 def zero() -> WeightingFunction:
     """Ignore the metric entirely (scalar dimension disabled)."""
-    return WeightingFunction("zero", lambda v: 0.0, 0.0)
+    return WeightingFunction("zero", lambda v: 0.0, 0.0, array_fn=np.zeros_like)

@@ -11,6 +11,19 @@ that makes cost spaces deployable in a wide-area SBON.
 This implementation follows the adaptive-timestep Vivaldi algorithm with
 confidence weights (the ``c_c``/``c_e`` constants of the paper) and
 supports an optional *height* component modelling access-link delay.
+
+Performance architecture (struct-of-arrays)
+-------------------------------------------
+
+:meth:`VivaldiSystem.run` applies a whole round of samples with array
+math: per probe slot, every node draws a random neighbor from one
+``np.random.Generator`` call and all n spring updates execute as a
+handful of (n, d) matrix expressions against the slot-start snapshot.
+Node state is gathered into contiguous arrays for the run and scattered
+back to the :class:`VivaldiNode` objects afterwards, so the per-node
+scalar API (``nodes[i].update``) stays available; the per-sample
+sequential loop is retained as :meth:`VivaldiSystem.run_sequential` for
+reference and comparison benchmarks.
 """
 
 from __future__ import annotations
@@ -153,13 +166,79 @@ class VivaldiSystem:
         self.latencies = latencies
         self.config = config or VivaldiConfig()
         self._rng = random.Random(seed)
+        self._np_rng = np.random.default_rng(seed)
         self.nodes = [
             VivaldiNode(self.config, self._rng) for _ in range(latencies.num_nodes)
         ]
         self.samples_used = 0
 
     def run(self, rounds: int = 50, neighbors_per_round: int = 8) -> None:
-        """Run ``rounds`` of gossip; each node probes random neighbors."""
+        """Run ``rounds`` of gossip; each node probes random neighbors.
+
+        The whole round is applied with array math: per probe slot,
+        every node's neighbor draw, error update, and spring step
+        execute as batched (n, d) expressions against the slot-start
+        snapshot (a synchronous variant of the per-sample update;
+        Vivaldi is robust to sample ordering by design).
+        """
+        if rounds < 0 or neighbors_per_round < 1:
+            raise ValueError("rounds must be >= 0 and neighbors_per_round >= 1")
+        n = self.latencies.num_nodes
+        if n < 2:
+            return
+        config = self.config
+        rng = self._np_rng
+        positions = np.array([node.position for node in self.nodes], dtype=float)
+        errors = np.array([node.error for node in self.nodes], dtype=float)
+        heights = np.array([node.height for node in self.nodes], dtype=float)
+        latency_matrix = self.latencies.values
+        rows = np.arange(n)
+
+        for _ in range(rounds * neighbors_per_round):
+            # Each node draws one neighbor j != i.
+            j = rng.integers(0, n - 1, size=n)
+            j += j >= rows
+            measured = latency_matrix[rows, j]
+
+            direction = positions - positions[j]
+            norm = np.sqrt(np.einsum("nd,nd->n", direction, direction))
+            predicted = norm + (heights + heights[j] if config.use_height else 0.0)
+            sample_error = np.abs(predicted - measured) / np.maximum(measured, 1e-9)
+
+            # Confidence-weighted adaptive timestep.
+            total_error = errors + errors[j]
+            weight = np.where(total_error > 0, errors / np.where(total_error > 0, total_error, 1.0), 0.5)
+            errors = sample_error * config.ce * weight + errors * (1 - config.ce * weight)
+            delta = config.cc * weight
+
+            # Coincident nodes repel in a random direction.
+            degenerate = norm < 1e-12
+            if np.any(degenerate):
+                direction[degenerate] = rng.standard_normal(
+                    (int(degenerate.sum()), config.dimensions)
+                )
+                norm[degenerate] = np.sqrt(
+                    np.einsum("nd,nd->n", direction[degenerate], direction[degenerate])
+                )
+            unit = direction / norm[:, None]
+
+            force = measured - predicted
+            positions = positions + (delta * force)[:, None] * unit
+            if config.use_height:
+                heights = np.maximum(0.0, heights + delta * force * 0.5)
+            self.samples_used += n
+
+        for i, node in enumerate(self.nodes):
+            node.position = positions[i]
+            node.error = float(errors[i])
+            node.height = float(heights[i])
+
+    def run_sequential(self, rounds: int = 50, neighbors_per_round: int = 8) -> None:
+        """Per-sample sequential gossip (reference implementation).
+
+        The pre-batching update loop, retained for equivalence studies
+        and before/after benchmarks; :meth:`run` is the production path.
+        """
         if rounds < 0 or neighbors_per_round < 1:
             raise ValueError("rounds must be >= 0 and neighbors_per_round >= 1")
         n = self.latencies.num_nodes
@@ -188,13 +267,17 @@ class VivaldiSystem:
     def relative_errors(self) -> np.ndarray:
         """Per-pair relative prediction errors (flattened upper triangle)."""
         n = self.latencies.num_nodes
-        errors = []
-        for i in range(n):
-            for j in range(i + 1, n):
-                actual = self.latencies.latency(i, j)
-                predicted = self.predicted_latency(i, j)
-                errors.append(abs(predicted - actual) / max(actual, 1e-9))
-        return np.array(errors)
+        if n < 2:
+            return np.zeros(0)
+        positions = self.coordinates()
+        diff = positions[:, None, :] - positions[None, :, :]
+        predicted = np.sqrt(np.einsum("uvd,uvd->uv", diff, diff))
+        if self.config.use_height:
+            heights = np.array([node.height for node in self.nodes])
+            predicted = predicted + heights[:, None] + heights[None, :]
+        upper = np.triu_indices(n, k=1)
+        actual = self.latencies.values[upper]
+        return np.abs(predicted[upper] - actual) / np.maximum(actual, 1e-9)
 
     def result(self) -> EmbeddingResult:
         """Summarize the embedding as an :class:`EmbeddingResult`."""

@@ -1,0 +1,235 @@
+"""Equivalence: vectorized kernels vs retained scalar references.
+
+The struct-of-arrays refactor keeps the pre-vectorization Python-loop
+implementations (``nearest_node_scalar``, ``nodes_within_scalar``,
+``sweep_scalar``, ``placement_*_scalar``) as ground truth; these tests
+assert the production vectorized paths reproduce them to 1e-9 on
+randomized inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import Circuit, Service
+from repro.core.coordinates import CostCoordinate
+from repro.core.cost_space import (
+    CostSpace,
+    CostSpaceSpec,
+    nearest_node_scalar,
+    nodes_within_scalar,
+)
+from repro.core import virtual_placement as vp
+from repro.core.weighting import exponential, linear, squared, threshold, zero
+from repro.query.operators import ServiceSpec
+
+
+@st.composite
+def spaces_and_targets(draw):
+    seed = draw(st.integers(min_value=0, max_value=1 << 16))
+    n = draw(st.integers(min_value=1, max_value=120))
+    vector_dims = draw(st.integers(min_value=1, max_value=3))
+    with_load = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    embedding = rng.uniform(-100.0, 100.0, size=(n, vector_dims))
+    if with_load:
+        spec = CostSpaceSpec.latency_load(vector_dims=vector_dims)
+        space = CostSpace.from_embedding(
+            spec, embedding, {"cpu_load": rng.uniform(0, 1, size=n)}
+        )
+        scalars = (float(rng.uniform(0, 100)),)
+    else:
+        spec = CostSpaceSpec.latency_only(vector_dims=vector_dims)
+        space = CostSpace.from_embedding(spec, embedding)
+        scalars = ()
+    target = CostCoordinate(
+        tuple(float(v) for v in rng.uniform(-100, 100, size=vector_dims)), scalars
+    )
+    num_excluded = draw(st.integers(min_value=0, max_value=max(0, n - 1)))
+    exclude = set(int(i) for i in rng.choice(n, size=num_excluded, replace=False))
+    return space, target, exclude, seed
+
+
+class TestCostSpaceQueries:
+    @given(spaces_and_targets())
+    @settings(max_examples=80, deadline=None)
+    def test_nearest_node_matches_scalar(self, case):
+        space, target, exclude, _ = case
+        assert space.nearest_node(target, exclude=exclude) == nearest_node_scalar(
+            space, target, exclude=exclude
+        )
+
+    @given(spaces_and_targets())
+    @settings(max_examples=80, deadline=None)
+    def test_nodes_within_matches_scalar(self, case):
+        space, target, exclude, seed = case
+        rng = np.random.default_rng(seed + 1)
+        radius = float(rng.uniform(0, 250))
+        assert space.nodes_within(target, radius, exclude=exclude) == (
+            nodes_within_scalar(space, target, radius, exclude=exclude)
+        )
+
+    @given(spaces_and_targets())
+    @settings(max_examples=40, deadline=None)
+    def test_distances_from_matches_pointwise(self, case):
+        space, target, _, _ = case
+        batched = space.distances_from(target)
+        pointwise = np.array(
+            [target.distance_to(space.coordinate(i)) for i in range(space.num_nodes)]
+        )
+        assert np.allclose(batched, pointwise, atol=1e-9)
+
+    @given(spaces_and_targets())
+    @settings(max_examples=40, deadline=None)
+    def test_nearest_nodes_batch_matches_single(self, case):
+        space, target, exclude, seed = case
+        rng = np.random.default_rng(seed + 2)
+        targets = [target]
+        for _ in range(4):
+            targets.append(
+                CostCoordinate(
+                    tuple(
+                        float(v)
+                        for v in rng.uniform(-100, 100, size=target.vector_dims)
+                    ),
+                    tuple(float(rng.uniform(0, 100)) for _ in target.scalar),
+                )
+            )
+        batched = space.nearest_nodes(targets, exclude=exclude)
+        singles = [space.nearest_node(t, exclude=exclude) for t in targets]
+        assert list(batched) == singles
+
+
+class TestWeightingArrays:
+    @pytest.mark.parametrize(
+        "weighting",
+        [squared(70.0), linear(30.0), exponential(3.0, 50.0), threshold(0.6, 80.0), zero()],
+        ids=lambda w: w.name,
+    )
+    def test_apply_array_matches_scalar(self, weighting):
+        rng = np.random.default_rng(11)
+        values = rng.uniform(0.0, 1.0, size=257)
+        batched = weighting.apply_array(values)
+        pointwise = np.array([weighting(v) for v in values])
+        assert np.allclose(batched, pointwise, atol=1e-9)
+
+    def test_apply_array_rejects_negative_input(self):
+        with pytest.raises(ValueError):
+            squared().apply_array(np.array([0.1, -0.2]))
+
+
+def random_circuit(seed: int, num_unpinned: int = 12, num_pinned: int = 4):
+    """A random connected circuit plus pinned vector positions."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(name="t")
+    pinned_positions = {}
+    for a in range(num_pinned):
+        sid = f"t/p{a}"
+        circuit.add_service(
+            Service(sid, ServiceSpec.relay(), pinned_node=a, producers=frozenset((f"P{a}",)))
+        )
+        pinned_positions[sid] = rng.uniform(-50.0, 50.0, size=2)
+    ids = list(circuit.services)
+    for i in range(num_unpinned):
+        sid = f"t/s{i}"
+        circuit.add_service(
+            Service(sid, ServiceSpec.join(), pinned_node=None, producers=frozenset((f"S{i}",)))
+        )
+        # Connect to an existing service (keeps the graph connected) and
+        # sometimes to a second one; zero rates exercise the skip path.
+        circuit.add_link(str(rng.choice(ids)), sid, float(rng.uniform(0.0, 8.0)))
+        if rng.random() < 0.7:
+            other = str(rng.choice(ids))
+            if other != sid:
+                circuit.add_link(other, sid, float(rng.uniform(0.0, 8.0)))
+        ids.append(sid)
+    return circuit, pinned_positions
+
+
+SWEEP_MODES = [
+    ("relaxation", True, False),
+    ("centroid", False, False),
+    ("weiszfeld", True, True),
+]
+
+
+class TestPlacementSweeps:
+    @pytest.mark.parametrize("mode,rate_weighted,distance_weighted", SWEEP_MODES)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matrix_sweep_matches_scalar_sweep(
+        self, seed, mode, rate_weighted, distance_weighted
+    ):
+        circuit, pinned_positions = random_circuit(seed)
+        positions, unpinned = vp._pinned_and_unpinned(circuit, pinned_positions)
+        arrays = vp._CircuitArrays(circuit, positions, unpinned)
+        center = np.mean(
+            [positions[sid] for sid in circuit.pinned_ids()], axis=0
+        )
+        scalar_positions = dict(positions)
+        scalar_positions.update({sid: center.copy() for sid in unpinned})
+
+        for _ in range(5):
+            move_vec = arrays.sweep(rate_weighted, distance_weighted)
+            move_ref = vp.sweep_scalar(
+                circuit, scalar_positions, unpinned, rate_weighted, distance_weighted
+            )
+            assert move_vec == pytest.approx(move_ref, abs=1e-9)
+            placed = arrays.unpinned_positions()
+            for sid in unpinned:
+                assert np.allclose(placed[sid], scalar_positions[sid], atol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_objectives_match_scalar(self, seed):
+        circuit, pinned_positions = random_circuit(seed)
+        placement = vp.relaxation_placement(circuit, pinned_positions)
+        positions = {sid: np.asarray(p) for sid, p in pinned_positions.items()}
+        positions.update(placement.positions)
+        assert vp.placement_energy(circuit, positions) == pytest.approx(
+            vp.placement_energy_scalar(circuit, positions), rel=1e-9
+        )
+        assert vp.placement_utilization(circuit, positions) == pytest.approx(
+            vp.placement_utilization_scalar(circuit, positions), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_full_placements_match_scalar_driver(self, seed):
+        """Whole runs agree: same sweeps, same convergence, same result."""
+        circuit, pinned_positions = random_circuit(seed, num_unpinned=20)
+        positions, unpinned = vp._pinned_and_unpinned(circuit, pinned_positions)
+        center = np.mean([positions[sid] for sid in circuit.pinned_ids()], axis=0)
+        positions.update({sid: center.copy() for sid in unpinned})
+        for _ in range(200):
+            if vp.sweep_scalar(circuit, positions, unpinned, True, False) < 1e-4:
+                break
+        placement = vp.relaxation_placement(circuit, pinned_positions)
+        for sid in unpinned:
+            assert np.allclose(placement.position_of(sid), positions[sid], atol=1e-9)
+
+
+class TestExactEquilibriumSolvers:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sparse_and_dense_solvers_agree(self, seed, monkeypatch):
+        if vp._sparse() is None:
+            pytest.skip("scipy not available")
+        circuit, pinned_positions = random_circuit(seed, num_unpinned=80)
+        monkeypatch.setattr(vp, "SPARSE_SOLVER_THRESHOLD", 1)
+        sparse = vp.exact_spring_equilibrium(circuit, pinned_positions)
+        monkeypatch.setattr(vp, "SPARSE_SOLVER_THRESHOLD", 1 << 30)
+        dense = vp.exact_spring_equilibrium(circuit, pinned_positions)
+        assert sparse.positions.keys() == dense.positions.keys()
+        for sid in sparse.positions:
+            assert np.allclose(
+                sparse.positions[sid], dense.positions[sid], atol=1e-7
+            )
+
+    def test_large_circuit_uses_sparse_path(self):
+        if vp._sparse() is None:
+            pytest.skip("scipy not available")
+        circuit, pinned_positions = random_circuit(1, num_unpinned=vp.SPARSE_SOLVER_THRESHOLD + 10)
+        result = vp.exact_spring_equilibrium(circuit, pinned_positions)
+        relax = vp.relaxation_placement(
+            circuit, pinned_positions, max_iterations=5000, tolerance=1e-10
+        )
+        for sid, pos in result.positions.items():
+            assert np.allclose(relax.position_of(sid), pos, atol=1e-4)

@@ -138,3 +138,69 @@ class TestQueries:
         matrix = space.full_matrix()
         assert np.all(matrix >= np.array(lows) - 1e-9)
         assert np.all(matrix <= np.array(highs) + 1e-9)
+
+
+class TestBatchedQueries:
+    def test_distances_from_accepts_coordinate_and_array(self):
+        space = load_space(loads=(0.0, 0.0, 0.0))
+        target = CostCoordinate((0.0, 0.0), (0.0,))
+        from_coord = space.distances_from(target)
+        from_array = space.distances_from(np.zeros(3))
+        assert np.allclose(from_coord, from_array)
+        assert from_coord[1] == pytest.approx(10.0)
+
+    def test_distances_from_rejects_bad_shape(self):
+        space = load_space()
+        with pytest.raises(ValueError):
+            space.distances_from(np.zeros(5))
+
+    def test_nearest_nodes_matches_singles(self):
+        space = load_space(loads=(0.0, 0.3, 0.9))
+        targets = [
+            CostCoordinate((9.0, 0.0), (0.0,)),
+            CostCoordinate((0.0, 9.0), (0.0,)),
+            CostCoordinate((1.0, 1.0), (0.0,)),
+        ]
+        batched = space.nearest_nodes(targets)
+        assert list(batched) == [space.nearest_node(t) for t in targets]
+
+    def test_nearest_nodes_empty_targets(self):
+        space = load_space()
+        assert space.nearest_nodes([]).shape == (0,)
+
+    def test_nearest_nodes_respects_exclusion(self):
+        space = load_space(loads=(0.0, 0.0, 0.0))
+        targets = np.array([[9.0, 0.0, 0.0]])
+        assert list(space.nearest_nodes(targets, exclude={1})) == [0]
+        with pytest.raises(ValueError):
+            space.nearest_nodes(targets, exclude={0, 1, 2})
+
+    def test_matrices_are_read_only_views(self):
+        space = load_space()
+        with pytest.raises(ValueError):
+            space.full_matrix()[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            space.vector_matrix()[0, 0] = 1.0
+
+    def test_update_vectors_batched(self):
+        space = load_space()
+        fresh = np.arange(6, dtype=float).reshape(3, 2)
+        space.update_vectors(fresh)
+        assert space.coordinate(2).vector == (4.0, 5.0)
+        with pytest.raises(ValueError):
+            space.update_vectors(np.zeros((2, 2)))
+
+    def test_scalar_penalties(self):
+        space = load_space(loads=(0.0, 0.5, 1.0))
+        penalties = space.scalar_penalties()
+        assert penalties[0] == pytest.approx(0.0)
+        assert penalties[1] == pytest.approx(25.0)
+        assert space.scalar_penalty(2) == pytest.approx(100.0)
+
+    def test_coordinate_views_refresh_after_update(self):
+        space = load_space(loads=(0.0, 0.0, 0.0))
+        before = space.coordinate(1)
+        space.update_metrics({"cpu_load": np.array([0.0, 1.0, 0.0])})
+        after = space.coordinate(1)
+        assert before.scalar == (0.0,)
+        assert after.scalar[0] == pytest.approx(100.0)

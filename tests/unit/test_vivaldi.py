@@ -86,6 +86,19 @@ class TestVivaldiSystem:
         with pytest.raises(ValueError):
             system.nodes[0].update(system.nodes[1], -1.0, system._rng)
 
+    def test_sequential_reference_also_embeds(self):
+        lm = LatencyMatrix.from_topology(grid_topology(4, 4))
+        system = VivaldiSystem(lm, seed=3)
+        system.run_sequential(rounds=40, neighbors_per_round=4)
+        assert system.samples_used == 16 * 40 * 4
+        batched = VivaldiSystem(lm, seed=3)
+        batched.run(rounds=40, neighbors_per_round=4)
+        # Same algorithm, different sample schedule: both must converge
+        # to comparable embedding quality.
+        sequential_err = float(np.median(system.relative_errors()))
+        batched_err = float(np.median(batched.relative_errors()))
+        assert batched_err < max(2.0 * sequential_err, 0.3)
+
     def test_height_model_keeps_height_non_negative(self):
         lm = LatencyMatrix.from_topology(grid_topology(3, 3))
         config = VivaldiConfig(use_height=True)
