@@ -7,11 +7,15 @@ hook prints all registered tables at the end of the run — so
 timings and the experiment tables the paper reports.
 
 Tables are also persisted under ``benchmarks/results/`` so that
-EXPERIMENTS.md can quote them verbatim.
+EXPERIMENTS.md can quote them verbatim.  Before/after kernel timings
+additionally go to machine-readable ``BENCH_<experiment>.json`` files
+(:func:`write_bench_json`) so the perf trajectory is tracked across
+PRs and CI uploads it as an artifact.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -51,3 +55,22 @@ def report(exp_id: str, title: str, headers: list[str], rows: list[list]) -> str
     (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
     print("\n" + text)
     return text
+
+
+def write_bench_json(exp_id: str, entries: list[dict], quick: bool = False) -> Path:
+    """Persist machine-readable before/after kernel timings.
+
+    Args:
+        exp_id: experiment id, e.g. ``"E17"``.
+        entries: one dict per measured kernel with keys ``op``, ``n``,
+            ``before_s``, ``after_s``, ``speedup``.
+        quick: True when run in CI smoke mode (smaller sizes).
+
+    Returns:
+        The path of the written ``BENCH_<exp_id>.json``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{exp_id}.json"
+    payload = {"experiment": exp_id, "quick": quick, "results": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -18,7 +18,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from _harness import report
+from _harness import report, write_bench_json
 from repro.core.circuit import Circuit, Service
 from repro.core.coordinates import CostCoordinate
 from repro.core.cost_space import (
@@ -181,6 +181,20 @@ def test_report_vectorized_speedups():
         + (" [quick]" if QUICK else ""),
         ["kernel", "n", "scalar ms/op", "vectorized ms/op", "speedup"],
         rows,
+    )
+    write_bench_json(
+        "E16",
+        [
+            {
+                "op": str(row[0]),
+                "n": int(row[1]),
+                "before_s": float(row[2]) / 1e3,
+                "after_s": float(row[3]) / 1e3,
+                "speedup": float(row[4]),
+            }
+            for row in rows
+        ],
+        quick=QUICK,
     )
     # Acceptance: ≥10× on the largest nearest_node sweep and on the
     # relaxation placement (both are far beyond 10× in practice).

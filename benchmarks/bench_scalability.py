@@ -1,8 +1,8 @@
-"""E8 — optimizer work at scale.
+"""E8 — optimizer work at scale; E17 — vectorized simulation engine.
 
 §2.2: network scale "is the nail in the coffin for traditional service
 placement techniques unless there is substantial guidance on where to
-focus the search".  This experiment quantifies the guidance:
+focus the search".  Experiment E8 quantifies the guidance:
 
   (a) optimizer work vs. overlay size — the integrated optimizer's
       placements-evaluated count is independent of node count (one
@@ -13,26 +13,52 @@ focus the search".  This experiment quantifies the guidance:
   (c) multi-query work vs. deployed-population size — radius pruning
       examines a near-constant candidate set while the unpruned
       optimizer examines every deployed service.
+
+Experiment E17 is the before/after evidence for the vectorized
+simulation engine: one full ``Simulation`` tick (load + latency drift +
+churn + cost-space refresh + re-optimization of every circuit + usage
+recording) on a 1000-node / 200-circuit overlay, measured through
+``step()`` (batched kernels) versus ``step_scalar()`` (the retained
+per-node / per-pair / per-candidate reference loops consuming identical
+RNG draws), plus batched versus scalar Hilbert key encoding.  Set
+``BENCH_QUICK=1`` for the small CI smoke sizes.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from functools import lru_cache
 
 import numpy as np
+import pytest
 
-from _harness import report
+from _harness import report, write_bench_json
+from repro.core.circuit import Circuit, Service
+from repro.core.cost_space import CostSpace, CostSpaceSpec
 from repro.core.multi_query import MultiQueryOptimizer
+from repro.dht.hilbert import hilbert_encode, hilbert_encode_batch
+from repro.network.dynamics import ChurnProcess, LatencyDriftProcess, LoadProcess
+from repro.network.latency import LatencyMatrix
 from repro.network.topology import random_geometric_topology
 from repro.query.generator import count_all_plans
+from repro.query.operators import ServiceSpec
 from repro.sbon.overlay import Overlay
+from repro.sbon.simulator import Simulation, SimulationConfig
 from repro.workloads.queries import WorkloadParams, random_query
 
 NODE_COUNTS = [50, 100, 200, 400]
 PRODUCER_COUNTS = [2, 3, 4, 6, 8]
 POPULATION_SIZES = [4, 8, 16, 32]
+
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+#: E17 sizes: (nodes, circuits, joins per circuit, hilbert keys).
+SIM_NODES, SIM_CIRCUITS, SIM_JOINS = (150, 30, 4) if QUICK else (1000, 200, 6)
+HILBERT_KEYS = 4000 if QUICK else 50000
+#: Quick mode shrinks the Python-loop / kernel gap; assert less there.
+SIM_SPEEDUP_FLOOR = 2.0 if QUICK else 10.0
+HILBERT_SPEEDUP_FLOOR = 10.0
 
 
 @lru_cache(maxsize=None)
@@ -118,6 +144,160 @@ def population_scaling():
         rows.append([population, pruned, unpruned,
                      f"{100 * pruned / max(unpruned, 1e-9):.0f}%"])
     return rows
+
+
+# -- E17: vectorized simulation engine ------------------------------------
+
+
+def _synthetic_simulation(seed: int = 0) -> Simulation:
+    """A 1000-node / 200-circuit simulation without optimizer warm-up.
+
+    The substrate is a random plane (Euclidean latencies; a valid
+    symmetric matrix), circuits are random join chains with random
+    initial placements, so the re-optimizer has real migration work
+    every tick.  Identical seeds build identical twins for the
+    ``step`` / ``step_scalar`` comparison.
+    """
+    n, num_circuits, joins = SIM_NODES, SIM_CIRCUITS, SIM_JOINS
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, 200.0, size=(n, 2))
+    diff = points[:, None, :] - points[None, :, :]
+    latencies = LatencyMatrix(np.sqrt((diff ** 2).sum(axis=-1)))
+    spec = CostSpaceSpec.latency_load(vector_dims=2)
+    space = CostSpace.from_embedding(spec, points, {"cpu_load": np.zeros(n)})
+    overlay = Overlay(latencies, space)
+    for c in range(num_circuits):
+        circuit = Circuit(name=f"c{c}")
+        producers = rng.choice(n, size=4, replace=False)
+        for a, node in enumerate(producers):
+            circuit.add_service(
+                Service(f"c{c}/p{a}", ServiceSpec.relay(), int(node), frozenset((f"P{a}",)))
+            )
+        prev = f"c{c}/p0"
+        for j in range(joins):
+            sid = f"c{c}/j{j}"
+            circuit.add_service(
+                Service(sid, ServiceSpec.join(), None, frozenset((f"P{j % 4}", f"X{j}")))
+            )
+            circuit.add_link(prev, sid, float(rng.uniform(1.0, 10.0)))
+            circuit.add_link(f"c{c}/p{(j % 3) + 1}", sid, float(rng.uniform(1.0, 10.0)))
+            circuit.assign(sid, int(rng.integers(n)))
+            prev = sid
+        sink = f"c{c}/sink"
+        circuit.add_service(
+            Service(sink, ServiceSpec.relay(), int(rng.integers(n)), frozenset(("ALL",)))
+        )
+        circuit.add_link(prev, sink, float(rng.uniform(1.0, 10.0)))
+        overlay.install_circuit(circuit)
+    return Simulation(
+        overlay,
+        load_process=LoadProcess(n, sigma=0.05, seed=seed + 1),
+        latency_drift=LatencyDriftProcess(latencies, drift_sigma=0.02, seed=seed + 2),
+        churn=ChurnProcess(n, fail_prob=0.0002, recover_prob=0.1, seed=seed + 3),
+        config=SimulationConfig(reopt_interval=1, migration_threshold=0.01),
+    )
+
+
+@lru_cache(maxsize=1)
+def simulation_tick_timings() -> tuple[float, float]:
+    """(scalar tick seconds, vectorized tick seconds) on twin sims.
+
+    Both twins advance tick 1 through the vectorized path (warm-up:
+    kernel/caches compile, RNG streams stay aligned), then tick 2 is
+    timed — ``step_scalar`` on one twin, ``step`` on the other, so the
+    measured work is identical by the equivalence property.
+    """
+    vectorized, scalar = _synthetic_simulation(), _synthetic_simulation()
+    vectorized.step()
+    scalar.step()
+    start = time.perf_counter()
+    vectorized.step()
+    t_vector = time.perf_counter() - start
+    start = time.perf_counter()
+    scalar.step_scalar()
+    t_scalar = time.perf_counter() - start
+    return t_scalar, t_vector
+
+
+@lru_cache(maxsize=1)
+def hilbert_timings() -> tuple[float, float]:
+    """(scalar, batched) seconds to encode ``HILBERT_KEYS`` 3-d keys."""
+    rng = np.random.default_rng(11)
+    bits = 10
+    coords = rng.integers(0, 1 << bits, size=(HILBERT_KEYS, 3))
+    start = time.perf_counter()
+    reference = [hilbert_encode(tuple(int(c) for c in row), bits) for row in coords]
+    t_scalar = time.perf_counter() - start
+    start = time.perf_counter()
+    batched = hilbert_encode_batch(coords, bits)
+    t_batch = time.perf_counter() - start
+    assert [int(k) for k in batched] == reference  # exact, not just fast
+    return t_scalar, t_batch
+
+
+def test_report_simulation_engine():
+    sim_scalar, sim_vector = simulation_tick_timings()
+    hil_scalar, hil_batch = hilbert_timings()
+    rows = [
+        [
+            f"simulation tick ({SIM_CIRCUITS} circuits, reopt every tick)",
+            SIM_NODES,
+            sim_scalar * 1e3,
+            sim_vector * 1e3,
+            sim_scalar / sim_vector,
+        ],
+        [
+            "hilbert_encode (3-d, 10-bit keys)",
+            HILBERT_KEYS,
+            hil_scalar * 1e3,
+            hil_batch * 1e3,
+            hil_scalar / hil_batch,
+        ],
+    ]
+    report(
+        "E17",
+        "Vectorized simulation engine: scalar reference vs batched kernels"
+        + (" [quick]" if QUICK else ""),
+        ["kernel", "n", "scalar ms", "vectorized ms", "speedup"],
+        rows,
+    )
+    write_bench_json(
+        "E17",
+        [
+            {
+                "op": "simulation_tick",
+                "n": SIM_NODES,
+                "circuits": SIM_CIRCUITS,
+                "before_s": sim_scalar,
+                "after_s": sim_vector,
+                "speedup": sim_scalar / sim_vector,
+            },
+            {
+                "op": "hilbert_encode_batch",
+                "n": HILBERT_KEYS,
+                "before_s": hil_scalar,
+                "after_s": hil_batch,
+                "speedup": hil_scalar / hil_batch,
+            },
+        ],
+        quick=QUICK,
+    )
+    assert sim_scalar / sim_vector >= SIM_SPEEDUP_FLOOR
+    assert hil_scalar / hil_batch >= HILBERT_SPEEDUP_FLOOR
+
+
+def test_simulation_tick_matches_scalar_reference():
+    """Twin sims stepped via step() / step_scalar() agree at 1e-9."""
+    vectorized, scalar = _synthetic_simulation(seed=5), _synthetic_simulation(seed=5)
+    for _ in range(2):
+        rv = vectorized.step()
+        rs = scalar.step_scalar()
+        assert rv.migrations == rs.migrations
+        assert rv.failures == rs.failures
+        assert rv.network_usage == pytest.approx(rs.network_usage, rel=1e-9, abs=1e-9)
+        assert rv.mean_load == pytest.approx(rs.mean_load, rel=1e-9, abs=1e-9)
+    for name, circuit in vectorized.overlay.circuits.items():
+        assert circuit.placement == scalar.overlay.circuits[name].placement
 
 
 def test_report_scalability(benchmark):

@@ -161,6 +161,7 @@ class CostSpace:
         self._coord_cache: list[CostCoordinate] | None = (
             list(coordinates) if coordinates else None
         )
+        self._penalty_cache: np.ndarray | None = None
 
     @classmethod
     def _from_matrix(cls, spec: CostSpaceSpec, matrix: np.ndarray) -> "CostSpace":
@@ -168,6 +169,7 @@ class CostSpace:
         space = cls(spec=spec)
         space._matrix = np.ascontiguousarray(matrix, dtype=float)
         space._coord_cache = None
+        space._penalty_cache = None
         return space
 
     def _check_shape(self, coord: CostCoordinate) -> None:
@@ -278,9 +280,17 @@ class CostSpace:
         return float(np.linalg.norm(self._matrix[node, self.spec.vector_dims:]))
 
     def scalar_penalties(self) -> np.ndarray:
-        """Per-node scalar penalties in one vectorized pass."""
-        scalars = self._matrix[:, self.spec.vector_dims:]
-        return np.sqrt(np.einsum("ns,ns->n", scalars, scalars))
+        """Per-node scalar penalties, cached until the next update.
+
+        The re-optimizer prices thousands of candidate migrations per
+        tick against the same snapshot; the cache makes each lookup an
+        O(1) fancy-index instead of an O(n) reduction.
+        """
+        if self._penalty_cache is None:
+            scalars = self._matrix[:, self.spec.vector_dims:]
+            self._penalty_cache = np.sqrt(np.einsum("ns,ns->n", scalars, scalars))
+            self._penalty_cache.flags.writeable = False
+        return self._penalty_cache
 
     # -- updates ---------------------------------------------------------
 
@@ -290,6 +300,7 @@ class CostSpace:
         columns = self._weighted_scalars(self.spec, metrics, n)
         self._matrix[:, self.spec.vector_dims:] = columns.T
         self._coord_cache = None
+        self._penalty_cache = None
 
     def update_vector(self, node: int, vector: np.ndarray | list[float]) -> None:
         """Replace one node's vector part (embedding refinement)."""
@@ -301,6 +312,7 @@ class CostSpace:
             )
         self._matrix[node, : self.spec.vector_dims] = vector
         self._coord_cache = None
+        self._penalty_cache = None
 
     def update_vectors(self, embedding: np.ndarray) -> None:
         """Replace every node's vector part in one batched write."""
@@ -312,6 +324,7 @@ class CostSpace:
             )
         self._matrix[:, : self.spec.vector_dims] = embedding
         self._coord_cache = None
+        self._penalty_cache = None
 
     # -- queries ---------------------------------------------------------
 
@@ -389,16 +402,23 @@ class CostSpace:
         )
         # Squared distances suffice for the argmin; ties resolve to the
         # lowest index, matching the scalar reference scan.  Direct
-        # differences (not the expanded cross-term form) keep the
-        # per-element rounding identical to single-target queries.
-        # Targets are processed in chunks so the (chunk, n, dims)
-        # difference tensor stays bounded regardless of circuit size.
-        chunk = max(1, _BATCH_ELEMENT_BUDGET // max(n * self.spec.dims, 1))
+        # per-dimension differences accumulated in place (not the
+        # expanded cross-term form) keep the arithmetic shape of
+        # single-target queries — no catastrophic cancellation — while
+        # avoiding the (chunk, n, dims) intermediate tensor.  Targets
+        # are chunked so the (chunk, n) buffers stay bounded.
+        chunk = max(1, _BATCH_ELEMENT_BUDGET // max(n, 1))
         result = np.empty(t.shape[0], dtype=int)
         for start in range(0, t.shape[0], chunk):
             block = t[start:start + chunk]
-            diff = block[:, None, :] - self._matrix[None, :, :]
-            d2 = np.einsum("mnd,mnd->mn", diff, diff)
+            d2: np.ndarray | None = None
+            for k in range(self.spec.dims):
+                part = np.subtract.outer(block[:, k], self._matrix[:, k])
+                np.multiply(part, part, out=part)
+                if d2 is None:
+                    d2 = part
+                else:
+                    np.add(d2, part, out=d2)
             if excluded:
                 d2[:, excluded] = np.inf
             if not np.all(np.isfinite(d2.min(axis=1))):

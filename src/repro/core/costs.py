@@ -70,6 +70,14 @@ class CostEvaluator(Protocol):
         """Scalar (load) penalty of hosting on ``node``."""
         ...
 
+    def latency_array(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Batched :meth:`latency` over parallel node-index arrays."""
+        ...
+
+    def penalty_array(self, nodes: np.ndarray) -> np.ndarray:
+        """Batched :meth:`node_penalty` over a node-index array."""
+        ...
+
     def evaluate(self, circuit: Circuit, load_weight: float = 1.0) -> CircuitCost:
         """Price a fully placed circuit."""
         ...
@@ -159,6 +167,15 @@ class CostSpaceEvaluator:
     def node_penalty(self, node: int) -> float:
         return self.cost_space.scalar_penalty(node)
 
+    def latency_array(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        vectors = self.cost_space.vector_matrix()
+        diff = vectors[u] - vectors[v]
+        np.multiply(diff, diff, out=diff)
+        return np.sqrt(diff.sum(axis=1))
+
+    def penalty_array(self, nodes: np.ndarray) -> np.ndarray:
+        return self.cost_space.scalar_penalties()[nodes]
+
     def evaluate(self, circuit: Circuit, load_weight: float = 1.0) -> CircuitCost:
         return _evaluate(circuit, self.latency, self.node_penalty, load_weight)
 
@@ -193,6 +210,12 @@ class GroundTruthEvaluator:
 
     def node_penalty(self, node: int) -> float:
         return self.load_weighting(float(self.loads[node]))
+
+    def latency_array(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        return self.latencies.values[u, v]
+
+    def penalty_array(self, nodes: np.ndarray) -> np.ndarray:
+        return self.load_weighting.apply_array(self.loads[nodes])
 
     def update_loads(self, loads: np.ndarray | list[float]) -> None:
         """Refresh the true load vector (driven by the simulator)."""

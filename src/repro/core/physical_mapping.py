@@ -177,10 +177,13 @@ def build_catalog(
     mapper = HilbertMapper(lows, highs, bits=bits)
     catalog = CoordinateCatalog(mapper, ring_size=ring_size)
     full = cost_space.full_matrix()
-    for node in range(cost_space.num_nodes):
-        if alive is not None and not alive[node]:
-            continue
-        catalog.publish(node, full[node].copy())
+    nodes = [
+        node
+        for node in range(cost_space.num_nodes)
+        if alive is None or alive[node]
+    ]
+    if nodes:
+        catalog.publish_batch(nodes, full[nodes])
     return catalog
 
 

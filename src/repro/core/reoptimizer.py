@@ -14,10 +14,40 @@ The paper describes two recovery mechanisms, both implemented here:
   integrated optimization while the original circuit still runs; if the
   new candidate is sufficiently cheaper, a "parallel circuit" replaces
   the original.
+
+Performance architecture (struct-of-arrays)
+-------------------------------------------
+
+Each circuit compiles once into a :class:`_CircuitKernel` — a CSR-style
+(service, neighbor, rate) incidence index plus flat link-endpoint
+arrays, mirroring the virtual-placement ``_CircuitArrays`` discipline.
+A local pass then:
+
+1. computes the spring targets of *all* unpinned services in one
+   segment-sum over the current host positions (Jacobi snapshot: all
+   targets and candidate nodes are derived from the placement at the
+   start of the pass, like the simultaneous placement sweeps of PR 1 —
+   a deliberate semantic change from the earlier in-place recomputation
+   after each accepted migration; repeated passes converge to the same
+   stable placements, and the scalar references below implement the
+   *same* snapshot semantics so equivalence is testable);
+2. maps all targets in one batched ``map_coordinates`` call (a single
+   chunked cost-space pass, shared across *all* circuits in
+   :meth:`Reoptimizer.step_all`);
+3. prices each candidate migration with vectorized link reductions
+   (``evaluator.latency_array`` / ``penalty_array``) while keeping the
+   accept/revert decisions sequential, so the hysteresis threshold
+   always compares against the up-to-date total.
+
+The pre-vectorization per-candidate ``evaluator.evaluate`` loops are
+retained as ``local_step_scalar`` / ``evacuate_scalar`` references and
+pinned to the production kernels at 1e-9 by
+``tests/property/test_vectorized_equivalence.py``.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -75,6 +105,116 @@ class ReoptimizationReport:
         return self.cost_before.total - self.cost_after.total
 
 
+class _CircuitKernel:
+    """Flat link/incidence arrays of one circuit (structure only).
+
+    Placement-independent: compiled once per circuit structure and
+    reused across passes/ticks; the per-pass state is a ``hosts`` int
+    array indexed by service row.
+
+    Attributes:
+        sids: all service ids, row order.
+        unpinned_sids / unpinned_rows: the migratable services.
+        link_src / link_dst / link_rates: flat link-endpoint rows.
+        inc_seg / inc_nbr / inc_rates: CSR-style (unpinned service,
+            neighbor row, link rate) incidence entries, grouped by
+            service in circuit-link order — exactly the enumeration
+            ``circuit.neighbors`` produces.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.sids = list(circuit.services)
+        self.row_of = {sid: i for i, sid in enumerate(self.sids)}
+        self.unpinned_sids = circuit.unpinned_ids()
+        unpinned_pos = {sid: k for k, sid in enumerate(self.unpinned_sids)}
+        self.unpinned_rows = np.array(
+            [self.row_of[sid] for sid in self.unpinned_sids], dtype=int
+        )
+        src, dst, rates = [], [], []
+        seg, nbr, inc_rates = [], [], []
+        for link in circuit.links:
+            s_row = self.row_of[link.source]
+            t_row = self.row_of[link.target]
+            src.append(s_row)
+            dst.append(t_row)
+            rates.append(link.rate)
+            if link.source in unpinned_pos:
+                seg.append(unpinned_pos[link.source])
+                nbr.append(t_row)
+                inc_rates.append(link.rate)
+            if link.target in unpinned_pos:
+                seg.append(unpinned_pos[link.target])
+                nbr.append(s_row)
+                inc_rates.append(link.rate)
+        self.link_src = np.asarray(src, dtype=int)
+        self.link_dst = np.asarray(dst, dtype=int)
+        self.link_rates = np.asarray(rates, dtype=float)
+        order = np.argsort(np.asarray(seg, dtype=int), kind="stable")
+        self.inc_seg = np.asarray(seg, dtype=int)[order]
+        self.inc_nbr = np.asarray(nbr, dtype=int)[order]
+        self.inc_rates = np.asarray(inc_rates, dtype=float)[order]
+        m = len(self.unpinned_sids)
+        self.seg_weight = np.zeros(m)
+        np.add.at(self.seg_weight, self.inc_seg, self.inc_rates)
+        self.seg_count = np.bincount(self.inc_seg, minlength=m)
+
+    def hosts(self, circuit: Circuit) -> np.ndarray:
+        """Current placement as a row-indexed node array."""
+        placement = circuit.placement
+        return np.fromiter(
+            (placement[sid] for sid in self.sids), dtype=int, count=len(self.sids)
+        )
+
+    def targets(self, hosts: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        """Spring target of every unpinned service, one segment-sum pass.
+
+        Matches ``Reoptimizer._local_target``: rate-weighted centroid
+        of the neighbors' host vectors; unweighted mean when all rates
+        are zero; the service's own host vector when isolated.
+        """
+        m = len(self.unpinned_sids)
+        dims = vectors.shape[1]
+        points = vectors[hosts[self.inc_nbr]]
+        weighted = np.zeros((m, dims))
+        np.add.at(weighted, self.inc_seg, self.inc_rates[:, None] * points)
+        out = np.empty((m, dims))
+        has_weight = self.seg_weight > 0
+        out[has_weight] = (
+            weighted[has_weight] / self.seg_weight[has_weight, None]
+        )
+        zero_weight = ~has_weight & (self.seg_count > 0)
+        if np.any(zero_weight):
+            sums = np.zeros((m, dims))
+            np.add.at(sums, self.inc_seg, points)
+            out[zero_weight] = (
+                sums[zero_weight] / self.seg_count[zero_weight, None]
+            )
+        isolated = self.seg_count == 0
+        if np.any(isolated):
+            out[isolated] = vectors[hosts[self.unpinned_rows[isolated]]]
+        return out
+
+    def total(
+        self, hosts: np.ndarray, evaluator: CostEvaluator, load_weight: float
+    ) -> float:
+        """Scalarized circuit total (usage + weighted load penalty).
+
+        Colocated links contribute zero latency in both evaluators, so
+        no explicit ``u != v`` mask is needed.
+        """
+        usage = float(
+            np.dot(
+                self.link_rates,
+                evaluator.latency_array(
+                    hosts[self.link_src], hosts[self.link_dst]
+                ),
+            )
+        )
+        distinct = list({int(h) for h in hosts[self.unpinned_rows]})
+        penalty = float(evaluator.penalty_array(np.asarray(distinct)).sum())
+        return usage + load_weight * penalty
+
+
 class Reoptimizer:
     """Re-optimizes running circuits against a *current* cost space.
 
@@ -89,6 +229,10 @@ class Reoptimizer:
         migration_threshold: minimum *relative* total-cost improvement
             required to perform a migration (hysteresis).
         load_weight: load-penalty weight, as in the optimizers.
+        kernel_cache: optional dict that persists compiled circuit
+            kernels across Reoptimizer instances (the simulator passes
+            one so structure is compiled once per circuit, not per
+            tick).
     """
 
     def __init__(
@@ -98,6 +242,7 @@ class Reoptimizer:
         evaluator: CostEvaluator | None = None,
         migration_threshold: float = 0.02,
         load_weight: float = 1.0,
+        kernel_cache: dict | None = None,
     ):
         if migration_threshold < 0:
             raise ValueError("migration_threshold must be non-negative")
@@ -106,17 +251,113 @@ class Reoptimizer:
         self.evaluator = evaluator or CostSpaceEvaluator(cost_space)
         self.migration_threshold = migration_threshold
         self.load_weight = load_weight
+        self._kernels = kernel_cache if kernel_cache is not None else {}
+
+    def _kernel(self, circuit: Circuit) -> _CircuitKernel:
+        # Keyed by name, validated by object identity via weakref: a
+        # replaced (or GC'd-and-reallocated) circuit can never be
+        # served a stale kernel, and dead entries are overwritten.
+        cached = self._kernels.get(circuit.name)
+        if cached is not None:
+            ref, kernel = cached
+            if ref() is circuit:
+                return kernel
+        kernel = _CircuitKernel(circuit)
+        self._kernels[circuit.name] = (weakref.ref(circuit), kernel)
+        return kernel
 
     # -- local re-optimization ----------------------------------------------
+
+    def _full_targets(
+        self, kernel: _CircuitKernel, hosts: np.ndarray
+    ) -> np.ndarray:
+        """(m, dims) target coordinates with ideal (zero) scalar parts."""
+        vectors = self.cost_space.vector_matrix()
+        targets = np.zeros((len(kernel.unpinned_sids), self.cost_space.spec.dims))
+        targets[:, : self.cost_space.spec.vector_dims] = kernel.targets(
+            hosts, vectors
+        )
+        return targets
+
+    def _accept_pass(
+        self,
+        circuit: Circuit,
+        kernel: _CircuitKernel,
+        hosts: np.ndarray,
+        candidates: np.ndarray,
+    ) -> tuple[list[Migration], float]:
+        """Sequential accept/revert sweep over pre-mapped candidates.
+
+        Prices each candidate with vectorized kernel totals; accepted
+        migrations update ``hosts`` and the circuit placement, so later
+        decisions see them (Gauss–Seidel pricing over Jacobi targets).
+
+        Returns:
+            (migrations, final total).
+        """
+        current_total = kernel.total(hosts, self.evaluator, self.load_weight)
+        migrations: list[Migration] = []
+        for k, sid in enumerate(kernel.unpinned_sids):
+            row = kernel.unpinned_rows[k]
+            old_node = int(hosts[row])
+            candidate = int(candidates[k])
+            if candidate == old_node:
+                continue
+            hosts[row] = candidate
+            new_total = kernel.total(hosts, self.evaluator, self.load_weight)
+            if new_total < current_total * (1 - self.migration_threshold):
+                circuit.assign(sid, candidate)
+                migrations.append(
+                    Migration(
+                        service_id=sid,
+                        from_node=old_node,
+                        to_node=candidate,
+                        cost_before=current_total,
+                        cost_after=new_total,
+                    )
+                )
+                current_total = new_total
+            else:
+                hosts[row] = old_node
+        return migrations, current_total
 
     def local_step(self, circuit: Circuit) -> ReoptimizationReport:
         """One decentralized pass: re-place and maybe migrate each service.
 
-        For every unpinned service (in isolation, holding the others
-        fixed — exactly what its host can do locally): recompute the
-        ideal coordinate from current neighbor positions, remap it, and
-        migrate if the circuit total improves by more than the
-        threshold.
+        Targets and candidate nodes for every unpinned service are
+        computed from the placement at the start of the pass (one
+        segment-sum + one batched mapping); accept decisions are
+        sequential against the up-to-date circuit total, migrating only
+        when the total improves by more than the threshold.
+        """
+        if not circuit.is_fully_placed():
+            raise ValueError("circuit must be placed before re-optimization")
+        report = ReoptimizationReport()
+        report.cost_before = self.evaluator.evaluate(
+            circuit, load_weight=self.load_weight
+        )
+        kernel = self._kernel(circuit)
+        if not kernel.unpinned_sids:
+            report.cost_after = report.cost_before
+            return report
+        hosts = kernel.hosts(circuit)
+        candidates, _ = self.mapper.map_coordinates(
+            self._full_targets(kernel, hosts)
+        )
+        report.migrations, _ = self._accept_pass(circuit, kernel, hosts, candidates)
+        report.cost_after = (
+            self.evaluator.evaluate(circuit, load_weight=self.load_weight)
+            if report.migrations
+            else report.cost_before
+        )
+        return report
+
+    def local_step_scalar(self, circuit: Circuit) -> ReoptimizationReport:
+        """Per-candidate ``evaluator.evaluate`` loop (retained reference).
+
+        Same Jacobi-snapshot semantics as :meth:`local_step`, priced
+        with the pre-vectorization full-circuit evaluation per
+        candidate.
         """
         if not circuit.is_fully_placed():
             raise ValueError("circuit must be placed before re-optimization")
@@ -126,11 +367,13 @@ class Reoptimizer:
         )
         current_cost = report.cost_before
         scalar_dims = len(self.cost_space.spec.scalar_dimensions)
+        targets = {
+            sid: self._local_target(circuit, sid) for sid in circuit.unpinned_ids()
+        }
 
         for sid in circuit.unpinned_ids():
-            target_vector = self._local_target(circuit, sid)
             target = CostCoordinate.from_arrays(
-                target_vector, np.zeros(scalar_dims)
+                targets[sid], np.zeros(scalar_dims)
             )
             candidate_node, _ = self.mapper.map_coordinate(target)
             old_node = circuit.host_of(sid)
@@ -155,6 +398,48 @@ class Reoptimizer:
 
         report.cost_after = current_cost
         return report
+
+    def step_all(self, circuits: list[Circuit]) -> list[ReoptimizationReport]:
+        """One local pass over many circuits, mapped in a single batch.
+
+        All circuits' spring targets are stacked into **one**
+        ``map_coordinates`` call (one chunked cost-space pass for the
+        whole tick); accepts then run per circuit as in
+        :meth:`local_step`.  Reports carry migrations only — the full
+        :class:`CircuitCost` breakdowns (which need the consumer-latency
+        DP) are skipped in this bulk path.
+        """
+        reports = [ReoptimizationReport() for _ in circuits]
+        kernels: list[_CircuitKernel] = []
+        hosts_list: list[np.ndarray] = []
+        chunks: list[np.ndarray] = []
+        active: list[int] = []
+        for i, circuit in enumerate(circuits):
+            if not circuit.is_fully_placed():
+                raise ValueError("circuit must be placed before re-optimization")
+            kernel = self._kernel(circuit)
+            if not kernel.unpinned_sids:
+                continue
+            hosts = kernel.hosts(circuit)
+            kernels.append(kernel)
+            hosts_list.append(hosts)
+            chunks.append(self._full_targets(kernel, hosts))
+            active.append(i)
+        if not active:
+            return reports
+        candidates, _ = self.mapper.map_coordinates(np.vstack(chunks))
+        offset = 0
+        for kernel, hosts, i in zip(kernels, hosts_list, active):
+            m = len(kernel.unpinned_sids)
+            reports[i].migrations, _ = self._accept_pass(
+                circuits[i], kernel, hosts, candidates[offset : offset + m]
+            )
+            offset += m
+        return reports
+
+    def step_all_scalar(self, circuits: list[Circuit]) -> list[ReoptimizationReport]:
+        """Per-circuit scalar passes (retained reference for step_all)."""
+        return [self.local_step_scalar(circuit) for circuit in circuits]
 
     def _local_target(self, circuit: Circuit, service_id: str) -> np.ndarray:
         """Rate-weighted centroid of a service's neighbors' current hosts.
@@ -294,18 +579,57 @@ class Reoptimizer:
     # -- failure handling -------------------------------------------------
 
     def evacuate(self, circuit: Circuit, failed_node: int) -> list[Migration]:
-        """Force services off a failed node, ignoring thresholds."""
+        """Force services off a failed node, ignoring thresholds.
+
+        Targets are snapshot at entry; per-service before/after totals
+        come from the vectorized kernel.
+        """
+        migrations: list[Migration] = []
+        was_excluded = failed_node in self.mapper.excluded
+        self.mapper.exclude(failed_node)
+        try:
+            kernel = self._kernel(circuit)
+            hosts = kernel.hosts(circuit)
+            affected = [
+                k
+                for k, row in enumerate(kernel.unpinned_rows)
+                if hosts[row] == failed_node
+            ]
+            if not affected:
+                return migrations
+            targets = self._full_targets(kernel, hosts)[affected]
+            candidates, _ = self.mapper.map_coordinates(targets)
+            for k, candidate in zip(affected, candidates):
+                sid = kernel.unpinned_sids[k]
+                row = kernel.unpinned_rows[k]
+                before = kernel.total(hosts, self.evaluator, self.load_weight)
+                hosts[row] = int(candidate)
+                circuit.assign(sid, int(candidate))
+                after = kernel.total(hosts, self.evaluator, self.load_weight)
+                migrations.append(
+                    Migration(sid, failed_node, int(candidate), before, after)
+                )
+        finally:
+            if not was_excluded:
+                self.mapper.include(failed_node)
+        return migrations
+
+    def evacuate_scalar(self, circuit: Circuit, failed_node: int) -> list[Migration]:
+        """Per-candidate evaluate loop (retained reference for evacuate)."""
         migrations: list[Migration] = []
         was_excluded = failed_node in self.mapper.excluded
         self.mapper.exclude(failed_node)
         try:
             scalar_dims = len(self.cost_space.spec.scalar_dimensions)
-            for sid in circuit.unpinned_ids():
-                if circuit.host_of(sid) != failed_node:
-                    continue
-                target_vector = self._local_target(circuit, sid)
+            affected = [
+                sid
+                for sid in circuit.unpinned_ids()
+                if circuit.host_of(sid) == failed_node
+            ]
+            targets = {sid: self._local_target(circuit, sid) for sid in affected}
+            for sid in affected:
                 target = CostCoordinate.from_arrays(
-                    target_vector, np.zeros(scalar_dims)
+                    targets[sid], np.zeros(scalar_dims)
                 )
                 before = self.evaluator.evaluate(
                     circuit, load_weight=self.load_weight

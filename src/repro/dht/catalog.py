@@ -100,6 +100,7 @@ class CoordinateCatalog:
                 raise ValueError("ring must have at least one node")
         self.ring = ring
         self._published: dict[int, CatalogEntry] = {}
+        self._keys: dict[int, int] = {}
 
     # -- publishing ------------------------------------------------------
 
@@ -117,9 +118,51 @@ class CoordinateCatalog:
             self.withdraw(physical_node)
         self.ring.put(key, entry)
         self._published[physical_node] = entry
-        self._keys = getattr(self, "_keys", {})
         self._keys[physical_node] = key
         return key
+
+    def publish_batch(
+        self,
+        physical_nodes: list[int],
+        coordinates: np.ndarray,
+        route: bool = False,
+    ) -> list[int]:
+        """Publish many coordinates at once; returns their DHT keys.
+
+        All Hilbert keys are computed in one batched encode pass
+        (:meth:`HilbertMapper.keys_for`).  With ``route=False`` (the
+        default) entries are stored directly at their ground-truth
+        owners via one ``np.searchsorted`` pass — bulk catalog builds
+        do not need per-entry routing hops; pass ``route=True`` to go
+        through hop-counted :meth:`ChordRing.put` like :meth:`publish`.
+        """
+        coordinates = np.asarray(coordinates, dtype=float)
+        if coordinates.ndim != 2 or coordinates.shape[0] != len(physical_nodes):
+            raise ValueError("coordinates must be (len(physical_nodes), dims)")
+        base_keys = self.mapper.keys_for(coordinates)
+        spare_bits = self.ring.id_bits - self.mapper.key_bits
+        keys = []
+        for node, base in zip(physical_nodes, base_keys):
+            base = int(base)
+            if spare_bits > 0:
+                keys.append((base << spare_bits) | hash_to_id(node, spare_bits))
+            else:
+                keys.append(base)
+        for node in physical_nodes:
+            if node in self._published:
+                self.withdraw(node)
+        if route or self.ring.id_bits > 62:
+            owners = [self.ring.lookup(key).owner for key in keys]
+        else:
+            owners = [int(o) for o in self.ring.owners_of(np.asarray(keys))]
+        for node, coordinate, key, owner in zip(
+            physical_nodes, coordinates, keys, owners
+        ):
+            entry = CatalogEntry(node, tuple(float(v) for v in coordinate))
+            self.ring.node(owner).store[key % self.ring.modulus] = entry
+            self._published[node] = entry
+            self._keys[node] = key
+        return keys
 
     def withdraw(self, physical_node: int) -> None:
         """Remove a node's published coordinate (e.g., on failure)."""

@@ -12,6 +12,18 @@ The simulation is *structurally* faithful (lookups route only through
 finger/successor pointers) but runs in one process: joins rebuild
 affected state directly rather than via background stabilization, which
 keeps experiments deterministic.
+
+Performance architecture (struct-of-arrays)
+-------------------------------------------
+
+Ground-truth successor resolution is answered by ``np.searchsorted``
+over a cached sorted ring-id array: :meth:`ChordRing.owners_of` maps a
+whole key batch in one pass, and :meth:`_rebuild_pointers` computes
+every node's finger table from a single ``(n, id_bits)`` vectorized
+lookup (identifier spaces beyond 62 bits fall back to the retained
+bisect path, ``_owner_of``, which also remains the reference for
+``verify_invariants``).  Routing itself (:meth:`lookup`) intentionally
+stays a pointer-chasing loop — counted hops are the experiment metric.
 """
 
 from __future__ import annotations
@@ -19,6 +31,8 @@ from __future__ import annotations
 import bisect
 import hashlib
 from dataclasses import dataclass, field
+
+import numpy as np
 
 __all__ = ["ChordNode", "ChordRing", "LookupResult", "hash_to_id"]
 
@@ -104,6 +118,7 @@ class ChordRing:
         self.modulus = 1 << id_bits
         self._nodes: dict[int, ChordNode] = {}
         self._sorted_ids: list[int] = []
+        self._ids_array: np.ndarray | None = None  # int64 cache of sorted ids
 
     # -- membership ------------------------------------------------------
 
@@ -164,20 +179,63 @@ class ChordRing:
         heir.store.update(departing.store)
 
     def _rebuild_pointers(self) -> None:
-        """Recompute successor/predecessor/fingers for every node."""
+        """Recompute successor/predecessor/fingers for every node.
+
+        Finger targets for *all* nodes are resolved with one batched
+        :meth:`owners_of` pass when the identifier space fits int64.
+        """
         ids = self._sorted_ids
         n = len(ids)
+        self._ids_array = (
+            np.asarray(ids, dtype=np.int64) if self.id_bits <= 62 else None
+        )
+        if self._ids_array is not None:
+            ids_arr = self._ids_array
+            powers = np.left_shift(
+                np.int64(1), np.arange(self.id_bits, dtype=np.int64)
+            )
+            targets = (ids_arr[:, None] + powers[None, :]) % self.modulus
+            fingers = self.owners_of(targets.ravel()).reshape(n, self.id_bits)
+        else:
+            fingers = None
         for rank, node_id in enumerate(ids):
             node = self._nodes[node_id]
             node.successor = ids[(rank + 1) % n]
             node.predecessor = ids[(rank - 1) % n]
-            node.fingers = [
-                self._owner_of((node_id + (1 << k)) % self.modulus)
-                for k in range(self.id_bits)
-            ]
+            if fingers is not None:
+                node.fingers = [int(f) for f in fingers[rank]]
+            else:
+                node.fingers = [
+                    self._owner_of((node_id + (1 << k)) % self.modulus)
+                    for k in range(self.id_bits)
+                ]
+
+    def owners_of(self, keys: np.ndarray) -> np.ndarray:
+        """Batched ground-truth owners: one ``np.searchsorted`` pass.
+
+        Args:
+            keys: identifier array (already reduced mod ``modulus``, or
+                reducible — the method reduces defensively).
+
+        Returns:
+            ``(m,)`` int64 array of owning node ids.
+        """
+        if not self._sorted_ids:
+            raise ValueError("empty ring")
+        if self.id_bits > 62:
+            return np.array(
+                [self._owner_of(int(k)) for k in np.asarray(keys).ravel()],
+                dtype=object,
+            )
+        if self._ids_array is None or len(self._ids_array) != len(self._sorted_ids):
+            self._ids_array = np.asarray(self._sorted_ids, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.int64) % self.modulus
+        ranks = np.searchsorted(self._ids_array, keys, side="left")
+        ranks[ranks == len(self._ids_array)] = 0
+        return self._ids_array[ranks]
 
     def _owner_of(self, key: int) -> int:
-        """Ground-truth owner: first node id >= key on the ring."""
+        """Ground-truth owner: first node id >= key (bisect reference)."""
         if not self._sorted_ids:
             raise ValueError("empty ring")
         key %= self.modulus

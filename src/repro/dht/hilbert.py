@@ -12,6 +12,18 @@ between axis coordinates and the "transposed" Hilbert representation,
 valid for any number of dimensions and bits of precision.  A Morton
 (Z-order) encoder is included as the locality baseline for experiment
 E10.
+
+Performance architecture (struct-of-arrays)
+-------------------------------------------
+
+The per-key integer transforms are retained as the scalar references;
+the ``*_batch`` variants run the same bit-twiddling over whole
+``(m, dims)`` ``uint64`` arrays (loops only over ``bits`` and ``dims``,
+never over keys), valid whenever ``bits * dims <= 64`` — every catalog
+configuration in this library.  :class:`HilbertMapper` routes both its
+batched and single-key APIs through them, so one
+``tests/property/test_vectorized_equivalence.py`` round-trip pins batch
+and scalar to exact integer equality.
 """
 
 from __future__ import annotations
@@ -25,6 +37,10 @@ __all__ = [
     "hilbert_decode",
     "morton_encode",
     "morton_decode",
+    "hilbert_encode_batch",
+    "hilbert_decode_batch",
+    "morton_encode_batch",
+    "morton_decode_batch",
     "HilbertMapper",
 ]
 
@@ -172,6 +188,134 @@ def morton_decode(index: int, bits: int, dims: int) -> tuple[int, ...]:
     return tuple(coords)
 
 
+# -- batched (m, dims) uint64 kernels -------------------------------------
+
+
+def _validate_batch(bits: int, dims: int) -> None:
+    _validate(bits, dims)
+    if bits * dims > 64:
+        raise ValueError(
+            f"batched curve kernels need bits*dims <= 64, got {bits * dims}"
+        )
+
+
+def _check_coords_batch(coords: np.ndarray, bits: int) -> np.ndarray:
+    if coords.ndim != 2:
+        raise ValueError(f"coords must be (m, dims), got shape {coords.shape}")
+    limit = 1 << bits
+    if coords.size and (coords.min() < 0 or coords.max() >= limit):
+        raise ValueError(f"coordinates outside [0, {limit})")
+    return coords.astype(np.uint64)
+
+
+def _interleave(x: np.ndarray, bits: int) -> np.ndarray:
+    """Bit-interleave (m, dims) uint64 columns into (m,) indices."""
+    m, dims = x.shape
+    one = np.uint64(1)
+    index = np.zeros(m, dtype=np.uint64)
+    for bit in range(bits - 1, -1, -1):
+        shift = np.uint64(bit)
+        for i in range(dims):
+            index = (index << one) | ((x[:, i] >> shift) & one)
+    return index
+
+
+def _deinterleave(index: np.ndarray, bits: int, dims: int) -> np.ndarray:
+    """Inverse of :func:`_interleave`: (m,) indices to (m, dims) columns."""
+    index = np.asarray(index, dtype=np.uint64)
+    if index.ndim != 1:
+        raise ValueError("indices must be a 1-d array")
+    total = bits * dims
+    if total < 64 and index.size and int(index.max()) >= (1 << total):
+        raise ValueError("index outside curve range")
+    one = np.uint64(1)
+    x = np.zeros((index.shape[0], dims), dtype=np.uint64)
+    position = total - 1
+    for bit in range(bits - 1, -1, -1):
+        for i in range(dims):
+            x[:, i] |= ((index >> np.uint64(position)) & one) << np.uint64(bit)
+            position -= 1
+    return x
+
+
+def hilbert_encode_batch(coords: np.ndarray, bits: int) -> np.ndarray:
+    """Batched :func:`hilbert_encode`: ``(m, dims)`` ints to ``(m,)`` keys.
+
+    Runs Skilling's transform with vectorized bit-twiddling over all
+    rows at once; loops only over ``bits`` and ``dims``.  Requires
+    ``bits * dims <= 64`` (``uint64`` key space).
+    """
+    coords = np.asarray(coords)
+    _validate_batch(bits, coords.shape[1] if coords.ndim == 2 else 0)
+    x = _check_coords_batch(coords, bits).copy()
+    m, dims = x.shape
+    zero = np.uint64(0)
+
+    # Inverse undo excess work.
+    q = 1 << (bits - 1)
+    while q > 1:
+        p = np.uint64(q - 1)
+        uq = np.uint64(q)
+        for i in range(dims):
+            high = (x[:, i] & uq) != 0
+            t = np.where(high, zero, (x[:, 0] ^ x[:, i]) & p)
+            x[:, 0] = np.where(high, x[:, 0] ^ p, x[:, 0] ^ t)
+            x[:, i] ^= t
+        q >>= 1
+
+    # Gray encode.
+    for i in range(1, dims):
+        x[:, i] ^= x[:, i - 1]
+    t = np.zeros(m, dtype=np.uint64)
+    q = 1 << (bits - 1)
+    while q > 1:
+        mask = (x[:, dims - 1] & np.uint64(q)) != 0
+        t = np.where(mask, t ^ np.uint64(q - 1), t)
+        q >>= 1
+    x ^= t[:, None]
+    return _interleave(x, bits)
+
+
+def hilbert_decode_batch(indices: np.ndarray, bits: int, dims: int) -> np.ndarray:
+    """Batched :func:`hilbert_decode`: ``(m,)`` keys to ``(m, dims)`` ints."""
+    _validate_batch(bits, dims)
+    x = _deinterleave(indices, bits, dims)
+    zero = np.uint64(0)
+
+    # Gray decode by H ^ (H/2).
+    t = x[:, dims - 1] >> np.uint64(1)
+    for i in range(dims - 1, 0, -1):
+        x[:, i] ^= x[:, i - 1]
+    x[:, 0] ^= t
+
+    # Undo excess work.
+    n = 2 << (bits - 1)
+    q = 2
+    while q != n:
+        p = np.uint64(q - 1)
+        uq = np.uint64(q)
+        for i in range(dims - 1, -1, -1):
+            high = (x[:, i] & uq) != 0
+            t = np.where(high, zero, (x[:, 0] ^ x[:, i]) & p)
+            x[:, 0] = np.where(high, x[:, 0] ^ p, x[:, 0] ^ t)
+            x[:, i] ^= t
+        q <<= 1
+    return x
+
+
+def morton_encode_batch(coords: np.ndarray, bits: int) -> np.ndarray:
+    """Batched :func:`morton_encode` (the locality baseline for E10)."""
+    coords = np.asarray(coords)
+    _validate_batch(bits, coords.shape[1] if coords.ndim == 2 else 0)
+    return _interleave(_check_coords_batch(coords, bits), bits)
+
+
+def morton_decode_batch(indices: np.ndarray, bits: int, dims: int) -> np.ndarray:
+    """Batched :func:`morton_decode`."""
+    _validate_batch(bits, dims)
+    return _deinterleave(indices, bits, dims)
+
+
 @dataclass
 class HilbertMapper:
     """Maps continuous cost-space coordinates to Hilbert DHT keys.
@@ -234,6 +378,23 @@ class HilbertMapper:
             out.append(int(round(frac * cells)))
         return tuple(out)
 
+    def quantize_batch(self, points: np.ndarray) -> np.ndarray:
+        """Batched :meth:`quantize`: ``(m, dims)`` floats to grid cells.
+
+        Uses round-half-even like the scalar path, so both agree
+        exactly on every input.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != self.dims:
+            raise ValueError(
+                f"expected (m, {self.dims}) points, got shape {points.shape}"
+            )
+        cells = (1 << self.bits) - 1
+        lows = np.asarray(self.lows)
+        highs = np.asarray(self.highs)
+        frac = np.clip((points - lows) / (highs - lows), 0.0, 1.0)
+        return np.round(frac * cells).astype(np.int64)
+
     def dequantize(self, cell: tuple[int, ...]) -> np.ndarray:
         """Map grid cell indices back to cell-center continuous values."""
         if len(cell) != self.dims:
@@ -248,8 +409,35 @@ class HilbertMapper:
 
     def key_for(self, point: np.ndarray | list[float]) -> int:
         """The Hilbert DHT key of a continuous cost-space point."""
+        if self.key_bits <= 64:
+            cells = np.asarray(self.quantize(point), dtype=np.int64)
+            return int(hilbert_encode_batch(cells[None, :], self.bits)[0])
         return hilbert_encode(self.quantize(point), self.bits)
+
+    def keys_for(self, points: np.ndarray) -> np.ndarray | list[int]:
+        """Batched :meth:`key_for`: one vectorized quantize + encode pass.
+
+        Returns a ``(m,)`` ``uint64`` array when the key fits 64 bits,
+        otherwise a list of Python ints from the scalar encoder.
+        """
+        cells = self.quantize_batch(points)
+        if self.key_bits <= 64:
+            return hilbert_encode_batch(cells, self.bits)
+        return [hilbert_encode(tuple(int(c) for c in row), self.bits) for row in cells]
 
     def point_for(self, key: int) -> np.ndarray:
         """Approximate continuous point at the center of a key's cell."""
         return self.dequantize(hilbert_decode(key, self.bits, self.dims))
+
+    def points_for(self, keys: np.ndarray) -> np.ndarray:
+        """Batched :meth:`point_for`: ``(m,)`` keys to cell-center points."""
+        if self.key_bits <= 64:
+            cells = hilbert_decode_batch(np.asarray(keys, dtype=np.uint64), self.bits, self.dims)
+        else:
+            cells = np.array(
+                [hilbert_decode(int(k), self.bits, self.dims) for k in keys]
+            )
+        cell_count = (1 << self.bits) - 1
+        lows = np.asarray(self.lows)
+        highs = np.asarray(self.highs)
+        return lows + (cells.astype(float) / cell_count) * (highs - lows)

@@ -13,11 +13,22 @@ re-optimization experiments (E7) use to drive that drift:
 
 All processes are deterministic given their seed and advance in integer
 *ticks*, matching the discrete-event simulator.
+
+Performance architecture (struct-of-arrays)
+-------------------------------------------
+
+Every process owns a single seeded ``np.random.Generator`` and steps its
+whole state vector (or ``(n, n)`` matrix) with **one draw per tick**
+followed by vectorized updates; hotspots are applied as masked adds.
+The pre-vectorization per-node / per-pair Python loops are retained as
+``step_scalar`` / ``loads_scalar`` references that consume the *same*
+draw, so equivalence tests can pin the kernels element-for-element
+(see ``tests/property/test_vectorized_equivalence.py``).
 """
 
 from __future__ import annotations
 
-import random
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -76,7 +87,18 @@ class LoadProcess:
         self._loads = np.clip(base, 0.0, self.max_load)
 
     def loads(self) -> np.ndarray:
-        """Current effective loads, including active hotspots."""
+        """Current effective loads, including active hotspots (vectorized)."""
+        effective = self._loads.copy()
+        for hotspot in self.hotspots:
+            if hotspot.active_at(self.tick):
+                idx = np.asarray(hotspot.nodes, dtype=int)
+                effective[idx] = np.minimum(
+                    self.max_load, effective[idx] + hotspot.extra_load
+                )
+        return effective
+
+    def loads_scalar(self) -> np.ndarray:
+        """Per-node hotspot loop (retained scalar reference)."""
         effective = self._loads.copy()
         for hotspot in self.hotspots:
             if hotspot.active_at(self.tick):
@@ -90,16 +112,33 @@ class LoadProcess:
         """Current effective load of one node."""
         return float(self.loads()[node])
 
+    def _draw(self) -> np.ndarray:
+        """The one per-tick noise draw (shared by both step variants)."""
+        return self._rng.normal(0.0, self.sigma, size=self.num_nodes)
+
     def step(self, ticks: int = 1) -> np.ndarray:
         """Advance the process and return the new effective loads."""
         if ticks < 0:
             raise ValueError("ticks must be non-negative")
         for _ in range(ticks):
-            noise = self._rng.normal(0.0, self.sigma, size=self.num_nodes)
+            noise = self._draw()
             self._loads = self._loads + self.theta * (self.mean_load - self._loads) + noise
             self._loads = np.clip(self._loads, 0.0, self.max_load)
             self.tick += 1
         return self.loads()
+
+    def step_scalar(self, ticks: int = 1) -> np.ndarray:
+        """Per-node Python-loop step over the same draw (scalar reference)."""
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        for _ in range(ticks):
+            noise = self._draw()
+            loads = self._loads
+            for node in range(self.num_nodes):
+                value = loads[node] + self.theta * (self.mean_load - loads[node]) + noise[node]
+                loads[node] = min(max(value, 0.0), self.max_load)
+            self.tick += 1
+        return self.loads_scalar()
 
     def add_hotspot(self, hotspot: HotspotEvent) -> None:
         """Schedule a hotspot event."""
@@ -114,6 +153,10 @@ class LatencyDriftProcess:
     Each tick every pair latency is multiplied by a log-normal factor
     and pulled gently back toward its base value, so latencies wander
     but do not diverge.  Symmetry and positivity are preserved.
+
+    One ``(n*(n-1)/2,)`` normal draw per tick covers the strict upper
+    triangle; the update is applied to the full matrix with vectorized
+    scatter + transpose.
     """
 
     def __init__(
@@ -131,27 +174,67 @@ class LatencyDriftProcess:
         self._reversion = reversion
         self._rng = np.random.default_rng(seed)
         self.tick = 0
+        n = self._base.shape[0]
+        self._triu = np.triu_indices(n, k=1)
+        # Flat upper-triangle state plus the constant reversion pull,
+        # so a step is pure elementwise math + two scatters.
+        self._flat = self._current[self._triu].copy()
+        self._rev_base = self._reversion * self._base[self._triu]
 
     def current(self) -> LatencyMatrix:
         """The latency matrix as of the current tick."""
-        return LatencyMatrix(self._current)
+        # The walk preserves symmetry / zero diagonal / positivity by
+        # construction, so skip the O(n^2) re-validation every tick.
+        return LatencyMatrix._wrap(self._current)
+
+    def _draw(self) -> np.ndarray:
+        """The one per-tick upper-triangle noise draw."""
+        return self._rng.normal(0.0, self._drift_sigma, size=self._triu[0].shape[0])
 
     def step(self, ticks: int = 1) -> LatencyMatrix:
         """Advance the walk and return the new matrix."""
         if ticks < 0:
             raise ValueError("ticks must be non-negative")
-        n = self._base.shape[0]
+        rows, cols = self._triu
         for _ in range(ticks):
-            noise = self._rng.lognormal(0.0, self._drift_sigma, size=(n, n))
-            noise = np.triu(noise, k=1)
-            noise = noise + noise.T + np.eye(n)
-            drifted = self._current * noise
-            self._current = (
-                self._reversion * self._base + (1 - self._reversion) * drifted
-            )
-            np.fill_diagonal(self._current, 0.0)
+            noise = self._draw()
+            np.exp(noise, out=noise)
+            np.multiply(self._flat, noise, out=noise)  # drifted
+            np.multiply(noise, 1 - self._reversion, out=noise)
+            np.add(noise, self._rev_base, out=noise)
+            self._flat = noise
+            # Rebind to a fresh matrix so previously returned snapshots
+            # stay frozen (callers may record the drift trajectory).
+            current = np.empty_like(self._current)
+            current[rows, cols] = noise
+            current[cols, rows] = noise
+            np.fill_diagonal(current, 0.0)
+            self._current = current
             self.tick += 1
         return self.current()
+
+    def step_scalar(self, ticks: int = 1) -> LatencyMatrix:
+        """Per-pair Python-loop step over the same draw (scalar reference)."""
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        rows, cols = self._triu
+        for _ in range(ticks):
+            noise = self._draw()
+            current = self._current.copy()  # freeze prior snapshots
+            for k in range(noise.shape[0]):
+                i = rows[k]
+                j = cols[k]
+                drifted = current[i, j] * math.exp(noise[k])
+                updated = (
+                    self._reversion * self._base[i, j]
+                    + (1 - self._reversion) * drifted
+                )
+                current[i, j] = updated
+                current[j, i] = updated
+            self._current = current
+            self.tick += 1
+        self._flat = self._current[rows, cols]  # keep the fast path in sync
+        return LatencyMatrix._wrap(self._current)
 
 
 class ChurnProcess:
@@ -160,6 +243,10 @@ class ChurnProcess:
     A failed node cannot host services and must be evacuated; the
     re-optimizer treats its coordinate as unavailable.  ``protected``
     nodes (typically producers/consumers, which are pinned) never fail.
+
+    The process owns one seeded ``np.random.Generator`` and consumes a
+    single uniform draw over all nodes per tick; failures and
+    recoveries are resolved with boolean masks.
     """
 
     def __init__(
@@ -178,20 +265,31 @@ class ChurnProcess:
         self.fail_prob = fail_prob
         self.recover_prob = recover_prob
         self.protected = protected or set()
-        self._rng = random.Random(seed)
-        self._alive = [True] * num_nodes
+        self._rng = np.random.default_rng(seed)
+        self._alive = np.ones(num_nodes, dtype=bool)
+        self._protected_mask = np.zeros(num_nodes, dtype=bool)
+        if self.protected:
+            self._protected_mask[np.asarray(sorted(self.protected), dtype=int)] = True
         self.tick = 0
 
     def alive(self) -> list[bool]:
         """Per-node liveness flags."""
-        return self._alive[:]
+        return [bool(v) for v in self._alive]
+
+    def alive_mask(self) -> np.ndarray:
+        """Per-node liveness as a boolean array (copy)."""
+        return self._alive.copy()
 
     def alive_nodes(self) -> list[int]:
         """Indices of currently-alive nodes."""
-        return [i for i, up in enumerate(self._alive) if up]
+        return [int(i) for i in np.flatnonzero(self._alive)]
 
     def is_alive(self, node: int) -> bool:
-        return self._alive[node]
+        return bool(self._alive[node])
+
+    def _draw(self) -> np.ndarray:
+        """The one per-tick uniform draw (shared by both step variants)."""
+        return self._rng.random(self.num_nodes)
 
     def step(self, ticks: int = 1) -> list[int]:
         """Advance churn; return nodes that *failed* during these ticks."""
@@ -199,15 +297,31 @@ class ChurnProcess:
             raise ValueError("ticks must be non-negative")
         newly_failed: list[int] = []
         for _ in range(ticks):
+            draws = self._draw()
+            fails = self._alive & ~self._protected_mask & (draws < self.fail_prob)
+            recovers = ~self._alive & (draws < self.recover_prob)
+            self._alive[fails] = False
+            self._alive[recovers] = True
+            newly_failed.extend(int(i) for i in np.flatnonzero(fails))
+            self.tick += 1
+        return newly_failed
+
+    def step_scalar(self, ticks: int = 1) -> list[int]:
+        """Per-node Python-loop step over the same draw (scalar reference)."""
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        newly_failed: list[int] = []
+        for _ in range(ticks):
+            draws = self._draw()
             for node in range(self.num_nodes):
-                if node in self.protected:
-                    continue
                 if self._alive[node]:
-                    if self._rng.random() < self.fail_prob:
+                    if node in self.protected:
+                        continue
+                    if draws[node] < self.fail_prob:
                         self._alive[node] = False
                         newly_failed.append(node)
                 else:
-                    if self._rng.random() < self.recover_prob:
+                    if draws[node] < self.recover_prob:
                         self._alive[node] = True
             self.tick += 1
         return newly_failed

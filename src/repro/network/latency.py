@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import heapq
 import math
-import random
 
 import numpy as np
 
@@ -86,6 +85,18 @@ class LatencyMatrix:
         """Build the matrix from shortest paths over a topology."""
         return cls(shortest_path_latencies(topology))
 
+    @classmethod
+    def _wrap(cls, matrix: np.ndarray) -> "LatencyMatrix":
+        """Internal: wrap a matrix already known to satisfy the invariants.
+
+        Skips the O(n^2) validation pass; callers (e.g. the latency
+        drift process) must preserve symmetry, zero diagonal, and
+        non-negativity by construction.
+        """
+        wrapped = cls.__new__(cls)
+        wrapped._matrix = matrix
+        return wrapped
+
     @property
     def num_nodes(self) -> int:
         return self._matrix.shape[0]
@@ -127,15 +138,18 @@ class LatencyMatrix:
         n = self.num_nodes
         if n < 3:
             return 0.0
-        rng = random.Random(seed)
-        violations = 0
-        samples = 0
-        for _ in range(sample_size):
-            a, b, c = rng.sample(range(n), 3)
-            samples += 1
-            if self._matrix[a, c] > self._matrix[a, b] + self._matrix[b, c] + 1e-9:
-                violations += 1
-        return violations / samples if samples else 0.0
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, n, size=sample_size)
+        b = rng.integers(0, n, size=sample_size)
+        c = rng.integers(0, n, size=sample_size)
+        distinct = (a != b) & (b != c) & (a != c)
+        if not np.any(distinct):
+            return 0.0
+        a, b, c = a[distinct], b[distinct], c[distinct]
+        violations = (
+            self._matrix[a, c] > self._matrix[a, b] + self._matrix[b, c] + 1e-9
+        )
+        return float(violations.mean())
 
     def with_triangle_violations(
         self, fraction: float = 0.05, inflation: float = 2.0, seed: int = 0
@@ -150,14 +164,13 @@ class LatencyMatrix:
             raise ValueError("fraction must be in [0, 1]")
         if inflation < 1.0:
             raise ValueError("inflation must be >= 1")
-        rng = random.Random(seed)
+        rng = np.random.default_rng(seed)
         matrix = self._matrix.copy()
         n = self.num_nodes
-        for i in range(n):
-            for j in range(i + 1, n):
-                if rng.random() < fraction:
-                    matrix[i, j] *= inflation
-                    matrix[j, i] = matrix[i, j]
+        rows, cols = np.triu_indices(n, k=1)
+        inflate = rng.random(rows.shape[0]) < fraction
+        matrix[rows[inflate], cols[inflate]] *= inflation
+        matrix[cols[inflate], rows[inflate]] = matrix[rows[inflate], cols[inflate]]
         return LatencyMatrix(matrix)
 
     def perturbed(self, relative_sigma: float = 0.1, seed: int = 0) -> "LatencyMatrix":

@@ -10,6 +10,22 @@ optimizers wired to the current state.  The typical flow::
     result  = overlay.integrated_optimizer().optimize(query, stats)
     overlay.install(result)          # circuit starts consuming CPU
     overlay.refresh_cost_space()     # loads appear in the coordinates
+
+Performance architecture (struct-of-arrays)
+-------------------------------------------
+
+Load and memory state lives in contiguous ``(n,)`` arrays maintained
+incrementally by the circuit-lifecycle methods: ``set_background_loads``
+is a single array write, :meth:`loads` / :meth:`memory_loads` are single
+vectorized expressions, and :meth:`total_network_usage` reduces one
+cached (link-endpoint, rate) index over the latency matrix.  The
+:class:`SBONNode` objects remain the API for hosting and liveness, but
+their ``background_load`` attribute is synchronized lazily — access
+them through the :attr:`nodes` property (as all code here does) rather
+than a stashed reference taken before a ``set_background_loads`` call.
+Batch liveness changes should go through :meth:`apply_liveness`; the
+per-node reference loops are retained as ``loads_scalar`` /
+``total_network_usage_scalar``.
 """
 
 from __future__ import annotations
@@ -51,8 +67,21 @@ class Overlay:
         self.latencies = latencies
         self.cost_space = cost_space
         self.topology = topology
-        self.nodes = [SBONNode(index=i) for i in range(latencies.num_nodes)]
+        n = latencies.num_nodes
+        self._nodes = [SBONNode(index=i) for i in range(n)]
         self.circuits: dict[str, Circuit] = {}
+        # Array-backed load/memory state (source of truth for loads()).
+        self._background = np.zeros(n)
+        self._induced = np.zeros(n)
+        self._memory = np.zeros(n)
+        self._capacity = np.array([node.capacity for node in self._nodes])
+        self._memory_capacity = np.array(
+            [node.memory_capacity for node in self._nodes]
+        )
+        self._background_synced = True
+        # (circuit name, service id) -> hosting node index.
+        self._host_of: dict[tuple[str, str], int] = {}
+        self._usage_index: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -97,35 +126,87 @@ class Overlay:
     def num_nodes(self) -> int:
         return self.latencies.num_nodes
 
+    @property
+    def nodes(self) -> list[SBONNode]:
+        """The node objects, with background loads synchronized."""
+        if not self._background_synced:
+            for node, load in zip(self._nodes, self._background):
+                node.background_load = float(load)
+            self._background_synced = True
+        return self._nodes
+
     # -- load & liveness ---------------------------------------------------
 
     def loads(self) -> np.ndarray:
-        """Current effective load of every node."""
+        """Current effective load of every node (one vectorized pass)."""
+        raw = (self._background + self._induced) / self._capacity
+        return np.clip(raw, 0.0, 1.0)
+
+    def loads_scalar(self) -> np.ndarray:
+        """Per-node loop over node state (retained scalar reference)."""
         return np.array([node.effective_load for node in self.nodes])
 
     def memory_loads(self) -> np.ndarray:
-        """Current memory pressure of every node."""
-        return np.array([node.memory_load for node in self.nodes])
+        """Current memory pressure of every node (one vectorized pass)."""
+        return np.clip(self._memory / self._memory_capacity, 0.0, 1.0)
 
     def set_background_loads(self, loads: np.ndarray | list[float]) -> None:
-        """Update background loads (from a :class:`LoadProcess`)."""
+        """Update background loads (from a :class:`LoadProcess`).
+
+        One array write; node objects are synchronized lazily on the
+        next :attr:`nodes` access.
+        """
         loads = np.asarray(loads, dtype=float)
         if loads.shape != (self.num_nodes,):
             raise ValueError("load vector has wrong shape")
-        for node, load in zip(self.nodes, loads):
-            node.background_load = float(load)
+        self._background = loads.astype(float, copy=True)
+        self._background_synced = False
 
     def alive_flags(self) -> list[bool]:
-        return [node.alive for node in self.nodes]
+        return [node.alive for node in self._nodes]
+
+    def alive_mask(self) -> np.ndarray:
+        """Per-node liveness as a boolean array."""
+        return np.fromiter(
+            (node.alive for node in self._nodes), dtype=bool, count=len(self._nodes)
+        )
 
     def failed_nodes(self) -> set[int]:
-        return {node.index for node in self.nodes if not node.alive}
+        return {node.index for node in self._nodes if not node.alive}
+
+    def apply_liveness(self, alive: np.ndarray | list[bool]) -> tuple[list[int], list[int]]:
+        """Apply a liveness mask (from churn) in one batched diff.
+
+        Only nodes whose flag changed are touched: newly-failed nodes
+        are downed and their hosted services dropped (the caller is
+        expected to evacuate the affected circuits); newly-recovered
+        nodes come back empty-handed.
+
+        Returns:
+            ``(newly_failed, newly_recovered)`` node index lists.
+        """
+        alive = np.asarray(alive, dtype=bool)
+        if alive.shape != (self.num_nodes,):
+            raise ValueError("liveness mask has wrong shape")
+        current = self.alive_mask()
+        newly_failed = [int(i) for i in np.flatnonzero(current & ~alive)]
+        newly_recovered = [int(i) for i in np.flatnonzero(~current & alive)]
+        for idx in newly_failed:
+            orphans = self._nodes[idx].fail()
+            for service in orphans:
+                self._host_of.pop((service.circuit_name, service.service_id), None)
+            self._induced[idx] = 0.0
+            self._memory[idx] = 0.0
+        for idx in newly_recovered:
+            self._nodes[idx].recover()
+        return newly_failed, newly_recovered
 
     def refresh_cost_space(self) -> None:
         """Recompute the scalar dimensions from current node state.
 
-        Supplies every metric the space's spec declares; supported
-        providers are ``cpu_load`` and ``memory``.
+        Supplies every metric the space's spec declares in one
+        ``update_metrics`` batch; supported providers are ``cpu_load``
+        and ``memory``.
         """
         declared = {d.metric for d in self.cost_space.spec.scalar_dimensions}
         if not declared:
@@ -140,6 +221,29 @@ class Overlay:
 
     # -- circuit lifecycle ---------------------------------------------------
 
+    def _host_service(self, node_index: int, service: HostedService) -> None:
+        """Host a service and update the induced-load arrays."""
+        self._nodes[node_index].host(service)
+        self._induced[node_index] += service.load
+        self._memory[node_index] += service.state_units
+        self._host_of[(service.circuit_name, service.service_id)] = node_index
+
+    def _evict_service(self, circuit_name: str, service_id: str) -> None:
+        """Evict one service (wherever the hosting map says it lives)."""
+        node_index = self._host_of.pop((circuit_name, service_id), None)
+        if node_index is None:
+            return
+        node = self._nodes[node_index]
+        for service in node.hosted:
+            if (
+                service.circuit_name == circuit_name
+                and service.service_id == service_id
+            ):
+                node.hosted.remove(service)
+                self._induced[node_index] -= service.load
+                self._memory[node_index] -= service.state_units
+                return
+
     def install(self, result: OptimizationResult) -> None:
         """Deploy an optimized circuit: host its services on nodes."""
         self.install_circuit(result.circuit)
@@ -151,39 +255,43 @@ class Overlay:
         if not circuit.is_fully_placed():
             raise ValueError("circuit must be fully placed before installation")
         for sid in circuit.unpinned_ids():
-            node = self.nodes[circuit.host_of(sid)]
-            node.host(
+            self._host_service(
+                circuit.host_of(sid),
                 HostedService(
                     circuit_name=circuit.name,
                     service_id=sid,
                     spec=circuit.services[sid].spec,
                     input_rate=circuit.input_rate(sid),
-                )
+                ),
             )
         self.circuits[circuit.name] = circuit
+        self._usage_index = None
 
     def uninstall(self, circuit_name: str) -> None:
         """Tear a circuit down, releasing its load everywhere."""
         if circuit_name not in self.circuits:
             raise KeyError(f"no circuit {circuit_name}")
-        for node in self.nodes:
-            node.evict(circuit_name)
+        circuit = self.circuits[circuit_name]
+        for sid in circuit.unpinned_ids():
+            self._evict_service(circuit_name, sid)
         del self.circuits[circuit_name]
+        self._usage_index = None
 
     def apply_migration(self, circuit_name: str, service_id: str, to_node: int) -> None:
         """Move one hosted service to a new node (post-reoptimization)."""
         circuit = self.circuits[circuit_name]
-        for node in self.nodes:
-            node.evict(circuit_name, service_id)
-        self.nodes[to_node].host(
+        self._evict_service(circuit_name, service_id)
+        self._host_service(
+            to_node,
             HostedService(
                 circuit_name=circuit_name,
                 service_id=service_id,
                 spec=circuit.services[service_id].spec,
                 input_rate=circuit.input_rate(service_id),
-            )
+            ),
         )
         circuit.assign(service_id, to_node)
+        self._usage_index = None
 
     # -- factories ---------------------------------------------------------
 
@@ -226,8 +334,44 @@ class Overlay:
 
     # -- reporting ---------------------------------------------------------
 
+    def _link_index(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached (source hosts, target hosts, rates) over all circuits.
+
+        Rebuilt lazily after any install / uninstall / migration; the
+        steady-state tick reuses it.
+        """
+        if self._usage_index is None:
+            sources: list[int] = []
+            targets: list[int] = []
+            rates: list[float] = []
+            for circuit in self.circuits.values():
+                if not circuit.is_fully_placed():
+                    raise ValueError(f"circuit {circuit.name} is not fully placed")
+                placement = circuit.placement
+                for link in circuit.links:
+                    sources.append(placement[link.source])
+                    targets.append(placement[link.target])
+                    rates.append(link.rate)
+            self._usage_index = (
+                np.asarray(sources, dtype=int),
+                np.asarray(targets, dtype=int),
+                np.asarray(rates, dtype=float),
+            )
+        return self._usage_index
+
     def total_network_usage(self) -> float:
-        """True Σ rate×latency over all installed circuits."""
+        """True Σ rate×latency over all installed circuits (one reduce).
+
+        The latency matrix diagonal is zero, so colocated links
+        contribute nothing, exactly as in the per-link scalar loop.
+        """
+        u, v, rates = self._link_index()
+        if u.size == 0:
+            return 0.0
+        return float(np.dot(rates, self.latencies.values[u, v]))
+
+    def total_network_usage_scalar(self) -> float:
+        """Per-circuit per-link Python loop (retained scalar reference)."""
         from repro.core.costs import network_usage
 
         return sum(

@@ -12,6 +12,20 @@ The simulation advances in discrete ticks.  Each tick:
 This is the harness behind the re-optimization experiments (E7): with
 re-optimization disabled the usage series degrades as conditions drift;
 with it enabled the system tracks the moving optimum.
+
+Performance architecture (struct-of-arrays)
+-------------------------------------------
+
+:meth:`Simulation.step` is array-backed end to end: each dynamics
+process advances with one RNG draw + vectorized update, liveness
+changes apply as one mask diff (``Overlay.apply_liveness``), the cost
+space refreshes all scalar dimensions in one ``update_metrics`` batch,
+the re-optimizer prices every installed circuit from one batched
+mapping pass (``Reoptimizer.step_all``), and the usage/load statistics
+are single array reductions.  :meth:`step_scalar` composes the retained
+per-node / per-pair / per-candidate scalar references over the *same*
+RNG draws, serving as the equivalence ground truth and the before-side
+of the E17 benchmark.
 """
 
 from __future__ import annotations
@@ -69,6 +83,9 @@ class Simulation:
         self.config = config or SimulationConfig()
         self.series = TimeSeries()
         self.tick = 0
+        # Circuit kernels compiled by the re-optimizer survive across
+        # ticks (structure is immutable; only placements change).
+        self._kernel_cache: dict = {}
 
     def _make_reoptimizer(self) -> Reoptimizer:
         mapper = self.overlay.exhaustive_mapper()
@@ -84,34 +101,41 @@ class Simulation:
             evaluator=evaluator,
             migration_threshold=self.config.migration_threshold,
             load_weight=self.config.load_weight,
+            kernel_cache=self._kernel_cache,
         )
 
-    def step(self) -> TickRecord:
-        """Advance one tick; returns the recorded snapshot."""
+    def _advance(self, scalar: bool) -> TickRecord:
+        """Advance one tick via the vectorized or the scalar-reference path."""
         self.tick += 1
         migrations = 0
         failures = 0
 
         # 1. Background load drift.
         if self.load_process is not None:
-            self.overlay.set_background_loads(self.load_process.step())
+            loads = (
+                self.load_process.step_scalar()
+                if scalar
+                else self.load_process.step()
+            )
+            self.overlay.set_background_loads(loads)
 
         # 2. Latency drift.
         if self.latency_drift is not None:
-            self.overlay.latencies = self.latency_drift.step()
+            self.overlay.latencies = (
+                self.latency_drift.step_scalar()
+                if scalar
+                else self.latency_drift.step()
+            )
 
         # 3. Churn: fail nodes, evacuate their services.
         if self.churn is not None:
-            newly_failed = self.churn.step()
+            newly_failed = (
+                self.churn.step_scalar() if scalar else self.churn.step()
+            )
             failures = len(newly_failed)
-            alive = self.churn.alive()
-            for node in self.overlay.nodes:
-                if node.alive and not alive[node.index]:
-                    node.fail()
-                elif not node.alive and alive[node.index]:
-                    node.recover()
+            self.overlay.apply_liveness(self.churn.alive_mask())
             if newly_failed:
-                self._evacuate(newly_failed)
+                self._evacuate(newly_failed, scalar=scalar)
 
         # 4. Refresh cost space; maybe re-optimize.
         self.overlay.refresh_cost_space()
@@ -119,13 +143,18 @@ class Simulation:
             self.config.reopt_interval
             and self.tick % self.config.reopt_interval == 0
         ):
-            migrations += self._reoptimize_all()
+            migrations += self._reoptimize_all(scalar=scalar)
 
         # 5. Record.
-        loads = self.overlay.loads()
+        loads = self.overlay.loads_scalar() if scalar else self.overlay.loads()
+        usage = (
+            self.overlay.total_network_usage_scalar()
+            if scalar
+            else self.overlay.total_network_usage()
+        )
         record = TickRecord(
             tick=self.tick,
-            network_usage=self.overlay.total_network_usage(),
+            network_usage=usage,
             mean_load=float(loads.mean()) if loads.size else 0.0,
             max_load=float(loads.max()) if loads.size else 0.0,
             migrations=migrations,
@@ -135,6 +164,19 @@ class Simulation:
         self.series.append(record)
         return record
 
+    def step(self) -> TickRecord:
+        """Advance one tick; returns the recorded snapshot."""
+        return self._advance(scalar=False)
+
+    def step_scalar(self) -> TickRecord:
+        """Advance one tick through the retained scalar reference loops.
+
+        Consumes exactly the same RNG draws as :meth:`step`, so twin
+        simulations stepped with either method stay equivalent — the
+        before/after pair of the E17 benchmark.
+        """
+        return self._advance(scalar=True)
+
     def run(self, ticks: int) -> TimeSeries:
         """Advance ``ticks`` ticks; returns the accumulated series."""
         if ticks < 0:
@@ -143,26 +185,34 @@ class Simulation:
             self.step()
         return self.series
 
-    def _evacuate(self, failed: list[int]) -> None:
+    def _evacuate(self, failed: list[int], scalar: bool = False) -> None:
         """Move services off failed nodes immediately."""
         reopt = self._make_reoptimizer()
         for node_id in failed:
             reopt.mapper.exclude(node_id)
+        evacuate = reopt.evacuate_scalar if scalar else reopt.evacuate
         for circuit in self.overlay.circuits.values():
             for node_id in failed:
                 if node_id not in circuit.hosts():
                     continue
-                for migration in reopt.evacuate(circuit, node_id):
+                for migration in evacuate(circuit, node_id):
                     self.overlay.apply_migration(
                         circuit.name, migration.service_id, migration.to_node
                     )
 
-    def _reoptimize_all(self) -> int:
-        """One local re-optimization pass over every circuit."""
+    def _reoptimize_all(self, scalar: bool = False) -> int:
+        """One local re-optimization pass over every circuit.
+
+        The vectorized path maps every circuit's migration targets in a
+        single batched pass (:meth:`Reoptimizer.step_all`).
+        """
         reopt = self._make_reoptimizer()
+        circuits = list(self.overlay.circuits.values())
+        reports = (
+            reopt.step_all_scalar(circuits) if scalar else reopt.step_all(circuits)
+        )
         migrations = 0
-        for circuit in list(self.overlay.circuits.values()):
-            report = reopt.local_step(circuit)
+        for circuit, report in zip(circuits, reports):
             for migration in report.migrations:
                 # local_step already updated circuit.placement; sync the
                 # node-level hosting (load bookkeeping).

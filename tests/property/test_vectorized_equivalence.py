@@ -2,9 +2,12 @@
 
 The struct-of-arrays refactor keeps the pre-vectorization Python-loop
 implementations (``nearest_node_scalar``, ``nodes_within_scalar``,
-``sweep_scalar``, ``placement_*_scalar``) as ground truth; these tests
-assert the production vectorized paths reproduce them to 1e-9 on
-randomized inputs.
+``sweep_scalar``, ``placement_*_scalar``, the dynamics ``step_scalar``
+family, ``Reoptimizer.local_step_scalar`` / ``evacuate_scalar``, the
+scalar Hilbert/Morton encoders, and ``Simulation.step_scalar``) as
+ground truth; these tests assert the production vectorized paths
+reproduce them to 1e-9 (exact integers for curve keys and RNG-driven
+state) on randomized inputs.
 """
 
 import numpy as np
@@ -21,7 +24,18 @@ from repro.core.cost_space import (
     nodes_within_scalar,
 )
 from repro.core import virtual_placement as vp
+from repro.core.costs import CostSpaceEvaluator, GroundTruthEvaluator
+from repro.core.reoptimizer import Reoptimizer, _CircuitKernel
 from repro.core.weighting import exponential, linear, squared, threshold, zero
+from repro.dht import hilbert as hb
+from repro.dht.chord import ChordRing
+from repro.network.dynamics import (
+    ChurnProcess,
+    HotspotEvent,
+    LatencyDriftProcess,
+    LoadProcess,
+)
+from repro.network.latency import LatencyMatrix
 from repro.query.operators import ServiceSpec
 
 
@@ -233,3 +247,340 @@ class TestExactEquilibriumSolvers:
         )
         for sid, pos in result.positions.items():
             assert np.allclose(relax.position_of(sid), pos, atol=1e-4)
+
+
+# -- dynamics processes ----------------------------------------------------
+
+
+def _twin_load_processes(seed: int) -> tuple[LoadProcess, LoadProcess]:
+    def make() -> LoadProcess:
+        proc = LoadProcess(num_nodes=40, sigma=0.08, seed=seed)
+        proc.add_hotspot(HotspotEvent(start_tick=2, duration=4, nodes=(1, 5, 9), extra_load=0.5))
+        proc.add_hotspot(HotspotEvent(start_tick=5, duration=2, nodes=(5, 6), extra_load=0.9))
+        return proc
+
+    return make(), make()
+
+
+class TestDynamicsEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_load_step_matches_scalar(self, seed):
+        vector, scalar = _twin_load_processes(seed)
+        for _ in range(8):
+            assert np.allclose(vector.step(), scalar.step_scalar(), atol=1e-9)
+            assert np.allclose(vector.loads(), scalar.loads_scalar(), atol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_latency_drift_step_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 50, size=(12, 2))
+        diff = points[:, None, :] - points[None, :, :]
+        base = LatencyMatrix(np.sqrt((diff ** 2).sum(axis=-1)))
+        vector = LatencyDriftProcess(base, drift_sigma=0.05, reversion=0.1, seed=seed)
+        scalar = LatencyDriftProcess(base, drift_sigma=0.05, reversion=0.1, seed=seed)
+        for _ in range(5):
+            assert np.allclose(
+                vector.step().values, scalar.step_scalar().values, atol=1e-9
+            )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_churn_step_matches_scalar(self, seed):
+        kwargs = dict(
+            num_nodes=60, fail_prob=0.15, recover_prob=0.4, protected={0, 3}, seed=seed
+        )
+        vector, scalar = ChurnProcess(**kwargs), ChurnProcess(**kwargs)
+        for _ in range(10):
+            assert vector.step() == scalar.step_scalar()
+            assert vector.alive() == scalar.alive()
+
+    def test_processes_are_deterministic_per_seed(self):
+        # Satellite: one seeded np.random.Generator per process — the
+        # same seed must replay the exact same trajectory.
+        a, b = _twin_load_processes(9)
+        a.step(12), b.step(12)
+        assert np.array_equal(a.loads(), b.loads())
+        base = LatencyMatrix.from_topology(__import__("repro.network.topology", fromlist=["grid_topology"]).grid_topology(3, 3))
+        d1 = LatencyDriftProcess(base, seed=9)
+        d2 = LatencyDriftProcess(base, seed=9)
+        assert np.array_equal(d1.step(6).values, d2.step(6).values)
+        c1 = ChurnProcess(30, fail_prob=0.3, recover_prob=0.5, seed=9)
+        c2 = ChurnProcess(30, fail_prob=0.3, recover_prob=0.5, seed=9)
+        assert c1.step(6) == c2.step(6)
+        assert c1.alive() == c2.alive()
+
+
+# -- re-optimizer pricing --------------------------------------------------
+
+
+def _random_placed_circuit(
+    rng: np.random.Generator, n: int, name: str = "r", num_unpinned: int = 8
+) -> Circuit:
+    """A random connected circuit fully placed on nodes ``[0, n)``."""
+    circuit = Circuit(name=name)
+    for a in range(3):
+        circuit.add_service(
+            Service(
+                f"{name}/p{a}",
+                ServiceSpec.relay(),
+                int(rng.integers(n)),
+                frozenset((f"P{a}",)),
+            )
+        )
+    ids = list(circuit.services)
+    for i in range(num_unpinned):
+        sid = f"{name}/s{i}"
+        circuit.add_service(
+            Service(sid, ServiceSpec.join(), None, frozenset((f"S{i}",)))
+        )
+        circuit.add_link(str(rng.choice(ids)), sid, float(rng.uniform(0.0, 8.0)))
+        if rng.random() < 0.6:
+            other = str(rng.choice(ids))
+            if other != sid:
+                circuit.add_link(other, sid, float(rng.uniform(0.0, 8.0)))
+        circuit.assign(sid, int(rng.integers(n)))
+        ids.append(sid)
+    return circuit
+
+
+def _placed_circuit_and_space(seed: int, num_unpinned: int = 8):
+    """A random placed circuit over a random latency+load cost space."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(20, 60))
+    spec = CostSpaceSpec.latency_load(vector_dims=2)
+    embedding = rng.uniform(-80.0, 80.0, size=(n, 2))
+    loads = rng.uniform(0.0, 1.0, size=n)
+    space = CostSpace.from_embedding(spec, embedding, {"cpu_load": loads})
+    circuit = _random_placed_circuit(rng, n, num_unpinned=num_unpinned)
+    latencies = None
+    if seed % 2 == 0:
+        diff = embedding[:, None, :] - embedding[None, :, :]
+        latencies = LatencyMatrix(np.sqrt((diff ** 2).sum(axis=-1)))
+    return circuit, space, loads, latencies
+
+
+def _evaluator_for(seed, space, loads, latencies):
+    if latencies is not None:
+        return GroundTruthEvaluator(latencies, loads)
+    return CostSpaceEvaluator(space)
+
+
+class TestReoptimizerEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_kernel_total_matches_evaluator(self, seed):
+        circuit, space, loads, latencies = _placed_circuit_and_space(seed)
+        evaluator = _evaluator_for(seed, space, loads, latencies)
+        kernel = _CircuitKernel(circuit)
+        hosts = kernel.hosts(circuit)
+        for load_weight in (0.0, 0.7, 1.0):
+            expected = evaluator.evaluate(circuit, load_weight=load_weight).total
+            assert kernel.total(hosts, evaluator, load_weight) == pytest.approx(
+                expected, rel=1e-9, abs=1e-9
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_kernel_targets_match_local_targets(self, seed):
+        circuit, space, loads, latencies = _placed_circuit_and_space(seed)
+        reopt = Reoptimizer(space)
+        kernel = _CircuitKernel(circuit)
+        batched = kernel.targets(kernel.hosts(circuit), space.vector_matrix())
+        for k, sid in enumerate(kernel.unpinned_sids):
+            assert np.allclose(batched[k], reopt._local_target(circuit, sid), atol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_local_step_matches_scalar(self, seed):
+        circuit, space, loads, latencies = _placed_circuit_and_space(seed)
+        evaluator = _evaluator_for(seed, space, loads, latencies)
+        vec_circuit, sc_circuit = circuit.copy(), circuit.copy()
+        vec = Reoptimizer(space, evaluator=evaluator, migration_threshold=0.01)
+        sc = Reoptimizer(space, evaluator=evaluator, migration_threshold=0.01)
+        rv = vec.local_step(vec_circuit)
+        rs = sc.local_step_scalar(sc_circuit)
+        assert [(m.service_id, m.from_node, m.to_node) for m in rv.migrations] == [
+            (m.service_id, m.from_node, m.to_node) for m in rs.migrations
+        ]
+        assert vec_circuit.placement == sc_circuit.placement
+        for mv, ms in zip(rv.migrations, rs.migrations):
+            assert mv.cost_before == pytest.approx(ms.cost_before, rel=1e-9)
+            assert mv.cost_after == pytest.approx(ms.cost_after, rel=1e-9)
+        assert rv.cost_before.total == pytest.approx(rs.cost_before.total, rel=1e-9)
+        assert rv.cost_after.total == pytest.approx(rs.cost_after.total, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_step_all_matches_scalar(self, seed):
+        _, space, _, _ = _placed_circuit_and_space(seed)
+        rng = np.random.default_rng(seed + 100)
+        circuits_v, circuits_s = [], []
+        for offset in range(3):
+            circuit = _random_placed_circuit(rng, space.num_nodes, name=f"r{offset}")
+            circuits_v.append(circuit.copy())
+            circuits_s.append(circuit.copy())
+        vec = Reoptimizer(space, migration_threshold=0.01)
+        sc = Reoptimizer(space, migration_threshold=0.01)
+        reports_v = vec.step_all(circuits_v)
+        reports_s = sc.step_all_scalar(circuits_s)
+        for rv, rs, cv, cs in zip(reports_v, reports_s, circuits_v, circuits_s):
+            assert [(m.service_id, m.to_node) for m in rv.migrations] == [
+                (m.service_id, m.to_node) for m in rs.migrations
+            ]
+            assert cv.placement == cs.placement
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_evacuate_matches_scalar(self, seed):
+        circuit, space, loads, latencies = _placed_circuit_and_space(seed)
+        evaluator = _evaluator_for(seed, space, loads, latencies)
+        failed = circuit.host_of(circuit.unpinned_ids()[0])
+        vec_circuit, sc_circuit = circuit.copy(), circuit.copy()
+        vec = Reoptimizer(space, evaluator=evaluator)
+        sc = Reoptimizer(space, evaluator=evaluator)
+        mv = vec.evacuate(vec_circuit, failed)
+        ms = sc.evacuate_scalar(sc_circuit, failed)
+        assert [(m.service_id, m.to_node) for m in mv] == [
+            (m.service_id, m.to_node) for m in ms
+        ]
+        assert vec_circuit.placement == sc_circuit.placement
+        for a, b in zip(mv, ms):
+            assert a.cost_before == pytest.approx(b.cost_before, rel=1e-9)
+            assert a.cost_after == pytest.approx(b.cost_after, rel=1e-9)
+
+
+# -- Hilbert / Morton batch kernels ---------------------------------------
+
+
+@st.composite
+def curve_cases(draw):
+    dims = draw(st.integers(min_value=1, max_value=6))
+    bits = draw(st.integers(min_value=1, max_value=min(10, 64 // dims)))
+    seed = draw(st.integers(min_value=0, max_value=1 << 16))
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 80))
+    coords = rng.integers(0, 1 << bits, size=(m, dims))
+    return bits, dims, coords
+
+
+class TestCurveBatchEquivalence:
+    @given(curve_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_hilbert_batch_matches_scalar_roundtrip(self, case):
+        bits, dims, coords = case
+        keys = hb.hilbert_encode_batch(coords, bits)
+        reference = [
+            hb.hilbert_encode(tuple(int(c) for c in row), bits) for row in coords
+        ]
+        assert [int(k) for k in keys] == reference
+        decoded = hb.hilbert_decode_batch(keys, bits, dims)
+        assert np.array_equal(decoded.astype(np.int64), coords)
+
+    @given(curve_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_morton_batch_matches_scalar_roundtrip(self, case):
+        bits, dims, coords = case
+        keys = hb.morton_encode_batch(coords, bits)
+        reference = [
+            hb.morton_encode(tuple(int(c) for c in row), bits) for row in coords
+        ]
+        assert [int(k) for k in keys] == reference
+        decoded = hb.morton_decode_batch(keys, bits, dims)
+        assert np.array_equal(decoded.astype(np.int64), coords)
+
+    @given(st.integers(min_value=0, max_value=1 << 16))
+    @settings(max_examples=40, deadline=None)
+    def test_mapper_batch_keys_match_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        dims = int(rng.integers(1, 4))
+        bits = int(rng.integers(2, 11))
+        lows = rng.uniform(-50, 0, size=dims)
+        highs = lows + rng.uniform(1.0, 100.0, size=dims)
+        mapper = hb.HilbertMapper(tuple(lows), tuple(highs), bits=bits)
+        points = rng.uniform(-80, 120, size=(50, dims))
+        batched = mapper.keys_for(points)
+        reference = [hb.hilbert_encode(mapper.quantize(p), bits) for p in points]
+        assert [int(k) for k in batched] == reference
+        cells = mapper.quantize_batch(points)
+        for row, point in zip(cells, points):
+            assert tuple(int(c) for c in row) == mapper.quantize(point)
+
+
+class TestChordBatchOwners:
+    @given(st.integers(min_value=0, max_value=1 << 16))
+    @settings(max_examples=30, deadline=None)
+    def test_owners_of_matches_bisect_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        ring = ChordRing(id_bits=16)
+        for node_id in rng.choice(1 << 16, size=20, replace=False):
+            ring.join(node_id=int(node_id))
+        keys = rng.integers(0, 1 << 16, size=200)
+        batched = ring.owners_of(keys)
+        assert [int(o) for o in batched] == [ring._owner_of(int(k)) for k in keys]
+        ring.verify_invariants()
+
+
+# -- overlay + full simulation tick ---------------------------------------
+
+
+class TestOverlayAndSimulationEquivalence:
+    def _simulation(self, seed: int):
+        from repro.network.topology import grid_topology
+        from repro.sbon.overlay import Overlay
+        from repro.sbon.simulator import Simulation, SimulationConfig
+        from repro.workloads.queries import WorkloadParams, random_query
+
+        overlay = Overlay.build(
+            grid_topology(4, 4), vector_dims=2, embedding_rounds=15, seed=seed
+        )
+        integ = overlay.integrated_optimizer()
+        for i in range(2):
+            query, stats = random_query(
+                16, WorkloadParams(num_producers=3), name=f"q{i}", seed=seed + i
+            )
+            overlay.install(integ.optimize(query, stats))
+        load = LoadProcess(16, sigma=0.1, seed=seed + 10)
+        load.add_hotspot(
+            HotspotEvent(start_tick=2, duration=6, nodes=(0, 1, 2), extra_load=0.7)
+        )
+        drift = LatencyDriftProcess(overlay.latencies, drift_sigma=0.04, seed=seed + 11)
+        churn = ChurnProcess(
+            16, fail_prob=0.04, recover_prob=0.3, protected=set(range(8)), seed=seed + 12
+        )
+        return Simulation(
+            overlay,
+            load_process=load,
+            latency_drift=drift,
+            churn=churn,
+            config=SimulationConfig(reopt_interval=2, migration_threshold=0.01),
+        )
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_step_matches_step_scalar(self, seed):
+        vector, scalar = self._simulation(seed), self._simulation(seed)
+        for _ in range(8):
+            rv = vector.step()
+            rs = scalar.step_scalar()
+            assert rv.migrations == rs.migrations
+            assert rv.failures == rs.failures
+            assert rv.network_usage == pytest.approx(rs.network_usage, rel=1e-9, abs=1e-9)
+            assert rv.mean_load == pytest.approx(rs.mean_load, rel=1e-9, abs=1e-9)
+            assert rv.max_load == pytest.approx(rs.max_load, rel=1e-9, abs=1e-9)
+        for name, circuit in vector.overlay.circuits.items():
+            assert circuit.placement == scalar.overlay.circuits[name].placement
+        assert np.allclose(
+            vector.overlay.loads(), scalar.overlay.loads_scalar(), atol=1e-9
+        )
+
+    def test_overlay_array_loads_track_node_state(self):
+        sim = self._simulation(1)
+        overlay = sim.overlay
+        rng = np.random.default_rng(2)
+        overlay.set_background_loads(rng.uniform(0, 0.8, size=16))
+        sim.run(5)
+        assert np.allclose(overlay.loads(), overlay.loads_scalar(), atol=1e-9)
+        memory_scalar = np.array([node.memory_load for node in overlay.nodes])
+        assert np.allclose(overlay.memory_loads(), memory_scalar, atol=1e-9)
+        assert overlay.total_network_usage() == pytest.approx(
+            overlay.total_network_usage_scalar(), rel=1e-9
+        )
+        name = next(iter(overlay.circuits))
+        overlay.uninstall(name)
+        assert np.allclose(overlay.loads(), overlay.loads_scalar(), atol=1e-9)
+        assert overlay.total_network_usage() == pytest.approx(
+            overlay.total_network_usage_scalar(), rel=1e-9
+        )

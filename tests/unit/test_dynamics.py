@@ -81,6 +81,41 @@ class TestLatencyDrift:
         with pytest.raises(ValueError):
             LatencyDriftProcess(self._base(), reversion=2.0)
 
+    def test_returned_snapshots_stay_frozen(self):
+        # Recording the drift trajectory must not alias one live buffer.
+        drift = LatencyDriftProcess(self._base(), drift_sigma=0.1, seed=5)
+        first = drift.step()
+        first_values = first.values.copy()
+        drift.step(3)
+        assert np.array_equal(first.values, first_values)
+
+
+class TestUnifiedRngDeterminism:
+    """Each process owns one seeded np.random.Generator (no ``random``
+    module): identical seeds must replay identical trajectories."""
+
+    def test_latency_drift_deterministic(self):
+        base = LatencyMatrix.from_topology(grid_topology(3, 3))
+        a = LatencyDriftProcess(base, drift_sigma=0.05, seed=4)
+        b = LatencyDriftProcess(base, drift_sigma=0.05, seed=4)
+        assert np.array_equal(a.step(15).values, b.step(15).values)
+
+    def test_churn_deterministic(self):
+        a = ChurnProcess(50, fail_prob=0.2, recover_prob=0.4, seed=4)
+        b = ChurnProcess(50, fail_prob=0.2, recover_prob=0.4, seed=4)
+        assert a.step(15) == b.step(15)
+        assert a.alive() == b.alive()
+
+    def test_different_seeds_diverge(self):
+        a = ChurnProcess(200, fail_prob=0.3, seed=1)
+        b = ChurnProcess(200, fail_prob=0.3, seed=2)
+        assert a.step(3) != b.step(3)
+
+    def test_churn_alive_mask_matches_alive(self):
+        churn = ChurnProcess(30, fail_prob=0.5, recover_prob=0.2, seed=3)
+        churn.step(5)
+        assert churn.alive_mask().tolist() == churn.alive()
+
 
 class TestChurn:
     def test_protected_nodes_never_fail(self):
