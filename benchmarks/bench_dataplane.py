@@ -1,0 +1,178 @@
+"""E18 — the data-plane runtime: vectorized transport vs per-tuple loops.
+
+The data plane executes *every* installed circuit concurrently inside
+the simulation tick: sources emit Poisson tuple batches, joins match
+them against windowed state, and the transport delivers by one
+vectorized arrival-tick comparison.  This benchmark times one full
+traffic tick on a 1000-node / 100-circuit overlay through the batched
+kernels (``DataPlane.step``) versus the retained per-tuple reference
+(``DataPlane.step_scalar``: heapq transport, per-key join tables,
+identical RNG draws) and asserts the ≥10× speedup floor.
+
+It also asserts the headline safety property: under churn, a load
+hotspot, and live re-optimization migrations, every emitted tuple is
+delivered, still in flight, or *explicitly* counted as dropped — the
+conservation balance holds at every tick, no tuple is silently lost.
+
+Set ``BENCH_QUICK=1`` for the small CI smoke sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import lru_cache
+
+import numpy as np
+
+from _harness import report, write_bench_json
+from repro.core.circuit import Circuit, Service
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.network.latency import LatencyMatrix
+from repro.query.operators import ServiceSpec
+from repro.runtime.dataplane import DataPlane, RuntimeConfig
+from repro.sbon.overlay import Overlay
+from repro.workloads.scenarios import chaos_scenario
+
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+#: (nodes, circuits, joins per circuit) of the traffic tick.
+DP_NODES, DP_CIRCUITS, DP_JOINS = (150, 20, 2) if QUICK else (1000, 100, 3)
+WARMUP_TICKS = 10 if QUICK else 25
+TIMED_TICKS = 3
+#: Quick mode shrinks the Python-loop / kernel gap; assert less there.
+DP_SPEEDUP_FLOOR = 2.0 if QUICK else 10.0
+CHAOS_TICKS = 40 if QUICK else 60
+
+
+def _traffic_overlay(seed: int = 0) -> Overlay:
+    """A planted overlay carrying ``DP_CIRCUITS`` random join chains.
+
+    Substrate latencies are Euclidean distances on a random plane (a
+    valid symmetric matrix, no embedding warm-up needed); circuits are
+    join chains with uniform source rates and decaying internal rates,
+    so every tick moves a few thousand tuples.  Identical seeds build
+    identical twins for the step / step_scalar comparison.
+    """
+    n, num_circuits, joins = DP_NODES, DP_CIRCUITS, DP_JOINS
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, 200.0, size=(n, 2))
+    diff = points[:, None, :] - points[None, :, :]
+    latencies = LatencyMatrix(np.sqrt((diff ** 2).sum(axis=-1)))
+    spec = CostSpaceSpec.latency_load(vector_dims=2)
+    space = CostSpace.from_embedding(spec, points, {"cpu_load": np.zeros(n)})
+    overlay = Overlay(latencies, space)
+    for c in range(num_circuits):
+        circuit = Circuit(name=f"c{c}")
+        producers = rng.choice(n, size=joins + 1, replace=False)
+        for a, node in enumerate(producers):
+            circuit.add_service(
+                Service(f"c{c}/p{a}", ServiceSpec.relay(), int(node), frozenset((f"P{a}",)))
+            )
+        prev = f"c{c}/p0"
+        prev_rate = float(rng.uniform(4.0, 10.0))
+        for j in range(joins):
+            sid = f"c{c}/j{j}"
+            circuit.add_service(
+                Service(sid, ServiceSpec.join(), None, frozenset((f"P{j}", f"X{j}")))
+            )
+            other_rate = float(rng.uniform(4.0, 10.0))
+            circuit.add_link(prev, sid, prev_rate)
+            circuit.add_link(f"c{c}/p{j + 1}", sid, other_rate)
+            circuit.assign(sid, int(rng.integers(n)))
+            prev = sid
+            prev_rate = float(rng.uniform(0.3, 0.8)) * min(prev_rate, other_rate)
+        sink = f"c{c}/sink"
+        circuit.add_service(
+            Service(sink, ServiceSpec.relay(), int(rng.integers(n)), frozenset(("ALL",)))
+        )
+        circuit.add_link(prev, sink, prev_rate)
+        overlay.install_circuit(circuit)
+    return overlay
+
+
+@lru_cache(maxsize=1)
+def dataplane_tick_timings() -> tuple[float, float, int]:
+    """(scalar seconds, vectorized seconds, tuples/tick) on twin planes.
+
+    Both twins warm up through their own path (state fills, caches
+    settle) with identical RNG streams, then ``TIMED_TICKS`` ticks are
+    timed on each.  The per-tick integer traffic counters are asserted
+    equal, so the measured work is identical by construction.
+    """
+    fast = DataPlane(_traffic_overlay(), RuntimeConfig(seed=3))
+    slow = DataPlane(_traffic_overlay(), RuntimeConfig(seed=3))
+    for _ in range(WARMUP_TICKS):
+        fast.step()
+        slow.step_scalar()
+    t0 = time.perf_counter()
+    fast_records = [fast.step() for _ in range(TIMED_TICKS)]
+    t_vector = (time.perf_counter() - t0) / TIMED_TICKS
+    t0 = time.perf_counter()
+    slow_records = [slow.step_scalar() for _ in range(TIMED_TICKS)]
+    t_scalar = (time.perf_counter() - t0) / TIMED_TICKS
+    for rv, rs in zip(fast_records, slow_records):
+        assert (rv.emitted, rv.delivered, rv.dropped, rv.processed, rv.in_flight) == (
+            rs.emitted, rs.delivered, rs.dropped, rs.processed, rs.in_flight
+        )
+    assert fast.accounting()["balanced"] and slow.accounting()["balanced"]
+    per_tick = int(np.mean([r.processed + r.emitted for r in fast_records]))
+    return t_scalar, t_vector, per_tick
+
+
+def test_report_dataplane_tick():
+    t_scalar, t_vector, per_tick = dataplane_tick_timings()
+    rows = [
+        [
+            f"traffic tick ({DP_CIRCUITS} circuits, ~{per_tick} tuples)",
+            DP_NODES,
+            t_scalar * 1e3,
+            t_vector * 1e3,
+            t_scalar / t_vector,
+        ]
+    ]
+    report(
+        "E18",
+        "Data-plane runtime: per-tuple heapq reference vs batched transport"
+        + (" [quick]" if QUICK else ""),
+        ["kernel", "n", "scalar ms", "vectorized ms", "speedup"],
+        rows,
+    )
+    write_bench_json(
+        "E18",
+        [
+            {
+                "op": "dataplane_tick",
+                "n": DP_NODES,
+                "circuits": DP_CIRCUITS,
+                "tuples_per_tick": per_tick,
+                "before_s": t_scalar,
+                "after_s": t_vector,
+                "speedup": t_scalar / t_vector,
+            }
+        ],
+        quick=QUICK,
+    )
+    assert t_scalar / t_vector >= DP_SPEEDUP_FLOOR
+
+
+def test_tuple_conservation_under_churn_and_migration():
+    """No tuple is silently lost while the chaos scenario rages.
+
+    Churn fails nodes, the hotspot forces live migrations, and
+    backpressure drops tuples — yet at every tick the accounting
+    balances: sent == delivered-from-transport + in-flight, and every
+    delivered tuple was processed or counted dropped.
+    """
+    scenario = chaos_scenario(num_nodes=30, num_circuits=3, node_capacity=50.0, seed=2)
+    sim = scenario.simulation
+    for _ in range(CHAOS_TICKS):
+        sim.step()
+        acct = scenario.data_plane.accounting()
+        assert acct["balanced"], acct
+    series = sim.series
+    assert series.total_failures() > 0, "churn never fired; scenario too tame"
+    assert series.total_migrations() > 0, "re-optimizer never migrated"
+    assert series.total_delivered() > 0, "no tuples reached consumers"
+    acct = scenario.data_plane.accounting()
+    assert acct["sent"] == acct["transport_delivered"] + acct["in_flight"]
+    assert acct["transport_delivered"] == acct["processed"] + acct["dropped"]

@@ -64,6 +64,7 @@ from repro.query import (
     enumerate_all_plans,
     top_k_plans,
 )
+from repro.runtime import DataPlane, RuntimeConfig
 from repro.sbon import Overlay, Simulation, SimulationConfig
 
 __version__ = "1.0.0"
@@ -107,6 +108,8 @@ __all__ = [
     "Statistics",
     "enumerate_all_plans",
     "top_k_plans",
+    "DataPlane",
+    "RuntimeConfig",
     "Overlay",
     "Simulation",
     "SimulationConfig",

@@ -6,7 +6,9 @@ Subcommands:
   the integrated optimizer; prints the candidate plans, the winner, and
   the two-step comparison.
 * ``simulate``  — install a random workload and run the tick simulator
-  with load drift and periodic re-optimization.
+  with load drift and periodic re-optimization; ``--data-plane``
+  additionally executes every circuit on live tuple streams and
+  reports measured traffic (deliveries, drops, latency percentiles).
 * ``execute``   — optimize a query and then execute the winning circuit
   on synthetic streams, validating the cost model.
 * ``topology``  — generate a topology and print its statistics.
@@ -106,15 +108,35 @@ def cmd_simulate(args) -> int:
         overlay.install(optimizer.optimize(query, stats))
     print(f"installed {args.queries} circuits; initial usage "
           f"{overlay.total_network_usage():.1f}")
+    data_plane = None
+    if args.data_plane:
+        from repro.runtime import DataPlane, RuntimeConfig
+
+        data_plane = DataPlane(
+            overlay,
+            RuntimeConfig(seed=args.seed, node_capacity=args.node_capacity),
+        )
     sim = Simulation(
         overlay,
         load_process=LoadProcess(overlay.num_nodes, seed=args.seed),
         config=SimulationConfig(reopt_interval=args.reopt_interval),
+        data_plane=data_plane,
     )
     series = sim.run(args.ticks)
     summary = series.summary()
     for key, value in summary.items():
-        print(f"{key:14s}: {value:.1f}")
+        print(f"{key:15s}: {value:.1f}")
+    if data_plane is not None:
+        acct = data_plane.accounting()
+        p95s = [r.latency_p95 for r in series.records if r.delivered]
+        p95 = sum(p95s) / len(p95s) if p95s else 0.0
+        print(f"{'measured usage':15s}: {data_plane.measured_usage_rate():.1f}")
+        print(f"{'latency p95 ms':15s}: {p95:.0f} (mean over delivering ticks)")
+        print(f"{'conservation':15s}: "
+              f"{'balanced' if acct['balanced'] else 'IMBALANCED'} "
+              f"(sent {acct['sent']} = off-wire {acct['transport_delivered']} "
+              f"+ in flight {acct['in_flight']}; off-wire = processed "
+              f"{acct['processed']} + dropped {acct['dropped']})")
     return 0
 
 
@@ -171,6 +193,14 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.add_argument("--producers", type=int, default=3)
     p_sim.add_argument("--ticks", type=int, default=60)
     p_sim.add_argument("--reopt-interval", type=int, default=5)
+    p_sim.add_argument(
+        "--data-plane", action="store_true",
+        help="execute installed circuits on live tuple streams",
+    )
+    p_sim.add_argument(
+        "--node-capacity", type=float, default=None,
+        help="tuples a node accepts per tick (backpressure; default unlimited)",
+    )
 
     p_exe = sub.add_parser("execute", help="execute a circuit on streams")
     p_exe.add_argument("--producers", type=int, default=3)

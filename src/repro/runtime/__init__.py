@@ -1,0 +1,27 @@
+"""Data-plane runtime: execute installed circuits on the live overlay.
+
+The optimizer and simulator price circuits from *estimated* link rates;
+this package moves actual tuple batches through every installed circuit
+inside the simulation tick loop, so heavy-traffic experiments measure
+what the network really carries under churn, hotspots, and migration.
+
+* :mod:`repro.runtime.transport` — in-flight tuple storage: a
+  struct-of-arrays pool delivered by one vectorized arrival-tick
+  comparison, plus the per-tuple heapq reference twin.
+* :mod:`repro.runtime.dataplane` — the :class:`DataPlane` coordinator:
+  compiles installed circuits into flat CSR kernels, steps sources and
+  operators in batch per tick, applies per-node capacity backpressure
+  with explicit drop accounting, and re-homes in-flight tuples when the
+  re-optimizer migrates a service.
+"""
+
+from repro.runtime.dataplane import DataPlane, RuntimeConfig, TrafficRecord
+from repro.runtime.transport import ArrayTransport, HeapTransport
+
+__all__ = [
+    "DataPlane",
+    "RuntimeConfig",
+    "TrafficRecord",
+    "ArrayTransport",
+    "HeapTransport",
+]

@@ -1,0 +1,967 @@
+"""The data-plane coordinator: all installed circuits, executed per tick.
+
+:class:`DataPlane` compiles every circuit installed on an
+:class:`~repro.sbon.overlay.Overlay` into flat arrays (CSR outgoing-link
+index, per-operator kind/parameter columns) and then, each simulation
+tick, moves actual tuple batches through all of them concurrently:
+
+1. **Sources emit** — one Poisson draw across every source of every
+   circuit, one uniform draw for all join keys.
+2. **Delivery rounds** — the transport hands back every due batch;
+   round 1 is everything in flight, later rounds are the zero-delay
+   cascade outputs of the previous round (colocated services).
+3. **Backpressure** — each node accepts at most
+   ``RuntimeConfig.node_capacity`` tuples per tick; the excess is
+   dropped *with accounting* (per-node counters), as are tuples
+   delivered to a failed node.
+4. **Operators run in batch** — relays forward, filters hash-thin,
+   aggregates decimate with per-operator credit, joins match arrivals
+   against windowed struct-of-arrays state via one composite-key
+   ``searchsorted`` pass over all joins at once.
+5. **Results are measured** — sink deliveries, end-to-end tuple
+   latencies, per-link carried traffic, and Σ latency over every tuple
+   actually sent (the *measured* network usage).
+
+Churn and migration safety: in-flight tuples address their target
+*service*, and the hosting node is resolved at delivery time from the
+circuit's current placement — when the re-optimizer migrates a service
+(or churn forces an evacuation), tuples already on the wire re-home
+automatically.  Uninstalling a circuit drops its in-flight tuples with
+explicit accounting.  The conservation invariant, checkable at any
+tick via :meth:`DataPlane.accounting`::
+
+    sent == transport-delivered + in_flight
+    transport-delivered == processed + dropped
+
+so no tuple is ever silently lost.
+
+Scalar reference
+----------------
+
+:meth:`DataPlane.step_scalar` implements the *same* tick semantics with
+per-tuple Python loops over a heapq transport and per-key join tables,
+consuming the *same* RNG draws (the per-tick source draw is shared), so
+twin data planes stepped through either path agree exactly — tuple for
+tuple — and the pair is the before/after of the E18 benchmark.  A
+single instance commits to one path on first use (the two paths keep
+different state layouts); build a twin to compare.
+
+Randomness discipline: the only RNG draws are the per-tick source
+draws.  Filter predicates and join match thinning are deterministic
+hashes of tuple content (SplitMix64 buckets), which keeps the batched
+and per-tuple paths exactly equivalent without coupling their
+per-candidate draw order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.query.operators import ServiceKind
+from repro.runtime.transport import ArrayTransport, HeapTransport
+
+__all__ = ["RuntimeConfig", "TrafficRecord", "DataPlane"]
+
+# Operator behavior codes (what an op does with a delivered tuple).
+_RELAY, _FILTER, _AGG, _JOIN = 0, 1, 2, 3
+
+_MASK64 = (1 << 64) - 1
+_M1 = 0x9E3779B97F4A7C15
+_M2 = 0xBF58476D1CE4E5B9
+_M3 = 0x94D049BB133111EB
+_U = np.uint64
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over a uint64 array (wrapping arithmetic)."""
+    x = x ^ (x >> _U(30))
+    x = x * _U(_M2)
+    x = x ^ (x >> _U(27))
+    x = x * _U(_M3)
+    return x ^ (x >> _U(31))
+
+
+def _mix64_int(x: int) -> int:
+    """SplitMix64 finalizer for one Python int (must match :func:`_mix64`)."""
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * _M2) & _MASK64
+    x ^= x >> 27
+    x = (x * _M3) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _filter_bucket(key: np.ndarray, salt: np.ndarray) -> np.ndarray:
+    """Deterministic uniform-[0,1) bucket of (key, operator) pairs."""
+    x = key.astype(_U) * _U(_M1) + salt.astype(_U) * _U(_M3)
+    return (_mix64(x) >> _U(11)).astype(np.float64) * 2.0 ** -53
+
+
+def _filter_bucket_int(key: int, salt: int) -> float:
+    x = (key * _M1 + salt * _M3) & _MASK64
+    return (_mix64_int(x) >> 11) * 2.0 ** -53
+
+
+def _pair_bucket(
+    key: np.ndarray, ts_a: np.ndarray, ts_b: np.ndarray, salt: np.ndarray
+) -> np.ndarray:
+    """Symmetric match bucket of a candidate join pair (order-free)."""
+    lo = np.minimum(ts_a, ts_b).astype(_U)
+    hi = np.maximum(ts_a, ts_b).astype(_U)
+    x = key.astype(_U) * _U(_M1) + lo * _U(_M2) + hi * _U(_M3) + salt.astype(_U)
+    return (_mix64(x) >> _U(11)).astype(np.float64) * 2.0 ** -53
+
+
+def _pair_bucket_int(key: int, ts_a: int, ts_b: int, salt: int) -> float:
+    lo, hi = (ts_a, ts_b) if ts_a <= ts_b else (ts_b, ts_a)
+    x = (key * _M1 + lo * _M2 + hi * _M3 + salt) & _MASK64
+    return (_mix64_int(x) >> 11) * 2.0 ** -53
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the data-plane runtime.
+
+    Attributes:
+        window: join window in ticks (state retention and match bound).
+        tick_ms: milliseconds per tick (converts latency to delay).
+        node_capacity: tuples one node may accept per tick; None
+            disables backpressure.
+        eviction_slack: extra ticks of join-state retention beyond the
+            window; None derives each join's path staleness from the
+            placement at compile time (like the executor).
+        seed: RNG seed of the per-tick source draws.
+    """
+
+    window: int = 20
+    tick_ms: float = 10.0
+    node_capacity: float | None = None
+    eviction_slack: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise ValueError("window must be non-negative")
+        if self.tick_ms <= 0:
+            raise ValueError("tick_ms must be positive")
+        if self.node_capacity is not None and self.node_capacity < 0:
+            raise ValueError("node_capacity must be non-negative")
+        if self.eviction_slack is not None and self.eviction_slack < 0:
+            raise ValueError("eviction_slack must be non-negative")
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """What the data plane carried during one tick.
+
+    Attributes:
+        tick: data-plane tick counter.
+        emitted: tuples produced by sources this tick.
+        delivered: tuples that reached a consumer sink this tick.
+        dropped: tuples dropped this tick (capacity + dead nodes +
+            uninstalls), never silently lost.
+        processed: tuples accepted and processed by services.
+        in_flight: tuples still on the wire after the tick.
+        usage: measured network usage this tick — Σ link latency over
+            every tuple actually sent (rate × latency, realized).
+        latency_p50: median end-to-end latency (ms) of this tick's
+            deliveries (0 when none).
+        latency_p95: 95th percentile of the same.
+        latency_p99: 99th percentile of the same.
+    """
+
+    tick: int
+    emitted: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    processed: int = 0
+    in_flight: int = 0
+    usage: float = 0.0
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
+
+
+class DataPlane:
+    """Executes every installed circuit on the overlay, tick for tick."""
+
+    def __init__(self, overlay, config: RuntimeConfig | None = None):
+        self.overlay = overlay
+        self.config = config or RuntimeConfig()
+        self.tick = 0
+        self._rng = np.random.default_rng(self.config.seed)
+        self._mode: str | None = None
+        self._transport = None
+        self._next_seq = 0
+        # Cumulative accounting.
+        self.emitted = 0
+        self.sink_delivered = 0
+        self.processed = 0
+        self.dropped_capacity = 0
+        self.dropped_dead = 0
+        self.dropped_uninstalled = 0
+        self._usage_total = 0.0
+        n = overlay.num_nodes
+        self.dropped_by_node = np.zeros(n, dtype=np.int64)
+        if self.config.node_capacity is None:
+            self._cap = None
+        else:
+            self._cap = np.full(n, float(self.config.node_capacity))
+        # Per-(circuit, link) stats survive recompiles in this fold.
+        self._link_stats_folded: dict[tuple[str, str, str], list] = {}
+        self._compile(remap_from=None)
+
+    # -- compilation -------------------------------------------------------
+
+    def _compile(self, remap_from: dict | None) -> int:
+        """(Re)build the flat kernels from the overlay's circuit set.
+
+        ``remap_from`` is the previous ``(circuit, sid) -> op`` index
+        when recompiling; surviving state (in-flight tuples, join
+        state, aggregate credit) is re-addressed, and tuples of
+        uninstalled circuits are dropped with accounting.  Returns the
+        number dropped.
+        """
+        old_credit = getattr(self, "_agg_credit", None)
+        if remap_from is not None:
+            self._fold_link_stats()
+
+        circuits = list(self.overlay.circuits.values())
+        op_index: dict[tuple[str, str], int] = {}
+        rows: list[tuple[object, list[str], int]] = []
+        for circuit in circuits:
+            sids = list(circuit.services.keys())
+            rows.append((circuit, sids, len(op_index)))
+            for sid in sids:
+                op_index[(circuit.name, sid)] = len(op_index)
+        num_ops = len(op_index)
+
+        kind = np.zeros(num_ops, dtype=np.int8)
+        in_deg = np.zeros(num_ops, dtype=np.int64)
+        out_lists: list[list[tuple[int, int]]] = [[] for _ in range(num_ops)]
+        op_sel = np.ones(num_ops, dtype=np.float64)
+        op_factor = np.full(num_ops, 0.5, dtype=np.float64)
+        op_pmatch = np.ones(num_ops, dtype=np.float64)
+        slack = np.zeros(num_ops, dtype=np.int64)
+        src_ops: list[int] = []
+        src_rate: list[float] = []
+        src_domain: list[int] = []
+
+        w = self.config.window
+        for circuit in circuits:
+            incoming: dict[str, list] = {sid: [] for sid in circuit.services}
+            outgoing: dict[str, list] = {sid: [] for sid in circuit.services}
+            for link in circuit.links:
+                incoming[link.target].append(link)
+                outgoing[link.source].append(link)
+
+            # Key domain realizing the largest implied join selectivity,
+            # as in CircuitExecutor.from_query: the binding join matches
+            # on key equality alone, the others thin further via the
+            # deterministic match bucket.
+            needs = []
+            for sid, service in circuit.services.items():
+                if service.kind is not ServiceKind.JOIN or len(incoming[sid]) != 2:
+                    continue
+                r0, r1 = (l.rate for l in incoming[sid])
+                outs = outgoing[sid]
+                ro = outs[0].rate if outs else 0.0
+                if r0 > 0 and r1 > 0 and ro > 0:
+                    needs.append(r0 * r1 * (2 * w + 1) / ro)
+            domain = int(np.clip(int(min(needs)), 1, 1 << 31)) if needs else 2 * w + 1
+
+            for sid, service in circuit.services.items():
+                op = op_index[(circuit.name, sid)]
+                in_deg[op] = len(incoming[sid])
+                for port, link in enumerate(incoming[sid]):
+                    src = op_index[(circuit.name, link.source)]
+                    out_lists[src].append((op, port))
+                if service.kind is ServiceKind.JOIN and len(incoming[sid]) == 2:
+                    kind[op] = _JOIN
+                    r0, r1 = (l.rate for l in incoming[sid])
+                    outs = outgoing[sid]
+                    ro = outs[0].rate if outs else 0.0
+                    if r0 > 0 and r1 > 0:
+                        p = ro * domain / (r0 * r1 * (2 * w + 1))
+                        op_pmatch[op] = min(1.0, p)
+                elif service.kind is ServiceKind.FILTER:
+                    kind[op] = _FILTER
+                    inr = sum(l.rate for l in incoming[sid])
+                    outs = outgoing[sid]
+                    if service.spec.selectivity is not None:
+                        op_sel[op] = service.spec.selectivity
+                    elif outs and inr > 0:
+                        op_sel[op] = min(1.0, outs[0].rate / inr)
+                elif service.kind is ServiceKind.AGGREGATE:
+                    kind[op] = _AGG
+                    inr = sum(l.rate for l in incoming[sid])
+                    outs = outgoing[sid]
+                    if outs and inr > 0:
+                        op_factor[op] = min(1.0, outs[0].rate / inr)
+                else:
+                    kind[op] = _RELAY
+                if not incoming[sid] and outgoing[sid]:
+                    src_ops.append(op)
+                    src_rate.append(outgoing[sid][0].rate)
+                    src_domain.append(domain)
+
+            self._assign_slack(circuit, incoming, op_index, slack)
+
+        # Flatten out-links in CSR form: link ids are grouped by source op.
+        out_deg = np.array([len(lst) for lst in out_lists], dtype=np.int64)
+        out_offsets = np.zeros(num_ops + 1, dtype=np.int64)
+        np.cumsum(out_deg, out=out_offsets[1:])
+        num_links = int(out_offsets[-1])
+        link_dst = np.zeros(num_links, dtype=np.int64)
+        link_port = np.zeros(num_links, dtype=np.int64)
+        link_names: list[tuple[str, str, str]] = []
+        names_of_op = [key for key, _ in sorted(op_index.items(), key=lambda kv: kv[1])]
+        for op, lst in enumerate(out_lists):
+            base = out_offsets[op]
+            for i, (dst, port) in enumerate(lst):
+                link_dst[base + i] = dst
+                link_port[base + i] = port
+                cname, src_sid = names_of_op[op]
+                link_names.append((cname, src_sid, names_of_op[dst][1]))
+
+        self._op_index = op_index
+        self._circuit_rows = rows
+        self._num_ops = num_ops
+        self._kind = kind
+        self._is_sink = (out_deg == 0) & (in_deg > 0)
+        self._out_deg = out_deg
+        self._out_offsets = out_offsets[:-1]
+        self._link_dst = link_dst
+        self._link_port = link_port
+        self._link_names = link_names
+        self._link_tuples = np.zeros(num_links, dtype=np.int64)
+        self._link_size = np.zeros(num_links, dtype=np.float64)
+        self._op_sel = op_sel
+        self._op_factor = op_factor
+        self._op_pmatch = op_pmatch
+        self._slack = slack
+        self._src_ops = np.asarray(src_ops, dtype=np.int64)
+        self._src_rate = np.asarray(src_rate, dtype=np.float64)
+        self._src_domain = np.asarray(src_domain, dtype=np.float64)
+        self._agg_credit = np.zeros(num_ops, dtype=np.float64)
+        self._compiled_names = tuple(self.overlay.circuits.keys())
+        # Held by identity: replacing a circuit under the same name is
+        # still a different object and must trigger a recompile.
+        self._compiled_circuits = tuple(circuits)
+
+        dropped = 0
+        if remap_from is not None:
+            mapping = np.full(max(len(remap_from), 1), -1, dtype=np.int64)
+            for key, old_i in remap_from.items():
+                new_i = op_index.get(key)
+                if new_i is not None:
+                    mapping[old_i] = new_i
+                    if old_credit is not None:
+                        self._agg_credit[new_i] = old_credit[old_i]
+            if self._transport is not None:
+                dropped = self._transport.remap_ops(mapping)
+                self.dropped_uninstalled += dropped
+            self._remap_state(mapping)
+        return dropped
+
+    def _assign_slack(self, circuit, incoming, op_index, slack) -> None:
+        """Per-join state-retention slack = path staleness at compile.
+
+        A tuple can arrive at a join delayed by its whole upstream path,
+        so join state must outlive the window by that delay (mirrors
+        ``CircuitExecutor``).  Uses the placement current at compile
+        time; ``RuntimeConfig.eviction_slack`` overrides with a flat
+        value.
+        """
+        if self.config.eviction_slack is not None:
+            for sid, service in circuit.services.items():
+                if service.kind is ServiceKind.JOIN:
+                    slack[op_index[(circuit.name, sid)]] = self.config.eviction_slack
+            return
+        lat = self.overlay.latencies
+        tick_ms = self.config.tick_ms
+        memo: dict[str, int] = {}
+
+        def delay(link) -> int:
+            u = circuit.host_of(link.source)
+            v = circuit.host_of(link.target)
+            if u == v:
+                return 0
+            return max(0, int(np.rint(lat.latency(u, v) / tick_ms)))
+
+        def staleness(sid: str) -> int:
+            if sid in memo:
+                return memo[sid]
+            worst = 0
+            for link in incoming[sid]:
+                worst = max(worst, staleness(link.source) + delay(link))
+            memo[sid] = worst
+            return worst
+
+        for sid, service in circuit.services.items():
+            if service.kind is ServiceKind.JOIN:
+                slack[op_index[(circuit.name, sid)]] = staleness(sid)
+
+    def _fold_link_stats(self) -> None:
+        for i, name in enumerate(self._link_names):
+            if self._link_tuples[i] or self._link_size[i]:
+                entry = self._link_stats_folded.setdefault(name, [0, 0.0])
+                entry[0] += int(self._link_tuples[i])
+                entry[1] += float(self._link_size[i])
+
+    def _sync(self) -> int:
+        current = tuple(self.overlay.circuits.values())
+        if (
+            tuple(self.overlay.circuits.keys()) == self._compiled_names
+            and len(current) == len(self._compiled_circuits)
+            and all(a is b for a, b in zip(current, self._compiled_circuits))
+        ):
+            return 0
+        return self._compile(remap_from=self._op_index)
+
+    def _remap_state(self, mapping: np.ndarray) -> None:
+        """Re-address join state after a recompile (both layouts)."""
+        if self._mode == "array" and self._st_comp.size:
+            ops = (self._st_comp >> _U(33)).astype(np.int64)
+            rest = self._st_comp & _U((1 << 33) - 1)
+            new_ops = mapping[ops]
+            keep = new_ops >= 0
+            comp = (new_ops[keep].astype(_U) << _U(33)) | rest[keep]
+            order = np.argsort(comp, kind="stable")
+            self._st_comp = comp[order]
+            self._st_ts = self._st_ts[keep][order]
+            self._st_size = self._st_size[keep][order]
+        elif self._mode == "heap" and self._tables:
+            tables: dict = {}
+            for (op, side, key), entries in self._tables.items():
+                new = int(mapping[op])
+                if new >= 0:
+                    tables[(new, side, key)] = entries
+            self._tables = tables
+
+    # -- shared per-tick helpers -------------------------------------------
+
+    def _use_mode(self, mode: str) -> None:
+        if self._mode is None:
+            self._mode = mode
+            if mode == "array":
+                self._transport = ArrayTransport()
+                self._st_comp = np.empty(0, dtype=np.uint64)
+                self._st_ts = np.empty(0, dtype=np.int64)
+                self._st_size = np.empty(0, dtype=np.float64)
+            else:
+                self._transport = HeapTransport()
+                self._tables = {}
+        elif self._mode != mode:
+            raise RuntimeError(
+                "DataPlane committed to the other step path; build a twin "
+                "instance to compare step() against step_scalar()"
+            )
+
+    def _host_array(self) -> np.ndarray:
+        """Current hosting node of every op, from live placements.
+
+        Resolved fresh each tick, which is what re-homes in-flight
+        tuples across migrations for free: delivery looks the target
+        service's node up *now*, not at send time.
+        """
+        host = np.zeros(self._num_ops, dtype=np.int64)
+        for circuit, sids, base in self._circuit_rows:
+            placement = circuit.placement
+            for i, sid in enumerate(sids):
+                host[base + i] = placement[sid]
+        return host
+
+    def _draw_tick(self) -> tuple[np.ndarray, np.ndarray]:
+        """The tick's source randomness (shared by both step paths)."""
+        counts = self._rng.poisson(self._src_rate).astype(np.int64)
+        u = self._rng.random(int(counts.sum()))
+        return counts, u
+
+    def _alive(self) -> np.ndarray:
+        return self.overlay.alive_mask()
+
+    @staticmethod
+    def _percentiles(lat: np.ndarray) -> tuple[float, float, float]:
+        if lat.size == 0:
+            return 0.0, 0.0, 0.0
+        p50, p95, p99 = np.percentile(lat, [50.0, 95.0, 99.0])
+        return float(p50), float(p95), float(p99)
+
+    # -- vectorized path ---------------------------------------------------
+
+    def step(self) -> TrafficRecord:
+        """Advance one tick through the batched kernels."""
+        self._use_mode("array")
+        dropped_sync = self._sync()
+        self.tick += 1
+        now = self.tick
+        host = self._host_array()
+        alive = self._alive()
+        lat = self.overlay.latencies.values
+        cap = self._cap
+        node_used = (
+            np.zeros(self.overlay.num_nodes, dtype=np.int64) if cap is not None else None
+        )
+        self._tick_usage = 0.0
+        t_emitted = t_delivered = t_processed = 0
+        t_dropped = dropped_sync
+        tick_lat: list[np.ndarray] = []
+
+        self._evict_state_array(now)
+
+        # 1. Sources emit (one Poisson draw + one uniform draw, total).
+        counts, u = self._draw_tick()
+        if counts.size and counts.sum():
+            live = np.repeat(alive[host[self._src_ops]], counts)
+            keys = np.floor(u * np.repeat(self._src_domain, counts)).astype(np.int64)
+            ops = np.repeat(self._src_ops, counts)[live]
+            keys = keys[live]
+            m = ops.size
+            if m:
+                t_emitted = m
+                self.emitted += m
+                self._send_array(
+                    ops, keys, np.full(m, now, dtype=np.int64), np.ones(m), now, host, lat
+                )
+
+        # 2. Delivery rounds until nothing further is due this tick.
+        while True:
+            batch = self._transport.due(now)
+            if batch is None:
+                break
+            order = np.lexsort((batch["seq"], batch["port"], batch["op"]))
+            op = batch["op"][order]
+            port = batch["port"][order]
+            key = batch["key"][order]
+            ts = batch["ts"][order]
+            size = batch["size"][order]
+            node = host[op]
+
+            live = alive[node]
+            ndead = int(op.size - live.sum())
+            if ndead:
+                self.dropped_dead += ndead
+                t_dropped += ndead
+                op, port, key, ts, size, node = (
+                    a[live] for a in (op, port, key, ts, size, node)
+                )
+            if cap is not None and op.size:
+                keep = self._capacity_filter(node, node_used, cap)
+                ncap = int(op.size - keep.sum())
+                if ncap:
+                    self.dropped_capacity += ncap
+                    t_dropped += ncap
+                    np.add.at(self.dropped_by_node, node[~keep], 1)
+                    op, port, key, ts, size = (
+                        a[keep] for a in (op, port, key, ts, size)
+                    )
+            m = op.size
+            if m == 0:
+                continue
+            t_processed += m
+            self.processed += m
+
+            sink = self._is_sink[op]
+            ns = int(sink.sum())
+            if ns:
+                t_delivered += ns
+                self.sink_delivered += ns
+                tick_lat.append(
+                    (now - ts[sink]).astype(np.float64) * self.config.tick_ms
+                )
+            rest = ~sink
+            if rest.any():
+                pos = np.flatnonzero(rest)
+                out = self._process_array(
+                    op[rest], port[rest], key[rest], ts[rest], size[rest], pos, now
+                )
+                if out is not None:
+                    self._send_array(*out, now, host, lat)
+
+        self._usage_total += self._tick_usage
+        lat_all = (
+            np.concatenate(tick_lat) if tick_lat else np.empty(0, dtype=np.float64)
+        )
+        p50, p95, p99 = self._percentiles(lat_all)
+        return TrafficRecord(
+            tick=now,
+            emitted=t_emitted,
+            delivered=t_delivered,
+            dropped=t_dropped,
+            processed=t_processed,
+            in_flight=self._transport.in_flight,
+            usage=self._tick_usage,
+            latency_p50=p50,
+            latency_p95=p95,
+            latency_p99=p99,
+        )
+
+    @staticmethod
+    def _capacity_filter(
+        nodes: np.ndarray, node_used: np.ndarray, cap: np.ndarray
+    ) -> np.ndarray:
+        """First-come-first-served per-node admission in canonical order."""
+        order = np.argsort(nodes, kind="stable")
+        sn = nodes[order]
+        _, starts, cnts = np.unique(sn, return_index=True, return_counts=True)
+        rank = np.arange(sn.size) - np.repeat(starts, cnts)
+        keep_sorted = rank + node_used[sn] < cap[sn]
+        keep = np.empty(nodes.size, dtype=bool)
+        keep[order] = keep_sorted
+        np.add.at(node_used, nodes[keep], 1)
+        return keep
+
+    def _evict_state_array(self, now: int) -> None:
+        if not self._st_comp.size:
+            return
+        ops = (self._st_comp >> _U(33)).astype(np.int64)
+        thr = now - self.config.window - self._slack[ops]
+        keep = self._st_ts >= thr
+        if not keep.all():
+            self._st_comp = self._st_comp[keep]
+            self._st_ts = self._st_ts[keep]
+            self._st_size = self._st_size[keep]
+
+    def _process_array(self, op, port, key, ts, size, pos, now):
+        """Run one round's kept non-sink arrivals through the operators.
+
+        Outputs are reassembled in canonical order — (input position,
+        match rank) — so downstream sequence numbers match the
+        per-tuple reference exactly.
+        """
+        k = self._kind[op]
+        outs: list[tuple] = []
+
+        m = k == _RELAY
+        if m.any():
+            outs.append((op[m], key[m], ts[m], size[m], pos[m], np.zeros(int(m.sum()), dtype=np.int64)))
+        m = k == _FILTER
+        if m.any():
+            b = _filter_bucket(key[m], op[m])
+            keep = b < self._op_sel[op[m]]
+            if keep.any():
+                outs.append(
+                    (op[m][keep], key[m][keep], ts[m][keep], size[m][keep], pos[m][keep],
+                     np.zeros(int(keep.sum()), dtype=np.int64))
+                )
+        m = k == _AGG
+        if m.any():
+            ops_a = op[m]
+            uniq, starts, cnts = np.unique(ops_a, return_index=True, return_counts=True)
+            rank = np.arange(ops_a.size) - np.repeat(starts, cnts)
+            c = self._agg_credit[ops_a]
+            f = self._op_factor[ops_a]
+            emit = np.floor(c + (rank + 1) * f) > np.floor(c + rank * f)
+            self._agg_credit[uniq] = (
+                self._agg_credit[uniq] + cnts * self._op_factor[uniq]
+            ) % 1.0
+            if emit.any():
+                outs.append(
+                    (ops_a[emit], key[m][emit], ts[m][emit], size[m][emit], pos[m][emit],
+                     np.zeros(int(emit.sum()), dtype=np.int64))
+                )
+        m = k == _JOIN
+        if m.any():
+            p0 = m & (port == 0)
+            p1 = m & (port == 1)
+            pairs = self._probe_array(op[p0], key[p0], ts[p0], size[p0], pos[p0], side=1)
+            if pairs is not None:
+                outs.append(pairs)
+            self._insert_state_array(op[p0], key[p0], ts[p0], size[p0], side=0)
+            pairs = self._probe_array(op[p1], key[p1], ts[p1], size[p1], pos[p1], side=0)
+            if pairs is not None:
+                outs.append(pairs)
+            self._insert_state_array(op[p1], key[p1], ts[p1], size[p1], side=1)
+
+        if not outs:
+            return None
+        o_op = np.concatenate([o[0] for o in outs])
+        o_key = np.concatenate([o[1] for o in outs])
+        o_ts = np.concatenate([o[2] for o in outs])
+        o_size = np.concatenate([o[3] for o in outs])
+        o_pos = np.concatenate([o[4] for o in outs])
+        o_rank = np.concatenate([o[5] for o in outs])
+        order = np.lexsort((o_rank, o_pos))
+        return o_op[order], o_key[order], o_ts[order], o_size[order]
+
+    def _probe_array(self, op, key, ts, size, pos, side: int):
+        """Match arrivals against the other side's windowed join state.
+
+        One composite-key ``searchsorted`` over *all* joins at once; the
+        state is kept sorted by (op, side, key) with insertion order
+        preserved within equal keys, so matches enumerate exactly like
+        the per-tuple reference.
+        """
+        if op.size == 0 or not self._st_comp.size:
+            return None
+        qcomp = (op.astype(_U) << _U(33)) | (_U(side) << _U(32)) | key.astype(_U)
+        lo = np.searchsorted(self._st_comp, qcomp, side="left")
+        hi = np.searchsorted(self._st_comp, qcomp, side="right")
+        cnt = hi - lo
+        total = int(cnt.sum())
+        if total == 0:
+            return None
+        rep = np.repeat(np.arange(op.size), cnt)
+        starts = np.concatenate(([0], np.cumsum(cnt)[:-1]))
+        within = np.arange(total) - starts[rep]
+        sidx = lo[rep] + within
+        sts = self._st_ts[sidx]
+        ats = ts[rep]
+        ok = np.abs(ats - sts) <= self.config.window
+        ok &= _pair_bucket(key[rep], ats, sts, op[rep]) < self._op_pmatch[op[rep]]
+        if not ok.any():
+            return None
+        return (
+            op[rep][ok],
+            key[rep][ok],
+            np.maximum(ats, sts)[ok],
+            (size[rep] + self._st_size[sidx])[ok],
+            pos[rep][ok],
+            within[ok],
+        )
+
+    def _insert_state_array(self, op, key, ts, size, side: int) -> None:
+        if op.size == 0:
+            return
+        comp = (op.astype(_U) << _U(33)) | (_U(side) << _U(32)) | key.astype(_U)
+        order = np.argsort(comp, kind="stable")
+        comp = comp[order]
+        where = np.searchsorted(self._st_comp, comp, side="right")
+        self._st_comp = np.insert(self._st_comp, where, comp)
+        self._st_ts = np.insert(self._st_ts, where, ts[order])
+        self._st_size = np.insert(self._st_size, where, size[order])
+
+    def _send_array(self, ops, keys, ts, sizes, now, host, lat) -> None:
+        """Fan outputs out over their CSR out-links and hand to transport."""
+        if ops.size == 0:
+            return
+        deg = self._out_deg[ops]
+        total = int(deg.sum())
+        if total == 0:
+            return
+        rep = np.repeat(np.arange(ops.size), deg)
+        cum = np.cumsum(deg)
+        starts = np.concatenate(([0], cum[:-1]))
+        within = np.arange(total) - starts[rep]
+        link = self._out_offsets[ops[rep]] + within
+        dst = self._link_dst[link]
+        u = host[ops[rep]]
+        v = host[dst]
+        l = lat[u, v]
+        dt = np.rint(l / self.config.tick_ms).astype(np.int64)
+        seq = np.arange(self._next_seq, self._next_seq + total, dtype=np.int64)
+        self._next_seq += total
+        np.add.at(self._link_tuples, link, 1)
+        np.add.at(self._link_size, link, sizes[rep])
+        self._tick_usage += float(l.sum())
+        self._transport.send(
+            now + dt, dst, self._link_port[link], keys[rep], ts[rep], sizes[rep], seq
+        )
+
+    # -- per-tuple reference path ------------------------------------------
+
+    def step_scalar(self) -> TrafficRecord:
+        """Advance one tick through the retained per-tuple reference.
+
+        Same semantics, same RNG draws, per-tuple heapq transport and
+        per-key join tables — the "before" side of E18.
+        """
+        self._use_mode("heap")
+        dropped_sync = self._sync()
+        self.tick += 1
+        now = self.tick
+        host = self._host_array()
+        alive = self._alive()
+        latm = self.overlay.latencies.values
+        cap = self._cap
+        node_used = (
+            np.zeros(self.overlay.num_nodes, dtype=np.int64) if cap is not None else None
+        )
+        self._tick_usage = 0.0
+        t_emitted = t_delivered = t_processed = 0
+        t_dropped = dropped_sync
+        tick_lat: list[float] = []
+        w = self.config.window
+        tick_ms = self.config.tick_ms
+
+        self._evict_state_scalar(now)
+
+        # 1. Sources emit, consuming the same per-tick draws.
+        counts, u = self._draw_tick()
+        offset = 0
+        for s in range(counts.size):
+            c = int(counts[s])
+            seg = u[offset : offset + c]
+            offset += c
+            opx = int(self._src_ops[s])
+            if not alive[host[opx]]:
+                continue
+            dom = float(self._src_domain[s])
+            for x in seg:
+                self._send_scalar(opx, int(x * dom), now, 1.0, now, 0, host, latm)
+            t_emitted += c
+            self.emitted += c
+
+        # 2. Delivery rounds, one tuple at a time in canonical order.
+        round_ = 1
+        while True:
+            batch = self._transport.due(now, round_)
+            if not batch:
+                break
+            batch.sort(key=lambda e: (e[3], e[4], e[2]))  # (op, port, seq)
+            agg_rank: dict[int, int] = {}
+            for _arr, _rnd, _seq, opx, portx, key, ts, size in batch:
+                node = int(host[opx])
+                if not alive[node]:
+                    self.dropped_dead += 1
+                    t_dropped += 1
+                    continue
+                if cap is not None:
+                    if node_used[node] >= cap[node]:
+                        self.dropped_capacity += 1
+                        t_dropped += 1
+                        self.dropped_by_node[node] += 1
+                        continue
+                    node_used[node] += 1
+                t_processed += 1
+                self.processed += 1
+                if self._is_sink[opx]:
+                    t_delivered += 1
+                    self.sink_delivered += 1
+                    tick_lat.append(float(now - ts) * tick_ms)
+                    continue
+                kindx = int(self._kind[opx])
+                if kindx == _RELAY:
+                    outs = [(key, ts, size)]
+                elif kindx == _FILTER:
+                    if _filter_bucket_int(key, opx) < self._op_sel[opx]:
+                        outs = [(key, ts, size)]
+                    else:
+                        outs = []
+                elif kindx == _AGG:
+                    r = agg_rank.get(opx, 0)
+                    c0 = float(self._agg_credit[opx])
+                    f = float(self._op_factor[opx])
+                    if math.floor(c0 + (r + 1) * f) > math.floor(c0 + r * f):
+                        outs = [(key, ts, size)]
+                    else:
+                        outs = []
+                    agg_rank[opx] = r + 1
+                else:  # _JOIN
+                    outs = []
+                    pm = float(self._op_pmatch[opx])
+                    for sts, ssz in self._tables.get((opx, 1 - portx, key), ()):
+                        if abs(ts - sts) <= w and _pair_bucket_int(key, ts, sts, opx) < pm:
+                            outs.append((key, max(ts, sts), size + ssz))
+                    self._tables.setdefault((opx, portx, key), []).append((ts, size))
+                for k2, t2, s2 in outs:
+                    self._send_scalar(opx, k2, t2, s2, now, round_, host, latm)
+            for opx, r in agg_rank.items():
+                self._agg_credit[opx] = (
+                    self._agg_credit[opx] + r * float(self._op_factor[opx])
+                ) % 1.0
+            round_ += 1
+
+        self._usage_total += self._tick_usage
+        p50, p95, p99 = self._percentiles(np.asarray(tick_lat, dtype=np.float64))
+        return TrafficRecord(
+            tick=now,
+            emitted=t_emitted,
+            delivered=t_delivered,
+            dropped=t_dropped,
+            processed=t_processed,
+            in_flight=self._transport.in_flight,
+            usage=self._tick_usage,
+            latency_p50=p50,
+            latency_p95=p95,
+            latency_p99=p99,
+        )
+
+    def _evict_state_scalar(self, now: int) -> None:
+        w = self.config.window
+        dead_keys = []
+        for (opx, side, key), entries in self._tables.items():
+            thr = now - w - int(self._slack[opx])
+            kept = [e for e in entries if e[0] >= thr]
+            if kept:
+                self._tables[(opx, side, key)] = kept
+            else:
+                dead_keys.append((opx, side, key))
+        for key in dead_keys:
+            del self._tables[key]
+
+    def _send_scalar(self, opx, key, ts, size, now, round_, host, latm) -> None:
+        base = int(self._out_offsets[opx])
+        for li in range(base, base + int(self._out_deg[opx])):
+            dst = int(self._link_dst[li])
+            l = float(latm[host[opx], host[dst]])
+            dt = int(np.rint(l / self.config.tick_ms))
+            seq = self._next_seq
+            self._next_seq += 1
+            self._link_tuples[li] += 1
+            self._link_size[li] += size
+            self._tick_usage += l
+            self._transport.send_one(
+                now + dt,
+                round_ + 1 if dt == 0 else 1,
+                seq,
+                dst,
+                int(self._link_port[li]),
+                key,
+                ts,
+                size,
+            )
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Total tuples explicitly dropped (capacity + dead + uninstall)."""
+        return self.dropped_capacity + self.dropped_dead + self.dropped_uninstalled
+
+    def accounting(self) -> dict:
+        """Conservation balance: every tuple delivered, dropped, or in flight.
+
+        ``balanced`` is True iff no tuple was silently lost::
+
+            sent == transport_delivered + in_flight
+            transport_delivered == processed + dropped
+        """
+        tr = self._transport
+        sent = tr.sent if tr is not None else 0
+        delivered = tr.delivered if tr is not None else 0
+        in_flight = tr.in_flight if tr is not None else 0
+        return {
+            "emitted": self.emitted,
+            "sent": sent,
+            "transport_delivered": delivered,
+            "in_flight": in_flight,
+            "processed": self.processed,
+            "dropped": self.dropped,
+            "delivered": self.sink_delivered,
+            "balanced": (
+                sent == delivered + in_flight
+                and delivered == self.processed + self.dropped
+            ),
+        }
+
+    def measured_usage_rate(self) -> float:
+        """Mean measured network usage per tick (Σ tuple × link latency)."""
+        return self._usage_total / self.tick if self.tick else 0.0
+
+    def link_stats(self) -> dict[tuple[str, str, str], dict[str, float]]:
+        """Measured per-link traffic, keyed (circuit, source, target)."""
+        out: dict[tuple[str, str, str], dict[str, float]] = {}
+        for name, (tuples, sized) in self._link_stats_folded.items():
+            out[name] = {"tuples": float(tuples), "size": sized}
+        for i, name in enumerate(self._link_names):
+            entry = out.setdefault(name, {"tuples": 0.0, "size": 0.0})
+            entry["tuples"] += float(self._link_tuples[i])
+            entry["size"] += float(self._link_size[i])
+        for entry in out.values():
+            entry["rate"] = entry["tuples"] / self.tick if self.tick else 0.0
+        return out

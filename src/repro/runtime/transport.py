@@ -1,0 +1,227 @@
+"""In-flight tuple storage for the data-plane runtime.
+
+Two interchangeable transports move tuples between circuit services:
+
+* :class:`ArrayTransport` — the production path.  In-flight tuples live
+  in one struct-of-arrays pool (one contiguous column per attribute);
+  delivery extracts every due entry with a single vectorized
+  arrival-tick comparison and compacts the survivors in place.
+* :class:`HeapTransport` — the retained per-tuple reference.  Tuples
+  are individual heap entries popped one at a time, exactly the
+  pre-vectorization shape (`CircuitExecutor`-style heapq), and the
+  "before" side of the E18 benchmark.
+
+Both transports implement identical delivery semantics — the data plane
+steps one through batched kernels and the other through per-tuple
+loops, and the equivalence properties pin them to each other tick for
+tick.  Delivery is grouped into *rounds*: round 1 of a tick delivers
+everything in flight that is due, and each later round delivers the
+zero-delay outputs of the previous round (colocated services cascade
+within a tick, like the executor's drain loop).  Conservation holds at
+all times::
+
+    sent == delivered + in_flight
+
+and is exposed by :meth:`in_flight` / the counters so the data plane
+can prove that no tuple is ever silently lost.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["ArrayTransport", "HeapTransport"]
+
+
+class ArrayTransport:
+    """Struct-of-arrays in-flight pool with vectorized delivery.
+
+    Columns (``arrival``, ``op``, ``port``, ``key``, ``ts``, ``size``,
+    ``seq``) are preallocated contiguous arrays, grown by doubling; the
+    live region is ``[0, count)``.  :meth:`due` masks
+    ``arrival <= now`` in one comparison, returns the extracted columns,
+    and compacts the remainder — no per-tuple work anywhere.
+    """
+
+    _INITIAL = 1024
+
+    def __init__(self) -> None:
+        self._cap = self._INITIAL
+        self._arrival = np.empty(self._cap, dtype=np.int64)
+        self._op = np.empty(self._cap, dtype=np.int64)
+        self._port = np.empty(self._cap, dtype=np.int64)
+        self._key = np.empty(self._cap, dtype=np.int64)
+        self._ts = np.empty(self._cap, dtype=np.int64)
+        self._size = np.empty(self._cap, dtype=np.float64)
+        self._seq = np.empty(self._cap, dtype=np.int64)
+        self._count = 0
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self._count
+
+    def _grow(self, needed: int) -> None:
+        cap = self._cap
+        while cap < needed:
+            cap *= 2
+        for name in ("_arrival", "_op", "_port", "_key", "_ts", "_size", "_seq"):
+            old = getattr(self, name)
+            fresh = np.empty(cap, dtype=old.dtype)
+            fresh[: self._count] = old[: self._count]
+            setattr(self, name, fresh)
+        self._cap = cap
+
+    def send(
+        self,
+        arrival: np.ndarray,
+        op: np.ndarray,
+        port: np.ndarray,
+        key: np.ndarray,
+        ts: np.ndarray,
+        size: np.ndarray,
+        seq: np.ndarray,
+    ) -> None:
+        """Append a batch of in-flight tuples (one array per column)."""
+        n = arrival.shape[0]
+        if n == 0:
+            return
+        if self._count + n > self._cap:
+            self._grow(self._count + n)
+        lo, hi = self._count, self._count + n
+        self._arrival[lo:hi] = arrival
+        self._op[lo:hi] = op
+        self._port[lo:hi] = port
+        self._key[lo:hi] = key
+        self._ts[lo:hi] = ts
+        self._size[lo:hi] = size
+        self._seq[lo:hi] = seq
+        self._count = hi
+        self.sent += n
+
+    def due(self, now: int) -> dict[str, np.ndarray] | None:
+        """Extract every tuple with ``arrival <= now`` (one comparison).
+
+        Returns the extracted columns (unordered — callers sort
+        canonically), or None when nothing is due.  Survivors are
+        compacted to the front of the pool.
+        """
+        c = self._count
+        if c == 0:
+            return None
+        mask = self._arrival[:c] <= now
+        hits = int(mask.sum())
+        if hits == 0:
+            return None
+        batch = {
+            "op": self._op[:c][mask].copy(),
+            "port": self._port[:c][mask].copy(),
+            "key": self._key[:c][mask].copy(),
+            "ts": self._ts[:c][mask].copy(),
+            "size": self._size[:c][mask].copy(),
+            "seq": self._seq[:c][mask].copy(),
+        }
+        keep = ~mask
+        survivors = int(keep.sum())
+        for name in ("_arrival", "_op", "_port", "_key", "_ts", "_size", "_seq"):
+            col = getattr(self, name)
+            col[:survivors] = col[:c][keep]
+        self._count = survivors
+        self.delivered += hits
+        return batch
+
+    def remap_ops(self, mapping: np.ndarray) -> int:
+        """Re-address in-flight tuples after a recompile.
+
+        ``mapping[old_op]`` is the new operator index, or -1 when the
+        operator's circuit was uninstalled.  Tuples bound for removed
+        operators are dropped *with accounting* (they count as both
+        delivered-out-of-the-pool and dropped); everything else is
+        re-homed in place.  Returns the number dropped.
+        """
+        c = self._count
+        if c == 0:
+            return 0
+        new_op = mapping[self._op[:c]]
+        keep = new_op >= 0
+        dropped = int(c - keep.sum())
+        if dropped:
+            survivors = int(keep.sum())
+            for name in ("_arrival", "_op", "_port", "_key", "_ts", "_size", "_seq"):
+                col = getattr(self, name)
+                col[:survivors] = col[:c][keep]
+            self._op[:survivors] = new_op[keep]
+            self._count = survivors
+            self.delivered += dropped
+            self.dropped += dropped
+        else:
+            self._op[:c] = new_op
+        return dropped
+
+
+class HeapTransport:
+    """Per-tuple heapq transport (the retained scalar reference).
+
+    Entries are ``(arrival, round, seq, op, port, key, ts, size)``
+    tuples; the heap order ``(arrival, round, seq)`` reproduces exactly
+    the delivery grouping of :class:`ArrayTransport` — all in-flight
+    due tuples form round 1 of a tick, zero-delay cascade outputs of
+    round *r* form round *r + 1*.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple] = []
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._heap)
+
+    def send_one(
+        self,
+        arrival: int,
+        round_: int,
+        seq: int,
+        op: int,
+        port: int,
+        key: int,
+        ts: int,
+        size: float,
+    ) -> None:
+        heapq.heappush(self._heap, (arrival, round_, seq, op, port, key, ts, size))
+        self.sent += 1
+
+    def due(self, now: int, round_: int) -> list[tuple]:
+        """Pop every tuple due at ``now`` for this delivery round."""
+        out = []
+        heap = self._heap
+        while heap and heap[0][0] <= now and heap[0][1] <= round_:
+            out.append(heapq.heappop(heap))
+        self.delivered += len(out)
+        return out
+
+    def remap_ops(self, mapping: np.ndarray) -> int:
+        """Re-address in-flight tuples after a recompile (see twin)."""
+        kept = []
+        dropped = 0
+        for arrival, round_, seq, op, port, key, ts, size in self._heap:
+            new = int(mapping[op])
+            if new < 0:
+                dropped += 1
+                continue
+            kept.append((arrival, round_, seq, new, port, key, ts, size))
+        if dropped:
+            heapq.heapify(kept)
+            self._heap = kept
+            self.delivered += dropped
+            self.dropped += dropped
+        elif kept != self._heap:
+            heapq.heapify(kept)
+            self._heap = kept
+        return dropped

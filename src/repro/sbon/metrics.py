@@ -15,12 +15,22 @@ class TickRecord:
 
     Attributes:
         tick: simulation time.
-        network_usage: true Σ rate×latency over installed circuits.
+        network_usage: estimated Σ rate×latency over installed circuits.
         mean_load: mean effective node load.
         max_load: maximum effective node load.
         migrations: service migrations performed this tick.
         failures: node failures this tick.
         circuits: number of installed circuits.
+        emitted: tuples emitted by data-plane sources this tick (0
+            without a data plane; likewise for the fields below).
+        delivered: tuples delivered to consumers this tick.
+        dropped: tuples explicitly dropped this tick (backpressure,
+            dead nodes, uninstalls).
+        data_usage: *measured* network usage — Σ link latency over the
+            tuples the data plane actually sent this tick.
+        latency_p50: median end-to-end delivery latency (ms).
+        latency_p95: 95th-percentile delivery latency (ms).
+        latency_p99: 99th-percentile delivery latency (ms).
     """
 
     tick: int
@@ -30,6 +40,13 @@ class TickRecord:
     migrations: int = 0
     failures: int = 0
     circuits: int = 0
+    emitted: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    data_usage: float = 0.0
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
 
 
 @dataclass
@@ -70,9 +87,22 @@ class TimeSeries:
         series = self.usage_series()
         return float(np.percentile(series, q)) if series.size else 0.0
 
+    def delivered_series(self) -> np.ndarray:
+        return np.array([r.delivered for r in self.records])
+
+    def total_delivered(self) -> int:
+        return sum(r.delivered for r in self.records)
+
+    def total_dropped(self) -> int:
+        return sum(r.dropped for r in self.records)
+
+    def mean_data_usage(self) -> float:
+        series = np.array([r.data_usage for r in self.records])
+        return float(series.mean()) if series.size else 0.0
+
     def summary(self) -> dict[str, float]:
         """Headline numbers for experiment tables."""
-        return {
+        out = {
             "ticks": float(len(self)),
             "mean_usage": self.mean_usage(),
             "final_usage": self.final_usage(),
@@ -80,3 +110,8 @@ class TimeSeries:
             "migrations": float(self.total_migrations()),
             "failures": float(self.total_failures()),
         }
+        if any(r.emitted or r.delivered or r.dropped for r in self.records):
+            out["delivered"] = float(self.total_delivered())
+            out["dropped"] = float(self.total_dropped())
+            out["mean_data_usage"] = self.mean_data_usage()
+        return out

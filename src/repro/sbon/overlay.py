@@ -25,7 +25,10 @@ them through the :attr:`nodes` property (as all code here does) rather
 than a stashed reference taken before a ``set_background_loads`` call.
 Batch liveness changes should go through :meth:`apply_liveness`; the
 per-node reference loops are retained as ``loads_scalar`` /
-``total_network_usage_scalar``.
+``total_network_usage_scalar``.  Capacities are cached in arrays at
+construction — change them via :meth:`set_node_capacity` (or call
+:meth:`sync_capacities` after mutating node objects directly) so the
+vectorized paths see the update.
 """
 
 from __future__ import annotations
@@ -161,6 +164,43 @@ class Overlay:
             raise ValueError("load vector has wrong shape")
         self._background = loads.astype(float, copy=True)
         self._background_synced = False
+
+    def set_node_capacity(
+        self,
+        node: int,
+        capacity: float | None = None,
+        memory_capacity: float | None = None,
+    ) -> None:
+        """Change a node's capacity after construction.
+
+        Writes through to both the :class:`SBONNode` object and the
+        cached arrays behind the vectorized :meth:`loads` /
+        :meth:`memory_loads` paths, which snapshot capacities at build
+        time and would otherwise serve stale values.
+        """
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside overlay")
+        if capacity is not None:
+            if capacity <= 0:
+                raise ValueError("capacity must be positive")
+            self._nodes[node].capacity = float(capacity)
+            self._capacity[node] = float(capacity)
+        if memory_capacity is not None:
+            if memory_capacity <= 0:
+                raise ValueError("memory capacity must be positive")
+            self._nodes[node].memory_capacity = float(memory_capacity)
+            self._memory_capacity[node] = float(memory_capacity)
+
+    def sync_capacities(self) -> None:
+        """Re-read capacities from the node objects into the cached arrays.
+
+        For callers that mutated ``node.capacity`` directly instead of
+        going through :meth:`set_node_capacity`.
+        """
+        self._capacity = np.array([node.capacity for node in self._nodes])
+        self._memory_capacity = np.array(
+            [node.memory_capacity for node in self._nodes]
+        )
 
     def alive_flags(self) -> list[bool]:
         return [node.alive for node in self._nodes]

@@ -13,6 +13,13 @@ This is the harness behind the re-optimization experiments (E7): with
 re-optimization disabled the usage series degrades as conditions drift;
 with it enabled the system tracks the moving optimum.
 
+With ``data_plane=True`` (or an explicit
+:class:`~repro.runtime.dataplane.DataPlane`), every installed circuit is
+additionally *executed* each tick: sources emit real tuple batches,
+operators join/filter/aggregate them, and the tick record gains the
+measured traffic — delivered/dropped counts, measured network usage,
+and end-to-end latency percentiles (E18).
+
 Performance architecture (struct-of-arrays)
 -------------------------------------------
 
@@ -35,6 +42,7 @@ from dataclasses import dataclass
 from repro.core.costs import GroundTruthEvaluator
 from repro.core.reoptimizer import Reoptimizer
 from repro.network.dynamics import ChurnProcess, LatencyDriftProcess, LoadProcess
+from repro.runtime.dataplane import DataPlane
 from repro.sbon.metrics import TickRecord, TimeSeries
 from repro.sbon.overlay import Overlay
 
@@ -75,12 +83,19 @@ class Simulation:
         latency_drift: LatencyDriftProcess | None = None,
         churn: ChurnProcess | None = None,
         config: SimulationConfig | None = None,
+        data_plane: DataPlane | bool | None = None,
     ):
         self.overlay = overlay
         self.load_process = load_process
         self.latency_drift = latency_drift
         self.churn = churn
         self.config = config or SimulationConfig()
+        if data_plane is True:
+            self.data_plane: DataPlane | None = DataPlane(overlay)
+        elif data_plane is False:
+            self.data_plane = None
+        else:
+            self.data_plane = data_plane
         self.series = TimeSeries()
         self.tick = 0
         # Circuit kernels compiled by the re-optimizer survive across
@@ -145,7 +160,15 @@ class Simulation:
         ):
             migrations += self._reoptimize_all(scalar=scalar)
 
-        # 5. Record.
+        # 5. Execute the data plane: real tuples flow over the (possibly
+        # just-migrated) placements, re-homing in-flight traffic.
+        traffic = None
+        if self.data_plane is not None:
+            traffic = (
+                self.data_plane.step_scalar() if scalar else self.data_plane.step()
+            )
+
+        # 6. Record.
         loads = self.overlay.loads_scalar() if scalar else self.overlay.loads()
         usage = (
             self.overlay.total_network_usage_scalar()
@@ -160,6 +183,13 @@ class Simulation:
             migrations=migrations,
             failures=failures,
             circuits=len(self.overlay.circuits),
+            emitted=traffic.emitted if traffic else 0,
+            delivered=traffic.delivered if traffic else 0,
+            dropped=traffic.dropped if traffic else 0,
+            data_usage=traffic.usage if traffic else 0.0,
+            latency_p50=traffic.latency_p50 if traffic else 0.0,
+            latency_p95=traffic.latency_p95 if traffic else 0.0,
+            latency_p99=traffic.latency_p99 if traffic else 0.0,
         )
         self.series.append(record)
         return record

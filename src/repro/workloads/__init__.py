@@ -2,9 +2,11 @@
 
 from repro.workloads.queries import WorkloadParams, random_query, random_workload
 from repro.workloads.scenarios import (
+    ChaosScenario,
     Figure1Scenario,
     Figure3Scenario,
     Figure4Scenario,
+    chaos_scenario,
     figure1_scenario,
     figure2_scenario,
     figure3_scenario,
@@ -17,6 +19,8 @@ __all__ = [
     "WorkloadParams",
     "random_query",
     "random_workload",
+    "ChaosScenario",
+    "chaos_scenario",
     "Figure1Scenario",
     "Figure3Scenario",
     "Figure4Scenario",

@@ -13,6 +13,13 @@ can check the *qualitative* claim directly:
   picks the lightly loaded N2.
 * Figure 4 — three deployed circuits; only the one inside radius r of
   the new service's coordinate is considered, and tapping it wins.
+
+Beyond the paper's figures, :func:`chaos_scenario` assembles the
+everything-at-once stress fixture for the data-plane runtime: several
+installed circuits carrying live tuple traffic while a hotspot
+overloads the busiest hosts, latencies drift, churn fails nodes, and
+the re-optimizer migrates services mid-stream — with per-node
+backpressure so drops are real and accounted.
 """
 
 from __future__ import annotations
@@ -23,6 +30,12 @@ import numpy as np
 
 from repro.core.cost_space import CostSpace, CostSpaceSpec
 from repro.core.weighting import squared
+from repro.network.dynamics import (
+    ChurnProcess,
+    HotspotEvent,
+    LatencyDriftProcess,
+    LoadProcess,
+)
 from repro.network.latency import LatencyMatrix
 from repro.network.topology import (
     Topology,
@@ -32,6 +45,10 @@ from repro.network.topology import (
 )
 from repro.query.model import Consumer, Producer, QuerySpec
 from repro.query.selectivity import Statistics
+from repro.runtime.dataplane import DataPlane, RuntimeConfig
+from repro.sbon.overlay import Overlay
+from repro.sbon.simulator import Simulation, SimulationConfig
+from repro.workloads.queries import WorkloadParams, random_query
 
 __all__ = [
     "Figure1Scenario",
@@ -42,6 +59,8 @@ __all__ = [
     "Figure4Scenario",
     "figure4_scenario",
     "planted_latency_matrix",
+    "ChaosScenario",
+    "chaos_scenario",
 ]
 
 
@@ -364,4 +383,110 @@ def figure4_scenario(seed: int = 0) -> Figure4Scenario:
         new_query=new_query,
         new_stats=shared_stats,
         radius=radius,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Chaos: live traffic under churn + hotspot + migration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChaosScenario:
+    """Live-traffic stress fixture for the data-plane runtime.
+
+    Attributes:
+        overlay: the assembled overlay with all circuits installed.
+        simulation: tick loop wired with load hotspot, latency drift,
+            churn (pinned nodes protected), periodic re-optimization,
+            and the executing data plane.
+        data_plane: the data plane installed in the simulation.
+        pinned_nodes: producer/consumer nodes (churn-protected).
+        hotspot_nodes: the initially-busiest hosts the hotspot targets.
+    """
+
+    overlay: Overlay
+    simulation: Simulation
+    data_plane: DataPlane
+    pinned_nodes: set[int]
+    hotspot_nodes: tuple[int, ...]
+
+
+def chaos_scenario(
+    num_nodes: int = 36,
+    num_circuits: int = 4,
+    node_capacity: float | None = 60.0,
+    reopt_interval: int = 5,
+    hotspot_start: int = 8,
+    hotspot_duration: int = 30,
+    seed: int = 0,
+) -> ChaosScenario:
+    """Everything at once: traffic + hotspot + drift + churn + migration.
+
+    Installs ``num_circuits`` optimized join circuits on a geometric
+    overlay and runs them on the data plane while (1) a load hotspot
+    saturates the nodes hosting the most services, forcing the
+    re-optimizer to migrate mid-stream, (2) latencies drift, and (3)
+    unpinned nodes fail and recover.  Per-node ``node_capacity``
+    bounds tuple admission per tick, so overload produces *accounted*
+    drops rather than silent loss — the fixture behind the E18
+    conservation property and ``examples/live_traffic.py``.
+    """
+    radius = max(0.3, 2.2 / np.sqrt(num_nodes))
+    topology = random_geometric_topology(num_nodes, radius=radius, seed=seed)
+    overlay = Overlay.build(topology, vector_dims=2, embedding_rounds=30, seed=seed)
+
+    params = WorkloadParams(
+        num_producers=3,
+        rate_bounds=(3.0, 8.0),
+        selectivity_bounds=(0.2, 0.6),
+    )
+    optimizer = overlay.integrated_optimizer()
+    pinned: set[int] = set()
+    for i in range(num_circuits):
+        query, stats = random_query(num_nodes, params, name=f"q{i}", seed=seed * 101 + i)
+        overlay.install(optimizer.optimize(query, stats))
+        pinned |= {p.node for p in query.producers}
+        pinned.add(query.consumer.node)
+
+    # The hotspot hits the busiest unpinned hosts, so re-optimization
+    # has to move live services while their tuples are in flight.
+    host_use: dict[int, int] = {}
+    for circuit in overlay.circuits.values():
+        for sid in circuit.unpinned_ids():
+            node = circuit.host_of(sid)
+            host_use[node] = host_use.get(node, 0) + 1
+    busiest = tuple(
+        sorted(host_use, key=lambda n: (-host_use[n], n))[: max(1, len(host_use) // 2)]
+    )
+    load = LoadProcess(num_nodes, mean_load=0.15, sigma=0.05, seed=seed + 1)
+    load.add_hotspot(
+        HotspotEvent(
+            start_tick=hotspot_start,
+            duration=hotspot_duration,
+            nodes=busiest,
+            extra_load=0.8,
+        )
+    )
+    drift = LatencyDriftProcess(overlay.latencies, drift_sigma=0.02, seed=seed + 2)
+    churn = ChurnProcess(
+        num_nodes, fail_prob=0.01, recover_prob=0.2, protected=pinned, seed=seed + 3
+    )
+    data_plane = DataPlane(
+        overlay, RuntimeConfig(seed=seed + 4, node_capacity=node_capacity)
+    )
+    simulation = Simulation(
+        overlay,
+        load_process=load,
+        latency_drift=drift,
+        churn=churn,
+        config=SimulationConfig(reopt_interval=reopt_interval, migration_threshold=0.01),
+        data_plane=data_plane,
+    )
+    return ChaosScenario(
+        overlay=overlay,
+        simulation=simulation,
+        data_plane=data_plane,
+        pinned_nodes=pinned,
+        hotspot_nodes=busiest,
     )

@@ -149,6 +149,66 @@ class TestFilterAndAggregate:
         assert op.processed == op.emitted == 1
 
 
+class TestReportMath:
+    """LinkMeasurement / ExecutionReport arithmetic (satellite of E18)."""
+
+    def test_rate_is_tuples_per_tick(self):
+        from repro.engine.executor import LinkMeasurement
+
+        m = LinkMeasurement("a", "b", latency_ms=50.0, tuples=120, size_units=240.0)
+        assert m.rate(60) == pytest.approx(2.0)
+        assert m.rate(0) == 0.0
+
+    def test_usage_is_rate_times_latency(self):
+        from repro.engine.executor import LinkMeasurement
+
+        m = LinkMeasurement("a", "b", latency_ms=50.0, tuples=120)
+        assert m.usage(60) == pytest.approx(2.0 * 50.0)
+        assert m.usage(0) == 0.0
+
+    def test_measured_usage_aggregates_links(self):
+        from repro.engine.executor import ExecutionReport, LinkMeasurement
+
+        report = ExecutionReport(ticks=100)
+        report.links[("a", "b")] = LinkMeasurement("a", "b", 10.0, tuples=300)
+        report.links[("b", "c")] = LinkMeasurement("b", "c", 0.0, tuples=999)
+        report.links[("c", "d")] = LinkMeasurement("c", "d", 25.0, tuples=100)
+        # 3/tick x 10ms + colocated 0 + 1/tick x 25ms
+        assert report.measured_network_usage() == pytest.approx(30.0 + 0.0 + 25.0)
+
+    def test_measured_usage_equals_per_link_estimate_sum(self):
+        circuit, report = executed_setup(ticks=1500)
+        total = sum(
+            report.links[(l.source, l.target)].usage(report.ticks)
+            for l in circuit.links
+        )
+        assert report.measured_network_usage() == pytest.approx(total)
+
+    def test_delivery_rate_and_empty_latency(self):
+        from repro.engine.executor import ExecutionReport
+
+        report = ExecutionReport(ticks=50, delivered=25)
+        assert report.delivery_rate() == pytest.approx(0.5)
+        assert report.mean_delivery_latency_ms() == 0.0
+
+    def test_executor_deterministic_under_fixed_seed(self):
+        _, first = executed_setup(ticks=800, seed=11)
+        _, second = executed_setup(ticks=800, seed=11)
+        assert first.delivered == second.delivered
+        assert first.delivery_latencies_ms == second.delivery_latencies_ms
+        assert first.operator_stats == second.operator_stats
+        for key, m in first.links.items():
+            other = second.links[key]
+            assert (m.tuples, m.size_units) == (other.tuples, other.size_units)
+
+    def test_different_seeds_differ(self):
+        _, first = executed_setup(ticks=800, seed=11)
+        _, second = executed_setup(ticks=800, seed=12)
+        assert any(
+            first.links[k].tuples != second.links[k].tuples for k in first.links
+        )
+
+
 def executed_setup(window=20, ticks=2500, sel=0.1, seed=3):
     positions = [(0.0, 0.0), (80.0, 0.0), (40.0, 60.0), (40.0, 20.0)]
     lm = planted_latency_matrix(positions)

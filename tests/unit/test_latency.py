@@ -3,10 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.network.latency import LatencyMatrix, dijkstra, shortest_path_latencies
+from repro.network.latency import (
+    LatencyMatrix,
+    dijkstra,
+    shortest_path_latencies,
+    shortest_path_latencies_scalar,
+)
 from repro.network.topology import (
     Topology,
     grid_topology,
+    random_geometric_topology,
     ring_topology,
     star_topology,
 )
@@ -48,6 +54,47 @@ class TestShortestPathMatrix:
     def test_disconnected_raises(self):
         with pytest.raises(ValueError):
             shortest_path_latencies(Topology(num_nodes=2))
+
+    def test_disconnected_raises_scalar(self):
+        with pytest.raises(ValueError):
+            shortest_path_latencies(Topology(num_nodes=2), method="python")
+
+
+class TestScipyBackend:
+    """The csgraph backend must match the per-source loop exactly."""
+
+    def test_matches_scalar_on_geometric(self):
+        topo = random_geometric_topology(60, radius=0.3, seed=3)
+        fast = shortest_path_latencies(topo, method="scipy")
+        slow = shortest_path_latencies_scalar(topo)
+        np.testing.assert_allclose(fast, slow, rtol=1e-9, atol=1e-9)
+
+    def test_matches_scalar_on_grid(self):
+        topo = grid_topology(5, 5, link_latency_ms=2.5)
+        np.testing.assert_allclose(
+            shortest_path_latencies(topo, method="scipy"),
+            shortest_path_latencies(topo, method="python"),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+    def test_parallel_links_take_minimum(self):
+        # csr_matrix sums duplicate entries; the backend must min-reduce
+        # parallel links instead, like the relaxation loop does.
+        topo = Topology(num_nodes=2)
+        topo.add_link(0, 1, 10.0)
+        topo.add_link(0, 1, 3.0)
+        fast = shortest_path_latencies(topo, method="scipy")
+        assert fast[0, 1] == 3.0
+        np.testing.assert_allclose(fast, shortest_path_latencies_scalar(topo))
+
+    def test_single_node(self):
+        matrix = shortest_path_latencies(Topology(num_nodes=1), method="scipy")
+        assert matrix.shape == (1, 1) and matrix[0, 0] == 0.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            shortest_path_latencies(grid_topology(2, 2), method="fast")
 
 
 class TestLatencyMatrix:

@@ -136,6 +136,46 @@ class TestOverlay:
         with pytest.raises(ValueError):
             self._overlay().set_background_loads(np.zeros(5))
 
+    def test_set_node_capacity_propagates_to_vectorized_loads(self):
+        # Regression: capacities were snapshot at construction, so a
+        # post-build change was invisible to the array-backed loads().
+        overlay = self._overlay()
+        overlay.set_background_loads(np.full(16, 0.5))
+        overlay.set_node_capacity(3, capacity=2.0)
+        assert overlay.loads()[3] == pytest.approx(0.25)
+        np.testing.assert_allclose(overlay.loads(), overlay.loads_scalar())
+
+    def test_set_memory_capacity_propagates(self):
+        overlay = self._overlay()
+        query, stats = random_query(16, seed=1)
+        overlay.install(overlay.integrated_optimizer().optimize(query, stats))
+        hosts = [
+            s for s in overlay.circuits[query.name].unpinned_ids()
+        ]
+        node = overlay.circuits[query.name].host_of(hosts[0])
+        overlay.set_node_capacity(node, memory_capacity=1.0)
+        memory = overlay.memory_loads()
+        assert memory[node] == pytest.approx(
+            min(1.0, overlay.nodes[node].memory_units / 1.0)
+        )
+
+    def test_sync_capacities_reads_direct_mutation(self):
+        overlay = self._overlay()
+        overlay.set_background_loads(np.full(16, 0.4))
+        overlay.nodes[5].capacity = 4.0  # direct mutation, then sync
+        overlay.sync_capacities()
+        assert overlay.loads()[5] == pytest.approx(0.1)
+        np.testing.assert_allclose(overlay.loads(), overlay.loads_scalar())
+
+    def test_set_node_capacity_validation(self):
+        overlay = self._overlay()
+        with pytest.raises(ValueError):
+            overlay.set_node_capacity(99, capacity=1.0)
+        with pytest.raises(ValueError):
+            overlay.set_node_capacity(0, capacity=0.0)
+        with pytest.raises(ValueError):
+            overlay.set_node_capacity(0, memory_capacity=-1.0)
+
 
 class TestTimeSeries:
     def test_append_enforces_time_order(self):
