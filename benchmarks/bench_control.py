@@ -1,0 +1,193 @@
+"""E19 — the control plane: vectorized controller + reliable transport.
+
+One closed-loop tick is (data-plane step → controller step): the data
+plane executes every circuit with the reliable transport's retransmit
+buffer armed, then the controller ingests the tick's measured per-link
+and per-node statistics into its EWMA estimator banks and (on cadence)
+calibrates the circuits' estimated link rates from the measurements.
+This benchmark times that combined tick on the E18 traffic overlay
+(1000 nodes / 100 circuits) through the batched kernels
+(``DataPlane.step`` + ``Controller.step``) versus the retained
+per-tuple / per-key references (``step_scalar`` twins consuming
+identical inputs) and asserts the ≥10× speedup floor.
+
+A node-outage window during warm-up forces real retransmissions, and
+the *extended* conservation balance is asserted at every tick::
+
+    sent == delivered + in_flight + buffered
+
+Set ``BENCH_QUICK=1`` for the small CI smoke sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import lru_cache
+
+import numpy as np
+
+from _harness import report, write_bench_json
+from bench_dataplane import DP_CIRCUITS, DP_NODES, _traffic_overlay
+from repro.control import ControlConfig, Controller
+from repro.runtime import DataPlane, RuntimeConfig
+
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+WARMUP_TICKS = 12 if QUICK else 25
+TIMED_TICKS = 3
+#: Quick mode shrinks the Python-loop / kernel gap; assert less there.
+CTRL_SPEEDUP_FLOOR = 2.0 if QUICK else 10.0
+#: Hosts of unpinned services go dark over these warm-up ticks, so the
+#: retransmit buffer actually fills and redelivers.
+OUTAGE = range(4, 9)
+
+
+def _assert_records_equal(rv, rs) -> None:
+    """Integer traffic counters exact; usage to float-reduction noise."""
+    fields = (
+        "tick", "emitted", "delivered", "dropped", "processed",
+        "in_flight", "shed", "redelivered", "buffered",
+    )
+    assert all(getattr(rv, f) == getattr(rs, f) for f in fields), (rv, rs)
+    assert abs(rv.usage - rs.usage) <= 1e-9 * max(abs(rs.usage), 1.0), (rv, rs)
+
+
+def _twin(seed: int = 3):
+    overlay = _traffic_overlay()
+    plane = DataPlane(
+        overlay, RuntimeConfig(seed=seed, reliable=True, retransmit_buffer=1 << 16)
+    )
+    controller = Controller(
+        plane, ControlConfig(warmup=4, calibrate_interval=3, drop_threshold=None)
+    )
+    unpinned_hosts = sorted(
+        {
+            c.host_of(s)
+            for c in overlay.circuits.values()
+            for s in c.unpinned_ids()
+        }
+    )
+    outage_nodes = unpinned_hosts[: max(1, len(unpinned_hosts) // 4)]
+    return overlay, plane, controller, outage_nodes
+
+
+def _apply_liveness(overlay, outage_nodes, tick: int) -> None:
+    mask = np.ones(overlay.num_nodes, dtype=bool)
+    if tick in OUTAGE:
+        mask[outage_nodes] = False
+    overlay.apply_liveness(mask)
+
+
+@lru_cache(maxsize=1)
+def control_tick_timings() -> tuple[float, float, int, int]:
+    """(scalar s, vectorized s, tuples/tick, redelivered) on twin loops.
+
+    Both twins ride identical RNG streams and liveness schedules
+    through their own step paths; the per-tick traffic records are
+    asserted equal and the extended conservation balance is asserted
+    every tick, so the timed work is identical by construction.
+    """
+    ov_f, fast, ctl_f, outage_f = _twin()
+    ov_s, slow, ctl_s, outage_s = _twin()
+    assert outage_f == outage_s
+    for tick in range(WARMUP_TICKS):
+        _apply_liveness(ov_f, outage_f, tick)
+        _apply_liveness(ov_s, outage_s, tick)
+        rv = fast.step()
+        ctl_f.step(rv)
+        rs = slow.step_scalar()
+        ctl_s.step_scalar(rs)
+        _assert_records_equal(rv, rs)
+        assert fast.accounting()["balanced"] and slow.accounting()["balanced"]
+    assert fast.redelivered > 0, "outage never exercised the retransmit buffer"
+
+    t0 = time.perf_counter()
+    fast_records = []
+    for _ in range(TIMED_TICKS):
+        record = fast.step()
+        ctl_f.step(record)
+        fast_records.append(record)
+    t_vector = (time.perf_counter() - t0) / TIMED_TICKS
+    t0 = time.perf_counter()
+    slow_records = []
+    for _ in range(TIMED_TICKS):
+        record = slow.step_scalar()
+        ctl_s.step_scalar(record)
+        slow_records.append(record)
+    t_scalar = (time.perf_counter() - t0) / TIMED_TICKS
+
+    for rv, rs in zip(fast_records, slow_records):
+        _assert_records_equal(rv, rs)
+    acct_f, acct_s = fast.accounting(), slow.accounting()
+    assert acct_f == acct_s
+    assert acct_f["balanced"]
+    assert acct_f["sent"] == (
+        acct_f["transport_delivered"] + acct_f["in_flight"] + acct_f["buffered"]
+    )
+    # The twin controllers made bit-identical estimates and decisions.
+    np.testing.assert_array_equal(
+        ctl_f.link_rates.rates(ctl_f.link_rates.keys()),
+        ctl_s.link_rates.rates(ctl_f.link_rates.keys()),
+    )
+    assert ctl_f.calibrations == ctl_s.calibrations > 0
+    per_tick = int(np.mean([r.processed + r.emitted for r in fast_records]))
+    return t_scalar, t_vector, per_tick, fast.redelivered
+
+
+def test_report_control_tick():
+    t_scalar, t_vector, per_tick, redelivered = control_tick_timings()
+    rows = [
+        [
+            f"closed-loop tick ({DP_CIRCUITS} circuits, ~{per_tick} tuples, "
+            f"{redelivered} retransmitted)",
+            DP_NODES,
+            t_scalar * 1e3,
+            t_vector * 1e3,
+            t_scalar / t_vector,
+        ]
+    ]
+    report(
+        "E19",
+        "Control plane: per-key/per-tuple references vs batched "
+        "controller + reliable transport" + (" [quick]" if QUICK else ""),
+        ["kernel", "n", "scalar ms", "vectorized ms", "speedup"],
+        rows,
+    )
+    write_bench_json(
+        "E19",
+        [
+            {
+                "op": "control_tick",
+                "n": DP_NODES,
+                "circuits": DP_CIRCUITS,
+                "tuples_per_tick": per_tick,
+                "redelivered": redelivered,
+                "before_s": t_scalar,
+                "after_s": t_vector,
+                "speedup": t_scalar / t_vector,
+            }
+        ],
+        quick=QUICK,
+    )
+    assert t_scalar / t_vector >= CTRL_SPEEDUP_FLOOR
+
+
+def test_closed_loop_recovery_floor():
+    """The acceptance demo: ≥30% of the stale-estimate gap recovered.
+
+    Under the selectivity-drift scenario the measured-rate controller
+    must close at least 30% of the measured-usage gap between the
+    stale-estimate baseline and the true-rate oracle (it typically
+    closes ≈ all of it).
+    """
+    from repro.workloads.scenarios import closed_loop_recovery
+
+    result = closed_loop_recovery(
+        ticks=70 if QUICK else 90,
+        eval_window=20 if QUICK else 25,
+        seed=0,
+        num_nodes=36 if QUICK else 48,
+        num_chains=4 if QUICK else 6,
+    )
+    assert result["baseline"] > result["oracle"], result
+    assert result["recovery"] >= 0.3, result

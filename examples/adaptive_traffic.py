@@ -1,0 +1,117 @@
+"""Closing the loop: the control plane re-learns what the network carries.
+
+Six filter chains stream west→east while their *realized* selectivity
+drifts from 0.1 to 0.9 — the estimates the optimizer priced go stale,
+and the optimal placement flips from the producer side to the consumer
+side.  Three twins ride the identical tuple streams:
+
+* **baseline** — re-optimizes every 5 ticks, but prices the stale
+  estimated rates: the filters never move, measured usage climbs.
+* **control**  — the controller ingests the data plane's measured link
+  rates (EWMA per link), calibrates the circuits' estimates and the
+  re-optimizer's cached kernel prices, and the filters migrate east.
+* **oracle**   — calibration from the analytic true rates: the ceiling
+  a perfect estimator could reach.
+
+The headline is the *recovery*: the fraction of the baseline→oracle
+usage gap the measured-rate controller closes (PR-4 acceptance floor:
+0.3; typically ≈ 1.0).  A second act runs the chaos scenario with the
+reliable transport, showing the retransmit buffer riding out node
+failures under the extended conservation balance
+``sent == delivered + in_flight + buffered``.
+
+Run:
+    python examples/adaptive_traffic.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime import DataPlane, RuntimeConfig
+from repro.workloads.scenarios import chaos_scenario, selectivity_drift_scenario
+
+TICKS = 90
+EVAL_WINDOW = 25
+SEED = 0
+
+
+def run_mode(mode: str):
+    scenario = selectivity_drift_scenario(mode=mode, seed=SEED)
+    sim = scenario.simulation
+    sim.run(TICKS)
+    usage = sim.series.mean_data_usage_over(TICKS - EVAL_WINDOW + 1, TICKS + 1)
+    return scenario, usage
+
+
+def main() -> None:
+    print("=== act 1: selectivity drift (estimates go stale) ===\n")
+    results = {}
+    scenarios = {}
+    for mode in ("baseline", "control", "oracle"):
+        scenarios[mode], results[mode] = run_mode(mode)
+
+    drift_end = scenarios["baseline"].drift_end
+    print(f"{'tick':>5}", end="")
+    for mode in ("baseline", "control", "oracle"):
+        print(f" {mode:>10}", end="")
+    print("   (measured usage)")
+    series = {m: s.simulation.series.records for m, s in scenarios.items()}
+    for t in range(9, TICKS, 10):
+        print(f"{t + 1:>5}", end="")
+        for mode in ("baseline", "control", "oracle"):
+            print(f" {series[mode][t].data_usage:>10.0f}", end="")
+        marker = ""
+        if t + 1 <= 15:
+            marker = "  <- estimates still true"
+        elif t + 1 <= drift_end:
+            marker = "  <- selectivity drifting"
+        print(marker)
+
+    gap = results["baseline"] - results["oracle"]
+    recovery = (results["baseline"] - results["control"]) / gap if gap > 0 else 0.0
+    print(f"\nmean usage over final {EVAL_WINDOW} ticks:")
+    for mode in ("baseline", "control", "oracle"):
+        print(f"  {mode:<9} {results[mode]:>8.0f}")
+    print(f"  recovery  {recovery:>8.2f} of the baseline->oracle gap "
+          f"(acceptance floor 0.30)")
+    ctl = scenarios["control"].controller
+    print(f"  controller: {ctl.calibrations} calibration passes; filters moved "
+          f"east on measured rates alone\n")
+
+    print("=== act 2: reliable transport across node outages ===\n")
+    # No evacuation this time: hosts go dark with services still placed
+    # on them, so in-flight tuples *would* be dead-node drops — the
+    # retransmit buffer parks them until the host returns instead.
+    chaos = chaos_scenario(num_nodes=36, num_circuits=4, seed=3)
+    overlay = chaos.overlay
+    reliable = DataPlane(
+        overlay, RuntimeConfig(seed=7, reliable=True, retransmit_buffer=2048)
+    )
+    hosts = sorted(
+        {c.host_of(s) for c in overlay.circuits.values() for s in c.unpinned_ids()}
+        - chaos.pinned_nodes
+    )
+    outage = hosts[: max(1, len(hosts) // 2)]
+    peak_buffered = 0
+    for tick in range(80):
+        mask = np.ones(overlay.num_nodes, dtype=bool)
+        if 20 <= tick < 45:
+            mask[outage] = False
+        overlay.apply_liveness(mask)
+        record = reliable.step()
+        peak_buffered = max(peak_buffered, record.buffered)
+        acct = reliable.accounting()
+        assert acct["balanced"], acct
+    acct = reliable.accounting()
+    print(f"outage            : nodes {outage} dark for ticks 20-44")
+    print(f"redelivered       : {reliable.redelivered} tuples "
+          f"(would have been dead-node drops; peak buffer {peak_buffered})")
+    print(f"buffer overflow   : {reliable.dropped_overflow} dropped, accounted")
+    print(f"conservation      : sent {acct['sent']} = off-wire "
+          f"{acct['transport_delivered']} + in flight {acct['in_flight']} "
+          f"+ buffered {acct['buffered']}  [balanced]")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,11 @@ Subcommands:
 * ``simulate``  — install a random workload and run the tick simulator
   with load drift and periodic re-optimization; ``--data-plane``
   additionally executes every circuit on live tuple streams and
-  reports measured traffic (deliveries, drops, latency percentiles).
+  reports measured traffic (deliveries, drops, latency percentiles);
+  ``--reliable`` buffers tuples bound to failed nodes for
+  retransmission instead of dropping them; ``--control`` closes the
+  loop — measured rates calibrate the re-optimizer's prices and policy
+  breaches trigger backpressure-aware re-placements.
 * ``execute``   — optimize a query and then execute the winning circuit
   on synthetic streams, validating the cost model.
 * ``topology``  — generate a topology and print its statistics.
@@ -109,18 +113,23 @@ def cmd_simulate(args) -> int:
     print(f"installed {args.queries} circuits; initial usage "
           f"{overlay.total_network_usage():.1f}")
     data_plane = None
-    if args.data_plane:
+    if args.data_plane or args.control or args.reliable:
         from repro.runtime import DataPlane, RuntimeConfig
 
         data_plane = DataPlane(
             overlay,
-            RuntimeConfig(seed=args.seed, node_capacity=args.node_capacity),
+            RuntimeConfig(
+                seed=args.seed,
+                node_capacity=args.node_capacity,
+                reliable=args.reliable,
+            ),
         )
     sim = Simulation(
         overlay,
         load_process=LoadProcess(overlay.num_nodes, seed=args.seed),
         config=SimulationConfig(reopt_interval=args.reopt_interval),
         data_plane=data_plane,
+        control=bool(args.control),
     )
     series = sim.run(args.ticks)
     summary = series.summary()
@@ -135,8 +144,19 @@ def cmd_simulate(args) -> int:
         print(f"{'conservation':15s}: "
               f"{'balanced' if acct['balanced'] else 'IMBALANCED'} "
               f"(sent {acct['sent']} = off-wire {acct['transport_delivered']} "
-              f"+ in flight {acct['in_flight']}; off-wire = processed "
-              f"{acct['processed']} + dropped {acct['dropped']})")
+              f"+ in flight {acct['in_flight']} + buffered {acct['buffered']}; "
+              f"off-wire = processed {acct['processed']} "
+              f"+ dropped {acct['dropped']})")
+        if args.reliable:
+            print(f"{'retransmission':15s}: {data_plane.redelivered} redelivered, "
+                  f"{data_plane.dropped_overflow} overflowed, "
+                  f"{acct['buffered']} still buffered")
+    if sim.controller is not None:
+        ctl = sim.controller
+        print(f"{'control plane':15s}: {series.total_calibrated_links()} link rates "
+              f"calibrated over {ctl.calibrations} passes, "
+              f"{ctl.triggers} triggered re-placements "
+              f"(drop ewma {ctl.drop_ewma:.3f})")
     return 0
 
 
@@ -200,6 +220,17 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.add_argument(
         "--node-capacity", type=float, default=None,
         help="tuples a node accepts per tick (backpressure; default unlimited)",
+    )
+    p_sim.add_argument(
+        "--control", action="store_true",
+        help="close the loop: calibrate optimizer prices from measured "
+        "rates and trigger re-placement on policy breaches "
+        "(implies --data-plane)",
+    )
+    p_sim.add_argument(
+        "--reliable", action="store_true",
+        help="buffer tuples bound to failed nodes for retransmission "
+        "instead of dropping them (implies --data-plane)",
     )
 
     p_exe = sub.add_parser("execute", help="execute a circuit on streams")

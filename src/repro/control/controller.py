@@ -1,0 +1,337 @@
+"""The closed-loop controller: measured rates back into the optimizer.
+
+The optimizer prices circuits from *estimated* link rates; the data
+plane measures what the links really carry.  :class:`Controller` closes
+that loop each tick:
+
+1. **Ingest** — the data plane's per-tick measured statistics
+   (per-link tuple counts, per-node drop / processed counts, the tick's
+   drop fraction and delivery-latency p95) feed the
+   :class:`~repro.control.estimator.RateEstimator` banks.
+2. **Calibrate** — every ``calibrate_interval`` ticks past warmup, the
+   measured EWMA link rates are written back into the circuits'
+   estimated link rates (``Circuit.set_link_rates``) and pushed into
+   the re-optimizer's cached :class:`_CircuitKernel` prices
+   (``refresh_kernel_rates``), so the next re-optimization pass
+   minimizes the *measured* objective rather than the stale estimate.
+   Oracle mode short-circuits measurement and calibrates from
+   :meth:`DataPlane.true_link_rates` — the upper bound a perfect
+   estimator could reach.
+3. **React** — when the measured drop fraction (or latency p95) EWMA
+   breaches the policy threshold, the controller requests an immediate
+   *backpressure-aware* re-placement: the record names the nodes whose
+   measured admission-drop rate is high so the simulator's triggered
+   pass excludes them as migration targets.  Independently, a load-
+   shedding policy caps admission on nodes whose measured processed
+   rate exceeds ``shed_limit`` (drops attributed ``dropped_shed``) and
+   releases the cap once the pressure subsides.
+
+Scalar reference: :meth:`step_scalar` routes the identical inputs
+through the estimator banks' per-key scalar twins, so twin controllers
+(one per step path, like the data-plane twins) make bit-identical
+decisions — the E19 benchmark's before/after pair.  Policy state
+(EWMAs, cooldowns, shed sets) is plain Python arithmetic shared by both
+paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.estimator import RateEstimator
+from repro.core.reoptimizer import refresh_kernel_rates
+
+__all__ = ["ControlConfig", "ControlRecord", "Controller"]
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Policy knobs of the closed-loop controller.
+
+    Attributes:
+        alpha: EWMA gain of every estimator bank and policy series.
+        quantile_window: ring depth of the estimators' windowed
+            quantiles.
+        warmup: ticks of measurement before the controller acts at all.
+        calibrate_interval: ticks between rate calibrations.
+        min_observations: a link needs this many measured ticks before
+            its estimate is overwritten (younger links keep the prior).
+        min_rate: floor for calibrated rates (spring weights and prices
+            degenerate at exactly zero).
+        drop_threshold: measured drop-fraction EWMA above which a
+            re-placement is triggered (None disables).
+        latency_threshold_ms: delivery-latency p95 EWMA above which a
+            re-placement is triggered (None disables).
+        trigger_cooldown: minimum ticks between triggered re-placements.
+        exclude_drop_rate: nodes whose measured admission-drop EWMA
+            exceeds this many tuples/tick are excluded as migration
+            targets in a triggered pass (None excludes nobody).
+        shed_limit: measured processed-tuples/tick above which a node
+            gets an admission cap at exactly this limit (None disables
+            load shedding).
+        shed_release: release the cap once the node's processed EWMA
+            falls below ``shed_release * shed_limit``.
+    """
+
+    alpha: float = 0.3
+    quantile_window: int = 32
+    warmup: int = 8
+    calibrate_interval: int = 5
+    min_observations: int = 4
+    min_rate: float = 1e-3
+    drop_threshold: float | None = 0.05
+    latency_threshold_ms: float | None = None
+    trigger_cooldown: int = 10
+    exclude_drop_rate: float | None = 1.0
+    shed_limit: float | None = None
+    shed_release: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.quantile_window <= 0:
+            raise ValueError("quantile_window must be positive")
+        if self.warmup < 0 or self.calibrate_interval <= 0:
+            raise ValueError("warmup must be >= 0 and calibrate_interval > 0")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        if self.min_rate <= 0:
+            raise ValueError("min_rate must be positive")
+        if self.trigger_cooldown < 0:
+            raise ValueError("trigger_cooldown must be non-negative")
+        if not 0 < self.shed_release <= 1:
+            raise ValueError("shed_release must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ControlRecord:
+    """What the controller did with one tick's measurements.
+
+    Attributes:
+        tick: data-plane tick the measurements belong to.
+        calibrated_links: link rates written back this tick (0 when no
+            calibration ran).
+        replace_triggered: True when a policy breach requested an
+            immediate re-placement pass.
+        excluded_nodes: nodes the triggered pass must avoid (measured
+            admission-drop hot spots).
+        shed_nodes: nodes newly capped by the shedding policy.
+        released_nodes: nodes whose shed cap was lifted.
+        drop_ewma: current measured drop-fraction EWMA.
+        latency_ewma: current delivery-latency p95 EWMA (ms).
+    """
+
+    tick: int
+    calibrated_links: int = 0
+    replace_triggered: bool = False
+    excluded_nodes: tuple[int, ...] = ()
+    shed_nodes: tuple[int, ...] = ()
+    released_nodes: tuple[int, ...] = ()
+    drop_ewma: float = 0.0
+    latency_ewma: float = 0.0
+
+
+class Controller:
+    """Feeds the data plane's measurements back into placement decisions.
+
+    Args:
+        data_plane: the executing :class:`~repro.runtime.dataplane.DataPlane`.
+        config: policy knobs (defaults: calibration on, trigger on
+            drops, shedding off).
+        kernel_cache: the simulator's compiled-circuit kernel cache;
+            calibration refreshes cached ``_CircuitKernel`` prices in
+            place.  The simulator wires its own cache in when it owns
+            the controller.
+        oracle: calibrate from :meth:`DataPlane.true_link_rates`
+            instead of measurements (the perfect-information upper
+            bound for closed-loop experiments).
+    """
+
+    def __init__(
+        self,
+        data_plane,
+        config: ControlConfig | None = None,
+        kernel_cache: dict | None = None,
+        oracle: bool = False,
+    ):
+        self.data_plane = data_plane
+        self.overlay = data_plane.overlay
+        self.config = config or ControlConfig()
+        self.kernel_cache = kernel_cache
+        self.oracle = oracle
+        cfg = self.config
+        self.link_rates = RateEstimator(cfg.alpha, cfg.quantile_window)
+        self.node_drops = RateEstimator(cfg.alpha, cfg.quantile_window)
+        self.node_processed = RateEstimator(cfg.alpha, cfg.quantile_window)
+        self.drop_ewma = 0.0
+        self.latency_ewma = 0.0
+        self.ticks = 0
+        self.calibrations = 0
+        self.triggers = 0
+        self.shed_nodes: set[int] = set()
+        self._last_trigger: int | None = None
+
+    # -- tick entry points ---------------------------------------------------
+
+    def step(self, traffic) -> ControlRecord:
+        """Ingest one tick's measurements and act (vectorized path)."""
+        return self._step(traffic, scalar=False)
+
+    def step_scalar(self, traffic) -> ControlRecord:
+        """Per-key twin of :meth:`step` consuming identical inputs."""
+        return self._step(traffic, scalar=True)
+
+    def _step(self, traffic, scalar: bool) -> ControlRecord:
+        dp = self.data_plane
+        cfg = self.config
+        self.ticks += 1
+        observe = "observe_scalar" if scalar else "observe"
+        getattr(self.link_rates, observe)(
+            dp.tick_link_tuples.astype(float), dp.link_keys()
+        )
+        getattr(self.node_drops, observe)(dp.tick_node_drops.astype(float))
+        getattr(self.node_processed, observe)(dp.tick_node_processed.astype(float))
+
+        denom = traffic.processed + traffic.dropped
+        frac = traffic.dropped / denom if denom else 0.0
+        self.drop_ewma = (1.0 - cfg.alpha) * self.drop_ewma + cfg.alpha * frac
+        if traffic.delivered:
+            self.latency_ewma = (
+                (1.0 - cfg.alpha) * self.latency_ewma
+                + cfg.alpha * traffic.latency_p95
+            )
+
+        calibrated = 0
+        armed = self.ticks >= cfg.warmup
+        if armed and self.ticks % cfg.calibrate_interval == 0:
+            calibrated = self.calibrate()
+
+        shed_new, shed_released = self._shed_policy(armed)
+        triggered, excluded = self._trigger_policy(armed)
+
+        return ControlRecord(
+            tick=traffic.tick,
+            calibrated_links=calibrated,
+            replace_triggered=triggered,
+            excluded_nodes=excluded,
+            shed_nodes=shed_new,
+            released_nodes=shed_released,
+            drop_ewma=self.drop_ewma,
+            latency_ewma=self.latency_ewma,
+        )
+
+    # -- calibration ---------------------------------------------------------
+
+    def calibrated_rates(self, circuit) -> np.ndarray | None:
+        """Per-link calibrated rates aligned with ``circuit.links``.
+
+        Measured mode returns the EWMA of each link's realized
+        tuples/tick (links with fewer than ``min_observations`` samples
+        keep their current estimate); oracle mode returns the data
+        plane's analytic true rates.  Parallel links sharing a
+        (source, target) pair alias one measurement key (their counts
+        sum), so they keep their priors rather than absorb each other's
+        traffic.  None when nothing would change.
+        """
+        cfg = self.config
+        truth = self.data_plane.true_link_rates() if self.oracle else None
+        key_uses: dict[tuple, int] = {}
+        for link in circuit.links:
+            key = (circuit.name, link.source, link.target)
+            key_uses[key] = key_uses.get(key, 0) + 1
+        rates = []
+        changed = False
+        for link in circuit.links:
+            key = (circuit.name, link.source, link.target)
+            if key_uses[key] > 1:
+                value = None
+            elif truth is not None:
+                value = truth.get(key)
+            elif self.link_rates.seen(key) >= cfg.min_observations:
+                value = self.link_rates.rate(key)
+            else:
+                value = None
+            rate = link.rate if value is None else max(cfg.min_rate, value)
+            changed = changed or rate != link.rate
+            rates.append(rate)
+        return np.asarray(rates) if changed else None
+
+    def calibrate(self) -> int:
+        """Write calibrated rates into every installed circuit now.
+
+        Updates both the circuits' link estimates (what evaluators and
+        the scalar re-optimizer references price) and any cached
+        compiled kernels (what the batched passes price), then drops
+        the overlay's usage-index cache so estimated-usage reporting
+        reflects the calibration.  Returns the number of links whose
+        rate changed.
+        """
+        changed = 0
+        for circuit in self.overlay.circuits.values():
+            rates = self.calibrated_rates(circuit)
+            if rates is None:
+                continue
+            before = np.array([l.rate for l in circuit.links])
+            circuit.set_link_rates(rates)
+            refresh_kernel_rates(self.kernel_cache, circuit, rates)
+            changed += int((before != rates).sum())
+        if changed:
+            self.overlay.invalidate_usage_cache()
+            self.calibrations += 1
+        return changed
+
+    # -- policies ------------------------------------------------------------
+
+    def _shed_policy(
+        self, armed: bool
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        cfg = self.config
+        if cfg.shed_limit is None or not armed:
+            return (), ()
+        processed = self.node_processed.rates()
+        overloaded = processed > cfg.shed_limit
+        relaxed = processed < cfg.shed_release * cfg.shed_limit
+        newly = tuple(
+            int(i)
+            for i in np.flatnonzero(overloaded)
+            if int(i) not in self.shed_nodes
+        )
+        released = tuple(
+            int(i) for i in np.flatnonzero(relaxed) if int(i) in self.shed_nodes
+        )
+        for node in newly:
+            self.data_plane.set_shed_limit(node, cfg.shed_limit)
+            self.shed_nodes.add(node)
+        for node in released:
+            self.data_plane.set_shed_limit(node, None)
+            self.shed_nodes.discard(node)
+        return newly, released
+
+    def _trigger_policy(self, armed: bool) -> tuple[bool, tuple[int, ...]]:
+        cfg = self.config
+        if not armed:
+            return False, ()
+        if (
+            self._last_trigger is not None
+            and self.ticks - self._last_trigger < cfg.trigger_cooldown
+        ):
+            return False, ()
+        breach = (
+            cfg.drop_threshold is not None and self.drop_ewma > cfg.drop_threshold
+        ) or (
+            cfg.latency_threshold_ms is not None
+            and self.latency_ewma > cfg.latency_threshold_ms
+        )
+        if not breach:
+            return False, ()
+        self._last_trigger = self.ticks
+        self.triggers += 1
+        excluded: tuple[int, ...] = ()
+        if cfg.exclude_drop_rate is not None:
+            drops = self.node_drops.rates()
+            excluded = tuple(
+                int(i) for i in np.flatnonzero(drops > cfg.exclude_drop_rate)
+            )
+        return True, excluded

@@ -1,0 +1,270 @@
+"""Measured-rate estimation for the control plane.
+
+:class:`RateEstimator` turns the data plane's per-tick measured
+statistics (per-link tuple counts, per-node drop/processed counts) into
+calibrated rates: an exponentially weighted moving average per key plus
+a windowed ring buffer of the raw samples for robust quantiles.
+
+Performance architecture (struct-of-arrays)
+-------------------------------------------
+
+The production path is fully array-backed: keys map to columns of a
+contiguous state block — ``ewma (m,)``, ``seen (m,)`` and a
+``(window, m)`` sample ring — and one :meth:`observe` call updates
+every observed column with three vectorized expressions.  The column
+index of a stable key list is cached by list identity, so the steady
+state does no per-key Python work at all (the data plane reuses its
+``link_keys()`` list object between recompiles).
+
+Scalar reference
+----------------
+
+:meth:`observe_scalar` is the retained per-key twin: plain dict lookups
+and Python-float EWMA updates consuming *identical* inputs, kept
+sample-aligned with the ring (unobserved known keys record an explicit
+0, late-arriving keys are zero-backfilled) so both paths answer
+:meth:`rates` and :meth:`quantile` bit-for-bit equally.  One estimator
+instance commits to one path on first use — build a twin to compare —
+mirroring the :class:`~repro.runtime.dataplane.DataPlane` discipline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Sequence
+
+import numpy as np
+
+__all__ = ["RateEstimator"]
+
+
+class RateEstimator:
+    """EWMA + windowed-quantile estimator over keyed per-tick counts.
+
+    Args:
+        alpha: EWMA gain — weight of the newest sample.  The first
+            observation of a key initializes its EWMA directly (no
+            zero bias).
+        window: ring depth for windowed quantiles.
+    """
+
+    def __init__(self, alpha: float = 0.3, window: int = 32):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.alpha = alpha
+        self.window = window
+        self.ticks = 0
+        self._mode: str | None = None
+        # Array path.
+        self._index: dict[Hashable, int] = {}
+        self._keys: list[Hashable] = []
+        self._ewma = np.empty(0)
+        self._seen = np.empty(0, dtype=np.int64)
+        self._ring = np.zeros((window, 0))
+        self._filled = 0
+        self._cursor = 0
+        self._idx_cache: tuple[Sequence[Hashable], np.ndarray] | None = None
+        # True while every key ever observed came from a keys=None call
+        # (so key k is column k) — enables the identity fast path.
+        self._identity_keys = True
+        # Scalar path.
+        self._ewma_d: dict[Hashable, float] = {}
+        self._seen_d: dict[Hashable, int] = {}
+        self._ring_d: dict[Hashable, deque] = {}
+
+    # -- shared -------------------------------------------------------------
+
+    def _use_mode(self, mode: str) -> None:
+        if self._mode is None:
+            self._mode = mode
+        elif self._mode != mode:
+            raise RuntimeError(
+                "RateEstimator committed to the other observe path; build "
+                "a twin instance to compare observe() vs observe_scalar()"
+            )
+
+    @staticmethod
+    def _as_keys(values: np.ndarray, keys: Sequence[Hashable] | None):
+        if keys is None:
+            return range(len(values))
+        if len(keys) != len(values):
+            raise ValueError("keys and values must have equal length")
+        return keys
+
+    @property
+    def num_keys(self) -> int:
+        return len(self._keys) if self._mode != "scalar" else len(self._ewma_d)
+
+    def keys(self) -> list[Hashable]:
+        """All keys ever observed, in first-observation order."""
+        if self._mode == "scalar":
+            return list(self._ewma_d)
+        return list(self._keys)
+
+    # -- array path ---------------------------------------------------------
+
+    def _grow(self, extra: int) -> None:
+        self._ewma = np.concatenate((self._ewma, np.zeros(extra)))
+        self._seen = np.concatenate((self._seen, np.zeros(extra, dtype=np.int64)))
+        self._ring = np.concatenate(
+            (self._ring, np.zeros((self.window, extra))), axis=1
+        )
+
+    def _column_index(self, values: np.ndarray, keys) -> np.ndarray:
+        if keys is None and self._identity_keys:
+            # Fast path: key k IS column k, no per-key Python work.
+            n = len(values)
+            if n > len(self._keys):
+                for k in range(len(self._keys), n):
+                    self._index[k] = k
+                    self._keys.append(k)
+                self._grow(n - self._ewma.size)
+            return np.arange(n)
+        if keys is not None and self._idx_cache is not None:
+            cached_obj, idx = self._idx_cache
+            if cached_obj is keys and idx.size == len(values):
+                return idx
+        self._identity_keys = False
+        key_iter = self._as_keys(values, keys)
+        fresh = 0
+        for key in key_iter:
+            if key not in self._index:
+                self._index[key] = len(self._keys)
+                self._keys.append(key)
+                fresh += 1
+        if fresh:
+            self._grow(fresh)
+        idx = np.fromiter(
+            (self._index[k] for k in self._as_keys(values, keys)),
+            dtype=np.int64,
+            count=len(values),
+        )
+        if keys is not None:
+            self._idx_cache = (keys, idx)
+        return idx
+
+    def observe(self, values: np.ndarray, keys: Sequence[Hashable] | None = None) -> None:
+        """Ingest one tick of per-key counts (vectorized).
+
+        ``keys`` defaults to the integer range ``0..len(values)-1``.
+        Known keys absent from ``keys`` record an implicit 0 sample in
+        the ring (their EWMA freezes); unseen keys grow the state.
+        Duplicate keys in one observation are *summed* into one sample
+        (both paths), so aliased keys — e.g. parallel circuit links
+        sharing a (source, target) pair — stay well-defined.
+        """
+        self._use_mode("array")
+        values = np.asarray(values, dtype=float)
+        idx = self._column_index(values, keys)
+        self.ticks += 1
+        self._ring[self._cursor, :] = 0.0
+        np.add.at(self._ring, (self._cursor, idx), values)
+        uidx = np.unique(idx)
+        summed = self._ring[self._cursor, uidx]
+        first = self._seen[uidx] == 0
+        blended = (1.0 - self.alpha) * self._ewma[uidx] + self.alpha * summed
+        self._ewma[uidx] = np.where(first, summed, blended)
+        self._seen[uidx] += 1
+        self._cursor = (self._cursor + 1) % self.window
+        self._filled = min(self._filled + 1, self.window)
+
+    # -- scalar reference path ----------------------------------------------
+
+    def observe_scalar(
+        self, values: np.ndarray, keys: Sequence[Hashable] | None = None
+    ) -> None:
+        """Per-key Python-loop twin of :meth:`observe` (same inputs)."""
+        self._use_mode("scalar")
+        values = np.asarray(values, dtype=float)
+        key_list = list(self._as_keys(values, keys))
+        self.ticks += 1
+        # Duplicate keys sum into one sample, as in the array path.
+        observed: dict[Hashable, float] = {}
+        for key, value in zip(key_list, values):
+            observed[key] = observed.get(key, 0.0) + float(value)
+        for key, value in observed.items():
+            if key not in self._ewma_d:
+                # Zero-backfill so the per-key sample list aligns with
+                # the array ring's pre-existing all-zero column.
+                backfill = min(self._filled, self.window)
+                self._ring_d[key] = deque(
+                    [0.0] * backfill, maxlen=self.window
+                )
+                self._ewma_d[key] = value
+                self._seen_d[key] = 1
+            else:
+                self._ewma_d[key] = (
+                    (1.0 - self.alpha) * self._ewma_d[key] + self.alpha * value
+                )
+                self._seen_d[key] += 1
+        for key, ring in self._ring_d.items():
+            ring.append(observed.get(key, 0.0))
+        self._filled = min(self._filled + 1, self.window)
+
+    # -- queries (both paths) -----------------------------------------------
+
+    def rate(self, key: Hashable, default: float = 0.0) -> float:
+        """Current EWMA rate of one key (``default`` when never seen)."""
+        if self._mode == "scalar":
+            return self._ewma_d.get(key, default)
+        col = self._index.get(key)
+        return float(self._ewma[col]) if col is not None else default
+
+    def seen(self, key: Hashable) -> int:
+        """How many ticks actually observed this key."""
+        if self._mode == "scalar":
+            return self._seen_d.get(key, 0)
+        col = self._index.get(key)
+        return int(self._seen[col]) if col is not None else 0
+
+    def rates(self, keys: Sequence[Hashable] | None = None) -> np.ndarray:
+        """EWMA rates for ``keys`` (default: all, first-seen order)."""
+        if self._mode == "scalar":
+            source = self._ewma_d
+            if keys is None:
+                return np.array(list(source.values()), dtype=float)
+            return np.array([source.get(k, 0.0) for k in keys], dtype=float)
+        if keys is None:
+            return self._ewma.copy()
+        cols = np.fromiter(
+            (self._index.get(k, -1) for k in keys), dtype=np.int64, count=len(keys)
+        )
+        out = np.zeros(len(keys))
+        hit = cols >= 0
+        out[hit] = self._ewma[cols[hit]]
+        return out
+
+    def quantile(self, q: float, keys: Sequence[Hashable] | None = None) -> np.ndarray:
+        """Windowed per-key quantile over the last ``window`` samples.
+
+        Unobserved ticks count as explicit 0 samples, in both paths.
+        """
+        if self._filled == 0:
+            size = self.num_keys if keys is None else len(keys)
+            return np.zeros(size)
+        if self._mode == "scalar":
+            key_list = list(self._ewma_d) if keys is None else list(keys)
+            return np.array(
+                [
+                    float(np.percentile(np.asarray(self._ring_d[k]), q * 100.0))
+                    if k in self._ring_d
+                    else 0.0
+                    for k in key_list
+                ]
+            )
+        block = self._ring[: self._filled]
+        if keys is None:
+            cols = np.arange(len(self._keys))
+        else:
+            cols = np.fromiter(
+                (self._index.get(k, -1) for k in keys),
+                dtype=np.int64,
+                count=len(keys),
+            )
+        out = np.zeros(cols.size)
+        hit = cols >= 0
+        if hit.any():
+            out[hit] = np.percentile(block[:, cols[hit]], q * 100.0, axis=0)
+        return out

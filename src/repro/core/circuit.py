@@ -261,6 +261,22 @@ class Circuit:
         """Sum of all link rates (data volume the circuit moves)."""
         return sum(l.rate for l in self.links)
 
+    def set_link_rates(self, rates) -> None:
+        """Re-estimate every link's rate in place (calibration).
+
+        ``rates`` aligns with :attr:`links` order.  Used by the control
+        plane to replace stale estimates with measured rates; structure
+        and placement are untouched, so an executing data plane keeps
+        its compiled realized behavior while every *pricing* consumer
+        (evaluators, re-optimizers) sees the calibrated numbers.
+        """
+        if len(rates) != len(self.links):
+            raise ValueError("rates must align with the circuit's links")
+        self.links = [
+            CircuitLink(link.source, link.target, float(rate))
+            for link, rate in zip(self.links, rates)
+        ]
+
     def copy(self) -> "Circuit":
         """Deep-enough copy: shared immutable services, fresh placement."""
         return Circuit(

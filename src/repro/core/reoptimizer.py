@@ -66,7 +66,12 @@ from repro.core.virtual_placement import relaxation_placement
 from repro.query.model import QuerySpec
 from repro.query.selectivity import Statistics
 
-__all__ = ["Migration", "ReoptimizationReport", "Reoptimizer"]
+__all__ = [
+    "Migration",
+    "ReoptimizationReport",
+    "Reoptimizer",
+    "refresh_kernel_rates",
+]
 
 
 @dataclass(frozen=True)
@@ -131,8 +136,8 @@ class _CircuitKernel:
             [self.row_of[sid] for sid in self.unpinned_sids], dtype=int
         )
         src, dst, rates = [], [], []
-        seg, nbr, inc_rates = [], [], []
-        for link in circuit.links:
+        seg, nbr, inc_link = [], [], []
+        for li, link in enumerate(circuit.links):
             s_row = self.row_of[link.source]
             t_row = self.row_of[link.target]
             src.append(s_row)
@@ -141,22 +146,41 @@ class _CircuitKernel:
             if link.source in unpinned_pos:
                 seg.append(unpinned_pos[link.source])
                 nbr.append(t_row)
-                inc_rates.append(link.rate)
+                inc_link.append(li)
             if link.target in unpinned_pos:
                 seg.append(unpinned_pos[link.target])
                 nbr.append(s_row)
-                inc_rates.append(link.rate)
+                inc_link.append(li)
         self.link_src = np.asarray(src, dtype=int)
         self.link_dst = np.asarray(dst, dtype=int)
-        self.link_rates = np.asarray(rates, dtype=float)
         order = np.argsort(np.asarray(seg, dtype=int), kind="stable")
         self.inc_seg = np.asarray(seg, dtype=int)[order]
         self.inc_nbr = np.asarray(nbr, dtype=int)[order]
-        self.inc_rates = np.asarray(inc_rates, dtype=float)[order]
+        self.inc_link = np.asarray(inc_link, dtype=int)[order]
+        # CSR bounds of each unpinned service's incidence slice (inc_seg
+        # is sorted): entries of service k live in [inc_lo[k], inc_hi[k]).
+        m = len(self.unpinned_sids)
+        self.inc_lo = np.searchsorted(self.inc_seg, np.arange(m), side="left")
+        self.inc_hi = np.searchsorted(self.inc_seg, np.arange(m), side="right")
+        self.seg_count = np.bincount(self.inc_seg, minlength=m)
+        self.set_rates(np.asarray(rates, dtype=float))
+
+    def set_rates(self, rates: np.ndarray) -> None:
+        """Re-price the kernel's links in place (calibrated rates).
+
+        Structure (incidence, CSR bounds) is placement- and
+        rate-independent, so the control plane can push measured rates
+        into a cached kernel without recompiling: one gather refreshes
+        the incidence weights and one segment-sum the spring weights.
+        """
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != self.link_src.shape:
+            raise ValueError("rates must align with the circuit's links")
+        self.link_rates = rates.copy()
+        self.inc_rates = self.link_rates[self.inc_link]
         m = len(self.unpinned_sids)
         self.seg_weight = np.zeros(m)
         np.add.at(self.seg_weight, self.inc_seg, self.inc_rates)
-        self.seg_count = np.bincount(self.inc_seg, minlength=m)
 
     def hosts(self, circuit: Circuit) -> np.ndarray:
         """Current placement as a row-indexed node array."""
@@ -213,6 +237,31 @@ class _CircuitKernel:
         distinct = list({int(h) for h in hosts[self.unpinned_rows]})
         penalty = float(evaluator.penalty_array(np.asarray(distinct)).sum())
         return usage + load_weight * penalty
+
+
+def refresh_kernel_rates(
+    kernel_cache: dict | None, circuit: Circuit, rates: np.ndarray
+) -> bool:
+    """Push calibrated link rates into a cached circuit kernel, if any.
+
+    The calibrated-rate pricing hook the control plane uses: the
+    simulator's kernel cache maps circuit name to ``(weakref, kernel)``;
+    when the cached kernel still belongs to this circuit object its
+    prices are refreshed in place (``_CircuitKernel.set_rates``), so
+    the next re-optimization pass — batched or not — prices the
+    *measured* objective without recompiling structure.  Returns True
+    when a kernel was refreshed.
+    """
+    if not kernel_cache:
+        return False
+    cached = kernel_cache.get(circuit.name)
+    if cached is None:
+        return False
+    ref, kernel = cached
+    if ref() is not circuit:
+        return False
+    kernel.set_rates(rates)
+    return True
 
 
 class Reoptimizer:
@@ -288,24 +337,94 @@ class Reoptimizer:
     ) -> tuple[list[Migration], float]:
         """Sequential accept/revert sweep over pre-mapped candidates.
 
-        Prices each candidate with vectorized kernel totals; accepted
-        migrations update ``hosts`` and the circuit placement, so later
-        decisions see them (Gauss–Seidel pricing over Jacobi targets).
+        All candidates are priced *speculatively* in one batch first:
+        moving service ``k`` from its snapshot host to ``candidates[k]``
+        only re-prices the links incident to ``k``, so one vectorized
+        pass over the kernel's incidence entries yields every
+        candidate's usage delta at once.  The accept decisions then
+        resolve conflicts sequentially against the running total
+        (Gauss–Seidel over Jacobi targets, exactly the prior
+        semantics): a service whose neighbor already moved re-prices
+        its few incident links against the live hosts, everyone else
+        uses the speculative delta; the load-penalty delta is tracked
+        through a running multiset of occupied hosts.
 
         Returns:
             (migrations, final total).
         """
         current_total = kernel.total(hosts, self.evaluator, self.load_weight)
         migrations: list[Migration] = []
+        moved = np.zeros(len(hosts), dtype=bool)
+
+        # Speculative batch: per-candidate incident usage, old vs new,
+        # from the snapshot hosts (one latency_array pass each).
+        inc_nbr_hosts = hosts[kernel.inc_nbr]
+        inc_old = kernel.inc_rates * self.evaluator.latency_array(
+            hosts[kernel.unpinned_rows[kernel.inc_seg]], inc_nbr_hosts
+        )
+        inc_new = kernel.inc_rates * self.evaluator.latency_array(
+            candidates[kernel.inc_seg], inc_nbr_hosts
+        )
+        m = len(kernel.unpinned_sids)
+        old_usage = np.zeros(m)
+        new_usage = np.zeros(m)
+        np.add.at(old_usage, kernel.inc_seg, inc_old)
+        np.add.at(new_usage, kernel.inc_seg, inc_new)
+
+        # Penalty bookkeeping: multiset of hosts over unpinned services
+        # plus a penalty lookup for every node that can appear.
+        occupancy: dict[int, int] = {}
+        for node in hosts[kernel.unpinned_rows]:
+            occupancy[int(node)] = occupancy.get(int(node), 0) + 1
+        involved = np.unique(
+            np.concatenate((hosts[kernel.unpinned_rows], candidates))
+        )
+        penalty_of = dict(
+            zip(
+                (int(n) for n in involved),
+                self.evaluator.penalty_array(involved),
+            )
+        )
+
         for k, sid in enumerate(kernel.unpinned_sids):
             row = kernel.unpinned_rows[k]
             old_node = int(hosts[row])
             candidate = int(candidates[k])
             if candidate == old_node:
                 continue
-            hosts[row] = candidate
-            new_total = kernel.total(hosts, self.evaluator, self.load_weight)
+            lo, hi = kernel.inc_lo[k], kernel.inc_hi[k]
+            if moved[kernel.inc_nbr[lo:hi]].any():
+                # A neighbor migrated earlier in this sweep: re-price
+                # this service's incident slice against the live hosts.
+                nbr_hosts = hosts[kernel.inc_nbr[lo:hi]]
+                rates = kernel.inc_rates[lo:hi]
+                delta_usage = float(
+                    np.dot(
+                        rates,
+                        self.evaluator.latency_array(
+                            np.full(hi - lo, candidate), nbr_hosts
+                        ),
+                    )
+                    - np.dot(
+                        rates,
+                        self.evaluator.latency_array(
+                            np.full(hi - lo, old_node), nbr_hosts
+                        ),
+                    )
+                )
+            else:
+                delta_usage = float(new_usage[k] - old_usage[k])
+            delta_penalty = 0.0
+            if occupancy.get(candidate, 0) == 0:
+                delta_penalty += penalty_of[candidate]
+            if occupancy[old_node] == 1:
+                delta_penalty -= penalty_of[old_node]
+            new_total = current_total + delta_usage + self.load_weight * delta_penalty
             if new_total < current_total * (1 - self.migration_threshold):
+                hosts[row] = candidate
+                moved[row] = True
+                occupancy[old_node] -= 1
+                occupancy[candidate] = occupancy.get(candidate, 0) + 1
                 circuit.assign(sid, candidate)
                 migrations.append(
                     Migration(
@@ -317,8 +436,6 @@ class Reoptimizer:
                     )
                 )
                 current_total = new_total
-            else:
-                hosts[row] = old_node
         return migrations, current_total
 
     def local_step(self, circuit: Circuit) -> ReoptimizationReport:

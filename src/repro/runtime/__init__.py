@@ -7,21 +7,40 @@ what the network really carries under churn, hotspots, and migration.
 
 * :mod:`repro.runtime.transport` — in-flight tuple storage: a
   struct-of-arrays pool delivered by one vectorized arrival-tick
-  comparison, plus the per-tuple heapq reference twin.
+  comparison, plus the per-tuple heapq reference twin.  The reliable
+  variants add a bounded retransmit buffer for tuples bound to failed
+  nodes, extending conservation to
+  ``sent == delivered + in_flight + buffered``.
 * :mod:`repro.runtime.dataplane` — the :class:`DataPlane` coordinator:
   compiles installed circuits into flat CSR kernels, steps sources and
   operators in batch per tick, applies per-node capacity backpressure
-  with explicit drop accounting, and re-homes in-flight tuples when the
-  re-optimizer migrates a service.
+  (and controller shed limits) with explicit drop accounting, re-homes
+  in-flight tuples when the re-optimizer migrates a service, exports
+  per-tick measured link/node statistics for the control plane, and
+  can drift the realized operator parameters away from the compiled
+  estimates (:class:`ParameterDrift`).
 """
 
-from repro.runtime.dataplane import DataPlane, RuntimeConfig, TrafficRecord
-from repro.runtime.transport import ArrayTransport, HeapTransport
+from repro.runtime.dataplane import (
+    DataPlane,
+    ParameterDrift,
+    RuntimeConfig,
+    TrafficRecord,
+)
+from repro.runtime.transport import (
+    ArrayTransport,
+    HeapTransport,
+    ReliableHeapTransport,
+    ReliableTransport,
+)
 
 __all__ = [
     "DataPlane",
+    "ParameterDrift",
     "RuntimeConfig",
     "TrafficRecord",
     "ArrayTransport",
     "HeapTransport",
+    "ReliableHeapTransport",
+    "ReliableTransport",
 ]

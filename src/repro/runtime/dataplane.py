@@ -11,16 +11,29 @@ tick, moves actual tuple batches through all of them concurrently:
    round 1 is everything in flight, later rounds are the zero-delay
    cascade outputs of the previous round (colocated services).
 3. **Backpressure** — each node accepts at most
-   ``RuntimeConfig.node_capacity`` tuples per tick; the excess is
-   dropped *with accounting* (per-node counters), as are tuples
-   delivered to a failed node.
+   ``RuntimeConfig.node_capacity`` tuples per tick (further capped by
+   controller shed limits, attributed separately); the excess is
+   dropped *with accounting* (per-node counters).  Tuples delivered to
+   a failed node are dropped the same way — or, with
+   ``RuntimeConfig.reliable``, parked in the transport's bounded
+   retransmit buffer and redelivered once the host returns.
 4. **Operators run in batch** — relays forward, filters hash-thin,
    aggregates decimate with per-operator credit, joins match arrivals
    against windowed struct-of-arrays state via one composite-key
-   ``searchsorted`` pass over all joins at once.
+   ``searchsorted`` pass over all joins at once.  Join state is
+   two-level — a sorted base plus an append buffer merged every
+   ``_state_merge_limit`` rows — so inserts cost O(batch), not
+   O(state).
 5. **Results are measured** — sink deliveries, end-to-end tuple
    latencies, per-link carried traffic, and Σ latency over every tuple
-   actually sent (the *measured* network usage).
+   actually sent (the *measured* network usage).  Per-tick per-link
+   and per-node statistics (``tick_link_tuples``, ``tick_node_drops``,
+   ``tick_node_processed``) are exported for the control plane, and
+   :meth:`DataPlane.true_link_rates` propagates the *realized*
+   parameters analytically for oracle experiments.  Realized operator
+   parameters can drift away from the compiled estimates on a
+   deterministic schedule (:class:`ParameterDrift`) — the fixture
+   behind the closed-loop control experiments.
 
 Churn and migration safety: in-flight tuples address their target
 *service*, and the hosting node is resolved at delivery time from the
@@ -30,10 +43,11 @@ automatically.  Uninstalling a circuit drops its in-flight tuples with
 explicit accounting.  The conservation invariant, checkable at any
 tick via :meth:`DataPlane.accounting`::
 
-    sent == transport-delivered + in_flight
+    sent == transport-delivered + in_flight + buffered
     transport-delivered == processed + dropped
 
-so no tuple is ever silently lost.
+(``buffered`` is 0 without the reliable transport) so no tuple is ever
+silently lost.
 
 Scalar reference
 ----------------
@@ -61,9 +75,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.query.operators import ServiceKind
-from repro.runtime.transport import ArrayTransport, HeapTransport
+from repro.runtime.transport import (
+    ArrayTransport,
+    HeapTransport,
+    ReliableHeapTransport,
+    ReliableTransport,
+)
 
-__all__ = ["RuntimeConfig", "TrafficRecord", "DataPlane"]
+__all__ = ["ParameterDrift", "RuntimeConfig", "TrafficRecord", "DataPlane"]
 
 # Operator behavior codes (what an op does with a delivered tuple).
 _RELAY, _FILTER, _AGG, _JOIN = 0, 1, 2, 3
@@ -122,6 +141,56 @@ def _pair_bucket_int(key: int, ts_a: int, ts_b: int, salt: int) -> float:
 
 
 @dataclass(frozen=True)
+class ParameterDrift:
+    """A deterministic drift of one *realized* operator parameter.
+
+    The data plane compiles its operator parameters from the circuits'
+    *estimated* link rates; a drift spec makes the realized behavior
+    walk away from those estimates over time — the fixture behind the
+    control plane's estimate→measure gap.  The trajectory is a linear
+    ramp from ``start`` to ``end`` over ``[begin, begin + duration]``
+    ticks (clamped outside), fully deterministic so twin data planes
+    stay tick-for-tick equivalent.
+
+    Attributes:
+        circuit: circuit name the drifting service belongs to.
+        service: service id whose parameter drifts.
+        param: one of ``"selectivity"`` (filters),
+            ``"match_probability"`` (joins), ``"aggregate_factor"``
+            (aggregates), or ``"source_rate"`` (source emission λ).
+        start: realized value before ``begin``.
+        end: realized value after ``begin + duration``.
+        begin: first tick of the ramp.
+        duration: ramp length in ticks (0 = step change at ``begin``).
+    """
+
+    circuit: str
+    service: str
+    param: str
+    start: float
+    end: float
+    begin: int = 0
+    duration: int = 1
+
+    _PARAMS = ("selectivity", "match_probability", "aggregate_factor", "source_rate")
+
+    def __post_init__(self) -> None:
+        if self.param not in self._PARAMS:
+            raise ValueError(f"param must be one of {self._PARAMS}")
+        if self.begin < 0 or self.duration < 0:
+            raise ValueError("begin and duration must be non-negative")
+        if self.start < 0 or self.end < 0:
+            raise ValueError("drift values must be non-negative")
+
+    def value(self, tick: int) -> float:
+        """The realized parameter value at ``tick`` (linear ramp)."""
+        if tick <= self.begin or self.duration == 0:
+            return self.start if tick <= self.begin else self.end
+        frac = min(1.0, (tick - self.begin) / self.duration)
+        return self.start + (self.end - self.start) * frac
+
+
+@dataclass(frozen=True)
 class RuntimeConfig:
     """Knobs of the data-plane runtime.
 
@@ -134,6 +203,13 @@ class RuntimeConfig:
             window; None derives each join's path staleness from the
             placement at compile time (like the executor).
         seed: RNG seed of the per-tick source draws.
+        reliable: buffer tuples bound to failed nodes in a bounded
+            retransmit buffer (redelivered when the host recovers or
+            the service migrates) instead of dropping them.
+        retransmit_buffer: retransmit-buffer bound (tuples); overflow
+            is dropped with explicit accounting.
+        drift: deterministic :class:`ParameterDrift` specs applied to
+            the realized operator parameters each tick.
     """
 
     window: int = 20
@@ -141,6 +217,9 @@ class RuntimeConfig:
     node_capacity: float | None = None
     eviction_slack: int | None = None
     seed: int = 0
+    reliable: bool = False
+    retransmit_buffer: int = 4096
+    drift: tuple[ParameterDrift, ...] = ()
 
     def __post_init__(self) -> None:
         if self.window < 0:
@@ -151,6 +230,8 @@ class RuntimeConfig:
             raise ValueError("node_capacity must be non-negative")
         if self.eviction_slack is not None and self.eviction_slack < 0:
             raise ValueError("eviction_slack must be non-negative")
+        if self.retransmit_buffer < 0:
+            raise ValueError("retransmit_buffer must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -171,6 +252,12 @@ class TrafficRecord:
             deliveries (0 when none).
         latency_p95: 95th percentile of the same.
         latency_p99: 99th percentile of the same.
+        shed: tuples dropped this tick by a controller-set shed limit
+            (subset of ``dropped``).
+        redelivered: buffered tuples re-injected this tick by the
+            reliable transport.
+        buffered: tuples parked in the retransmit buffer after the
+            tick (0 without ``reliable``).
     """
 
     tick: int
@@ -183,6 +270,9 @@ class TrafficRecord:
     latency_p50: float = 0.0
     latency_p95: float = 0.0
     latency_p99: float = 0.0
+    shed: int = 0
+    redelivered: int = 0
+    buffered: int = 0
 
 
 class DataPlane:
@@ -203,13 +293,28 @@ class DataPlane:
         self.dropped_capacity = 0
         self.dropped_dead = 0
         self.dropped_uninstalled = 0
+        self.dropped_shed = 0
+        self.dropped_overflow = 0
+        self.redelivered = 0
         self._usage_total = 0.0
         n = overlay.num_nodes
         self.dropped_by_node = np.zeros(n, dtype=np.int64)
+        self.processed_by_node = np.zeros(n, dtype=np.int64)
+        # Per-tick measured statistics (diffed snapshots; see
+        # _begin_tick_stats / _end_tick_stats).
+        self.tick_link_tuples = np.zeros(0, dtype=np.int64)
+        self.tick_node_drops = np.zeros(n, dtype=np.int64)
+        self.tick_node_processed = np.zeros(n, dtype=np.int64)
         if self.config.node_capacity is None:
             self._cap = None
         else:
             self._cap = np.full(n, float(self.config.node_capacity))
+        # Controller-set per-node shed limits (inf = inactive).
+        self._shed = np.full(n, np.inf)
+        self._shed_active = 0
+        # Two-level join-state merge bound (append buffer size at which
+        # the sorted base absorbs it); overridable for layout tests.
+        self._state_merge_limit = 1024
         # Per-(circuit, link) stats survive recompiles in this fold.
         self._link_stats_folded: dict[tuple[str, str, str], list] = {}
         self._compile(remap_from=None)
@@ -245,6 +350,7 @@ class DataPlane:
         op_sel = np.ones(num_ops, dtype=np.float64)
         op_factor = np.full(num_ops, 0.5, dtype=np.float64)
         op_pmatch = np.ones(num_ops, dtype=np.float64)
+        op_domain = np.ones(num_ops, dtype=np.float64)
         slack = np.zeros(num_ops, dtype=np.int64)
         src_ops: list[int] = []
         src_rate: list[float] = []
@@ -275,6 +381,7 @@ class DataPlane:
 
             for sid, service in circuit.services.items():
                 op = op_index[(circuit.name, sid)]
+                op_domain[op] = domain
                 in_deg[op] = len(incoming[sid])
                 for port, link in enumerate(incoming[sid]):
                     src = op_index[(circuit.name, link.source)]
@@ -317,6 +424,7 @@ class DataPlane:
         num_links = int(out_offsets[-1])
         link_dst = np.zeros(num_links, dtype=np.int64)
         link_port = np.zeros(num_links, dtype=np.int64)
+        link_src_op = np.zeros(num_links, dtype=np.int64)
         link_names: list[tuple[str, str, str]] = []
         names_of_op = [key for key, _ in sorted(op_index.items(), key=lambda kv: kv[1])]
         for op, lst in enumerate(out_lists):
@@ -324,6 +432,7 @@ class DataPlane:
             for i, (dst, port) in enumerate(lst):
                 link_dst[base + i] = dst
                 link_port[base + i] = port
+                link_src_op[base + i] = op
                 cname, src_sid = names_of_op[op]
                 link_names.append((cname, src_sid, names_of_op[dst][1]))
 
@@ -336,17 +445,22 @@ class DataPlane:
         self._out_offsets = out_offsets[:-1]
         self._link_dst = link_dst
         self._link_port = link_port
+        self._link_src_op = link_src_op
         self._link_names = link_names
         self._link_tuples = np.zeros(num_links, dtype=np.int64)
         self._link_size = np.zeros(num_links, dtype=np.float64)
         self._op_sel = op_sel
         self._op_factor = op_factor
         self._op_pmatch = op_pmatch
+        self._op_domain = op_domain
+        self._in_deg = in_deg
         self._slack = slack
         self._src_ops = np.asarray(src_ops, dtype=np.int64)
         self._src_rate = np.asarray(src_rate, dtype=np.float64)
         self._src_domain = np.asarray(src_domain, dtype=np.float64)
+        self._src_pos = {int(op): i for i, op in enumerate(src_ops)}
         self._agg_credit = np.zeros(num_ops, dtype=np.float64)
+        self.tick_link_tuples = np.zeros(num_links, dtype=np.int64)
         self._compiled_names = tuple(self.overlay.circuits.keys())
         # Held by identity: replacing a circuit under the same name is
         # still a different object and must trigger a recompile.
@@ -424,7 +538,10 @@ class DataPlane:
 
     def _remap_state(self, mapping: np.ndarray) -> None:
         """Re-address join state after a recompile (both layouts)."""
-        if self._mode == "array" and self._st_comp.size:
+        if self._mode == "array":
+            self._merge_state()
+            if not self._st_comp.size:
+                return
             ops = (self._st_comp >> _U(33)).astype(np.int64)
             rest = self._st_comp & _U((1 << 33) - 1)
             new_ops = mapping[ops]
@@ -447,13 +564,25 @@ class DataPlane:
     def _use_mode(self, mode: str) -> None:
         if self._mode is None:
             self._mode = mode
+            reliable = self.config.reliable
+            bound = self.config.retransmit_buffer
             if mode == "array":
-                self._transport = ArrayTransport()
+                self._transport = (
+                    ReliableTransport(bound) if reliable else ArrayTransport()
+                )
+                # Two-level join state: sorted base + append buffer,
+                # merged once the buffer exceeds _state_merge_limit.
                 self._st_comp = np.empty(0, dtype=np.uint64)
                 self._st_ts = np.empty(0, dtype=np.int64)
                 self._st_size = np.empty(0, dtype=np.float64)
+                self._stb_comp = np.empty(0, dtype=np.uint64)
+                self._stb_ts = np.empty(0, dtype=np.int64)
+                self._stb_size = np.empty(0, dtype=np.float64)
+                self._stb_sorted: tuple[np.ndarray, np.ndarray] | None = None
             else:
-                self._transport = HeapTransport()
+                self._transport = (
+                    ReliableHeapTransport(bound) if reliable else HeapTransport()
+                )
                 self._tables = {}
         elif self._mode != mode:
             raise RuntimeError(
@@ -484,6 +613,79 @@ class DataPlane:
     def _alive(self) -> np.ndarray:
         return self.overlay.alive_mask()
 
+    def _apply_drift(self, now: int) -> None:
+        """Walk the realized operator parameters along their drift specs.
+
+        Deterministic (no RNG) and applied identically by both step
+        paths, so twin data planes remain tick-for-tick equivalent; the
+        specs re-assert themselves after recompiles because this runs
+        at the start of every tick.
+        """
+        for spec in self.config.drift:
+            op = self._op_index.get((spec.circuit, spec.service))
+            if op is None:
+                continue
+            value = spec.value(now)
+            if spec.param == "selectivity":
+                self._op_sel[op] = min(1.0, value)
+            elif spec.param == "match_probability":
+                self._op_pmatch[op] = min(1.0, value)
+            elif spec.param == "aggregate_factor":
+                self._op_factor[op] = min(1.0, value)
+            else:  # source_rate
+                pos = self._src_pos.get(op)
+                if pos is not None:
+                    self._src_rate[pos] = value
+
+    def _begin_tick_stats(self) -> None:
+        """Snapshot the cumulative counters the per-tick stats diff."""
+        self._snap_link = self._link_tuples.copy()
+        self._snap_drops = self.dropped_by_node.copy()
+        self._snap_processed = self.processed_by_node.copy()
+
+    def _end_tick_stats(self) -> None:
+        """Publish this tick's per-link / per-node measured statistics."""
+        self.tick_link_tuples = self._link_tuples - self._snap_link
+        self.tick_node_drops = self.dropped_by_node - self._snap_drops
+        self.tick_node_processed = self.processed_by_node - self._snap_processed
+
+    def _effective_cap(self) -> np.ndarray | None:
+        """Per-node admission limit: capacity ∧ controller shed limits."""
+        if self._shed_active == 0:
+            return self._cap
+        if self._cap is None:
+            return self._shed
+        return np.minimum(self._cap, self._shed)
+
+    def set_shed_limit(self, node: int, limit: float | None) -> None:
+        """Set (or clear, with None) a controller shed limit on a node.
+
+        Tuples rejected because of a shed limit are dropped with their
+        own attribution (``dropped_shed``), distinct from capacity
+        backpressure.
+        """
+        if not 0 <= node < self.overlay.num_nodes:
+            raise ValueError(f"node {node} outside overlay")
+        if limit is not None and limit < 0:
+            raise ValueError("shed limit must be non-negative")
+        was_active = bool(np.isfinite(self._shed[node]))
+        self._shed[node] = np.inf if limit is None else float(limit)
+        is_active = limit is not None
+        self._shed_active += int(is_active) - int(was_active)
+
+    def _shed_attribution(self, nodes: np.ndarray) -> np.ndarray:
+        """True where an admission drop at ``nodes`` is shed-attributed.
+
+        A node's drop counts as *shed* when the controller's limit is
+        the binding constraint (tighter than the configured capacity).
+        """
+        base = (
+            np.full(nodes.shape, np.inf)
+            if self._cap is None
+            else self._cap[nodes]
+        )
+        return self._shed[nodes] < base
+
     @staticmethod
     def _percentiles(lat: np.ndarray) -> tuple[float, float, float]:
         if lat.size == 0:
@@ -499,19 +701,30 @@ class DataPlane:
         dropped_sync = self._sync()
         self.tick += 1
         now = self.tick
+        self._apply_drift(now)
+        self._begin_tick_stats()
         host = self._host_array()
         alive = self._alive()
         lat = self.overlay.latencies.values
-        cap = self._cap
+        cap = self._effective_cap()
         node_used = (
             np.zeros(self.overlay.num_nodes, dtype=np.int64) if cap is not None else None
         )
+        reliable = self.config.reliable
         self._tick_usage = 0.0
         t_emitted = t_delivered = t_processed = 0
         t_dropped = dropped_sync
+        t_shed = 0
         tick_lat: list[np.ndarray] = []
 
         self._evict_state_array(now)
+
+        # 0. Reliable redelivery: buffered tuples whose target service's
+        # current host is alive again rejoin this tick's first round.
+        t_redelivered = 0
+        if reliable:
+            t_redelivered = self._transport.redeliver(alive[host], now)
+            self.redelivered += t_redelivered
 
         # 1. Sources emit (one Poisson draw + one uniform draw, total).
         counts, u = self._draw_tick()
@@ -539,13 +752,22 @@ class DataPlane:
             key = batch["key"][order]
             ts = batch["ts"][order]
             size = batch["size"][order]
+            seq = batch["seq"][order]
             node = host[op]
 
             live = alive[node]
             ndead = int(op.size - live.sum())
             if ndead:
-                self.dropped_dead += ndead
-                t_dropped += ndead
+                if reliable:
+                    dead = ~live
+                    overflow = self._transport.buffer(
+                        op[dead], port[dead], key[dead], ts[dead], size[dead], seq[dead]
+                    )
+                    self.dropped_overflow += overflow
+                    t_dropped += overflow
+                else:
+                    self.dropped_dead += ndead
+                    t_dropped += ndead
                 op, port, key, ts, size, node = (
                     a[live] for a in (op, port, key, ts, size, node)
                 )
@@ -553,9 +775,13 @@ class DataPlane:
                 keep = self._capacity_filter(node, node_used, cap)
                 ncap = int(op.size - keep.sum())
                 if ncap:
-                    self.dropped_capacity += ncap
+                    rejected = node[~keep]
+                    nshed = int(self._shed_attribution(rejected).sum())
+                    self.dropped_shed += nshed
+                    t_shed += nshed
+                    self.dropped_capacity += ncap - nshed
                     t_dropped += ncap
-                    np.add.at(self.dropped_by_node, node[~keep], 1)
+                    np.add.at(self.dropped_by_node, rejected, 1)
                     op, port, key, ts, size = (
                         a[keep] for a in (op, port, key, ts, size)
                     )
@@ -564,6 +790,7 @@ class DataPlane:
                 continue
             t_processed += m
             self.processed += m
+            np.add.at(self.processed_by_node, host[op], 1)
 
             sink = self._is_sink[op]
             ns = int(sink.sum())
@@ -583,6 +810,7 @@ class DataPlane:
                     self._send_array(*out, now, host, lat)
 
         self._usage_total += self._tick_usage
+        self._end_tick_stats()
         lat_all = (
             np.concatenate(tick_lat) if tick_lat else np.empty(0, dtype=np.float64)
         )
@@ -598,6 +826,9 @@ class DataPlane:
             latency_p50=p50,
             latency_p95=p95,
             latency_p99=p99,
+            shed=t_shed,
+            redelivered=t_redelivered,
+            buffered=self._transport.buffered,
         )
 
     @staticmethod
@@ -616,15 +847,52 @@ class DataPlane:
         return keep
 
     def _evict_state_array(self, now: int) -> None:
-        if not self._st_comp.size:
+        if self._st_comp.size:
+            ops = (self._st_comp >> _U(33)).astype(np.int64)
+            thr = now - self.config.window - self._slack[ops]
+            keep = self._st_ts >= thr
+            if not keep.all():
+                self._st_comp = self._st_comp[keep]
+                self._st_ts = self._st_ts[keep]
+                self._st_size = self._st_size[keep]
+        if self._stb_comp.size:
+            ops = (self._stb_comp >> _U(33)).astype(np.int64)
+            thr = now - self.config.window - self._slack[ops]
+            keep = self._stb_ts >= thr
+            if not keep.all():
+                self._stb_comp = self._stb_comp[keep]
+                self._stb_ts = self._stb_ts[keep]
+                self._stb_size = self._stb_size[keep]
+                self._stb_sorted = None
+
+    def _merge_state(self) -> None:
+        """Absorb the append buffer into the sorted base (one copy).
+
+        Buffer entries are younger than every base entry with the same
+        composite key, so a stable sort of the buffer followed by a
+        ``side="right"`` insert preserves global insertion order within
+        equal keys — the invariant the match-rank enumeration relies
+        on.
+        """
+        if not self._stb_comp.size:
             return
-        ops = (self._st_comp >> _U(33)).astype(np.int64)
-        thr = now - self.config.window - self._slack[ops]
-        keep = self._st_ts >= thr
-        if not keep.all():
-            self._st_comp = self._st_comp[keep]
-            self._st_ts = self._st_ts[keep]
-            self._st_size = self._st_size[keep]
+        order = np.argsort(self._stb_comp, kind="stable")
+        comp = self._stb_comp[order]
+        where = np.searchsorted(self._st_comp, comp, side="right")
+        self._st_comp = np.insert(self._st_comp, where, comp)
+        self._st_ts = np.insert(self._st_ts, where, self._stb_ts[order])
+        self._st_size = np.insert(self._st_size, where, self._stb_size[order])
+        self._stb_comp = np.empty(0, dtype=np.uint64)
+        self._stb_ts = np.empty(0, dtype=np.int64)
+        self._stb_size = np.empty(0, dtype=np.float64)
+        self._stb_sorted = None
+
+    def _buffer_sorted(self) -> tuple[np.ndarray, np.ndarray]:
+        """(stable order, sorted comps) view of the append buffer, cached."""
+        if self._stb_sorted is None:
+            order = np.argsort(self._stb_comp, kind="stable")
+            self._stb_sorted = (order, self._stb_comp[order])
+        return self._stb_sorted
 
     def _process_array(self, op, port, key, ts, size, pos, now):
         """Run one round's kept non-sink arrivals through the operators.
@@ -691,25 +959,59 @@ class DataPlane:
     def _probe_array(self, op, key, ts, size, pos, side: int):
         """Match arrivals against the other side's windowed join state.
 
-        One composite-key ``searchsorted`` over *all* joins at once; the
-        state is kept sorted by (op, side, key) with insertion order
-        preserved within equal keys, so matches enumerate exactly like
-        the per-tuple reference.
+        One composite-key ``searchsorted`` over *all* joins at once,
+        against both state levels: the sorted base first, then the
+        append buffer (probed through its cached stable sort).  Base
+        entries are older than buffer entries with the same key, so
+        offsetting the buffer match ranks by the base hit count per
+        query reproduces the per-tuple reference's insertion-order
+        enumeration exactly.
         """
-        if op.size == 0 or not self._st_comp.size:
+        if op.size == 0 or (not self._st_comp.size and not self._stb_comp.size):
             return None
         qcomp = (op.astype(_U) << _U(33)) | (_U(side) << _U(32)) | key.astype(_U)
+        hits: list[tuple] = []
+
         lo = np.searchsorted(self._st_comp, qcomp, side="left")
         hi = np.searchsorted(self._st_comp, qcomp, side="right")
-        cnt = hi - lo
-        total = int(cnt.sum())
-        if total == 0:
+        base_cnt = hi - lo
+        total = int(base_cnt.sum())
+        if total:
+            rep = np.repeat(np.arange(op.size), base_cnt)
+            starts = np.concatenate(([0], np.cumsum(base_cnt)[:-1]))
+            within = np.arange(total) - starts[rep]
+            sidx = lo[rep] + within
+            hits.append((rep, within, self._st_ts[sidx], self._st_size[sidx]))
+
+        if self._stb_comp.size:
+            border, bcomp = self._buffer_sorted()
+            blo = np.searchsorted(bcomp, qcomp, side="left")
+            bhi = np.searchsorted(bcomp, qcomp, side="right")
+            cnt = bhi - blo
+            btotal = int(cnt.sum())
+            if btotal:
+                rep = np.repeat(np.arange(op.size), cnt)
+                starts = np.concatenate(([0], np.cumsum(cnt)[:-1]))
+                within = np.arange(btotal) - starts[rep]
+                sidx = border[blo[rep] + within]
+                hits.append(
+                    (
+                        rep,
+                        base_cnt[rep] + within,
+                        self._stb_ts[sidx],
+                        self._stb_size[sidx],
+                    )
+                )
+
+        if not hits:
             return None
-        rep = np.repeat(np.arange(op.size), cnt)
-        starts = np.concatenate(([0], np.cumsum(cnt)[:-1]))
-        within = np.arange(total) - starts[rep]
-        sidx = lo[rep] + within
-        sts = self._st_ts[sidx]
+        if len(hits) == 1:
+            rep, rank, sts, ssize = hits[0]
+        else:
+            rep = np.concatenate([h[0] for h in hits])
+            rank = np.concatenate([h[1] for h in hits])
+            sts = np.concatenate([h[2] for h in hits])
+            ssize = np.concatenate([h[3] for h in hits])
         ats = ts[rep]
         ok = np.abs(ats - sts) <= self.config.window
         ok &= _pair_bucket(key[rep], ats, sts, op[rep]) < self._op_pmatch[op[rep]]
@@ -719,21 +1021,23 @@ class DataPlane:
             op[rep][ok],
             key[rep][ok],
             np.maximum(ats, sts)[ok],
-            (size[rep] + self._st_size[sidx])[ok],
+            (size[rep] + ssize)[ok],
             pos[rep][ok],
-            within[ok],
+            rank[ok],
         )
 
     def _insert_state_array(self, op, key, ts, size, side: int) -> None:
+        """Append new join state to the buffer level (O(batch), not
+        O(state)); the sorted base absorbs it on the periodic merge."""
         if op.size == 0:
             return
         comp = (op.astype(_U) << _U(33)) | (_U(side) << _U(32)) | key.astype(_U)
-        order = np.argsort(comp, kind="stable")
-        comp = comp[order]
-        where = np.searchsorted(self._st_comp, comp, side="right")
-        self._st_comp = np.insert(self._st_comp, where, comp)
-        self._st_ts = np.insert(self._st_ts, where, ts[order])
-        self._st_size = np.insert(self._st_size, where, size[order])
+        self._stb_comp = np.concatenate((self._stb_comp, comp))
+        self._stb_ts = np.concatenate((self._stb_ts, ts))
+        self._stb_size = np.concatenate((self._stb_size, size))
+        self._stb_sorted = None
+        if self._stb_comp.size >= self._state_merge_limit:
+            self._merge_state()
 
     def _send_array(self, ops, keys, ts, sizes, now, host, lat) -> None:
         """Fan outputs out over their CSR out-links and hand to transport."""
@@ -774,21 +1078,31 @@ class DataPlane:
         dropped_sync = self._sync()
         self.tick += 1
         now = self.tick
+        self._apply_drift(now)
+        self._begin_tick_stats()
         host = self._host_array()
         alive = self._alive()
         latm = self.overlay.latencies.values
-        cap = self._cap
+        cap = self._effective_cap()
         node_used = (
             np.zeros(self.overlay.num_nodes, dtype=np.int64) if cap is not None else None
         )
+        reliable = self.config.reliable
         self._tick_usage = 0.0
         t_emitted = t_delivered = t_processed = 0
         t_dropped = dropped_sync
+        t_shed = 0
         tick_lat: list[float] = []
         w = self.config.window
         tick_ms = self.config.tick_ms
 
         self._evict_state_scalar(now)
+
+        # 0. Reliable redelivery (per-tuple walk over the buffer).
+        t_redelivered = 0
+        if reliable:
+            t_redelivered = self._transport.redeliver(alive[host], now)
+            self.redelivered += t_redelivered
 
         # 1. Sources emit, consuming the same per-tick draws.
         counts, u = self._draw_tick()
@@ -817,18 +1131,32 @@ class DataPlane:
             for _arr, _rnd, _seq, opx, portx, key, ts, size in batch:
                 node = int(host[opx])
                 if not alive[node]:
-                    self.dropped_dead += 1
-                    t_dropped += 1
+                    if reliable:
+                        if not self._transport.buffer_one(
+                            opx, portx, key, ts, size, _seq
+                        ):
+                            self.dropped_overflow += 1
+                            t_dropped += 1
+                    else:
+                        self.dropped_dead += 1
+                        t_dropped += 1
                     continue
                 if cap is not None:
                     if node_used[node] >= cap[node]:
-                        self.dropped_capacity += 1
+                        if self._shed[node] < (
+                            np.inf if self._cap is None else self._cap[node]
+                        ):
+                            self.dropped_shed += 1
+                            t_shed += 1
+                        else:
+                            self.dropped_capacity += 1
                         t_dropped += 1
                         self.dropped_by_node[node] += 1
                         continue
                     node_used[node] += 1
                 t_processed += 1
                 self.processed += 1
+                self.processed_by_node[node] += 1
                 if self._is_sink[opx]:
                     t_delivered += 1
                     self.sink_delivered += 1
@@ -867,6 +1195,7 @@ class DataPlane:
             round_ += 1
 
         self._usage_total += self._tick_usage
+        self._end_tick_stats()
         p50, p95, p99 = self._percentiles(np.asarray(tick_lat, dtype=np.float64))
         return TrafficRecord(
             tick=now,
@@ -879,6 +1208,9 @@ class DataPlane:
             latency_p50=p50,
             latency_p95=p95,
             latency_p99=p99,
+            shed=t_shed,
+            redelivered=t_redelivered,
+            buffered=self._transport.buffered,
         )
 
     def _evict_state_scalar(self, now: int) -> None:
@@ -920,33 +1252,109 @@ class DataPlane:
 
     @property
     def dropped(self) -> int:
-        """Total tuples explicitly dropped (capacity + dead + uninstall)."""
-        return self.dropped_capacity + self.dropped_dead + self.dropped_uninstalled
+        """Total tuples explicitly dropped, summed over all attributions
+        (capacity + shed + dead + uninstall + retransmit overflow)."""
+        return (
+            self.dropped_capacity
+            + self.dropped_shed
+            + self.dropped_dead
+            + self.dropped_uninstalled
+            + self.dropped_overflow
+        )
 
     def accounting(self) -> dict:
-        """Conservation balance: every tuple delivered, dropped, or in flight.
+        """Conservation balance: every tuple delivered, dropped, in
+        flight, or parked in the retransmit buffer.
 
         ``balanced`` is True iff no tuple was silently lost::
 
-            sent == transport_delivered + in_flight
+            sent == transport_delivered + in_flight + buffered
             transport_delivered == processed + dropped
+
+        (``buffered`` is 0 without ``RuntimeConfig.reliable``, which
+        collapses the first line to the PR-3 invariant.)
         """
         tr = self._transport
         sent = tr.sent if tr is not None else 0
         delivered = tr.delivered if tr is not None else 0
         in_flight = tr.in_flight if tr is not None else 0
+        buffered = tr.buffered if tr is not None else 0
         return {
             "emitted": self.emitted,
             "sent": sent,
             "transport_delivered": delivered,
             "in_flight": in_flight,
+            "buffered": buffered,
             "processed": self.processed,
             "dropped": self.dropped,
             "delivered": self.sink_delivered,
             "balanced": (
-                sent == delivered + in_flight
+                sent == delivered + in_flight + buffered
                 and delivered == self.processed + self.dropped
             ),
+        }
+
+    def link_keys(self) -> list[tuple[str, str, str]]:
+        """The compiled links' (circuit, source, target) keys, in the
+        order :attr:`tick_link_tuples` reports counts.
+
+        The returned list object is reused until the next recompile, so
+        estimators can cache index maps keyed by its identity.
+        """
+        return self._link_names
+
+    def true_link_rates(self) -> dict[tuple[str, str, str], float]:
+        """Expected realized tuples/tick per link, from current params.
+
+        Propagates the *realized* parameter arrays (sources' Poisson λ,
+        drifted selectivities/factors/match probabilities) through each
+        circuit DAG in topological order — the analytic ground truth
+        the control plane's measured-rate estimator should converge to,
+        and the oracle input for closed-loop experiments.  Join outputs
+        use the expected-match model the compiler inverted:
+        ``r0·r1·(2w+1)·pmatch/domain``.
+        """
+        num_ops = self._num_ops
+        in_sum = np.zeros(num_ops)
+        join_in = np.zeros((num_ops, 2))
+        out_rate = np.zeros(num_ops)
+        pending = self._in_deg.copy()
+        w = self.config.window
+        ready = [op for op in range(num_ops) if pending[op] == 0]
+        while ready:
+            op = ready.pop()
+            kind = int(self._kind[op])
+            if self._in_deg[op] == 0:
+                pos = self._src_pos.get(op)
+                out = float(self._src_rate[pos]) if pos is not None else 0.0
+            elif kind == _FILTER:
+                out = float(in_sum[op] * self._op_sel[op])
+            elif kind == _AGG:
+                out = float(in_sum[op] * self._op_factor[op])
+            elif kind == _JOIN:
+                out = float(
+                    join_in[op, 0]
+                    * join_in[op, 1]
+                    * (2 * w + 1)
+                    * self._op_pmatch[op]
+                    / self._op_domain[op]
+                )
+            else:
+                out = float(in_sum[op])
+            out_rate[op] = out
+            base = int(self._out_offsets[op])
+            for li in range(base, base + int(self._out_deg[op])):
+                dst = int(self._link_dst[li])
+                port = int(self._link_port[li])
+                in_sum[dst] += out
+                if port < 2:
+                    join_in[dst, port] += out
+                pending[dst] -= 1
+                if pending[dst] == 0:
+                    ready.append(dst)
+        return {
+            name: float(out_rate[self._link_src_op[i]])
+            for i, name in enumerate(self._link_names)
         }
 
     def measured_usage_rate(self) -> float:

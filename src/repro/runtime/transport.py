@@ -20,10 +20,27 @@ zero-delay outputs of the previous round (colocated services cascade
 within a tick, like the executor's drain loop).  Conservation holds at
 all times::
 
-    sent == delivered + in_flight
+    sent == delivered + in_flight + buffered
 
-and is exposed by :meth:`in_flight` / the counters so the data plane
-can prove that no tuple is ever silently lost.
+(``buffered`` is zero for the base transports) and is exposed by
+:meth:`in_flight` / the counters so the data plane can prove that no
+tuple is ever silently lost.
+
+Reliable delivery
+-----------------
+
+:class:`ReliableTransport` / :class:`ReliableHeapTransport` extend the
+pair with a *bounded retransmit buffer*: a tuple delivered to a failed
+node is handed back via :meth:`buffer` instead of being dropped, parked
+until its target service's host is alive again, and then re-injected
+into the in-flight pool by a single vectorized :meth:`redeliver` pass
+at the start of a tick (the heap twin loops per tuple over the same
+buffer order).  The buffer is bounded by ``max_buffer``; overflow is
+*rejected* deterministically (first-come-first-buffered in canonical
+delivery order) so the data plane can drop the excess with explicit
+accounting.  A buffered tuple is subtracted from ``delivered`` — it is
+back inside the transport — which is what extends the conservation
+balance to ``sent == delivered + in_flight + buffered``.
 """
 
 from __future__ import annotations
@@ -32,7 +49,12 @@ import heapq
 
 import numpy as np
 
-__all__ = ["ArrayTransport", "HeapTransport"]
+__all__ = [
+    "ArrayTransport",
+    "HeapTransport",
+    "ReliableTransport",
+    "ReliableHeapTransport",
+]
 
 
 class ArrayTransport:
@@ -65,6 +87,11 @@ class ArrayTransport:
     def in_flight(self) -> int:
         return self._count
 
+    @property
+    def buffered(self) -> int:
+        """Tuples parked in the retransmit buffer (0 without one)."""
+        return 0
+
     def _grow(self, needed: int) -> None:
         cap = self._cap
         while cap < needed:
@@ -75,6 +102,33 @@ class ArrayTransport:
             fresh[: self._count] = old[: self._count]
             setattr(self, name, fresh)
         self._cap = cap
+
+    def _append(
+        self,
+        arrival: np.ndarray,
+        op: np.ndarray,
+        port: np.ndarray,
+        key: np.ndarray,
+        ts: np.ndarray,
+        size: np.ndarray,
+        seq: np.ndarray,
+    ) -> int:
+        """Append columns to the in-flight pool; returns the batch size."""
+        n = arrival.shape[0]
+        if n == 0:
+            return 0
+        if self._count + n > self._cap:
+            self._grow(self._count + n)
+        lo, hi = self._count, self._count + n
+        self._arrival[lo:hi] = arrival
+        self._op[lo:hi] = op
+        self._port[lo:hi] = port
+        self._key[lo:hi] = key
+        self._ts[lo:hi] = ts
+        self._size[lo:hi] = size
+        self._seq[lo:hi] = seq
+        self._count = hi
+        return n
 
     def send(
         self,
@@ -87,21 +141,7 @@ class ArrayTransport:
         seq: np.ndarray,
     ) -> None:
         """Append a batch of in-flight tuples (one array per column)."""
-        n = arrival.shape[0]
-        if n == 0:
-            return
-        if self._count + n > self._cap:
-            self._grow(self._count + n)
-        lo, hi = self._count, self._count + n
-        self._arrival[lo:hi] = arrival
-        self._op[lo:hi] = op
-        self._port[lo:hi] = port
-        self._key[lo:hi] = key
-        self._ts[lo:hi] = ts
-        self._size[lo:hi] = size
-        self._seq[lo:hi] = seq
-        self._count = hi
-        self.sent += n
+        self.sent += self._append(arrival, op, port, key, ts, size, seq)
 
     def due(self, now: int) -> dict[str, np.ndarray] | None:
         """Extract every tuple with ``arrival <= now`` (one comparison).
@@ -183,6 +223,11 @@ class HeapTransport:
     def in_flight(self) -> int:
         return len(self._heap)
 
+    @property
+    def buffered(self) -> int:
+        """Tuples parked in the retransmit buffer (0 without one)."""
+        return 0
+
     def send_one(
         self,
         arrival: int,
@@ -225,3 +270,204 @@ class HeapTransport:
             heapq.heapify(kept)
             self._heap = kept
         return dropped
+
+
+class ReliableTransport(ArrayTransport):
+    """Array transport with a bounded struct-of-arrays retransmit buffer.
+
+    Tuples bound for a failed node are parked via :meth:`buffer` (the
+    data plane hands back the dead-bound slice of a delivery batch, in
+    canonical order) and moved back into the in-flight pool by one
+    vectorized :meth:`redeliver` mask pass once the target service's
+    host is alive again.  The buffer holds at most ``max_buffer``
+    tuples; excess tuples are rejected (returned as an overflow count)
+    so the caller can drop them with explicit accounting.  Conservation
+    extends to ``sent == delivered + in_flight + buffered``.
+    """
+
+    _BUF_INITIAL = 256
+
+    def __init__(self, max_buffer: int = 4096) -> None:
+        super().__init__()
+        if max_buffer < 0:
+            raise ValueError("max_buffer must be non-negative")
+        self.max_buffer = max_buffer
+        self._b_cap = min(self._BUF_INITIAL, max(1, max_buffer))
+        for name in ("_b_op", "_b_port", "_b_key", "_b_ts", "_b_seq"):
+            setattr(self, name, np.empty(self._b_cap, dtype=np.int64))
+        self._b_size = np.empty(self._b_cap, dtype=np.float64)
+        self._b_count = 0
+        self.redelivered = 0
+        self.buffered_total = 0
+
+    @property
+    def buffered(self) -> int:
+        return self._b_count
+
+    def _grow_buffer(self, needed: int) -> None:
+        cap = self._b_cap
+        while cap < needed:
+            cap *= 2
+        cap = min(cap, max(1, self.max_buffer))
+        for name in ("_b_op", "_b_port", "_b_key", "_b_ts", "_b_size", "_b_seq"):
+            old = getattr(self, name)
+            fresh = np.empty(cap, dtype=old.dtype)
+            fresh[: self._b_count] = old[: self._b_count]
+            setattr(self, name, fresh)
+        self._b_cap = cap
+
+    def buffer(
+        self,
+        op: np.ndarray,
+        port: np.ndarray,
+        key: np.ndarray,
+        ts: np.ndarray,
+        size: np.ndarray,
+        seq: np.ndarray,
+    ) -> int:
+        """Park dead-bound tuples; returns how many overflowed the bound.
+
+        The first ``max_buffer - buffered`` tuples (in the caller's
+        canonical order) are accepted and subtracted from ``delivered``
+        (they are back inside the transport); the rest are rejected and
+        stay counted as delivered so the caller can account the drop.
+        """
+        n = op.shape[0]
+        if n == 0:
+            return 0
+        accept = min(n, self.max_buffer - self._b_count)
+        if accept > 0:
+            if self._b_count + accept > self._b_cap:
+                self._grow_buffer(self._b_count + accept)
+            lo, hi = self._b_count, self._b_count + accept
+            self._b_op[lo:hi] = op[:accept]
+            self._b_port[lo:hi] = port[:accept]
+            self._b_key[lo:hi] = key[:accept]
+            self._b_ts[lo:hi] = ts[:accept]
+            self._b_size[lo:hi] = size[:accept]
+            self._b_seq[lo:hi] = seq[:accept]
+            self._b_count = hi
+            self.delivered -= accept
+            self.buffered_total += accept
+        return n - max(accept, 0)
+
+    def redeliver(self, alive_of_op: np.ndarray, now: int) -> int:
+        """Re-inject buffered tuples whose target op is alive again.
+
+        One boolean mask over the buffer; the released tuples enter the
+        in-flight pool due *now* (they join the tick's first delivery
+        round with their original sequence numbers, so canonical
+        ordering is preserved).  Returns the number released.
+        """
+        c = self._b_count
+        if c == 0:
+            return 0
+        mask = alive_of_op[self._b_op[:c]]
+        hits = int(mask.sum())
+        if hits == 0:
+            return 0
+        self._append(
+            np.full(hits, now, dtype=np.int64),
+            self._b_op[:c][mask],
+            self._b_port[:c][mask],
+            self._b_key[:c][mask],
+            self._b_ts[:c][mask],
+            self._b_size[:c][mask],
+            self._b_seq[:c][mask],
+        )
+        keep = ~mask
+        survivors = int(keep.sum())
+        for name in ("_b_op", "_b_port", "_b_key", "_b_ts", "_b_size", "_b_seq"):
+            col = getattr(self, name)
+            col[:survivors] = col[:c][keep]
+        self._b_count = survivors
+        self.redelivered += hits
+        return hits
+
+    def remap_ops(self, mapping: np.ndarray) -> int:
+        """Re-address pool *and* buffer; buffered orphans drop too."""
+        dropped = super().remap_ops(mapping)
+        c = self._b_count
+        if c == 0:
+            return dropped
+        new_op = mapping[self._b_op[:c]]
+        keep = new_op >= 0
+        b_dropped = int(c - keep.sum())
+        if b_dropped:
+            survivors = int(keep.sum())
+            for name in ("_b_op", "_b_port", "_b_key", "_b_ts", "_b_size", "_b_seq"):
+                col = getattr(self, name)
+                col[:survivors] = col[:c][keep]
+            self._b_op[:survivors] = new_op[keep]
+            self._b_count = survivors
+            # Dropped buffered tuples exit the transport: they count as
+            # delivered again (restoring the balance) and as dropped.
+            self.delivered += b_dropped
+            self.dropped += b_dropped
+        else:
+            self._b_op[:c] = new_op
+        return dropped + b_dropped
+
+
+class ReliableHeapTransport(HeapTransport):
+    """Per-tuple retransmit-buffer twin of :class:`ReliableTransport`.
+
+    The buffer is a plain list in insertion order; :meth:`buffer_one`
+    accepts until the bound is hit (same first-come-first-buffered
+    policy) and :meth:`redeliver` walks the list pushing released
+    tuples back onto the heap as round-1 arrivals at ``now``.
+    """
+
+    def __init__(self, max_buffer: int = 4096) -> None:
+        super().__init__()
+        if max_buffer < 0:
+            raise ValueError("max_buffer must be non-negative")
+        self.max_buffer = max_buffer
+        self._buffer: list[tuple] = []
+        self.redelivered = 0
+        self.buffered_total = 0
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def buffer_one(
+        self, op: int, port: int, key: int, ts: int, size: float, seq: int
+    ) -> bool:
+        """Park one dead-bound tuple; False when the bound rejects it."""
+        if len(self._buffer) >= self.max_buffer:
+            return False
+        self._buffer.append((op, port, key, ts, size, seq))
+        self.delivered -= 1
+        self.buffered_total += 1
+        return True
+
+    def redeliver(self, alive_of_op: np.ndarray, now: int) -> int:
+        kept = []
+        hits = 0
+        for entry in self._buffer:
+            op, port, key, ts, size, seq = entry
+            if alive_of_op[op]:
+                heapq.heappush(self._heap, (now, 1, seq, op, port, key, ts, size))
+                hits += 1
+            else:
+                kept.append(entry)
+        self._buffer = kept
+        self.redelivered += hits
+        return hits
+
+    def remap_ops(self, mapping: np.ndarray) -> int:
+        dropped = super().remap_ops(mapping)
+        kept = []
+        b_dropped = 0
+        for entry in self._buffer:
+            new = int(mapping[entry[0]])
+            if new < 0:
+                b_dropped += 1
+                continue
+            kept.append((new,) + entry[1:])
+        self._buffer = kept
+        if b_dropped:
+            self.delivered += b_dropped
+            self.dropped += b_dropped
+        return dropped + b_dropped

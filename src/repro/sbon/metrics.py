@@ -25,12 +25,22 @@ class TickRecord:
             without a data plane; likewise for the fields below).
         delivered: tuples delivered to consumers this tick.
         dropped: tuples explicitly dropped this tick (backpressure,
-            dead nodes, uninstalls).
+            shed limits, dead nodes, uninstalls, buffer overflow).
         data_usage: *measured* network usage — Σ link latency over the
             tuples the data plane actually sent this tick.
         latency_p50: median end-to-end delivery latency (ms).
         latency_p95: 95th-percentile delivery latency (ms).
         latency_p99: 99th-percentile delivery latency (ms).
+        shed: tuples dropped this tick by controller shed limits
+            (subset of ``dropped``).
+        redelivered: buffered tuples the reliable transport re-injected
+            this tick.
+        buffered: tuples parked in the retransmit buffer after the tick.
+        calibrated_links: link rates the controller re-estimated from
+            measurements this tick.
+        control_triggers: 1 when the controller requested an immediate
+            re-placement this tick (its migrations land in
+            ``migrations``).
     """
 
     tick: int
@@ -47,6 +57,11 @@ class TickRecord:
     latency_p50: float = 0.0
     latency_p95: float = 0.0
     latency_p99: float = 0.0
+    shed: int = 0
+    redelivered: int = 0
+    buffered: int = 0
+    calibrated_links: int = 0
+    control_triggers: int = 0
 
 
 @dataclass
@@ -100,6 +115,27 @@ class TimeSeries:
         series = np.array([r.data_usage for r in self.records])
         return float(series.mean()) if series.size else 0.0
 
+    def mean_data_usage_over(self, start: int, stop: int | None = None) -> float:
+        """Mean measured usage over a tick window (closed-loop metric)."""
+        window = [
+            r.data_usage
+            for r in self.records
+            if r.tick >= start and (stop is None or r.tick < stop)
+        ]
+        return float(np.mean(window)) if window else 0.0
+
+    def total_shed(self) -> int:
+        return sum(r.shed for r in self.records)
+
+    def total_redelivered(self) -> int:
+        return sum(r.redelivered for r in self.records)
+
+    def total_calibrated_links(self) -> int:
+        return sum(r.calibrated_links for r in self.records)
+
+    def total_control_triggers(self) -> int:
+        return sum(r.control_triggers for r in self.records)
+
     def summary(self) -> dict[str, float]:
         """Headline numbers for experiment tables."""
         out = {
@@ -114,4 +150,11 @@ class TimeSeries:
             out["delivered"] = float(self.total_delivered())
             out["dropped"] = float(self.total_dropped())
             out["mean_data_usage"] = self.mean_data_usage()
+        if any(r.redelivered or r.buffered for r in self.records):
+            out["redelivered"] = float(self.total_redelivered())
+        if any(r.shed for r in self.records):
+            out["shed"] = float(self.total_shed())
+        if any(r.calibrated_links or r.control_triggers for r in self.records):
+            out["calibrated_links"] = float(self.total_calibrated_links())
+            out["control_triggers"] = float(self.total_control_triggers())
         return out

@@ -374,6 +374,15 @@ class Overlay:
 
     # -- reporting ---------------------------------------------------------
 
+    def invalidate_usage_cache(self) -> None:
+        """Drop the cached usage link index (after external rate edits).
+
+        Install/uninstall/migration invalidate it automatically; call
+        this when circuit *link rates* change in place (the control
+        plane's calibration), which the lifecycle hooks cannot see.
+        """
+        self._usage_index = None
+
     def _link_index(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Cached (source hosts, target hosts, rates) over all circuits.
 

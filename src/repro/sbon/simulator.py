@@ -20,6 +20,16 @@ operators join/filter/aggregate them, and the tick record gains the
 measured traffic — delivered/dropped counts, measured network usage,
 and end-to-end latency percentiles (E18).
 
+With ``control=True`` (or an explicit
+:class:`~repro.control.controller.Controller`), the loop closes: right
+after the data plane executes, the controller ingests the tick's
+measured statistics, periodically calibrates the circuits' estimated
+link rates (and the cached re-optimizer kernel prices) from the
+measured rates, and — when measured drops or latency breach policy —
+requests an immediate backpressure-aware re-placement, which runs in
+the same tick with the controller's drop-hot nodes excluded as
+targets.
+
 Performance architecture (struct-of-arrays)
 -------------------------------------------
 
@@ -39,6 +49,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.control.controller import Controller
 from repro.core.costs import GroundTruthEvaluator
 from repro.core.reoptimizer import Reoptimizer
 from repro.network.dynamics import ChurnProcess, LatencyDriftProcess, LoadProcess
@@ -84,6 +95,7 @@ class Simulation:
         churn: ChurnProcess | None = None,
         config: SimulationConfig | None = None,
         data_plane: DataPlane | bool | None = None,
+        control: Controller | bool | None = None,
     ):
         self.overlay = overlay
         self.load_process = load_process
@@ -99,8 +111,21 @@ class Simulation:
         self.series = TimeSeries()
         self.tick = 0
         # Circuit kernels compiled by the re-optimizer survive across
-        # ticks (structure is immutable; only placements change).
+        # ticks (structure is immutable; only placements change — and
+        # the controller's calibration re-prices them in place).
         self._kernel_cache: dict = {}
+        if control is True:
+            if self.data_plane is None:
+                raise ValueError("control=True requires a data plane")
+            self.controller: Controller | None = Controller(
+                self.data_plane, kernel_cache=self._kernel_cache
+            )
+        elif control is False or control is None:
+            self.controller = None
+        else:
+            self.controller = control
+            if self.controller.kernel_cache is None:
+                self.controller.kernel_cache = self._kernel_cache
 
     def _make_reoptimizer(self) -> Reoptimizer:
         mapper = self.overlay.exhaustive_mapper()
@@ -168,7 +193,21 @@ class Simulation:
                 self.data_plane.step_scalar() if scalar else self.data_plane.step()
             )
 
-        # 6. Record.
+        # 6. Close the loop: the controller ingests the measurements,
+        # calibrates estimates, and may demand a re-placement now.
+        control = None
+        if self.controller is not None and traffic is not None:
+            control = (
+                self.controller.step_scalar(traffic)
+                if scalar
+                else self.controller.step(traffic)
+            )
+            if control.replace_triggered:
+                migrations += self._reoptimize_all(
+                    scalar=scalar, exclude=control.excluded_nodes
+                )
+
+        # 7. Record.
         loads = self.overlay.loads_scalar() if scalar else self.overlay.loads()
         usage = (
             self.overlay.total_network_usage_scalar()
@@ -190,6 +229,11 @@ class Simulation:
             latency_p50=traffic.latency_p50 if traffic else 0.0,
             latency_p95=traffic.latency_p95 if traffic else 0.0,
             latency_p99=traffic.latency_p99 if traffic else 0.0,
+            shed=traffic.shed if traffic else 0,
+            redelivered=traffic.redelivered if traffic else 0,
+            buffered=traffic.buffered if traffic else 0,
+            calibrated_links=control.calibrated_links if control else 0,
+            control_triggers=int(control.replace_triggered) if control else 0,
         )
         self.series.append(record)
         return record
@@ -230,13 +274,20 @@ class Simulation:
                         circuit.name, migration.service_id, migration.to_node
                     )
 
-    def _reoptimize_all(self, scalar: bool = False) -> int:
+    def _reoptimize_all(
+        self, scalar: bool = False, exclude: tuple[int, ...] = ()
+    ) -> int:
         """One local re-optimization pass over every circuit.
 
         The vectorized path maps every circuit's migration targets in a
-        single batched pass (:meth:`Reoptimizer.step_all`).
+        single batched pass (:meth:`Reoptimizer.step_all`).  ``exclude``
+        removes nodes from the candidate pool for this pass only — the
+        controller passes its measured drop hot spots here so a
+        triggered re-placement is backpressure-aware.
         """
         reopt = self._make_reoptimizer()
+        for node in exclude:
+            reopt.mapper.exclude(node)
         circuits = list(self.overlay.circuits.values())
         reports = (
             reopt.step_all_scalar(circuits) if scalar else reopt.step_all(circuits)

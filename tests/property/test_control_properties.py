@@ -1,0 +1,197 @@
+"""Equivalence properties of the control plane and reliable transport.
+
+Same discipline as the data-plane properties: every vectorized path
+keeps a scalar reference consuming identical inputs, and twin instances
+stepped through either path must agree exactly — here extended to the
+retransmit buffer (tuples bound to failed nodes), the controller's
+estimator banks and decisions, and the two-level join-state layout
+(whose merge threshold must be unobservable).
+"""
+
+import numpy as np
+import pytest
+
+from repro.control import ControlConfig, Controller
+from repro.runtime import DataPlane, RuntimeConfig
+from repro.sbon.simulator import Simulation, SimulationConfig
+from repro.workloads.scenarios import selectivity_drift_scenario
+from tests.property.test_dataplane_properties import (
+    assert_traffic_equal,
+    traffic_overlay,
+)
+
+
+def assert_control_fields_equal(rv, rs):
+    assert (rv.shed, rv.redelivered, rv.buffered) == (
+        rs.shed, rs.redelivered, rs.buffered,
+    )
+
+
+def outage_mask(num_nodes, hosts, tick):
+    """Deterministic rolling outage over the given hosts."""
+    mask = np.ones(num_nodes, dtype=bool)
+    if hosts and (tick // 7) % 2 == 1:
+        start = (tick // 7) % len(hosts)
+        mask[hosts[start::2]] = False
+    return mask
+
+
+def unpinned_hosts(overlay, pinned):
+    return sorted(
+        {c.host_of(s) for c in overlay.circuits.values() for s in c.unpinned_ids()}
+        - pinned
+    )
+
+
+class TestReliableTwins:
+    def test_twins_agree_across_outages(self):
+        cfg = RuntimeConfig(seed=7, reliable=True, retransmit_buffer=1 << 14)
+        ov_a, pinned = traffic_overlay(seed=4)
+        ov_b, _ = traffic_overlay(seed=4)
+        a, b = DataPlane(ov_a, cfg), DataPlane(ov_b, cfg)
+        hosts = unpinned_hosts(ov_a, pinned)
+        for tick in range(45):
+            mask = outage_mask(ov_a.num_nodes, hosts, tick)
+            ov_a.apply_liveness(mask)
+            ov_b.apply_liveness(mask)
+            rv, rs = a.step(), b.step_scalar()
+            assert_traffic_equal(rv, rs)
+            assert_control_fields_equal(rv, rs)
+            assert a.accounting()["balanced"], a.accounting()
+            assert b.accounting()["balanced"], b.accounting()
+        assert a.accounting() == b.accounting()
+        assert a.redelivered == b.redelivered > 0
+
+    def test_bounded_buffer_overflow_twins_agree(self):
+        cfg = RuntimeConfig(seed=7, reliable=True, retransmit_buffer=8)
+        ov_a, pinned = traffic_overlay(seed=4)
+        ov_b, _ = traffic_overlay(seed=4)
+        a, b = DataPlane(ov_a, cfg), DataPlane(ov_b, cfg)
+        hosts = unpinned_hosts(ov_a, pinned)
+        mask = np.ones(ov_a.num_nodes, dtype=bool)
+        mask[hosts] = False
+        for tick in range(25):
+            if tick == 5:
+                ov_a.apply_liveness(mask)
+                ov_b.apply_liveness(mask)
+            rv, rs = a.step(), b.step_scalar()
+            assert_traffic_equal(rv, rs)
+            assert_control_fields_equal(rv, rs)
+            assert a.accounting()["balanced"]
+        assert a.dropped_overflow == b.dropped_overflow > 0
+        assert a.accounting() == b.accounting()
+
+    def test_reliable_uninstall_drops_buffered_with_accounting(self):
+        cfg = RuntimeConfig(seed=5, reliable=True)
+        ov_a, pinned = traffic_overlay(seed=6)
+        ov_b, _ = traffic_overlay(seed=6)
+        a, b = DataPlane(ov_a, cfg), DataPlane(ov_b, cfg)
+        hosts = unpinned_hosts(ov_a, pinned)
+        mask = np.ones(ov_a.num_nodes, dtype=bool)
+        mask[hosts] = False
+        ov_a.apply_liveness(mask)
+        ov_b.apply_liveness(mask)
+        for _ in range(8):
+            assert_traffic_equal(a.step(), b.step_scalar())
+        assert a.accounting()["buffered"] > 0
+        ov_a.uninstall("q1")
+        ov_b.uninstall("q1")
+        for _ in range(5):
+            assert_traffic_equal(a.step(), b.step_scalar())
+        assert a.dropped_uninstalled == b.dropped_uninstalled > 0
+        assert a.accounting() == b.accounting()
+        assert a.accounting()["balanced"]
+
+
+class TestJoinStateLayout:
+    """The two-level (base + append buffer) layout is unobservable."""
+
+    @pytest.mark.parametrize("merge_limit", [1, 16, 1 << 30])
+    def test_merge_threshold_never_changes_results(self, merge_limit):
+        reference = DataPlane(traffic_overlay(seed=11)[0], RuntimeConfig(seed=3, window=30))
+        tuned = DataPlane(traffic_overlay(seed=11)[0], RuntimeConfig(seed=3, window=30))
+        tuned._state_merge_limit = merge_limit
+        for _ in range(25):
+            rv, rs = tuned.step(), reference.step()
+            assert rv == rs
+        assert tuned.accounting() == reference.accounting()
+
+    def test_layout_matches_scalar_reference_with_large_windows(self):
+        cfg = RuntimeConfig(seed=9, window=40)
+        a = DataPlane(traffic_overlay(seed=12)[0], cfg)
+        b = DataPlane(traffic_overlay(seed=12)[0], cfg)
+        a._state_merge_limit = 8  # force frequent merges mid-tick
+        for _ in range(30):
+            assert_traffic_equal(a.step(), b.step_scalar())
+        assert a.accounting() == b.accounting()
+        assert a.accounting()["balanced"]
+
+
+class TestControllerTwins:
+    def test_controller_decisions_identical_across_paths(self):
+        cfg = RuntimeConfig(seed=7, reliable=True, node_capacity=45.0)
+        ctl_cfg = ControlConfig(
+            warmup=4, calibrate_interval=3, drop_threshold=0.01,
+            trigger_cooldown=4, shed_limit=30.0, alpha=0.4,
+        )
+        ov_a, pinned = traffic_overlay(seed=4)
+        ov_b, _ = traffic_overlay(seed=4)
+        a, b = DataPlane(ov_a, cfg), DataPlane(ov_b, cfg)
+        ca, cb = Controller(a, ctl_cfg), Controller(b, ctl_cfg)
+        hosts = unpinned_hosts(ov_a, pinned)
+        for tick in range(35):
+            mask = outage_mask(ov_a.num_nodes, hosts, tick)
+            ov_a.apply_liveness(mask)
+            ov_b.apply_liveness(mask)
+            rv, rs = a.step(), b.step_scalar()
+            assert_traffic_equal(rv, rs)
+            cv, cs = ca.step(rv), cb.step_scalar(rs)
+            assert cv == cs
+        keys = ca.link_rates.keys()
+        np.testing.assert_array_equal(ca.link_rates.rates(keys), cb.link_rates.rates(keys))
+        np.testing.assert_array_equal(
+            ca.node_processed.rates(), cb.node_processed.rates()
+        )
+        assert ca.calibrations == cb.calibrations > 0
+        # Calibration wrote identical rates into both twins' circuits.
+        for name, circuit in ov_a.circuits.items():
+            assert [l.rate for l in circuit.links] == [
+                l.rate for l in ov_b.circuits[name].links
+            ]
+
+    def test_closed_loop_simulation_twins_agree(self):
+        a = selectivity_drift_scenario(mode="control", seed=3, num_nodes=30, num_chains=3)
+        b = selectivity_drift_scenario(mode="control", seed=3, num_nodes=30, num_chains=3)
+        for _ in range(45):
+            rv, rs = a.simulation.step(), b.simulation.step_scalar()
+            assert (rv.migrations, rv.failures, rv.calibrated_links) == (
+                rs.migrations, rs.failures, rs.calibrated_links,
+            )
+            assert_traffic_equal(rv, rs)
+        for name, circuit in a.overlay.circuits.items():
+            twin = b.overlay.circuits[name]
+            assert circuit.placement == twin.placement
+            np.testing.assert_allclose(
+                [l.rate for l in circuit.links],
+                [l.rate for l in twin.links],
+                rtol=1e-12,
+            )
+        assert a.data_plane.accounting() == b.data_plane.accounting()
+        assert a.data_plane.accounting()["balanced"]
+
+
+class TestClosedLoopDeterminism:
+    def test_same_seed_same_control_series(self):
+        runs = []
+        for _ in range(2):
+            scenario = selectivity_drift_scenario(
+                mode="control", seed=5, num_nodes=30, num_chains=3
+            )
+            scenario.simulation.run(40)
+            runs.append(
+                [
+                    (r.data_usage, r.migrations, r.calibrated_links)
+                    for r in scenario.simulation.series.records
+                ]
+            )
+        assert runs[0] == runs[1]

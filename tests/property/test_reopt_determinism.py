@@ -1,0 +1,179 @@
+"""Determinism + batched-tick twin equivalence of the scalar-only
+re-optimization paths.
+
+``full_reoptimize`` and ``rewrite_step`` are deliberately scalar paths
+(plan enumeration and rewrite search, not tick kernels) — but they run
+*between* batched ticks in a live system, so they must (1) be exactly
+deterministic, and (2) leave twin simulations (``step`` vs
+``step_scalar`` under the shared-RNG discipline) equivalent when either
+path replaces a running circuit mid-stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reoptimizer import Reoptimizer
+from repro.network.dynamics import LoadProcess
+from repro.runtime import DataPlane, RuntimeConfig
+from repro.sbon.overlay import Overlay
+from repro.sbon.simulator import Simulation, SimulationConfig
+from repro.network.topology import grid_topology
+from repro.workloads.queries import WorkloadParams, random_query
+from tests.property.test_dataplane_properties import assert_traffic_equal
+from tests.unit.test_rewriting import three_way_setup
+from repro.workloads.scenarios import perfect_cost_space
+
+PARAMS = WorkloadParams(
+    num_producers=3, rate_bounds=(3.0, 8.0), selectivity_bounds=(0.2, 0.6)
+)
+
+
+def installed_overlay(seed=0, side=5, num_circuits=2):
+    """Overlay with optimized circuits plus their (query, stats) pairs."""
+    n = side * side
+    overlay = Overlay.build(
+        grid_topology(side, side), vector_dims=2, embedding_rounds=20, seed=seed
+    )
+    optimizer = overlay.integrated_optimizer()
+    workload = []
+    for i in range(num_circuits):
+        query, stats = random_query(n, PARAMS, name=f"q{i}", seed=seed * 10 + i)
+        overlay.install(optimizer.optimize(query, stats))
+        workload.append((query, stats))
+    return overlay, workload
+
+
+def twin_simulations(seed=0):
+    sims, workloads = [], []
+    for _ in range(2):
+        overlay, workload = installed_overlay(seed=seed)
+        plane = DataPlane(overlay, RuntimeConfig(seed=99))
+        sims.append(
+            Simulation(
+                overlay,
+                load_process=LoadProcess(overlay.num_nodes, sigma=0.1, seed=1),
+                config=SimulationConfig(reopt_interval=3, migration_threshold=0.0),
+                data_plane=plane,
+            )
+        )
+        workloads.append(workload)
+    return sims, workloads
+
+
+def degrade(overlay, name):
+    """Push a circuit's unpinned services onto one bad corner node."""
+    circuit = overlay.circuits[name]
+    worst = overlay.num_nodes - 1
+    for sid in circuit.unpinned_ids():
+        overlay.apply_migration(name, sid, worst)
+
+
+class TestFullReoptimizeDeterminism:
+    def test_identical_runs_produce_identical_reports(self):
+        results = []
+        for _ in range(2):
+            overlay, workload = installed_overlay(seed=3)
+            degrade(overlay, "q0")
+            query, stats = workload[0]
+            reopt = overlay.reoptimizer()
+            report, fresh = reopt.full_reoptimize(
+                overlay.circuits["q0"], query, stats, replace_threshold=0.0
+            )
+            results.append(
+                (
+                    report.replaced_plan,
+                    report.cost_before.total,
+                    report.cost_after.total,
+                    None if fresh is None else sorted(fresh.circuit.placement.items()),
+                )
+            )
+        assert results[0] == results[1]
+        assert results[0][0], "degraded circuit should have been replaced"
+
+    def test_rewrite_step_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            space = perfect_cost_space([(10.0 * i, 0.0) for i in range(8)])
+            circuit, _, stats = three_way_setup()
+            circuit.assign("q/join0", 5)
+            circuit.assign("q/join1", 5)
+            rewritten, applied = Reoptimizer(space).rewrite_step(circuit, stats)
+            outcomes.append((applied, sorted(rewritten.placement.items())))
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][0]
+
+
+class TestScalarPathsAgainstBatchedTick:
+    """Replacing a live circuit mid-run keeps the twins equivalent."""
+
+    def test_full_reoptimize_replacement_preserves_twin_equivalence(self):
+        (a, b), (wl_a, wl_b) = twin_simulations(seed=5)
+        for _ in range(5):
+            assert_traffic_equal(a.step(), b.step_scalar())
+        for sim in (a, b):
+            degrade(sim.overlay, "q0")
+        # The scalar-only path runs identically against both twins...
+        replacements = []
+        for sim, workload in ((a, wl_a), (b, wl_b)):
+            query, stats = workload[0]
+            reopt = sim.overlay.reoptimizer()
+            report, fresh = reopt.full_reoptimize(
+                sim.overlay.circuits["q0"], query, stats, replace_threshold=0.0
+            )
+            assert report.replaced_plan and fresh is not None
+            sim.overlay.uninstall("q0")
+            sim.overlay.install(fresh)
+            replacements.append(sorted(fresh.circuit.placement.items()))
+        assert replacements[0] == replacements[1]
+        # ...and the batched tick stays tuple-for-tuple equivalent.
+        # (In-flight tuples of the old circuit re-home to the fresh
+        # circuit's same-named services through the recompile remap,
+        # so nothing drops — the conservation balance proves it.)
+        for _ in range(10):
+            assert_traffic_equal(a.step(), b.step_scalar())
+        assert a.data_plane.dropped_uninstalled == b.data_plane.dropped_uninstalled
+        assert a.data_plane.accounting() == b.data_plane.accounting()
+        assert a.data_plane.accounting()["balanced"]
+
+    def test_rewrite_step_replacement_preserves_twin_equivalence(self):
+        (a, b), (wl_a, wl_b) = twin_simulations(seed=7)
+        for _ in range(5):
+            assert_traffic_equal(a.step(), b.step_scalar())
+        # Colocate q0's joins on one node so a rewrite applies, then
+        # swap the rewritten circuit in on both twins.
+        rewritten_placements = []
+        for sim, workload in ((a, wl_a), (b, wl_b)):
+            overlay = sim.overlay
+            circuit = overlay.circuits["q0"]
+            joins = [
+                sid for sid, svc in circuit.services.items()
+                if svc.kind.value == "join"
+            ]
+            target = circuit.host_of(joins[0])
+            for sid in joins[1:]:
+                overlay.apply_migration("q0", sid, target)
+            _, stats = workload[0]
+            rewritten, applied = overlay.reoptimizer().rewrite_step(circuit, stats)
+            assert applied
+            overlay.uninstall("q0")
+            overlay.install_circuit(rewritten)
+            rewritten_placements.append(sorted(rewritten.placement.items()))
+        assert rewritten_placements[0] == rewritten_placements[1]
+        for _ in range(10):
+            assert_traffic_equal(a.step(), b.step_scalar())
+        assert a.data_plane.accounting() == b.data_plane.accounting()
+        assert a.data_plane.accounting()["balanced"]
+
+    def test_full_reoptimize_keep_path_changes_nothing(self):
+        (a, b), (wl_a, _) = twin_simulations(seed=9)
+        for _ in range(3):
+            assert_traffic_equal(a.step(), b.step_scalar())
+        query, stats = wl_a[0]
+        before = dict(a.overlay.circuits["q0"].placement)
+        report, fresh = a.overlay.reoptimizer().full_reoptimize(
+            a.overlay.circuits["q0"], query, stats, replace_threshold=10.0
+        )
+        assert fresh is None and not report.replaced_plan
+        assert a.overlay.circuits["q0"].placement == before
+        for _ in range(5):
+            assert_traffic_equal(a.step(), b.step_scalar())

@@ -27,6 +27,16 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "mean_usage" in out
 
+    def test_simulate_control_and_reliable_imply_data_plane(self, capsys):
+        assert main(
+            BASE + ["simulate", "--queries", "2", "--ticks", "12",
+                    "--reopt-interval", "3", "--control", "--reliable"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "control plane" in out
+        assert "retransmission" in out
+        assert "balanced" in out
+
     def test_execute_command(self, capsys):
         assert main(BASE + ["execute", "--producers", "2", "--ticks", "300"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,359 @@
+"""Unit tests for the control plane: estimator, controller, drift."""
+
+import numpy as np
+import pytest
+
+from repro.control import ControlConfig, Controller, RateEstimator
+from repro.core.circuit import Circuit, Service
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.core.reoptimizer import Reoptimizer, _CircuitKernel, refresh_kernel_rates
+from repro.network.latency import LatencyMatrix
+from repro.query.operators import ServiceSpec
+from repro.runtime import DataPlane, ParameterDrift, RuntimeConfig
+from repro.sbon.overlay import Overlay
+
+
+def planted_overlay(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, 100.0, size=(n, 2))
+    diff = points[:, None, :] - points[None, :, :]
+    latencies = LatencyMatrix(np.sqrt((diff ** 2).sum(axis=-1)))
+    spec = CostSpaceSpec.latency_load(vector_dims=2)
+    space = CostSpace.from_embedding(spec, points, {"cpu_load": np.zeros(n)})
+    return Overlay(latencies, space)
+
+
+def chain_circuit(name="c0", producer=0, middle=1, sink=2, rate=6.0, sel=0.5):
+    circuit = Circuit(name=name)
+    circuit.add_service(Service(f"{name}/src", ServiceSpec.relay(), producer, frozenset(("P",))))
+    circuit.add_service(Service(f"{name}/f", ServiceSpec.filter(sel), None, frozenset(("P",))))
+    circuit.add_service(Service(f"{name}/sink", ServiceSpec.relay(), sink, frozenset(("P",))))
+    circuit.add_link(f"{name}/src", f"{name}/f", rate)
+    circuit.add_link(f"{name}/f", f"{name}/sink", rate * sel)
+    circuit.assign(f"{name}/f", middle)
+    return circuit
+
+
+class TestRateEstimator:
+    def test_first_observation_initializes_ewma(self):
+        est = RateEstimator(alpha=0.5)
+        est.observe(np.array([10.0, 4.0]), keys=["a", "b"])
+        assert est.rate("a") == 10.0 and est.rate("b") == 4.0
+        est.observe(np.array([0.0, 8.0]), keys=["a", "b"])
+        assert est.rate("a") == pytest.approx(5.0)
+        assert est.rate("b") == pytest.approx(6.0)
+
+    def test_unknown_key_defaults(self):
+        est = RateEstimator()
+        est.observe(np.array([1.0]), keys=["a"])
+        assert est.rate("zzz", default=-1.0) == -1.0
+        assert est.seen("zzz") == 0
+
+    def test_late_key_growth_and_quantiles(self):
+        est = RateEstimator(alpha=0.5, window=8)
+        keys1 = ["a"]
+        est.observe(np.array([4.0]), keys=keys1)
+        est.observe(np.array([4.0]), keys=keys1)
+        keys2 = ["a", "b"]
+        est.observe(np.array([4.0, 10.0]), keys=keys2)
+        # b's earlier non-existence counts as zero samples.
+        qa, qb = est.quantile(1.0, keys=["a", "b"])
+        assert qa == 4.0 and qb == 10.0
+        assert est.quantile(0.0, keys=["b"])[0] == 0.0
+
+    def test_implicit_integer_keys(self):
+        est = RateEstimator()
+        est.observe(np.array([1.0, 2.0, 3.0]))
+        assert list(est.rates()) == [1.0, 2.0, 3.0]
+        assert est.keys() == [0, 1, 2]
+
+    def test_scalar_twin_bit_identical(self):
+        rng = np.random.default_rng(3)
+        a = RateEstimator(alpha=0.3, window=6)
+        b = RateEstimator(alpha=0.3, window=6)
+        keys = ["x", "y", "z"]
+        for t in range(20):
+            values = rng.poisson(5.0, size=3).astype(float)
+            use = keys if t % 3 else keys[:2]  # sometimes omit a key
+            a.observe(values[: len(use)], keys=use)
+            b.observe_scalar(values[: len(use)], keys=use)
+            np.testing.assert_array_equal(a.rates(keys), b.rates(keys))
+            np.testing.assert_array_equal(
+                a.quantile(0.9, keys), b.quantile(0.9, keys)
+            )
+
+    def test_duplicate_keys_sum_and_twins_agree(self):
+        # Aliased keys (e.g. parallel circuit links with one (source,
+        # target) pair) sum into one sample on both paths.
+        a, b = RateEstimator(alpha=0.5), RateEstimator(alpha=0.5)
+        keys = ["x", "x", "y"]
+        for values in ([2.0, 3.0, 1.0], [4.0, 0.0, 7.0]):
+            a.observe(np.array(values), keys=keys)
+            b.observe_scalar(np.array(values), keys=keys)
+            np.testing.assert_array_equal(a.rates(["x", "y"]), b.rates(["x", "y"]))
+        assert a.rate("x") == pytest.approx(4.5)  # ewma over sums 5, 4
+        assert a.seen("x") == 2
+
+    def test_identity_fast_path_matches_keyed_observations(self):
+        fast, keyed = RateEstimator(alpha=0.3), RateEstimator(alpha=0.3)
+        rng = np.random.default_rng(1)
+        keys = list(range(5))
+        for _ in range(10):
+            values = rng.poisson(4.0, size=5).astype(float)
+            fast.observe(values)
+            keyed.observe(values, keys=keys)
+            np.testing.assert_array_equal(fast.rates(), keyed.rates(keys))
+        assert fast.keys() == keys
+
+    def test_mode_commitment(self):
+        est = RateEstimator()
+        est.observe(np.array([1.0]), keys=["a"])
+        with pytest.raises(RuntimeError):
+            est.observe_scalar(np.array([1.0]), keys=["a"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            RateEstimator(window=0)
+        est = RateEstimator()
+        with pytest.raises(ValueError):
+            est.observe(np.array([1.0, 2.0]), keys=["a"])
+
+
+class TestParameterDrift:
+    def test_linear_ramp(self):
+        drift = ParameterDrift("c", "s", "selectivity", 0.2, 0.8, begin=10, duration=10)
+        assert drift.value(0) == 0.2
+        assert drift.value(10) == 0.2
+        assert drift.value(15) == pytest.approx(0.5)
+        assert drift.value(20) == 0.8
+        assert drift.value(99) == 0.8
+
+    def test_step_change(self):
+        drift = ParameterDrift("c", "s", "source_rate", 1.0, 9.0, begin=5, duration=0)
+        assert drift.value(5) == 1.0
+        assert drift.value(6) == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterDrift("c", "s", "nope", 0.1, 0.9)
+        with pytest.raises(ValueError):
+            ParameterDrift("c", "s", "selectivity", -0.1, 0.9)
+
+    def test_drift_moves_realized_selectivity(self):
+        overlay = planted_overlay()
+        overlay.install_circuit(chain_circuit(sel=0.25))
+        drift = ParameterDrift("c0", "c0/f", "selectivity", 0.25, 1.0, begin=5, duration=5)
+        plane = DataPlane(overlay, RuntimeConfig(seed=1, drift=(drift,)))
+        op = plane._op_index[("c0", "c0/f")]
+        plane.step()
+        assert plane._op_sel[op] == 0.25
+        for _ in range(12):
+            plane.step()
+        assert plane._op_sel[op] == 1.0
+        # true_link_rates reflects the drifted truth, not the estimate.
+        rates = plane.true_link_rates()
+        assert rates[("c0", "c0/f", "c0/sink")] == pytest.approx(6.0)
+
+    def test_source_rate_drift_changes_emissions(self):
+        overlay = planted_overlay()
+        overlay.install_circuit(chain_circuit())
+        drift = ParameterDrift("c0", "c0/src", "source_rate", 6.0, 0.0, begin=3, duration=0)
+        plane = DataPlane(overlay, RuntimeConfig(seed=1, drift=(drift,)))
+        early = sum(plane.step().emitted for _ in range(3))
+        late = sum(plane.step().emitted for _ in range(10))
+        assert early > 0 and late == 0
+
+
+class TestTrueLinkRates:
+    def test_chain_propagation(self):
+        overlay = planted_overlay()
+        overlay.install_circuit(chain_circuit(rate=6.0, sel=0.5))
+        plane = DataPlane(overlay, RuntimeConfig(seed=0))
+        rates = plane.true_link_rates()
+        assert rates[("c0", "c0/src", "c0/f")] == pytest.approx(6.0)
+        assert rates[("c0", "c0/f", "c0/sink")] == pytest.approx(3.0)
+
+    def test_estimator_converges_to_true_rates(self):
+        overlay = planted_overlay()
+        overlay.install_circuit(chain_circuit(rate=6.0, sel=0.5))
+        plane = DataPlane(overlay, RuntimeConfig(seed=5))
+        est = RateEstimator(alpha=0.05, window=64)
+        for _ in range(400):
+            plane.step()
+            est.observe(plane.tick_link_tuples.astype(float), plane.link_keys())
+        for key, true_rate in plane.true_link_rates().items():
+            assert est.rate(key) == pytest.approx(true_rate, rel=0.25)
+
+
+class TestKernelRateHook:
+    def test_set_rates_reprices_kernel(self):
+        overlay = planted_overlay()
+        circuit = chain_circuit()
+        kernel = _CircuitKernel(circuit)
+        evaluator = overlay.estimate_evaluator()
+        hosts = kernel.hosts(circuit)
+        before = kernel.total(hosts, evaluator, 1.0)
+        kernel.set_rates(np.array([12.0, 6.0]))
+        after = kernel.total(hosts, evaluator, 1.0)
+        assert after > before
+        np.testing.assert_array_equal(kernel.link_rates, [12.0, 6.0])
+        # Spring weights follow the new rates too.
+        assert kernel.seg_weight[0] == pytest.approx(18.0)
+
+    def test_set_rates_shape_validation(self):
+        kernel = _CircuitKernel(chain_circuit())
+        with pytest.raises(ValueError):
+            kernel.set_rates(np.array([1.0]))
+
+    def test_refresh_kernel_rates_only_touches_live_entry(self):
+        import weakref
+
+        circuit = chain_circuit()
+        kernel = _CircuitKernel(circuit)
+        cache = {"c0": (weakref.ref(circuit), kernel)}
+        assert refresh_kernel_rates(cache, circuit, np.array([9.0, 3.0]))
+        np.testing.assert_array_equal(kernel.link_rates, [9.0, 3.0])
+        other = chain_circuit()  # same name, different object
+        assert not refresh_kernel_rates(cache, other, np.array([1.0, 1.0]))
+        np.testing.assert_array_equal(kernel.link_rates, [9.0, 3.0])
+        assert not refresh_kernel_rates(None, circuit, np.array([1.0, 1.0]))
+
+    def test_calibration_path_updates_circuit_and_cached_kernel(self):
+        # The production path: set_link_rates + refresh_kernel_rates
+        # against the re-optimizer's shared kernel cache.
+        overlay = planted_overlay()
+        circuit = chain_circuit()
+        cache: dict = {}
+        reopt = Reoptimizer(overlay.cost_space, kernel_cache=cache)
+        kernel = reopt._kernel(circuit)
+        rates = np.array([4.0, 2.0])
+        circuit.set_link_rates(rates)
+        assert refresh_kernel_rates(cache, circuit, rates)
+        assert [l.rate for l in circuit.links] == [4.0, 2.0]
+        np.testing.assert_array_equal(kernel.link_rates, [4.0, 2.0])
+
+    def test_circuit_set_link_rates_validation(self):
+        circuit = chain_circuit()
+        with pytest.raises(ValueError):
+            circuit.set_link_rates([1.0])
+
+
+class TestController:
+    def make_plane(self, sel=0.5, drift_to=None, seed=2):
+        overlay = planted_overlay()
+        overlay.install_circuit(chain_circuit(rate=6.0, sel=sel))
+        drift = ()
+        if drift_to is not None:
+            drift = (
+                ParameterDrift("c0", "c0/f", "selectivity", sel, drift_to, 0, 0),
+            )
+        plane = DataPlane(overlay, RuntimeConfig(seed=seed, drift=drift))
+        return overlay, plane
+
+    def run_controller(self, plane, controller, ticks):
+        for _ in range(ticks):
+            controller.step(plane.step())
+
+    def test_calibration_moves_estimates_toward_measured(self):
+        overlay, plane = self.make_plane(sel=0.1, drift_to=0.9)
+        controller = Controller(
+            plane, ControlConfig(warmup=4, calibrate_interval=5, alpha=0.2)
+        )
+        self.run_controller(plane, controller, 40)
+        circuit = overlay.circuits["c0"]
+        out_rate = circuit.links[1].rate
+        # Estimated 0.6 tuples/tick; realized 5.4: calibration rewrote it.
+        assert out_rate == pytest.approx(5.4, rel=0.35)
+        assert controller.calibrations > 0
+
+    def test_oracle_calibrates_to_true_rates(self):
+        overlay, plane = self.make_plane(sel=0.1, drift_to=0.9)
+        controller = Controller(
+            plane,
+            ControlConfig(warmup=1, calibrate_interval=1),
+            oracle=True,
+        )
+        self.run_controller(plane, controller, 3)
+        circuit = overlay.circuits["c0"]
+        assert circuit.links[0].rate == pytest.approx(6.0)
+        assert circuit.links[1].rate == pytest.approx(5.4)
+
+    def test_young_links_keep_their_priors(self):
+        overlay, plane = self.make_plane(sel=0.5)
+        controller = Controller(
+            plane,
+            ControlConfig(warmup=1, calibrate_interval=1, min_observations=50),
+        )
+        self.run_controller(plane, controller, 5)
+        # Too few observations: estimates untouched.
+        assert overlay.circuits["c0"].links[0].rate == 6.0
+
+    def test_trigger_fires_on_drop_breach_with_cooldown(self):
+        # Zero node capacity: every delivery is dropped, so the
+        # measured drop fraction breaches immediately after warmup.
+        overlay = planted_overlay(seed=9)
+        overlay.install_circuit(chain_circuit(rate=6.0, sel=0.5))
+        plane = DataPlane(overlay, RuntimeConfig(seed=2, node_capacity=0.0))
+        controller = Controller(
+            plane,
+            ControlConfig(
+                warmup=3, drop_threshold=0.2, trigger_cooldown=5,
+                exclude_drop_rate=0.5, calibrate_interval=100,
+            ),
+        )
+        triggers = []
+        for _ in range(12):
+            record = controller.step(plane.step())
+            triggers.append(record.replace_triggered)
+            if record.replace_triggered:
+                assert record.excluded_nodes  # drop-hot nodes named
+        fired = [i for i, t in enumerate(triggers) if t]
+        assert fired, "drop breach never triggered"
+        assert all(b - a >= 5 for a, b in zip(fired, fired[1:]))
+
+    def test_shed_policy_caps_and_releases(self):
+        overlay = planted_overlay(seed=4)
+        overlay.install_circuit(chain_circuit(rate=20.0, sel=0.5))
+        drift = (
+            ParameterDrift("c0", "c0/src", "source_rate", 20.0, 0.0, 30, 0),
+        )
+        plane = DataPlane(overlay, RuntimeConfig(seed=2, drift=drift))
+        controller = Controller(
+            plane,
+            ControlConfig(
+                warmup=3, shed_limit=10.0, shed_release=0.5, alpha=0.4,
+                drop_threshold=None, calibrate_interval=1000,
+            ),
+        )
+        shed_seen = released_seen = False
+        shed_drops = 0
+        for _ in range(60):
+            record = plane.step()
+            shed_drops += record.shed
+            ctl = controller.step(record)
+            shed_seen = shed_seen or bool(ctl.shed_nodes)
+            released_seen = released_seen or bool(ctl.released_nodes)
+        assert shed_seen, "overload never shed"
+        assert released_seen, "cap never released after the load stopped"
+        assert shed_drops > 0
+        assert plane.dropped_shed == shed_drops
+        assert plane.accounting()["balanced"]
+
+    def test_simulation_control_true_wires_default_controller(self):
+        from repro.sbon.simulator import Simulation
+
+        overlay, plane = self.make_plane()
+        sim = Simulation(overlay, data_plane=plane, control=True)
+        assert sim.controller is not None
+        assert sim.controller.kernel_cache is sim._kernel_cache
+        sim.run(3)
+        assert sim.controller.ticks == 3
+
+    def test_simulation_control_requires_data_plane(self):
+        from repro.sbon.simulator import Simulation
+
+        overlay, _ = self.make_plane()
+        with pytest.raises(ValueError):
+            Simulation(overlay, control=True)

@@ -1,0 +1,125 @@
+"""Unit tests for the reliable (retransmit-buffer) transports."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.transport import ReliableHeapTransport, ReliableTransport
+
+
+def send_batch(tr, n, arrival=5, op=0):
+    tr.send(
+        np.full(n, arrival, dtype=np.int64),
+        np.full(n, op, dtype=np.int64),
+        np.zeros(n, dtype=np.int64),
+        np.arange(n, dtype=np.int64),
+        np.zeros(n, dtype=np.int64),
+        np.ones(n),
+        np.arange(n, dtype=np.int64),
+    )
+
+
+def balance(tr):
+    return tr.sent == tr.delivered + tr.in_flight + tr.buffered
+
+
+class TestReliableTransport:
+    def test_buffer_holds_conservation(self):
+        tr = ReliableTransport(max_buffer=100)
+        send_batch(tr, 10)
+        batch = tr.due(5)
+        assert batch is not None and balance(tr)
+        overflow = tr.buffer(
+            batch["op"], batch["port"], batch["key"], batch["ts"],
+            batch["size"], batch["seq"],
+        )
+        assert overflow == 0
+        assert tr.buffered == 10
+        assert tr.delivered == 0  # buffered tuples are back inside
+        assert balance(tr)
+
+    def test_bounded_buffer_rejects_overflow_deterministically(self):
+        tr = ReliableTransport(max_buffer=4)
+        send_batch(tr, 10)
+        batch = tr.due(5)
+        overflow = tr.buffer(
+            batch["op"], batch["port"], batch["key"], batch["ts"],
+            batch["size"], batch["seq"],
+        )
+        assert overflow == 6
+        assert tr.buffered == 4
+        # First-come-first-buffered: the first four keys were accepted.
+        assert sorted(tr._b_key[:4]) == [0, 1, 2, 3]
+        assert balance(tr)
+
+    def test_redeliver_releases_only_alive_ops(self):
+        tr = ReliableTransport(max_buffer=100)
+        for op in (0, 1):
+            tr.send(
+                np.array([3], dtype=np.int64), np.array([op], dtype=np.int64),
+                np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64),
+                np.zeros(1, dtype=np.int64), np.ones(1),
+                np.array([op], dtype=np.int64),
+            )
+        batch = tr.due(3)
+        tr.buffer(batch["op"], batch["port"], batch["key"], batch["ts"],
+                  batch["size"], batch["seq"])
+        released = tr.redeliver(np.array([True, False]), now=7)
+        assert released == 1
+        assert tr.buffered == 1
+        assert tr.redelivered == 1
+        assert balance(tr)
+        again = tr.due(7)
+        assert again is not None and list(again["op"]) == [0]
+        assert balance(tr)
+
+    def test_remap_drops_buffered_orphans_with_accounting(self):
+        tr = ReliableTransport(max_buffer=100)
+        send_batch(tr, 6, op=1)
+        batch = tr.due(5)
+        tr.buffer(batch["op"], batch["port"], batch["key"], batch["ts"],
+                  batch["size"], batch["seq"])
+        dropped = tr.remap_ops(np.array([0, -1], dtype=np.int64))
+        assert dropped == 6
+        assert tr.buffered == 0
+        assert tr.dropped == 6
+        assert balance(tr)
+
+    def test_zero_capacity_buffer_rejects_everything(self):
+        tr = ReliableTransport(max_buffer=0)
+        send_batch(tr, 3)
+        batch = tr.due(5)
+        overflow = tr.buffer(batch["op"], batch["port"], batch["key"],
+                             batch["ts"], batch["size"], batch["seq"])
+        assert overflow == 3 and tr.buffered == 0
+        assert balance(tr)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ReliableTransport(max_buffer=-1)
+
+
+class TestReliableHeapTransport:
+    def test_buffer_and_redeliver_mirror_array_twin(self):
+        hp = ReliableHeapTransport(max_buffer=2)
+        for seq in range(4):
+            hp.send_one(3, 1, seq, 0, 0, seq, 0, 1.0)
+        batch = hp.due(3, 1)
+        accepted = [hp.buffer_one(op, port, key, ts, size, seq)
+                    for _, _, seq, op, port, key, ts, size in batch]
+        assert accepted == [True, True, False, False]
+        assert hp.buffered == 2
+        assert balance(hp)
+        assert hp.redeliver(np.array([True]), now=9) == 2
+        assert hp.buffered == 0
+        assert len(hp.due(9, 1)) == 2
+        assert balance(hp)
+
+    def test_remap_drops_buffered_orphans(self):
+        hp = ReliableHeapTransport(max_buffer=10)
+        hp.send_one(1, 1, 0, 1, 0, 7, 0, 1.0)
+        batch = hp.due(1, 1)
+        for _, _, seq, op, port, key, ts, size in batch:
+            hp.buffer_one(op, port, key, ts, size, seq)
+        assert hp.remap_ops(np.array([0, -1], dtype=np.int64)) == 1
+        assert hp.buffered == 0 and hp.dropped == 1
+        assert balance(hp)
