@@ -1,0 +1,162 @@
+"""E20 — the unified load model: vectorized cost accounting + placement.
+
+Two claims, one experiment id:
+
+1. **Throughput** — pricing every processed tuple (base kind costs,
+   per-round aggregate batch terms, per-arrival join probe counts) and
+   gating admission in cost units adds per-tick work; the batched cost
+   kernels must still beat the per-tuple scalar twin by ≥10× on the
+   E18 traffic overlay (1000 nodes / 100 circuits) with the default
+   join-heavy :class:`LoadModel` armed and cost-based backpressure
+   active.  The twins ride identical RNG draws; the traffic records —
+   including the cost columns, which are exact because the model's
+   coefficients are dyadic — are asserted equal.
+
+2. **Placement quality** — in the join-heavy CPU-hotspot scenario, the
+   closed loop that writes measured per-node CPU cost into the cost
+   space's load dimension lowers measured p95 CPU overload (total cost
+   demand above the limit) versus the count-gated baseline, which
+   never notices that join tuples cost more than relay tuples.
+
+Set ``BENCH_QUICK=1`` for the small CI smoke sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import lru_cache
+
+import numpy as np
+
+from _harness import report, write_bench_json
+from bench_dataplane import DP_CIRCUITS, DP_NODES, _traffic_overlay
+from repro.core.load_model import LoadModel
+from repro.runtime import DataPlane, RuntimeConfig
+from repro.workloads.scenarios import cpu_overload_comparison
+
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+WARMUP_TICKS = 10 if QUICK else 25
+TIMED_TICKS = 3
+#: Quick mode shrinks the Python-loop / kernel gap; assert less there.
+LM_SPEEDUP_FLOOR = 2.0 if QUICK else 10.0
+#: Cost units per node per tick — low enough that admission actually
+#: prices tuples out on the busiest hosts.
+COST_CAPACITY = 25.0 if QUICK else 60.0
+OVERLOAD_TICKS = 60 if QUICK else 80
+OVERLOAD_WINDOW = 20 if QUICK else 30
+
+
+def _assert_records_equal(rv, rs) -> None:
+    """Counters and cost columns exact; usage to float-reduction noise.
+
+    The cost columns (cpu_cost / cpu_dropped) are *exactly* equal —
+    dyadic coefficients and quantized admission prices make the sums
+    order-independent — while measured usage, a Σ of irrational
+    latencies, is pinned to 1e-9 relative like everywhere else.
+    """
+    fields = (
+        "tick", "emitted", "delivered", "dropped", "processed",
+        "in_flight", "shed", "redelivered", "buffered",
+        "cpu_cost", "cpu_dropped",
+        "latency_p50", "latency_p95", "latency_p99",
+    )
+    assert all(getattr(rv, f) == getattr(rs, f) for f in fields), (rv, rs)
+    assert abs(rv.usage - rs.usage) <= 1e-9 * max(abs(rs.usage), 1.0), (rv, rs)
+
+
+@lru_cache(maxsize=1)
+def loadmodel_tick_timings() -> tuple[float, float, int, float]:
+    """(scalar s, vectorized s, tuples/tick, cpu/tick) on twin planes.
+
+    Both twins run the default join-heavy cost model with cost-unit
+    backpressure through their own step path on identical RNG streams;
+    every per-tick record (cost columns included) is asserted equal, so
+    the timed work is identical by construction.
+    """
+    config = RuntimeConfig(
+        seed=3, load_model=LoadModel(), node_capacity=COST_CAPACITY
+    )
+    fast = DataPlane(_traffic_overlay(), config)
+    slow = DataPlane(_traffic_overlay(), config)
+    for _ in range(WARMUP_TICKS):
+        _assert_records_equal(fast.step(), slow.step_scalar())
+    assert fast.cpu_dropped_total > 0, "cost capacity never priced anything out"
+
+    t0 = time.perf_counter()
+    fast_records = [fast.step() for _ in range(TIMED_TICKS)]
+    t_vector = (time.perf_counter() - t0) / TIMED_TICKS
+    t0 = time.perf_counter()
+    slow_records = [slow.step_scalar() for _ in range(TIMED_TICKS)]
+    t_scalar = (time.perf_counter() - t0) / TIMED_TICKS
+
+    for rv, rs in zip(fast_records, slow_records):
+        _assert_records_equal(rv, rs)
+    assert fast.accounting() == slow.accounting()
+    assert fast.accounting()["balanced"]
+    per_tick = int(np.mean([r.processed + r.emitted for r in fast_records]))
+    cpu_tick = float(np.mean([r.cpu_cost for r in fast_records]))
+    return t_scalar, t_vector, per_tick, cpu_tick
+
+
+def test_report_loadmodel_tick():
+    t_scalar, t_vector, per_tick, cpu_tick = loadmodel_tick_timings()
+    rows = [
+        [
+            f"cost-accounting tick ({DP_CIRCUITS} circuits, ~{per_tick} tuples, "
+            f"~{cpu_tick:.0f} cost units)",
+            DP_NODES,
+            t_scalar * 1e3,
+            t_vector * 1e3,
+            t_scalar / t_vector,
+        ]
+    ]
+    report(
+        "E20",
+        "Unified load model: per-tuple cost reference vs batched cost kernels"
+        + (" [quick]" if QUICK else ""),
+        ["kernel", "n", "scalar ms", "vectorized ms", "speedup"],
+        rows,
+    )
+    overload = cpu_overload_comparison(
+        ticks=OVERLOAD_TICKS, eval_window=OVERLOAD_WINDOW, seed=0
+    )
+    write_bench_json(
+        "E20",
+        [
+            {
+                "op": "loadmodel_tick",
+                "n": DP_NODES,
+                "circuits": DP_CIRCUITS,
+                "tuples_per_tick": per_tick,
+                "cpu_per_tick": cpu_tick,
+                "before_s": t_scalar,
+                "after_s": t_vector,
+                "speedup": t_scalar / t_vector,
+            },
+            {
+                "op": "cpu_overload_p95",
+                "count_gated": overload["count"],
+                "cost_gated": overload["cost"],
+                "improvement": overload["improvement"],
+            },
+        ],
+        quick=QUICK,
+    )
+    assert t_scalar / t_vector >= LM_SPEEDUP_FLOOR
+
+
+def test_cost_loop_lowers_p95_cpu_overload():
+    """The placement-quality acceptance: the loop re-places off hot CPUs.
+
+    In the join-heavy scenario the count-gated baseline's measured p95
+    CPU overload (cost demand above the shed-limit reference) stays
+    high; feeding measured cost into the load dimension must cut it by
+    at least half (in practice it goes to ~zero once the joins spread).
+    """
+    overload = cpu_overload_comparison(
+        ticks=OVERLOAD_TICKS, eval_window=OVERLOAD_WINDOW, seed=0
+    )
+    assert overload["count"] > 0, overload
+    assert overload["cost"] < overload["count"], overload
+    assert overload["improvement"] >= 0.5, overload

@@ -12,7 +12,10 @@ Subcommands:
   ``--reliable`` buffers tuples bound to failed nodes for
   retransmission instead of dropping them; ``--control`` closes the
   loop — measured rates calibrate the re-optimizer's prices and policy
-  breaches trigger backpressure-aware re-placements.
+  breaches trigger backpressure-aware re-placements; ``--cpu-cost``
+  prices every tuple with the per-operator CPU cost model (joins ≫
+  relays) so backpressure, shedding, and the controller's load
+  write-back all gate on one cost currency.
 * ``execute``   — optimize a query and then execute the winning circuit
   on synthetic streams, validating the cost model.
 * ``topology``  — generate a topology and print its statistics.
@@ -113,8 +116,8 @@ def cmd_simulate(args) -> int:
     print(f"installed {args.queries} circuits; initial usage "
           f"{overlay.total_network_usage():.1f}")
     data_plane = None
-    if args.data_plane or args.control or args.reliable:
-        from repro.runtime import DataPlane, RuntimeConfig
+    if args.data_plane or args.control or args.reliable or args.cpu_cost:
+        from repro.runtime import DataPlane, LoadModel, RuntimeConfig
 
         data_plane = DataPlane(
             overlay,
@@ -122,6 +125,7 @@ def cmd_simulate(args) -> int:
                 seed=args.seed,
                 node_capacity=args.node_capacity,
                 reliable=args.reliable,
+                load_model=LoadModel() if args.cpu_cost else None,
             ),
         )
     sim = Simulation(
@@ -140,6 +144,9 @@ def cmd_simulate(args) -> int:
         p95s = [r.latency_p95 for r in series.records if r.delivered]
         p95 = sum(p95s) / len(p95s) if p95s else 0.0
         print(f"{'measured usage':15s}: {data_plane.measured_usage_rate():.1f}")
+        print(f"{'cpu cost/tick':15s}: {data_plane.measured_cpu_rate():.1f} "
+              f"(peak node {data_plane.cpu_by_node.max() / max(sim.tick, 1):.1f}"
+              f"{', unit model: cost == tuple count' if not args.cpu_cost else ''})")
         print(f"{'latency p95 ms':15s}: {p95:.0f} (mean over delivering ticks)")
         print(f"{'conservation':15s}: "
               f"{'balanced' if acct['balanced'] else 'IMBALANCED'} "
@@ -157,6 +164,14 @@ def cmd_simulate(args) -> int:
               f"calibrated over {ctl.calibrations} passes, "
               f"{ctl.triggers} triggered re-placements "
               f"(drop ewma {ctl.drop_ewma:.3f})")
+        if ctl.cpu_calibrations:
+            print(f"{'cpu write-back':15s}: measured CPU load fed to placement "
+                  f"{ctl.cpu_calibrations} times "
+                  f"(reference {ctl.cpu_reference():.0f} cost units/tick)")
+        elif args.cpu_cost and ctl.cpu_reference() is None:
+            print(f"{'cpu write-back':15s}: skipped — no cost-rate reference; "
+                  f"pass --node-capacity so measured CPU load can reach "
+                  f"placement")
     return 0
 
 
@@ -219,7 +234,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_sim.add_argument(
         "--node-capacity", type=float, default=None,
-        help="tuples a node accepts per tick (backpressure; default unlimited)",
+        help="CPU cost units a node accepts per tick (backpressure; "
+        "tuples/tick without --cpu-cost; default unlimited)",
+    )
+    p_sim.add_argument(
+        "--cpu-cost", action="store_true",
+        help="price tuples with the per-operator CPU cost model (one "
+        "load currency: relays/filters cost their flat base, joins "
+        "c0 + c2*probes, aggregates c0 + c1*batch; backpressure, shed "
+        "limits, and the controller's load write-back all gate on "
+        "these cost units instead of raw tuple counts; implies "
+        "--data-plane; with --control, pass --node-capacity too so "
+        "the write-back has a cost-rate reference)",
     )
     p_sim.add_argument(
         "--control", action="store_true",

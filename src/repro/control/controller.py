@@ -22,9 +22,22 @@ that loop each tick:
    *backpressure-aware* re-placement: the record names the nodes whose
    measured admission-drop rate is high so the simulator's triggered
    pass excludes them as migration targets.  Independently, a load-
-   shedding policy caps admission on nodes whose measured processed
-   rate exceeds ``shed_limit`` (drops attributed ``dropped_shed``) and
+   shedding policy caps admission on nodes whose measured **CPU cost
+   rate** exceeds ``shed_limit`` (cost units per tick — tuple counts
+   under the unit load model; drops attributed ``dropped_shed``) and
    releases the cap once the pressure subsides.
+4. **Close the load loop** — beside the link-rate calibration, the
+   measured per-node CPU cost (EWMA, or the windowed quantile when
+   ``calibrate_quantile`` is set) is normalized by the cost-rate
+   reference and written into the cost space's load dimension
+   (:meth:`Overlay.set_measured_cpu`), so the re-optimizer and the
+   mappers *place away from CPU-hot nodes* — measured compute pressure
+   changes where operators run.
+5. **Relieve buffer pressure** — services whose reliable-transport
+   retransmit backlog exceeds ``buffer_evacuate_backlog`` are named in
+   the record (``evacuate_services``); the simulator forces their
+   re-placement so buffered tuples re-home instead of waiting for a
+   dead host to return.
 
 Scalar reference: :meth:`step_scalar` routes the identical inputs
 through the estimator banks' per-key scalar twins, so twin controllers
@@ -36,7 +49,7 @@ paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -68,11 +81,26 @@ class ControlConfig:
         exclude_drop_rate: nodes whose measured admission-drop EWMA
             exceeds this many tuples/tick are excluded as migration
             targets in a triggered pass (None excludes nobody).
-        shed_limit: measured processed-tuples/tick above which a node
+        shed_limit: measured CPU cost units/tick above which a node
             gets an admission cap at exactly this limit (None disables
-            load shedding).
-        shed_release: release the cap once the node's processed EWMA
+            load shedding).  Cost units == tuple counts under the
+            default unit load model.
+        shed_release: release the cap once the node's CPU-cost EWMA
             falls below ``shed_release * shed_limit``.
+        calibrate_quantile: when set (e.g. 0.95), link rates and CPU
+            loads are calibrated from the estimators' windowed
+            quantiles instead of the EWMA mean — provisioning for
+            bursts rather than averages.
+        cpu_ref: CPU cost units/tick corresponding to a fully loaded
+            node, for the load-dimension write-back; None derives it
+            from the data plane's ``node_capacity``, then
+            ``shed_limit`` (write-back skipped when neither exists).
+        cpu_calibrate: False disables the load-dimension write-back
+            (the count-era behavior: placement never sees measured
+            compute pressure).
+        buffer_evacuate_backlog: retransmit-buffered tuples per service
+            above which the controller forces that service's
+            re-placement (None disables the policy).
     """
 
     alpha: float = 0.3
@@ -87,6 +115,10 @@ class ControlConfig:
     exclude_drop_rate: float | None = 1.0
     shed_limit: float | None = None
     shed_release: float = 0.8
+    calibrate_quantile: float | None = None
+    cpu_ref: float | None = None
+    cpu_calibrate: bool = True
+    buffer_evacuate_backlog: int | None = None
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha <= 1:
@@ -103,6 +135,12 @@ class ControlConfig:
             raise ValueError("trigger_cooldown must be non-negative")
         if not 0 < self.shed_release <= 1:
             raise ValueError("shed_release must be in (0, 1]")
+        if self.calibrate_quantile is not None and not 0 < self.calibrate_quantile < 1:
+            raise ValueError("calibrate_quantile must be in (0, 1)")
+        if self.cpu_ref is not None and self.cpu_ref <= 0:
+            raise ValueError("cpu_ref must be positive")
+        if self.buffer_evacuate_backlog is not None and self.buffer_evacuate_backlog < 1:
+            raise ValueError("buffer_evacuate_backlog must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -121,6 +159,12 @@ class ControlRecord:
         released_nodes: nodes whose shed cap was lifted.
         drop_ewma: current measured drop-fraction EWMA.
         latency_ewma: current delivery-latency p95 EWMA (ms).
+        calibrated_cpu: nodes whose measured CPU load was written into
+            the cost space's load dimension this tick (0 when no
+            write-back ran).
+        evacuate_services: (circuit, service) pairs whose retransmit
+            backlog breached ``buffer_evacuate_backlog`` — the
+            simulator forces their re-placement this tick.
     """
 
     tick: int
@@ -131,6 +175,8 @@ class ControlRecord:
     released_nodes: tuple[int, ...] = ()
     drop_ewma: float = 0.0
     latency_ewma: float = 0.0
+    calibrated_cpu: int = 0
+    evacuate_services: tuple[tuple[str, str], ...] = ()
 
 
 class Controller:
@@ -147,6 +193,10 @@ class Controller:
         oracle: calibrate from :meth:`DataPlane.true_link_rates`
             instead of measurements (the perfect-information upper
             bound for closed-loop experiments).
+        calibrate_quantile: convenience override of
+            ``ControlConfig.calibrate_quantile`` — e.g.
+            ``Controller(plane, calibrate_quantile=0.95)`` prices from
+            the estimators' windowed p95 instead of the EWMA mean.
     """
 
     def __init__(
@@ -155,21 +205,29 @@ class Controller:
         config: ControlConfig | None = None,
         kernel_cache: dict | None = None,
         oracle: bool = False,
+        calibrate_quantile: float | None = None,
     ):
         self.data_plane = data_plane
         self.overlay = data_plane.overlay
         self.config = config or ControlConfig()
+        if calibrate_quantile is not None:
+            self.config = replace(
+                self.config, calibrate_quantile=calibrate_quantile
+            )
         self.kernel_cache = kernel_cache
         self.oracle = oracle
         cfg = self.config
         self.link_rates = RateEstimator(cfg.alpha, cfg.quantile_window)
         self.node_drops = RateEstimator(cfg.alpha, cfg.quantile_window)
         self.node_processed = RateEstimator(cfg.alpha, cfg.quantile_window)
+        self.node_cpu = RateEstimator(cfg.alpha, cfg.quantile_window)
         self.drop_ewma = 0.0
         self.latency_ewma = 0.0
         self.ticks = 0
         self.calibrations = 0
+        self.cpu_calibrations = 0
         self.triggers = 0
+        self.buffer_evacuations = 0
         self.shed_nodes: set[int] = set()
         self._last_trigger: int | None = None
 
@@ -193,6 +251,7 @@ class Controller:
         )
         getattr(self.node_drops, observe)(dp.tick_node_drops.astype(float))
         getattr(self.node_processed, observe)(dp.tick_node_processed.astype(float))
+        getattr(self.node_cpu, observe)(dp.tick_node_cpu)
 
         denom = traffic.processed + traffic.dropped
         frac = traffic.dropped / denom if denom else 0.0
@@ -204,12 +263,15 @@ class Controller:
             )
 
         calibrated = 0
+        calibrated_cpu = 0
         armed = self.ticks >= cfg.warmup
         if armed and self.ticks % cfg.calibrate_interval == 0:
             calibrated = self.calibrate()
+            calibrated_cpu = self.calibrate_cpu()
 
         shed_new, shed_released = self._shed_policy(armed)
         triggered, excluded = self._trigger_policy(armed)
+        evacuate = self._buffer_policy(armed)
 
         return ControlRecord(
             tick=traffic.tick,
@@ -220,6 +282,8 @@ class Controller:
             released_nodes=shed_released,
             drop_ewma=self.drop_ewma,
             latency_ewma=self.latency_ewma,
+            calibrated_cpu=calibrated_cpu,
+            evacuate_services=evacuate,
         )
 
     # -- calibration ---------------------------------------------------------
@@ -228,12 +292,14 @@ class Controller:
         """Per-link calibrated rates aligned with ``circuit.links``.
 
         Measured mode returns the EWMA of each link's realized
-        tuples/tick (links with fewer than ``min_observations`` samples
-        keep their current estimate); oracle mode returns the data
-        plane's analytic true rates.  Parallel links sharing a
-        (source, target) pair alias one measurement key (their counts
-        sum), so they keep their priors rather than absorb each other's
-        traffic.  None when nothing would change.
+        tuples/tick — or, with ``calibrate_quantile`` set, the windowed
+        quantile of the raw samples, provisioning for bursts above the
+        mean (links with fewer than ``min_observations`` samples keep
+        their current estimate); oracle mode returns the data plane's
+        analytic true rates.  Parallel links sharing a (source, target)
+        pair alias one measurement key (their counts sum), so they keep
+        their priors rather than absorb each other's traffic.  None
+        when nothing would change.
         """
         cfg = self.config
         truth = self.data_plane.true_link_rates() if self.oracle else None
@@ -241,16 +307,24 @@ class Controller:
         for link in circuit.links:
             key = (circuit.name, link.source, link.target)
             key_uses[key] = key_uses.get(key, 0) + 1
+        qvals = None
+        if truth is None and cfg.calibrate_quantile is not None:
+            qvals = self.link_rates.quantile(
+                cfg.calibrate_quantile,
+                [(circuit.name, l.source, l.target) for l in circuit.links],
+            )
         rates = []
         changed = False
-        for link in circuit.links:
+        for i, link in enumerate(circuit.links):
             key = (circuit.name, link.source, link.target)
             if key_uses[key] > 1:
                 value = None
             elif truth is not None:
                 value = truth.get(key)
             elif self.link_rates.seen(key) >= cfg.min_observations:
-                value = self.link_rates.rate(key)
+                value = (
+                    float(qvals[i]) if qvals is not None else self.link_rates.rate(key)
+                )
             else:
                 value = None
             rate = link.rate if value is None else max(cfg.min_rate, value)
@@ -282,6 +356,48 @@ class Controller:
             self.calibrations += 1
         return changed
 
+    def cpu_reference(self) -> float | None:
+        """Cost units/tick of a fully loaded node, for the write-back.
+
+        Resolution order: ``ControlConfig.cpu_ref``, then the data
+        plane's ``node_capacity``, then ``shed_limit``; None (and a
+        skipped write-back) when none of them is configured.
+        """
+        cfg = self.config
+        if cfg.cpu_ref is not None:
+            return cfg.cpu_ref
+        if self.data_plane.config.node_capacity is not None:
+            return float(self.data_plane.config.node_capacity)
+        if cfg.shed_limit is not None:
+            return cfg.shed_limit
+        return None
+
+    def calibrate_cpu(self) -> int:
+        """Write measured per-node CPU load into the load dimension.
+
+        The measured cost rates (EWMA, or the windowed
+        ``calibrate_quantile``) are normalized by the cost-rate
+        reference, clipped to [0, 1], and handed to
+        :meth:`Overlay.set_measured_cpu`; the cost space's load
+        dimension then reflects real compute pressure and the next
+        re-optimization pass places away from CPU-hot nodes.  Returns
+        the number of nodes written (0 when disabled or no reference
+        exists).
+        """
+        cfg = self.config
+        ref = self.cpu_reference()
+        if not cfg.cpu_calibrate or ref is None:
+            return 0
+        keys = range(self.overlay.num_nodes)
+        if cfg.calibrate_quantile is not None:
+            cpu = self.node_cpu.quantile(cfg.calibrate_quantile, keys)
+        else:
+            cpu = self.node_cpu.rates(keys)
+        self.overlay.set_measured_cpu(np.clip(cpu / ref, 0.0, 1.0))
+        self.overlay.refresh_cost_space()
+        self.cpu_calibrations += 1
+        return int(len(cpu))
+
     # -- policies ------------------------------------------------------------
 
     def _shed_policy(
@@ -290,9 +406,11 @@ class Controller:
         cfg = self.config
         if cfg.shed_limit is None or not armed:
             return (), ()
-        processed = self.node_processed.rates()
-        overloaded = processed > cfg.shed_limit
-        relaxed = processed < cfg.shed_release * cfg.shed_limit
+        # The shed currency is measured CPU cost units per tick (equal
+        # to processed tuple counts under the unit load model).
+        cpu = self.node_cpu.rates()
+        overloaded = cpu > cfg.shed_limit
+        relaxed = cpu < cfg.shed_release * cfg.shed_limit
         newly = tuple(
             int(i)
             for i in np.flatnonzero(overloaded)
@@ -335,3 +453,26 @@ class Controller:
                 int(i) for i in np.flatnonzero(drops > cfg.exclude_drop_rate)
             )
         return True, excluded
+
+    def _buffer_policy(self, armed: bool) -> tuple[tuple[str, str], ...]:
+        """Name services whose retransmit backlog breached the bound.
+
+        The simulator forces a re-placement of every named service in
+        the same tick (mapper excluding the backlogged host), so the
+        buffered tuples re-home to the new host and redeliver instead
+        of waiting for the dead node to return.
+        """
+        cfg = self.config
+        if cfg.buffer_evacuate_backlog is None or not armed:
+            return ()
+        backlog = self.data_plane.buffered_backlog()
+        hot = tuple(
+            sorted(
+                key
+                for key, count in backlog.items()
+                if count >= cfg.buffer_evacuate_backlog
+            )
+        )
+        if hot:
+            self.buffer_evacuations += 1
+        return hot

@@ -23,6 +23,13 @@ from repro.core.costs import (
     consumer_latency,
     network_usage,
 )
+from repro.core.load_model import (
+    KIND_AGGREGATE,
+    KIND_FILTER,
+    KIND_JOIN,
+    KIND_RELAY,
+    LoadModel,
+)
 from repro.core.multi_query import (
     DeployedService,
     MultiQueryOptimizer,
@@ -92,6 +99,11 @@ __all__ = [
     "GroundTruthEvaluator",
     "consumer_latency",
     "network_usage",
+    "KIND_AGGREGATE",
+    "KIND_FILTER",
+    "KIND_JOIN",
+    "KIND_RELAY",
+    "LoadModel",
     "DeployedService",
     "MultiQueryOptimizer",
     "MultiQueryResult",

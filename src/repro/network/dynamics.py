@@ -46,7 +46,9 @@ class HotspotEvent:
         start_tick: first tick the hotspot is active.
         duration: number of ticks it lasts.
         nodes: affected node indices.
-        extra_load: additive load applied while active.
+        extra_load: additive load applied while active, in the owning
+            process's units (CPU cost units per tick when its
+            ``cpu_capacity`` is set, load fraction otherwise).
     """
 
     start_tick: int
@@ -66,28 +68,49 @@ class LoadProcess:
     Hotspot events add ``extra_load`` to their nodes while active, which
     the re-optimizer must route around (the "overloaded node a" of the
     paper's Figure 2).
+
+    With ``cpu_capacity`` set, the process walks in the runtime's
+    unified load currency: ``mean_load``, ``sigma``, ``max_load`` and
+    hotspot ``extra_load`` are **CPU cost units per tick** (the same
+    units :class:`~repro.core.load_model.LoadModel` charges at the
+    operator kernels and the controller's write-back normalizes by),
+    :meth:`loads_cost` exposes them raw, and :meth:`loads` divides by
+    the capacity so downstream consumers keep seeing [0, 1] fractions.
+    A ``max_load`` left unset defaults to ``cpu_capacity`` (a fully
+    loaded node) in cost-unit mode and to 1.0 otherwise; an explicit
+    value is honored in either mode.
     """
 
     num_nodes: int
     mean_load: float = 0.3
     theta: float = 0.1
     sigma: float = 0.05
-    max_load: float = 1.0
+    max_load: float | None = None
     seed: int = 0
     hotspots: list[HotspotEvent] = field(default_factory=list)
+    cpu_capacity: float | None = None
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
+        if self.cpu_capacity is not None and self.cpu_capacity <= 0:
+            raise ValueError("cpu_capacity must be positive")
+        if self.max_load is None:
+            self.max_load = self.cpu_capacity if self.cpu_capacity is not None else 1.0
         if not 0 <= self.mean_load <= self.max_load:
             raise ValueError("mean_load must be within [0, max_load]")
+        self._norm = self.cpu_capacity if self.cpu_capacity is not None else 1.0
         self._rng = np.random.default_rng(self.seed)
         self.tick = 0
         base = self._rng.normal(self.mean_load, self.sigma, size=self.num_nodes)
         self._loads = np.clip(base, 0.0, self.max_load)
 
-    def loads(self) -> np.ndarray:
-        """Current effective loads, including active hotspots (vectorized)."""
+    def loads_cost(self) -> np.ndarray:
+        """Current effective loads in the process's native units.
+
+        CPU cost units per tick when ``cpu_capacity`` is set, load
+        fractions otherwise (the two coincide at capacity 1).
+        """
         effective = self._loads.copy()
         for hotspot in self.hotspots:
             if hotspot.active_at(self.tick):
@@ -96,6 +119,10 @@ class LoadProcess:
                     self.max_load, effective[idx] + hotspot.extra_load
                 )
         return effective
+
+    def loads(self) -> np.ndarray:
+        """Current effective loads as [0, 1] fractions (vectorized)."""
+        return self.loads_cost() / self._norm
 
     def loads_scalar(self) -> np.ndarray:
         """Per-node hotspot loop (retained scalar reference)."""
@@ -106,7 +133,7 @@ class LoadProcess:
                     effective[node] = min(
                         self.max_load, effective[node] + hotspot.extra_load
                     )
-        return effective
+        return effective / self._norm
 
     def load_of(self, node: int) -> float:
         """Current effective load of one node."""

@@ -21,6 +21,7 @@ what the network really carries under churn, hotspots, and migration.
   estimates (:class:`ParameterDrift`).
 """
 
+from repro.core.load_model import LoadModel
 from repro.runtime.dataplane import (
     DataPlane,
     ParameterDrift,
@@ -35,6 +36,7 @@ from repro.runtime.transport import (
 )
 
 __all__ = [
+    "LoadModel",
     "DataPlane",
     "ParameterDrift",
     "RuntimeConfig",

@@ -11,10 +11,10 @@ tick, moves actual tuple batches through all of them concurrently:
    round 1 is everything in flight, later rounds are the zero-delay
    cascade outputs of the previous round (colocated services).
 3. **Backpressure** — each node accepts at most
-   ``RuntimeConfig.node_capacity`` tuples per tick (further capped by
-   controller shed limits, attributed separately); the excess is
-   dropped *with accounting* (per-node counters).  Tuples delivered to
-   a failed node are dropped the same way — or, with
+   ``RuntimeConfig.node_capacity`` **CPU cost units** per tick (further
+   capped by controller shed limits, attributed separately); the excess
+   is dropped *with accounting* (per-node counters).  Tuples delivered
+   to a failed node are dropped the same way — or, with
    ``RuntimeConfig.reliable``, parked in the transport's bounded
    retransmit buffer and redelivered once the host returns.
 4. **Operators run in batch** — relays forward, filters hash-thin,
@@ -34,6 +34,35 @@ tick, moves actual tuple batches through all of them concurrently:
    parameters can drift away from the compiled estimates on a
    deterministic schedule (:class:`ParameterDrift`) — the fixture
    behind the closed-loop control experiments.
+
+The cost-unit convention
+------------------------
+
+All "load" in the runtime is expressed in the CPU cost units of
+:class:`~repro.core.load_model.LoadModel` (one currency from the
+operator kernels to placement):
+
+* Every *processed* tuple is charged to the node that hosted its
+  target operator: relays/filters/sinks cost their flat base, each
+  tuple of an aggregate's delivery-round batch of ``m`` costs
+  ``c₀ + c₁·m``, and each join arrival costs ``c₀ + c₂·probes`` where
+  *probes* counts the windowed state entries it was matched against.
+  The per-tick vector is exported as :attr:`tick_node_cpu` (and the
+  tick totals as ``TrafficRecord.cpu_cost``).
+* **Admission** prices each delivery at the target operator's
+  *expected* per-tuple cost for this tick (state-dependent probe
+  expectations are frozen at tick start, so both step paths price
+  identically): a node admits deliveries, in canonical order, while
+  its admitted cost this tick is below ``node_capacity`` (∧ shed
+  limits).  With ``LoadModel.unit()`` — the default — every tuple
+  costs 1 and this reproduces the historical count-based gate exactly.
+* Rejected admission demand is accounted in cost units too
+  (``TrafficRecord.cpu_dropped``: capacity + shed rejections at their
+  admission price).
+
+The default coefficients are dyadic rationals, so the batched kernels
+and the per-tuple scalar reference accumulate bit-identical cost
+columns (twin discipline holds for the cost currency).
 
 Churn and migration safety: in-flight tuples address their target
 *service*, and the hosting node is resolved at delivery time from the
@@ -74,6 +103,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.load_model import (
+    KIND_AGGREGATE,
+    KIND_FILTER,
+    KIND_JOIN,
+    KIND_RELAY,
+    LoadModel,
+)
 from repro.query.operators import ServiceKind
 from repro.runtime.transport import (
     ArrayTransport,
@@ -84,8 +120,9 @@ from repro.runtime.transport import (
 
 __all__ = ["ParameterDrift", "RuntimeConfig", "TrafficRecord", "DataPlane"]
 
-# Operator behavior codes (what an op does with a delivered tuple).
-_RELAY, _FILTER, _AGG, _JOIN = 0, 1, 2, 3
+# Operator behavior codes (what an op does with a delivered tuple);
+# shared with the LoadModel's kind-cost convention.
+_RELAY, _FILTER, _AGG, _JOIN = KIND_RELAY, KIND_FILTER, KIND_AGGREGATE, KIND_JOIN
 
 _MASK64 = (1 << 64) - 1
 _M1 = 0x9E3779B97F4A7C15
@@ -197,8 +234,11 @@ class RuntimeConfig:
     Attributes:
         window: join window in ticks (state retention and match bound).
         tick_ms: milliseconds per tick (converts latency to delay).
-        node_capacity: tuples one node may accept per tick; None
-            disables backpressure.
+        node_capacity: CPU cost units one node may accept per tick
+            (admission prices each delivery via ``load_model``); None
+            disables backpressure.  Under the default unit model a
+            tuple costs 1, so this is the historical tuples-per-tick
+            bound.
         eviction_slack: extra ticks of join-state retention beyond the
             window; None derives each join's path staleness from the
             placement at compile time (like the executor).
@@ -210,6 +250,10 @@ class RuntimeConfig:
             is dropped with explicit accounting.
         drift: deterministic :class:`ParameterDrift` specs applied to
             the realized operator parameters each tick.
+        load_model: per-tuple CPU cost of each operator kind — the
+            unified load currency measured per node every tick and
+            priced at admission.  None uses :meth:`LoadModel.unit`
+            (every tuple costs 1: cost == count).
     """
 
     window: int = 20
@@ -220,6 +264,7 @@ class RuntimeConfig:
     reliable: bool = False
     retransmit_buffer: int = 4096
     drift: tuple[ParameterDrift, ...] = ()
+    load_model: LoadModel | None = None
 
     def __post_init__(self) -> None:
         if self.window < 0:
@@ -258,6 +303,10 @@ class TrafficRecord:
             reliable transport.
         buffered: tuples parked in the retransmit buffer after the
             tick (0 without ``reliable``).
+        cpu_cost: measured CPU cost units consumed this tick, summed
+            over all nodes (Σ of :attr:`DataPlane.tick_node_cpu`).
+        cpu_dropped: CPU cost units of admission demand rejected this
+            tick (capacity + shed rejections at their admission price).
     """
 
     tick: int
@@ -273,6 +322,8 @@ class TrafficRecord:
     shed: int = 0
     redelivered: int = 0
     buffered: int = 0
+    cpu_cost: float = 0.0
+    cpu_dropped: float = 0.0
 
 
 class DataPlane:
@@ -281,6 +332,7 @@ class DataPlane:
     def __init__(self, overlay, config: RuntimeConfig | None = None):
         self.overlay = overlay
         self.config = config or RuntimeConfig()
+        self._model = self.config.load_model or LoadModel.unit()
         self.tick = 0
         self._rng = np.random.default_rng(self.config.seed)
         self._mode: str | None = None
@@ -300,11 +352,16 @@ class DataPlane:
         n = overlay.num_nodes
         self.dropped_by_node = np.zeros(n, dtype=np.int64)
         self.processed_by_node = np.zeros(n, dtype=np.int64)
+        # Measured CPU cost, in the load model's cost units.
+        self.cpu_cost_total = 0.0
+        self.cpu_dropped_total = 0.0
+        self.cpu_by_node = np.zeros(n)
         # Per-tick measured statistics (diffed snapshots; see
         # _begin_tick_stats / _end_tick_stats).
         self.tick_link_tuples = np.zeros(0, dtype=np.int64)
         self.tick_node_drops = np.zeros(n, dtype=np.int64)
         self.tick_node_processed = np.zeros(n, dtype=np.int64)
+        self.tick_node_cpu = np.zeros(n)
         if self.config.node_capacity is None:
             self._cap = None
         else:
@@ -440,6 +497,8 @@ class DataPlane:
         self._circuit_rows = rows
         self._num_ops = num_ops
         self._kind = kind
+        self._kind_cost = self._model.kind_costs()[kind]
+        self._op_names = names_of_op
         self._is_sink = (out_deg == 0) & (in_deg > 0)
         self._out_deg = out_deg
         self._out_offsets = out_offsets[:-1]
@@ -649,6 +708,24 @@ class DataPlane:
         self.tick_node_drops = self.dropped_by_node - self._snap_drops
         self.tick_node_processed = self.processed_by_node - self._snap_processed
 
+    def _finish_tick_cpu(self, host: np.ndarray, cpu_dropped: float) -> float:
+        """Scatter the tick's per-op CPU cost to hosting nodes.
+
+        Hosts are fixed for the duration of a tick (migrations happen
+        between ticks), so one weighted bincount attributes every cost
+        unit; the per-tick vector is published as
+        :attr:`tick_node_cpu`.  Returns the tick total.
+        """
+        node_cpu = np.bincount(
+            host, weights=self._tick_op_cost, minlength=self.overlay.num_nodes
+        )
+        self.tick_node_cpu = node_cpu
+        self.cpu_by_node += node_cpu
+        tick_cpu = float(self._tick_op_cost.sum())
+        self.cpu_cost_total += tick_cpu
+        self.cpu_dropped_total += cpu_dropped
+        return tick_cpu
+
     def _effective_cap(self) -> np.ndarray | None:
         """Per-node admission limit: capacity ∧ controller shed limits."""
         if self._shed_active == 0:
@@ -657,12 +734,53 @@ class DataPlane:
             return self._shed
         return np.minimum(self._cap, self._shed)
 
+    def _state_counts(self) -> np.ndarray:
+        """Windowed join-state entries per (op, side), committed mode."""
+        counts = np.zeros(2 * self._num_ops)
+        if self._mode == "array":
+            for comp in (self._st_comp, self._stb_comp):
+                if comp.size:
+                    idx = (comp >> _U(32)).astype(np.int64)
+                    counts += np.bincount(idx, minlength=2 * self._num_ops)
+        elif self._mode == "heap":
+            for (op, side, _key), entries in self._tables.items():
+                counts[2 * op + side] += len(entries)
+        return counts.reshape(self._num_ops, 2)
+
+    def _admission_costs(self) -> np.ndarray:
+        """Expected per-tuple admission cost of every (op, in-port).
+
+        Frozen once per tick (right after state eviction, before any
+        delivery round), so both step paths price admission from the
+        identical tick-start state: joins charge their base plus the
+        probe cost of the *expected* candidate count — the opposite
+        side's current state over the key domain — and aggregates their
+        base plus one batch increment.  Deterministic (no RNG, no
+        mid-tick state), hence twin-safe; prices are quantized to 1/256
+        cost units so dropped-demand totals accumulate exactly in any
+        summation order (the dyadic-exactness discipline).
+        """
+        model = self._model
+        adm = np.repeat(self._kind_cost[:, None], 2, axis=1)
+        if model.aggregate_batch_cost:
+            adm[self._kind == _AGG] += model.aggregate_batch_cost
+        if model.probe_cost:
+            joins = self._kind == _JOIN
+            if joins.any():
+                counts = self._state_counts()
+                expected = counts[:, ::-1] / np.maximum(
+                    self._op_domain[:, None], 1.0
+                )
+                adm[joins] += model.probe_cost * expected[joins]
+        return np.round(adm * 256.0) / 256.0
+
     def set_shed_limit(self, node: int, limit: float | None) -> None:
         """Set (or clear, with None) a controller shed limit on a node.
 
-        Tuples rejected because of a shed limit are dropped with their
-        own attribution (``dropped_shed``), distinct from capacity
-        backpressure.
+        The limit is in CPU cost units per tick, like ``node_capacity``
+        (== tuples/tick under the default unit model).  Tuples rejected
+        because of a shed limit are dropped with their own attribution
+        (``dropped_shed``), distinct from capacity backpressure.
         """
         if not 0 <= node < self.overlay.num_nodes:
             raise ValueError(f"node {node} outside overlay")
@@ -708,16 +826,21 @@ class DataPlane:
         lat = self.overlay.latencies.values
         cap = self._effective_cap()
         node_used = (
-            np.zeros(self.overlay.num_nodes, dtype=np.int64) if cap is not None else None
+            np.zeros(self.overlay.num_nodes) if cap is not None else None
         )
         reliable = self.config.reliable
         self._tick_usage = 0.0
         t_emitted = t_delivered = t_processed = 0
         t_dropped = dropped_sync
         t_shed = 0
+        t_cpu_dropped = 0.0
         tick_lat: list[np.ndarray] = []
 
         self._evict_state_array(now)
+        # Per-op measured CPU cost of this tick; admission prices are
+        # frozen now, from the post-eviction state (twin-identical).
+        self._tick_op_cost = np.zeros(self._num_ops)
+        adm = self._admission_costs() if cap is not None else None
 
         # 0. Reliable redelivery: buffered tuples whose target service's
         # current host is alive again rejoin this tick's first round.
@@ -772,7 +895,8 @@ class DataPlane:
                     a[live] for a in (op, port, key, ts, size, node)
                 )
             if cap is not None and op.size:
-                keep = self._capacity_filter(node, node_used, cap)
+                costs = adm[op, np.minimum(port, 1)]
+                keep = self._capacity_filter(node, node_used, cap, costs)
                 ncap = int(op.size - keep.sum())
                 if ncap:
                     rejected = node[~keep]
@@ -781,6 +905,7 @@ class DataPlane:
                     t_shed += nshed
                     self.dropped_capacity += ncap - nshed
                     t_dropped += ncap
+                    t_cpu_dropped += float(costs[~keep].sum())
                     np.add.at(self.dropped_by_node, rejected, 1)
                     op, port, key, ts, size = (
                         a[keep] for a in (op, port, key, ts, size)
@@ -791,6 +916,11 @@ class DataPlane:
             t_processed += m
             self.processed += m
             np.add.at(self.processed_by_node, host[op], 1)
+            # Base per-tuple kind costs; aggregates and joins add their
+            # batch / probe terms inside _process_array.
+            self._tick_op_cost += np.bincount(
+                op, weights=self._kind_cost[op], minlength=self._num_ops
+            )
 
             sink = self._is_sink[op]
             ns = int(sink.sum())
@@ -811,6 +941,7 @@ class DataPlane:
 
         self._usage_total += self._tick_usage
         self._end_tick_stats()
+        tick_cpu = self._finish_tick_cpu(host, t_cpu_dropped)
         lat_all = (
             np.concatenate(tick_lat) if tick_lat else np.empty(0, dtype=np.float64)
         )
@@ -829,21 +960,39 @@ class DataPlane:
             shed=t_shed,
             redelivered=t_redelivered,
             buffered=self._transport.buffered,
+            cpu_cost=tick_cpu,
+            cpu_dropped=t_cpu_dropped,
         )
 
     @staticmethod
     def _capacity_filter(
-        nodes: np.ndarray, node_used: np.ndarray, cap: np.ndarray
+        nodes: np.ndarray,
+        node_used: np.ndarray,
+        cap: np.ndarray,
+        costs: np.ndarray,
     ) -> np.ndarray:
-        """First-come-first-served per-node admission in canonical order."""
+        """First-come-first-served per-node admission in canonical order.
+
+        A tuple is admitted while its node's admitted *cost* so far this
+        tick is below the cap, so the admitted set per node is a prefix
+        in canonical order (costs are positive, the running total only
+        grows).  With unit costs the condition degenerates to the
+        historical count rule ``rank + used < cap``.
+        """
         order = np.argsort(nodes, kind="stable")
         sn = nodes[order]
+        sc = costs[order]
         _, starts, cnts = np.unique(sn, return_index=True, return_counts=True)
-        rank = np.arange(sn.size) - np.repeat(starts, cnts)
-        keep_sorted = rank + node_used[sn] < cap[sn]
+        cum = np.cumsum(sc)
+        group_base = np.repeat(cum[starts] - sc[starts], cnts)
+        # Group-local running cost before self; once it crosses the cap
+        # every later tuple's total is larger too, so the admitted set
+        # is a prefix and "before" equals the admitted cost within it.
+        before = cum - group_base - sc
+        keep_sorted = before + node_used[sn] < cap[sn]
         keep = np.empty(nodes.size, dtype=bool)
         keep[order] = keep_sorted
-        np.add.at(node_used, nodes[keep], 1)
+        np.add.at(node_used, nodes[keep], costs[keep])
         return keep
 
     def _evict_state_array(self, now: int) -> None:
@@ -927,6 +1076,11 @@ class DataPlane:
             self._agg_credit[uniq] = (
                 self._agg_credit[uniq] + cnts * self._op_factor[uniq]
             ) % 1.0
+            if self._model.aggregate_batch_cost:
+                # Each of the batch's m tuples costs an extra c₁·m.
+                self._tick_op_cost[uniq] += (
+                    self._model.aggregate_batch_cost * cnts.astype(float) * cnts
+                )
             if emit.any():
                 outs.append(
                     (ops_a[emit], key[m][emit], ts[m][emit], size[m][emit], pos[m][emit],
@@ -975,6 +1129,7 @@ class DataPlane:
         lo = np.searchsorted(self._st_comp, qcomp, side="left")
         hi = np.searchsorted(self._st_comp, qcomp, side="right")
         base_cnt = hi - lo
+        probes = base_cnt
         total = int(base_cnt.sum())
         if total:
             rep = np.repeat(np.arange(op.size), base_cnt)
@@ -988,6 +1143,7 @@ class DataPlane:
             blo = np.searchsorted(bcomp, qcomp, side="left")
             bhi = np.searchsorted(bcomp, qcomp, side="right")
             cnt = bhi - blo
+            probes = probes + cnt
             btotal = int(cnt.sum())
             if btotal:
                 rep = np.repeat(np.arange(op.size), cnt)
@@ -1003,6 +1159,12 @@ class DataPlane:
                     )
                 )
 
+        if self._model.probe_cost and probes.any():
+            # Probes are charged whether or not they produced a match:
+            # every candidate state entry examined costs c₂.
+            self._tick_op_cost += np.bincount(
+                op, weights=self._model.probe_cost * probes, minlength=self._num_ops
+            )
         if not hits:
             return None
         if len(hits) == 1:
@@ -1085,18 +1247,24 @@ class DataPlane:
         latm = self.overlay.latencies.values
         cap = self._effective_cap()
         node_used = (
-            np.zeros(self.overlay.num_nodes, dtype=np.int64) if cap is not None else None
+            np.zeros(self.overlay.num_nodes) if cap is not None else None
         )
         reliable = self.config.reliable
         self._tick_usage = 0.0
         t_emitted = t_delivered = t_processed = 0
         t_dropped = dropped_sync
         t_shed = 0
+        t_cpu_dropped = 0.0
         tick_lat: list[float] = []
         w = self.config.window
         tick_ms = self.config.tick_ms
 
         self._evict_state_scalar(now)
+        # Same per-tick cost state as step(): admission prices frozen
+        # from the post-eviction state, per-op costs accumulated as
+        # tuples are processed.
+        self._tick_op_cost = np.zeros(self._num_ops)
+        adm = self._admission_costs() if cap is not None else None
 
         # 0. Reliable redelivery (per-tuple walk over the buffer).
         t_redelivered = 0
@@ -1142,6 +1310,7 @@ class DataPlane:
                         t_dropped += 1
                     continue
                 if cap is not None:
+                    cost = float(adm[opx, min(portx, 1)])
                     if node_used[node] >= cap[node]:
                         if self._shed[node] < (
                             np.inf if self._cap is None else self._cap[node]
@@ -1151,12 +1320,14 @@ class DataPlane:
                         else:
                             self.dropped_capacity += 1
                         t_dropped += 1
+                        t_cpu_dropped += cost
                         self.dropped_by_node[node] += 1
                         continue
-                    node_used[node] += 1
+                    node_used[node] += cost
                 t_processed += 1
                 self.processed += 1
                 self.processed_by_node[node] += 1
+                self._tick_op_cost[opx] += self._kind_cost[opx]
                 if self._is_sink[opx]:
                     t_delivered += 1
                     self.sink_delivered += 1
@@ -1182,7 +1353,12 @@ class DataPlane:
                 else:  # _JOIN
                     outs = []
                     pm = float(self._op_pmatch[opx])
-                    for sts, ssz in self._tables.get((opx, 1 - portx, key), ()):
+                    entries = self._tables.get((opx, 1 - portx, key), ())
+                    if self._model.probe_cost and entries:
+                        self._tick_op_cost[opx] += self._model.probe_cost * len(
+                            entries
+                        )
+                    for sts, ssz in entries:
                         if abs(ts - sts) <= w and _pair_bucket_int(key, ts, sts, opx) < pm:
                             outs.append((key, max(ts, sts), size + ssz))
                     self._tables.setdefault((opx, portx, key), []).append((ts, size))
@@ -1192,10 +1368,16 @@ class DataPlane:
                 self._agg_credit[opx] = (
                     self._agg_credit[opx] + r * float(self._op_factor[opx])
                 ) % 1.0
+                if self._model.aggregate_batch_cost:
+                    # Each of the round batch's r tuples cost an extra c₁·r.
+                    self._tick_op_cost[opx] += (
+                        self._model.aggregate_batch_cost * float(r) * r
+                    )
             round_ += 1
 
         self._usage_total += self._tick_usage
         self._end_tick_stats()
+        tick_cpu = self._finish_tick_cpu(host, t_cpu_dropped)
         p50, p95, p99 = self._percentiles(np.asarray(tick_lat, dtype=np.float64))
         return TrafficRecord(
             tick=now,
@@ -1211,6 +1393,8 @@ class DataPlane:
             shed=t_shed,
             redelivered=t_redelivered,
             buffered=self._transport.buffered,
+            cpu_cost=tick_cpu,
+            cpu_dropped=t_cpu_dropped,
         )
 
     def _evict_state_scalar(self, now: int) -> None:
@@ -1288,10 +1472,31 @@ class DataPlane:
             "processed": self.processed,
             "dropped": self.dropped,
             "delivered": self.sink_delivered,
+            "cpu_cost": self.cpu_cost_total,
+            "cpu_dropped": self.cpu_dropped_total,
             "balanced": (
                 sent == delivered + in_flight + buffered
                 and delivered == self.processed + self.dropped
             ),
+        }
+
+    def measured_cpu_rate(self) -> float:
+        """Mean measured CPU cost per tick, summed over all nodes."""
+        return self.cpu_cost_total / self.tick if self.tick else 0.0
+
+    def buffered_backlog(self) -> dict[tuple[str, str], int]:
+        """Retransmit-buffer backlog per service, keyed (circuit, sid).
+
+        Empty without the reliable transport (or when nothing is
+        buffered).  The control plane's buffer-pressure policy reads
+        this to force re-placement of services whose backlog grows.
+        """
+        tr = self._transport
+        if tr is None or tr.buffered == 0:
+            return {}
+        counts = tr.buffered_by_op(self._num_ops)
+        return {
+            self._op_names[op]: int(c) for op, c in enumerate(counts) if c
         }
 
     def link_keys(self) -> list[tuple[str, str, str]]:

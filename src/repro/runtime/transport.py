@@ -92,6 +92,10 @@ class ArrayTransport:
         """Tuples parked in the retransmit buffer (0 without one)."""
         return 0
 
+    def buffered_by_op(self, num_ops: int) -> np.ndarray:
+        """Retransmit-buffer backlog per target op (all zero here)."""
+        return np.zeros(num_ops, dtype=np.int64)
+
     def _grow(self, needed: int) -> None:
         cap = self._cap
         while cap < needed:
@@ -228,6 +232,10 @@ class HeapTransport:
         """Tuples parked in the retransmit buffer (0 without one)."""
         return 0
 
+    def buffered_by_op(self, num_ops: int) -> np.ndarray:
+        """Retransmit-buffer backlog per target op (all zero here)."""
+        return np.zeros(num_ops, dtype=np.int64)
+
     def send_one(
         self,
         arrival: int,
@@ -303,6 +311,10 @@ class ReliableTransport(ArrayTransport):
     @property
     def buffered(self) -> int:
         return self._b_count
+
+    def buffered_by_op(self, num_ops: int) -> np.ndarray:
+        """Retransmit-buffer backlog per target op (one bincount)."""
+        return np.bincount(self._b_op[: self._b_count], minlength=num_ops)
 
     def _grow_buffer(self, needed: int) -> None:
         cap = self._b_cap
@@ -430,6 +442,13 @@ class ReliableHeapTransport(HeapTransport):
     @property
     def buffered(self) -> int:
         return len(self._buffer)
+
+    def buffered_by_op(self, num_ops: int) -> np.ndarray:
+        """Per-op backlog (per-tuple twin of the bincount version)."""
+        counts = np.zeros(num_ops, dtype=np.int64)
+        for entry in self._buffer:
+            counts[entry[0]] += 1
+        return counts
 
     def buffer_one(
         self, op: int, port: int, key: int, ts: int, size: float, seq: int

@@ -41,6 +41,11 @@ class TickRecord:
         control_triggers: 1 when the controller requested an immediate
             re-placement this tick (its migrations land in
             ``migrations``).
+        cpu_cost: measured CPU cost units the data plane consumed this
+            tick, summed over nodes (the unified load currency; equal
+            to processed tuple counts under the unit load model).
+        cpu_dropped: CPU cost units of admission demand rejected this
+            tick (capacity + shed, at the admission price).
     """
 
     tick: int
@@ -62,6 +67,8 @@ class TickRecord:
     buffered: int = 0
     calibrated_links: int = 0
     control_triggers: int = 0
+    cpu_cost: float = 0.0
+    cpu_dropped: float = 0.0
 
 
 @dataclass
@@ -127,6 +134,15 @@ class TimeSeries:
     def total_shed(self) -> int:
         return sum(r.shed for r in self.records)
 
+    def cpu_series(self) -> np.ndarray:
+        return np.array([r.cpu_cost for r in self.records])
+
+    def total_cpu_cost(self) -> float:
+        return float(sum(r.cpu_cost for r in self.records))
+
+    def total_cpu_dropped(self) -> float:
+        return float(sum(r.cpu_dropped for r in self.records))
+
     def total_redelivered(self) -> int:
         return sum(r.redelivered for r in self.records)
 
@@ -150,6 +166,9 @@ class TimeSeries:
             out["delivered"] = float(self.total_delivered())
             out["dropped"] = float(self.total_dropped())
             out["mean_data_usage"] = self.mean_data_usage()
+            out["cpu_cost"] = self.total_cpu_cost()
+            if self.total_cpu_dropped():
+                out["cpu_dropped"] = self.total_cpu_dropped()
         if any(r.redelivered or r.buffered for r in self.records):
             out["redelivered"] = float(self.total_redelivered())
         if any(r.shed for r in self.records):

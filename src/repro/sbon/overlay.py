@@ -77,6 +77,10 @@ class Overlay:
         self._background = np.zeros(n)
         self._induced = np.zeros(n)
         self._memory = np.zeros(n)
+        # Measured CPU load fractions, fed by the control plane's cost
+        # accounting (see set_measured_cpu); inactive until first write.
+        self._measured_cpu = np.zeros(n)
+        self._measured_active = False
         self._capacity = np.array([node.capacity for node in self._nodes])
         self._memory_capacity = np.array(
             [node.memory_capacity for node in self._nodes]
@@ -141,13 +145,27 @@ class Overlay:
     # -- load & liveness ---------------------------------------------------
 
     def loads(self) -> np.ndarray:
-        """Current effective load of every node (one vectorized pass)."""
-        raw = (self._background + self._induced) / self._capacity
-        return np.clip(raw, 0.0, 1.0)
+        """Current effective load of every node (one vectorized pass).
+
+        The estimated part — background plus the hosted services'
+        modeled load, over capacity — is topped up by the *measured*
+        CPU load fraction once the control plane starts writing it
+        (:meth:`set_measured_cpu`), so the cost space's load dimension
+        tracks real compute pressure, not just the model.
+        """
+        raw = np.clip((self._background + self._induced) / self._capacity, 0.0, 1.0)
+        if self._measured_active:
+            raw = np.clip(raw + self._measured_cpu, 0.0, 1.0)
+        return raw
 
     def loads_scalar(self) -> np.ndarray:
         """Per-node loop over node state (retained scalar reference)."""
-        return np.array([node.effective_load for node in self.nodes])
+        base = np.array([node.effective_load for node in self.nodes])
+        if self._measured_active:
+            base = np.array(
+                [min(1.0, b + m) for b, m in zip(base, self._measured_cpu)]
+            )
+        return base
 
     def memory_loads(self) -> np.ndarray:
         """Current memory pressure of every node (one vectorized pass)."""
@@ -164,6 +182,29 @@ class Overlay:
             raise ValueError("load vector has wrong shape")
         self._background = loads.astype(float, copy=True)
         self._background_synced = False
+
+    def set_measured_cpu(self, fractions: np.ndarray | list[float]) -> None:
+        """Feed measured per-node CPU load into the load dimension.
+
+        ``fractions`` are measured cost rates normalized to [0, 1] of a
+        full node (the controller's ``calibrate_cpu`` write-back —
+        CPU cost units per tick over the cost-rate reference).  They
+        add on top of the estimated load in :meth:`loads` until
+        :meth:`clear_measured_cpu`, so placement decisions price real
+        compute pressure in the same currency as the kernels charge it.
+        """
+        fractions = np.asarray(fractions, dtype=float)
+        if fractions.shape != (self.num_nodes,):
+            raise ValueError("measured CPU vector has wrong shape")
+        if np.any(fractions < 0) or np.any(fractions > 1):
+            raise ValueError("measured CPU fractions must be in [0, 1]")
+        self._measured_cpu = fractions.copy()
+        self._measured_active = True
+
+    def clear_measured_cpu(self) -> None:
+        """Drop the measured CPU component from :meth:`loads`."""
+        self._measured_cpu = np.zeros(self.num_nodes)
+        self._measured_active = False
 
     def set_node_capacity(
         self,

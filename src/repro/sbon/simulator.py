@@ -206,6 +206,10 @@ class Simulation:
                 migrations += self._reoptimize_all(
                     scalar=scalar, exclude=control.excluded_nodes
                 )
+            if control.evacuate_services:
+                migrations += self._evacuate_buffered(
+                    control.evacuate_services, scalar=scalar
+                )
 
         # 7. Record.
         loads = self.overlay.loads_scalar() if scalar else self.overlay.loads()
@@ -234,6 +238,8 @@ class Simulation:
             buffered=traffic.buffered if traffic else 0,
             calibrated_links=control.calibrated_links if control else 0,
             control_triggers=int(control.replace_triggered) if control else 0,
+            cpu_cost=traffic.cpu_cost if traffic else 0.0,
+            cpu_dropped=traffic.cpu_dropped if traffic else 0.0,
         )
         self.series.append(record)
         return record
@@ -273,6 +279,35 @@ class Simulation:
                     self.overlay.apply_migration(
                         circuit.name, migration.service_id, migration.to_node
                     )
+
+    def _evacuate_buffered(
+        self, services: tuple[tuple[str, str], ...], scalar: bool = False
+    ) -> int:
+        """Force re-placement of services under retransmit-buffer pressure.
+
+        The controller names (circuit, service) pairs whose buffered
+        backlog breached policy; each one's current host is evacuated
+        with that host excluded as a target, so the buffered tuples
+        re-home to the new placement and redeliver this tick instead of
+        waiting out the outage.  Pinned services cannot move and are
+        skipped by the evacuation pass.
+        """
+        reopt = self._make_reoptimizer()
+        migrations = 0
+        for circuit_name, service_id in services:
+            circuit = self.overlay.circuits.get(circuit_name)
+            if circuit is None or service_id not in circuit.services:
+                continue
+            node = circuit.host_of(service_id)
+            if node is None:
+                continue
+            evacuate = reopt.evacuate_scalar if scalar else reopt.evacuate
+            for migration in evacuate(circuit, node):
+                self.overlay.apply_migration(
+                    circuit.name, migration.service_id, migration.to_node
+                )
+                migrations += 1
+        return migrations
 
     def _reoptimize_all(
         self, scalar: bool = False, exclude: tuple[int, ...] = ()

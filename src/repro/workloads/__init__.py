@@ -3,6 +3,9 @@
 from repro.workloads.queries import WorkloadParams, random_query, random_workload
 from repro.workloads.scenarios import (
     ChaosScenario,
+    CpuHotspotScenario,
+    cpu_hotspot_scenario,
+    cpu_overload_comparison,
     Figure1Scenario,
     Figure3Scenario,
     Figure4Scenario,
@@ -21,6 +24,9 @@ __all__ = [
     "random_workload",
     "ChaosScenario",
     "chaos_scenario",
+    "CpuHotspotScenario",
+    "cpu_hotspot_scenario",
+    "cpu_overload_comparison",
     "Figure1Scenario",
     "Figure3Scenario",
     "Figure4Scenario",

@@ -29,6 +29,13 @@ while the closed loop (measured rates calibrated back into the
 re-optimizer) tracks the truth.  :func:`closed_loop_recovery` runs the
 baseline / controlled / oracle triplet over identical RNG draws and
 reports how much of the usage gap the controller recovers.
+
+:func:`cpu_hotspot_scenario` is the unified-load-currency fixture:
+join-heavy chains pile their CPU cost (not their tuple counts) onto one
+latency-optimal host, and only the loop that writes measured per-node
+cost into the cost space's load dimension spreads them out —
+:func:`cpu_overload_comparison` reports the p95 measured CPU overload
+of the count-gated baseline vs the cost-gated loop (E20).
 """
 
 from __future__ import annotations
@@ -37,9 +44,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.control import Controller
+from repro.control import ControlConfig, Controller
 from repro.core.circuit import Circuit, Service
 from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.core.load_model import LoadModel
 from repro.core.weighting import squared
 from repro.network.dynamics import (
     ChurnProcess,
@@ -76,6 +84,9 @@ __all__ = [
     "DriftScenario",
     "selectivity_drift_scenario",
     "closed_loop_recovery",
+    "CpuHotspotScenario",
+    "cpu_hotspot_scenario",
+    "cpu_overload_comparison",
 ]
 
 
@@ -652,6 +663,210 @@ def selectivity_drift_scenario(
         drift_end=drift_begin + drift_duration,
         filters=filters,
     )
+
+
+# ---------------------------------------------------------------------------
+# CPU hotspot: joins pile their compute on one node, counts never notice
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CpuHotspotScenario:
+    """The unified-load-currency demo fixture (E20).
+
+    ``num_chains`` join circuits share one latency-optimal host: every
+    join sits on the center node, whose *tuple counts* stay modest while
+    its *CPU cost* (joins price ``c₀ + c₂·probes`` per arrival, ≫ a
+    relay) runs far past the overload limit.  A count-gated system sees
+    nothing wrong; the cost-gated closed loop measures the per-node CPU
+    cost, writes it into the cost space's load dimension, and the next
+    re-optimization pass spreads the joins over the surrounding ring —
+    each chain's spring target leans toward its own ring node, so the
+    escape is herd-free and stable under the migration-threshold
+    hysteresis.
+
+    Attributes:
+        overlay: assembled overlay (all circuits installed).
+        simulation: tick loop with the executing data plane, the
+            controller, and periodic re-optimization.
+        data_plane: the executing data plane (``LoadModel`` armed so
+            CPU cost is measured in both modes).
+        controller: the wired controller (count mode disables only the
+            load-dimension write-back).
+        joins: (circuit, service id) of every join service.
+        hot_node: the shared initial host of all joins.
+        ring_nodes: the per-chain escape candidates around it.
+        limit: the overload reference, in CPU cost units per tick.
+    """
+
+    overlay: Overlay
+    simulation: Simulation
+    data_plane: DataPlane
+    controller: Controller
+    joins: list[tuple[str, str]]
+    hot_node: int
+    ring_nodes: tuple[int, ...]
+    limit: float
+
+
+def cpu_hotspot_scenario(
+    mode: str = "cost",
+    num_chains: int = 6,
+    ring_radius: float = 3.0,
+    anchor_radius: float = 40.0,
+    limit: float = 200.0,
+    cpu_ref: float = 300.0,
+    join_cost: float = 8.0,
+    reopt_interval: int = 5,
+    calibrate_interval: int = 5,
+    seed: int = 0,
+) -> CpuHotspotScenario:
+    """Join-heavy chains whose CPU cost concentrates on one node.
+
+    Geometry (planted, exact): chain *c*'s producers sit at
+    ``anchor_radius`` along direction θ_c and its opposite, with the
+    consumer colocated with the weaker producer; the rate asymmetry
+    pulls each chain's spring target a little way (≈1.3 units) toward
+    θ_c from the center, where the shared host lives, while its escape
+    ring node waits at ``ring_radius`` along the same direction.  The
+    center is therefore every chain's latency optimum — only measured
+    CPU pressure in the load dimension can justify moving off it, and
+    when it does, each join has a *distinct* nearest alternative.
+
+    Args:
+        mode: ``"count"`` (the controller never writes measured CPU
+            into the load dimension — the count-era baseline) or
+            ``"cost"`` (the full unified-currency loop).
+
+    Both modes run identical tuple streams (source draws are placement-
+    independent), so overload differences are pure placement signal.
+    """
+    if mode not in ("count", "cost"):
+        raise ValueError("mode must be count or cost")
+    k = num_chains
+    positions = [(0.0, 0.0)]
+    for c in range(k):
+        theta = 2.0 * np.pi * c / k
+        positions.append(
+            (ring_radius * np.cos(theta), ring_radius * np.sin(theta))
+        )
+    for c in range(k):
+        theta = 2.0 * np.pi * c / k
+        positions.append(
+            (anchor_radius * np.cos(theta), anchor_radius * np.sin(theta))
+        )
+    for c in range(k):
+        theta = 2.0 * np.pi * c / k + np.pi
+        positions.append(
+            (anchor_radius * np.cos(theta), anchor_radius * np.sin(theta))
+        )
+    n = len(positions)
+    latencies = planted_latency_matrix(positions)
+    spec = CostSpaceSpec.latency_load(vector_dims=2)
+    space = CostSpace.from_embedding(
+        spec, np.asarray(positions), {"cpu_load": np.zeros(n)}
+    )
+    overlay = Overlay(latencies, space)
+    for node in range(n):
+        # Neutralize the modeled induced-load estimate: the measured
+        # CPU write-back is the only load signal under test.
+        overlay.set_node_capacity(node, capacity=1e6)
+
+    joins: list[tuple[str, str]] = []
+    for c in range(k):
+        name = f"cpu{c}"
+        p1, p2 = 1 + k + c, 1 + 2 * k + c
+        circuit = Circuit(name=name)
+        circuit.add_service(
+            Service(f"{name}/src1", ServiceSpec.relay(), p1, frozenset((f"A{c}",)))
+        )
+        circuit.add_service(
+            Service(f"{name}/src2", ServiceSpec.relay(), p2, frozenset((f"B{c}",)))
+        )
+        circuit.add_service(
+            Service(
+                f"{name}/join",
+                ServiceSpec.join(),
+                None,
+                frozenset((f"A{c}", f"B{c}")),
+            )
+        )
+        circuit.add_service(
+            Service(f"{name}/sink", ServiceSpec.relay(), p2, frozenset(("ALL",)))
+        )
+        circuit.add_link(f"{name}/src1", f"{name}/join", 8.0)
+        circuit.add_link(f"{name}/src2", f"{name}/join", 5.0)
+        circuit.add_link(f"{name}/join", f"{name}/sink", 2.5)
+        circuit.assign(f"{name}/join", 0)
+        overlay.install_circuit(circuit)
+        joins.append((name, f"{name}/join"))
+
+    model = LoadModel(join_cost=join_cost, probe_cost=0.5)
+    data_plane = DataPlane(
+        overlay, RuntimeConfig(seed=seed + 1, load_model=model)
+    )
+    controller = Controller(
+        data_plane,
+        ControlConfig(
+            warmup=4,
+            calibrate_interval=calibrate_interval,
+            drop_threshold=None,
+            cpu_ref=cpu_ref,
+            cpu_calibrate=(mode == "cost"),
+        ),
+    )
+    simulation = Simulation(
+        overlay,
+        config=SimulationConfig(
+            reopt_interval=reopt_interval, migration_threshold=0.05
+        ),
+        data_plane=data_plane,
+        control=controller,
+    )
+    return CpuHotspotScenario(
+        overlay=overlay,
+        simulation=simulation,
+        data_plane=data_plane,
+        controller=controller,
+        joins=joins,
+        hot_node=0,
+        ring_nodes=tuple(range(1, k + 1)),
+        limit=limit,
+    )
+
+
+def cpu_overload_comparison(
+    ticks: int = 80,
+    eval_window: int = 30,
+    seed: int = 0,
+    **kwargs,
+) -> dict[str, float]:
+    """Run the CPU-hotspot pair; report p95 measured CPU overload.
+
+    Overload at a tick is the total measured CPU cost demand above the
+    limit, summed over nodes (``Σ max(0, tick_node_cpu - limit)``); the
+    reported number per mode is the 95th percentile over the final
+    ``eval_window`` ticks.  ``improvement`` is the fraction of the
+    count-gated baseline's overload the cost-gated loop eliminates —
+    the E20 placement-quality headline (the closed loop demonstrably
+    re-places off CPU-hot nodes).
+    """
+    out: dict[str, float] = {}
+    for mode in ("count", "cost"):
+        scenario = cpu_hotspot_scenario(mode=mode, seed=seed, **kwargs)
+        overload: list[float] = []
+        for _ in range(ticks):
+            scenario.simulation.step()
+            over = np.clip(scenario.data_plane.tick_node_cpu - scenario.limit, 0.0, None)
+            overload.append(float(over.sum()))
+        tail = np.asarray(overload[-eval_window:])
+        out[mode] = float(np.percentile(tail, 95.0))
+    if out["count"] > 0:
+        out["improvement"] = 1.0 - out["cost"] / out["count"]
+    else:
+        # Neither mode overloads: a degenerate fixture, not a regression.
+        out["improvement"] = 1.0 if out["cost"] == 0 else 0.0
+    return out
 
 
 def closed_loop_recovery(

@@ -1,0 +1,158 @@
+"""Closed-loop integration for the unified load currency (PR 5).
+
+Two acceptance demos:
+
+* **CPU-aware placement** — in the join-heavy CPU-hotspot scenario the
+  cost-gated loop (measured per-node CPU cost written into the cost
+  space's load dimension) re-places joins off the CPU-hot node and
+  lowers measured p95 CPU overload, while the count-gated baseline —
+  blind to per-tuple cost asymmetry — never moves.
+* **Buffer-pressure evacuation** — services whose reliable-transport
+  retransmit backlog breaches the controller's bound are forcibly
+  re-placed, so buffered tuples re-home and redeliver instead of
+  waiting out a dead host (the ROADMAP open item, closed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.control import ControlConfig, Controller
+from repro.core.circuit import Circuit, Service
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.network.latency import LatencyMatrix
+from repro.query.operators import ServiceSpec
+from repro.runtime import DataPlane, RuntimeConfig
+from repro.sbon.overlay import Overlay
+from repro.sbon.simulator import Simulation, SimulationConfig
+from repro.workloads.scenarios import cpu_hotspot_scenario, cpu_overload_comparison
+
+TICKS = 80
+EVAL_WINDOW = 30
+
+
+class TestCpuAwarePlacement:
+    @pytest.fixture(scope="class")
+    def overload(self):
+        return cpu_overload_comparison(ticks=TICKS, eval_window=EVAL_WINDOW, seed=0)
+
+    def test_count_gating_is_blind_to_cpu_overload(self, overload):
+        """Counts look fine, yet measured CPU cost runs past the limit."""
+        assert overload["count"] > 0, overload
+
+    def test_cost_loop_lowers_p95_cpu_overload(self, overload):
+        assert overload["cost"] < overload["count"], overload
+        assert overload["improvement"] >= 0.5, overload
+
+    def test_cost_mode_migrates_joins_off_the_hot_node(self):
+        scenario = cpu_hotspot_scenario(mode="cost", seed=0)
+        scenario.simulation.run(TICKS)
+        hosts = {
+            scenario.overlay.circuits[c].host_of(s) for c, s in scenario.joins
+        }
+        assert scenario.hot_node not in hosts
+        # Herd-free escape: each join found its own ring node.
+        assert hosts <= set(scenario.ring_nodes)
+        assert len(hosts) == len(scenario.joins)
+
+    def test_count_mode_never_moves(self):
+        scenario = cpu_hotspot_scenario(mode="count", seed=0)
+        scenario.simulation.run(TICKS)
+        for circuit_name, sid in scenario.joins:
+            host = scenario.overlay.circuits[circuit_name].host_of(sid)
+            assert host == scenario.hot_node
+
+    def test_identical_tuple_streams_across_modes(self):
+        """The comparison is placement signal, not noise."""
+        a = cpu_hotspot_scenario(mode="count", seed=1)
+        b = cpu_hotspot_scenario(mode="cost", seed=1)
+        emitted_a = [a.simulation.step().emitted for _ in range(20)]
+        emitted_b = [b.simulation.step().emitted for _ in range(20)]
+        assert emitted_a == emitted_b
+
+
+def evacuation_fixture(backlog_bound=None, seed=0, n=10):
+    """A chain whose middle service's host dies with no churn process.
+
+    Without a wired churn process the simulator never auto-evacuates,
+    so the reliable transport's backlog grows until (with the policy
+    armed) the controller forces the re-placement.
+    """
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, 100.0, size=(n, 2))
+    diff = points[:, None, :] - points[None, :, :]
+    latencies = LatencyMatrix(np.sqrt((diff ** 2).sum(axis=-1)))
+    spec = CostSpaceSpec.latency_load(vector_dims=2)
+    space = CostSpace.from_embedding(spec, points, {"cpu_load": np.zeros(n)})
+    overlay = Overlay(latencies, space)
+    circuit = Circuit(name="c0")
+    circuit.add_service(Service("c0/src", ServiceSpec.relay(), 0, frozenset(("P",))))
+    circuit.add_service(Service("c0/f", ServiceSpec.filter(0.5), None, frozenset(("P",))))
+    circuit.add_service(Service("c0/sink", ServiceSpec.relay(), 2, frozenset(("P",))))
+    circuit.add_link("c0/src", "c0/f", 8.0)
+    circuit.add_link("c0/f", "c0/sink", 4.0)
+    circuit.assign("c0/f", 1)
+    overlay.install_circuit(circuit)
+    plane = DataPlane(overlay, RuntimeConfig(seed=seed + 1, reliable=True))
+    controller = Controller(
+        plane,
+        ControlConfig(
+            warmup=2, drop_threshold=None, calibrate_interval=1000,
+            buffer_evacuate_backlog=backlog_bound,
+        ),
+    )
+    simulation = Simulation(
+        overlay,
+        config=SimulationConfig(reopt_interval=0),
+        data_plane=plane,
+        control=controller,
+    )
+    # Node 1 (the filter's host) goes dark, and stays dark.
+    mask = np.ones(n, dtype=bool)
+    mask[1] = False
+    overlay.apply_liveness(mask)
+    return overlay, plane, controller, simulation
+
+
+class TestBufferPressureEvacuation:
+    def test_backlog_breach_forces_replacement_and_drains(self):
+        overlay, plane, controller, sim = evacuation_fixture(backlog_bound=10)
+        moved_at = None
+        for tick in range(30):
+            record = sim.step()
+            if moved_at is None and overlay.circuits["c0"].host_of("c0/f") != 1:
+                moved_at = tick
+                assert record.migrations > 0
+        circuit = overlay.circuits["c0"]
+        assert moved_at is not None, "backlog never forced a re-placement"
+        assert circuit.host_of("c0/f") != 1
+        assert controller.buffer_evacuations > 0
+        # The buffered tuples re-homed to the new host and redelivered.
+        assert plane.redelivered > 0
+        assert plane.buffered_backlog().get(("c0", "c0/f"), 0) == 0
+        assert plane.accounting()["balanced"]
+
+    def test_without_policy_the_backlog_persists(self):
+        overlay, plane, controller, sim = evacuation_fixture(backlog_bound=None)
+        for _ in range(30):
+            sim.step()
+        assert overlay.circuits["c0"].host_of("c0/f") == 1  # never moved
+        assert controller.buffer_evacuations == 0
+        assert plane.redelivered == 0
+        assert plane.buffered_backlog().get(("c0", "c0/f"), 0) > 0
+        assert plane.accounting()["balanced"]
+
+    def test_twin_paths_agree_on_evacuation(self):
+        a = evacuation_fixture(backlog_bound=10, seed=3)
+        b = evacuation_fixture(backlog_bound=10, seed=3)
+        for _ in range(25):
+            rv = a[3].step()
+            rs = b[3].step_scalar()
+            assert (rv.migrations, rv.redelivered, rv.buffered) == (
+                rs.migrations, rs.redelivered, rs.buffered
+            )
+        assert (
+            a[0].circuits["c0"].host_of("c0/f")
+            == b[0].circuits["c0"].host_of("c0/f")
+            != 1
+        )
+        assert a[1].accounting() == b[1].accounting()

@@ -1,0 +1,163 @@
+"""Twin-equivalence and conservation properties of the cost currency.
+
+The repo discipline extended to the unified load model: twin data
+planes stepped through the batched kernels and the per-tuple scalar
+reference (identical RNG draws) must agree on every cost column —
+exactly, because the default model's coefficients are dyadic rationals
+and admission prices are quantized to 1/256 cost units — while the
+tuple-conservation balance and the cost-attribution identities hold at
+every tick, including under churn, migration, reliable retransmission,
+and cost-based backpressure/shedding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.control import ControlConfig, Controller
+from repro.core.load_model import LoadModel
+from repro.network.dynamics import ChurnProcess, LatencyDriftProcess, LoadProcess
+from repro.network.topology import grid_topology
+from repro.runtime.dataplane import DataPlane, RuntimeConfig
+from repro.sbon.overlay import Overlay
+from repro.sbon.simulator import Simulation, SimulationConfig
+from repro.workloads.queries import WorkloadParams, random_query
+
+PARAMS = WorkloadParams(
+    num_producers=3, rate_bounds=(3.0, 8.0), selectivity_bounds=(0.2, 0.6)
+)
+MODEL = LoadModel()  # default: dyadic coefficients, join-heavy
+
+
+def traffic_overlay(seed=0, num_circuits=3, side=5):
+    n = side * side
+    overlay = Overlay.build(
+        grid_topology(side, side), vector_dims=2, embedding_rounds=20, seed=seed
+    )
+    pinned = set()
+    optimizer = overlay.integrated_optimizer()
+    for i in range(num_circuits):
+        query, stats = random_query(n, PARAMS, name=f"q{i}", seed=seed * 10 + i)
+        overlay.install(optimizer.optimize(query, stats))
+        pinned |= {p.node for p in query.producers} | {query.consumer.node}
+    return overlay, pinned
+
+
+def cost_simulation(seed=0, capacity=50.0, reliable=False):
+    overlay, pinned = traffic_overlay(seed)
+    n = overlay.num_nodes
+    plane = DataPlane(
+        overlay,
+        RuntimeConfig(
+            seed=99, node_capacity=capacity, load_model=MODEL, reliable=reliable
+        ),
+    )
+    return Simulation(
+        overlay,
+        load_process=LoadProcess(n, sigma=0.1, seed=1),
+        latency_drift=LatencyDriftProcess(overlay.latencies, drift_sigma=0.03, seed=2),
+        churn=ChurnProcess(
+            n, fail_prob=0.01, recover_prob=0.2, protected=pinned, seed=3
+        ),
+        config=SimulationConfig(reopt_interval=3, migration_threshold=0.0),
+        data_plane=plane,
+    )
+
+
+class TestCostTwinEquivalence:
+    def test_cost_columns_bit_identical_on_plain_traffic(self):
+        a = DataPlane(
+            traffic_overlay(seed=4)[0],
+            RuntimeConfig(seed=7, node_capacity=40.0, load_model=MODEL),
+        )
+        b = DataPlane(
+            traffic_overlay(seed=4)[0],
+            RuntimeConfig(seed=7, node_capacity=40.0, load_model=MODEL),
+        )
+        for _ in range(30):
+            rv, rs = a.step(), b.step_scalar()
+            assert rv == rs  # every field, cpu_cost/cpu_dropped included
+            np.testing.assert_array_equal(a.tick_node_cpu, b.tick_node_cpu)
+        assert a.accounting() == b.accounting()
+        assert a.accounting()["balanced"]
+        assert a.cpu_dropped_total > 0, "capacity never priced anything out"
+
+    def test_twins_agree_under_chaos_with_cost_gating(self):
+        a, b = cost_simulation(seed=5), cost_simulation(seed=5)
+        for _ in range(30):
+            rv, rs = a.step(), b.step_scalar()
+            assert (rv.migrations, rv.failures) == (rs.migrations, rs.failures)
+            assert rv.cpu_cost == rs.cpu_cost
+            assert rv.cpu_dropped == rs.cpu_dropped
+            assert (rv.emitted, rv.delivered, rv.dropped) == (
+                rs.emitted, rs.delivered, rs.dropped
+            )
+            np.testing.assert_array_equal(
+                a.data_plane.tick_node_cpu, b.data_plane.tick_node_cpu
+            )
+        assert a.data_plane.accounting() == b.data_plane.accounting()
+        assert a.data_plane.accounting()["balanced"]
+
+    def test_shed_controllers_make_identical_cost_decisions(self):
+        ov_f, _ = traffic_overlay(seed=6)
+        ov_s, _ = traffic_overlay(seed=6)
+        fast = DataPlane(ov_f, RuntimeConfig(seed=11, load_model=MODEL))
+        slow = DataPlane(ov_s, RuntimeConfig(seed=11, load_model=MODEL))
+        cfg = ControlConfig(
+            warmup=3, shed_limit=30.0, shed_release=0.6, drop_threshold=None,
+            calibrate_interval=1000, cpu_calibrate=False,
+        )
+        ctl_f, ctl_s = Controller(fast, cfg), Controller(slow, cfg)
+        shed_any = False
+        for _ in range(30):
+            cv = ctl_f.step(fast.step())
+            cs = ctl_s.step_scalar(slow.step_scalar())
+            assert cv == cs
+            shed_any = shed_any or bool(cv.shed_nodes)
+            np.testing.assert_array_equal(
+                ctl_f.node_cpu.rates(), ctl_s.node_cpu.rates()
+            )
+        assert shed_any, "cost shed limit never tripped in the fixture"
+        assert fast.dropped_shed == slow.dropped_shed > 0
+        assert fast.accounting() == slow.accounting()
+
+
+class TestCostConservation:
+    def test_extended_conservation_with_reliable_and_cost_gating(self):
+        sim = cost_simulation(seed=7, reliable=True)
+        for _ in range(40):
+            sim.step()
+            acct = sim.data_plane.accounting()
+            assert acct["balanced"], acct
+            assert acct["sent"] == (
+                acct["transport_delivered"] + acct["in_flight"] + acct["buffered"]
+            )
+        assert sim.series.total_failures() > 0
+
+    def test_cost_attribution_every_tick(self):
+        sim = cost_simulation(seed=8)
+        plane = sim.data_plane
+        running = 0.0
+        for _ in range(30):
+            record = sim.step()
+            # Tick total == per-node scatter == TickRecord field.
+            assert record.cpu_cost == pytest.approx(
+                float(plane.tick_node_cpu.sum())
+            )
+            running += record.cpu_cost
+            assert plane.cpu_cost_total == pytest.approx(running)
+            assert plane.cpu_by_node.sum() == pytest.approx(plane.cpu_cost_total)
+            assert record.cpu_cost >= 0 and record.cpu_dropped >= 0
+
+    def test_unit_model_cost_is_tuple_count(self):
+        overlay, _ = traffic_overlay(seed=9)
+        plane = DataPlane(overlay, RuntimeConfig(seed=13, node_capacity=40.0))
+        for _ in range(25):
+            record = plane.step()
+            assert record.cpu_cost == record.processed
+            np.testing.assert_array_equal(
+                plane.tick_node_cpu, plane.tick_node_processed.astype(float)
+            )
+        # Cumulatively: every admission rejection cost exactly 1.
+        assert plane.cpu_dropped_total == (
+            plane.dropped_capacity + plane.dropped_shed
+        )
