@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Guard the perf trajectory: fresh BENCH_*.json vs committed baselines.
+
+Every perf-tracked experiment persists machine-readable kernel timings
+to ``benchmarks/results/BENCH_<exp>.json`` (see ``_harness.write_bench_json``).
+This script compares the fresh files on disk against the versions
+committed at ``HEAD``, matching entries on ``(op, n)``:
+
+* absolute ``after_s`` more than 2x the committed baseline -> **fail**
+  (exit 1);
+* between 1x and 2x -> **warn** (regression within noise tolerance);
+* entries without a committed counterpart at the same size -> skipped
+  (quick-mode CI runs use smaller sizes than the committed full-mode
+  baselines, so cross-size pairs are never compared).
+
+Run after a benchmark pass, e.g.::
+
+    BENCH_QUICK=1 PYTHONPATH=src python -m pytest benchmarks/ -q
+    python benchmarks/check_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+RESULTS_DIR = BENCH_DIR / "results"
+FAIL_RATIO = 2.0
+
+
+def committed_baseline(path: Path) -> dict | None:
+    """The HEAD version of a results file, or None if not committed."""
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{rel}"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def main() -> int:
+    fresh_files = sorted(RESULTS_DIR.glob("BENCH_*.json"))
+    if not fresh_files:
+        print("check_regression: no BENCH_*.json files on disk; nothing to do")
+        return 0
+
+    failures: list[str] = []
+    warnings: list[str] = []
+    compared = skipped = 0
+
+    for path in fresh_files:
+        fresh = json.loads(path.read_text())
+        base = committed_baseline(path)
+        if base is None:
+            print(f"  {path.name}: no committed baseline (new experiment), skipped")
+            continue
+        by_key = {
+            (e.get("op"), e.get("n")): e for e in base.get("results", [])
+        }
+        for entry in fresh.get("results", []):
+            key = (entry.get("op"), entry.get("n"))
+            ref = by_key.get(key)
+            if ref is None or not ref.get("after_s") or not entry.get("after_s"):
+                skipped += 1
+                continue
+            compared += 1
+            ratio = entry["after_s"] / ref["after_s"]
+            line = (
+                f"{path.name} {key[0]} (n={key[1]}): "
+                f"after_s {entry['after_s']:.6f}s vs baseline "
+                f"{ref['after_s']:.6f}s ({ratio:.2f}x)"
+            )
+            if ratio > FAIL_RATIO:
+                failures.append(line)
+            elif ratio > 1.0:
+                warnings.append(line)
+            else:
+                print(f"  ok    {line}")
+
+    for line in warnings:
+        print(f"  WARN  {line}")
+    for line in failures:
+        print(f"  FAIL  {line}")
+    print(
+        f"check_regression: {compared} compared, {skipped} skipped, "
+        f"{len(warnings)} warnings, {len(failures)} failures"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

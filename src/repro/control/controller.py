@@ -359,13 +359,20 @@ class Controller:
     def cpu_reference(self) -> float | None:
         """Cost units/tick of a fully loaded node, for the write-back.
 
-        Resolution order: ``ControlConfig.cpu_ref``, then the data
-        plane's ``node_capacity``, then ``shed_limit``; None (and a
-        skipped write-back) when none of them is configured.
+        Resolution order: ``ControlConfig.cpu_ref``, then the
+        overlay's own reference (set when a cost-typed load process
+        feeds :meth:`Overlay.set_background_cost` — background and
+        measured cost then share one ``cpu_ref`` by construction),
+        then the data plane's ``node_capacity``, then ``shed_limit``;
+        None (and a skipped write-back) when none of them is
+        configured.
         """
         cfg = self.config
         if cfg.cpu_ref is not None:
             return cfg.cpu_ref
+        overlay_ref = self.overlay.cpu_reference()
+        if overlay_ref is not None:
+            return overlay_ref
         if self.data_plane.config.node_capacity is not None:
             return float(self.data_plane.config.node_capacity)
         if cfg.shed_limit is not None:

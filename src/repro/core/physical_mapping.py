@@ -147,16 +147,30 @@ class CatalogMapper:
         return entry.physical_node, stats.dht_hops
 
     def map_coordinates(self, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Batched mapping; each target still routes through the DHT."""
-        nodes = np.empty(len(targets), dtype=int)
-        hops = np.empty(len(targets), dtype=int)
+        """Batched mapping; each target still routes through the DHT.
+
+        Per-target hop counts remain the reported metric, but targets
+        whose lookups land on the same catalog owner share one
+        ring-neighborhood scan (:meth:`CoordinateCatalog.nearest_batch`)
+        instead of repeating the Chord walk per key.
+        """
+        targets = np.asarray(targets, dtype=float)
         scalar_dims = len(self.cost_space.spec.scalar_dimensions)
         vector_dims = self.cost_space.spec.vector_dims
-        for i, row in enumerate(np.asarray(targets, dtype=float)):
-            target = CostCoordinate.from_arrays(row[:vector_dims], row[vector_dims:])
-            if target.scalar_dims != scalar_dims:
-                raise ValueError("target has wrong dimensionality for this space")
-            nodes[i], hops[i] = self.map_coordinate(target)
+        if targets.ndim != 2 or targets.shape[1] != vector_dims + scalar_dims:
+            raise ValueError("target has wrong dimensionality for this space")
+        if len(targets) == 0:
+            return np.empty(0, dtype=int), np.empty(0, dtype=int)
+        entries, stats = self.catalog.nearest_batch(
+            targets, scan_width=self.scan_width, exclude=self.excluded
+        )
+        nodes = np.empty(len(targets), dtype=int)
+        hops = np.empty(len(targets), dtype=int)
+        for i, (entry, stat) in enumerate(zip(entries, stats)):
+            if entry is None:
+                raise RuntimeError("catalog has no eligible published nodes")
+            nodes[i] = entry.physical_node
+            hops[i] = stat.dht_hops
         return nodes, hops
 
     def exclude(self, node: int) -> None:

@@ -181,6 +181,9 @@ class _CircuitKernel:
         m = len(self.unpinned_sids)
         self.seg_weight = np.zeros(m)
         np.add.at(self.seg_weight, self.inc_seg, self.inc_rates)
+        # Monotone re-pricing counter: the fused reopt arena caches
+        # copies of the rate columns and uses this to notice staleness.
+        self.rates_version = getattr(self, "rates_version", 0) + 1
 
     def hosts(self, circuit: Circuit) -> np.ndarray:
         """Current placement as a row-indexed node array."""
@@ -239,6 +242,146 @@ class _CircuitKernel:
         return usage + load_weight * penalty
 
 
+#: Reserved kernel-cache key the fused reopt arena is cached under
+#: (never a circuit name: circuit names come from query specs).
+_ARENA_KEY = "__arena__"
+
+
+class _ReoptArena:
+    """Fused concatenation of many circuit kernels (PR 7).
+
+    One global CSR incidence/link table spanning every active kernel,
+    with per-kernel row/segment/link offsets, so a whole-tick local
+    pass runs **one** segment-sum for all spring targets, **one**
+    batched ``map_coordinates``, and **one** ``latency_array`` sweep
+    each for current link usage and speculative candidate pricing —
+    instead of per-circuit Python dispatch of the same kernels.
+
+    All fused reductions visit each circuit's entries contiguously in
+    the same order as the per-circuit kernels (``np.add.at`` is
+    unbuffered and the evaluators are elementwise), so results are
+    bit-identical to :meth:`Reoptimizer.step_all_percircuit` — pinned
+    by the arena property tests.
+
+    The arena holds *copies* of each kernel's rate columns; it notices
+    in-place re-pricing (``_CircuitKernel.set_rates``, driven by the
+    control plane through :func:`refresh_kernel_rates`) via the
+    kernels' ``rates_version`` counters and refreshes lazily.
+    """
+
+    def __init__(self, kernels: list["_CircuitKernel"]):
+        self.kernels = list(kernels)
+        row_counts = [len(k.sids) for k in self.kernels]
+        seg_counts = [len(k.unpinned_sids) for k in self.kernels]
+        link_counts = [k.link_src.size for k in self.kernels]
+        self.row_offsets = np.concatenate(([0], np.cumsum(row_counts)))
+        self.seg_offsets = np.concatenate(([0], np.cumsum(seg_counts)))
+        self.link_offsets = np.concatenate(([0], np.cumsum(link_counts)))
+        self.num_rows = int(self.row_offsets[-1])
+        self.num_segments = int(self.seg_offsets[-1])
+
+        def cat(parts, dtype):
+            if not parts:
+                return np.zeros(0, dtype=dtype)
+            return np.concatenate(parts).astype(dtype, copy=False)
+
+        self.inc_seg = cat(
+            [k.inc_seg + s for k, s in zip(self.kernels, self.seg_offsets)], int
+        )
+        self.inc_nbr = cat(
+            [k.inc_nbr + r for k, r in zip(self.kernels, self.row_offsets)], int
+        )
+        self.unpinned_rows = cat(
+            [k.unpinned_rows + r for k, r in zip(self.kernels, self.row_offsets)],
+            int,
+        )
+        self.link_src = cat(
+            [k.link_src + r for k, r in zip(self.kernels, self.row_offsets)], int
+        )
+        self.link_dst = cat(
+            [k.link_dst + r for k, r in zip(self.kernels, self.row_offsets)], int
+        )
+        self.seg_count = cat([k.seg_count for k in self.kernels], int)
+        self.refresh_rates()
+
+    def refresh_rates(self) -> None:
+        """Re-copy every kernel's rate columns (after re-pricing)."""
+        parts_inc = [k.inc_rates for k in self.kernels]
+        parts_seg = [k.seg_weight for k in self.kernels]
+        self.inc_rates = (
+            np.concatenate(parts_inc) if parts_inc else np.zeros(0)
+        )
+        self.seg_weight = (
+            np.concatenate(parts_seg) if parts_seg else np.zeros(0)
+        )
+        self._versions = [k.rates_version for k in self.kernels]
+
+    def matches(self, kernels: list["_CircuitKernel"]) -> bool:
+        """True when built from exactly these kernel objects, in order."""
+        return len(kernels) == len(self.kernels) and all(
+            a is b for a, b in zip(kernels, self.kernels)
+        )
+
+    def rates_stale(self) -> bool:
+        return any(
+            k.rates_version != v for k, v in zip(self.kernels, self._versions)
+        )
+
+    def targets(self, hosts: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        """Spring targets of every unpinned service of every circuit.
+
+        One global segment-sum; the per-segment math (rate-weighted
+        centroid / unweighted mean / own host when isolated) matches
+        ``_CircuitKernel.targets`` entry for entry.
+        """
+        m = self.num_segments
+        dims = vectors.shape[1]
+        points = vectors[hosts[self.inc_nbr]]
+        weighted = np.zeros((m, dims))
+        np.add.at(weighted, self.inc_seg, self.inc_rates[:, None] * points)
+        out = np.empty((m, dims))
+        has_weight = self.seg_weight > 0
+        out[has_weight] = (
+            weighted[has_weight] / self.seg_weight[has_weight, None]
+        )
+        zero_weight = ~has_weight & (self.seg_count > 0)
+        if np.any(zero_weight):
+            sums = np.zeros((m, dims))
+            np.add.at(sums, self.inc_seg, points)
+            out[zero_weight] = (
+                sums[zero_weight] / self.seg_count[zero_weight, None]
+            )
+        isolated = self.seg_count == 0
+        if np.any(isolated):
+            out[isolated] = vectors[hosts[self.unpinned_rows[isolated]]]
+        return out
+
+    def speculative_usage(
+        self,
+        hosts: np.ndarray,
+        candidates: np.ndarray,
+        evaluator: CostEvaluator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-service incident usage, old vs candidate, fused.
+
+        Two global ``latency_array`` sweeps over the whole incidence
+        table replace two per circuit; segment sums accumulate in the
+        same entry order as the per-circuit twin in ``_accept_pass``.
+        """
+        inc_nbr_hosts = hosts[self.inc_nbr]
+        inc_old = self.inc_rates * evaluator.latency_array(
+            hosts[self.unpinned_rows[self.inc_seg]], inc_nbr_hosts
+        )
+        inc_new = self.inc_rates * evaluator.latency_array(
+            candidates[self.inc_seg], inc_nbr_hosts
+        )
+        old_usage = np.zeros(self.num_segments)
+        new_usage = np.zeros(self.num_segments)
+        np.add.at(old_usage, self.inc_seg, inc_old)
+        np.add.at(new_usage, self.inc_seg, inc_new)
+        return old_usage, new_usage
+
+
 def refresh_kernel_rates(
     kernel_cache: dict | None, circuit: Circuit, rates: np.ndarray
 ) -> bool:
@@ -251,6 +394,12 @@ def refresh_kernel_rates(
     the next re-optimization pass — batched or not — prices the
     *measured* objective without recompiling structure.  Returns True
     when a kernel was refreshed.
+
+    The fused reopt arena (cached under ``"__arena__"`` in the same
+    cache) holds copies of the kernels' rate columns; ``set_rates``
+    bumps the kernel's ``rates_version``, which the arena checks each
+    pass, so a refresh here reaches the fused path lazily with no
+    explicit invalidation.
     """
     if not kernel_cache:
         return False
@@ -334,6 +483,7 @@ class Reoptimizer:
         kernel: _CircuitKernel,
         hosts: np.ndarray,
         candidates: np.ndarray,
+        precomputed: tuple[np.ndarray, np.ndarray, float] | None = None,
     ) -> tuple[list[Migration], float]:
         """Sequential accept/revert sweep over pre-mapped candidates.
 
@@ -349,27 +499,34 @@ class Reoptimizer:
         uses the speculative delta; the load-penalty delta is tracked
         through a running multiset of occupied hosts.
 
+        ``precomputed`` is ``(old_usage, new_usage, current_total)``
+        from the fused cross-circuit pass (:meth:`step_all`): the same
+        quantities this method would derive itself, already computed in
+        one global sweep, so the per-circuit batch is skipped.
+
         Returns:
             (migrations, final total).
         """
-        current_total = kernel.total(hosts, self.evaluator, self.load_weight)
+        if precomputed is None:
+            current_total = kernel.total(hosts, self.evaluator, self.load_weight)
+            # Speculative batch: per-candidate incident usage, old vs
+            # new, from the snapshot hosts (one latency_array pass each).
+            inc_nbr_hosts = hosts[kernel.inc_nbr]
+            inc_old = kernel.inc_rates * self.evaluator.latency_array(
+                hosts[kernel.unpinned_rows[kernel.inc_seg]], inc_nbr_hosts
+            )
+            inc_new = kernel.inc_rates * self.evaluator.latency_array(
+                candidates[kernel.inc_seg], inc_nbr_hosts
+            )
+            m = len(kernel.unpinned_sids)
+            old_usage = np.zeros(m)
+            new_usage = np.zeros(m)
+            np.add.at(old_usage, kernel.inc_seg, inc_old)
+            np.add.at(new_usage, kernel.inc_seg, inc_new)
+        else:
+            old_usage, new_usage, current_total = precomputed
         migrations: list[Migration] = []
         moved = np.zeros(len(hosts), dtype=bool)
-
-        # Speculative batch: per-candidate incident usage, old vs new,
-        # from the snapshot hosts (one latency_array pass each).
-        inc_nbr_hosts = hosts[kernel.inc_nbr]
-        inc_old = kernel.inc_rates * self.evaluator.latency_array(
-            hosts[kernel.unpinned_rows[kernel.inc_seg]], inc_nbr_hosts
-        )
-        inc_new = kernel.inc_rates * self.evaluator.latency_array(
-            candidates[kernel.inc_seg], inc_nbr_hosts
-        )
-        m = len(kernel.unpinned_sids)
-        old_usage = np.zeros(m)
-        new_usage = np.zeros(m)
-        np.add.at(old_usage, kernel.inc_seg, inc_old)
-        np.add.at(new_usage, kernel.inc_seg, inc_new)
 
         # Penalty bookkeeping: multiset of hosts over unpinned services
         # plus a penalty lookup for every node that can appear.
@@ -516,20 +673,10 @@ class Reoptimizer:
         report.cost_after = current_cost
         return report
 
-    def step_all(self, circuits: list[Circuit]) -> list[ReoptimizationReport]:
-        """One local pass over many circuits, mapped in a single batch.
-
-        All circuits' spring targets are stacked into **one**
-        ``map_coordinates`` call (one chunked cost-space pass for the
-        whole tick); accepts then run per circuit as in
-        :meth:`local_step`.  Reports carry migrations only — the full
-        :class:`CircuitCost` breakdowns (which need the consumer-latency
-        DP) are skipped in this bulk path.
-        """
-        reports = [ReoptimizationReport() for _ in circuits]
+    def _collect_active(self, circuits: list[Circuit]):
+        """Kernels + host snapshots of the circuits with unpinned work."""
         kernels: list[_CircuitKernel] = []
         hosts_list: list[np.ndarray] = []
-        chunks: list[np.ndarray] = []
         active: list[int] = []
         for i, circuit in enumerate(circuits):
             if not circuit.is_fully_placed():
@@ -537,13 +684,98 @@ class Reoptimizer:
             kernel = self._kernel(circuit)
             if not kernel.unpinned_sids:
                 continue
-            hosts = kernel.hosts(circuit)
             kernels.append(kernel)
-            hosts_list.append(hosts)
-            chunks.append(self._full_targets(kernel, hosts))
+            hosts_list.append(kernel.hosts(circuit))
             active.append(i)
+        return kernels, hosts_list, active
+
+    def _arena(self, kernels: list[_CircuitKernel]) -> _ReoptArena:
+        """The fused arena for these kernels, cached and lazily refreshed."""
+        arena = self._kernels.get(_ARENA_KEY)
+        if not isinstance(arena, _ReoptArena) or not arena.matches(kernels):
+            arena = _ReoptArena(kernels)
+            self._kernels[_ARENA_KEY] = arena
+        elif arena.rates_stale():
+            arena.refresh_rates()
+        return arena
+
+    def step_all(self, circuits: list[Circuit]) -> list[ReoptimizationReport]:
+        """One fused local pass over many circuits (the arena path).
+
+        The active kernels are concatenated into one global incidence
+        table (:class:`_ReoptArena`, cached across passes), so the
+        whole tick costs **one** spring-target segment-sum, **one**
+        batched ``map_coordinates``, **one** link-usage sweep, and
+        **one** speculative candidate-pricing sweep — no per-circuit
+        kernel dispatch.  Only the accept/revert decisions stay
+        sequential per circuit (they must: the hysteresis threshold
+        compares against the live running total).  Bit-identical to
+        :meth:`step_all_percircuit`; reports carry migrations only, as
+        there.
+        """
+        reports = [ReoptimizationReport() for _ in circuits]
+        kernels, hosts_list, active = self._collect_active(circuits)
         if not active:
             return reports
+        arena = self._arena(kernels)
+        ghosts = np.concatenate(hosts_list)
+        vdims = self.cost_space.spec.vector_dims
+        targets = np.zeros((arena.num_segments, self.cost_space.spec.dims))
+        targets[:, :vdims] = arena.targets(
+            ghosts, self.cost_space.vector_matrix()
+        )
+        candidates, _ = self.mapper.map_coordinates(targets)
+        old_usage, new_usage = arena.speculative_usage(
+            ghosts, candidates, self.evaluator
+        )
+        # One global latency sweep prices every circuit's current links;
+        # the per-circuit total then reduces slices exactly the way
+        # ``_CircuitKernel.total`` does (same dot, same distinct-host
+        # penalty), so accept thresholds match the per-circuit path.
+        link_lat = self.evaluator.latency_array(
+            ghosts[arena.link_src], ghosts[arena.link_dst]
+        )
+        for idx, (kernel, hosts, i) in enumerate(zip(kernels, hosts_list, active)):
+            l0, l1 = arena.link_offsets[idx], arena.link_offsets[idx + 1]
+            usage = float(np.dot(kernel.link_rates, link_lat[l0:l1]))
+            distinct = list({int(h) for h in hosts[kernel.unpinned_rows]})
+            penalty = float(
+                self.evaluator.penalty_array(np.asarray(distinct)).sum()
+            )
+            s0, s1 = arena.seg_offsets[idx], arena.seg_offsets[idx + 1]
+            reports[i].migrations, _ = self._accept_pass(
+                circuits[i],
+                kernel,
+                hosts,
+                candidates[s0:s1],
+                precomputed=(
+                    old_usage[s0:s1],
+                    new_usage[s0:s1],
+                    usage + self.load_weight * penalty,
+                ),
+            )
+        return reports
+
+    def step_all_percircuit(
+        self, circuits: list[Circuit]
+    ) -> list[ReoptimizationReport]:
+        """Per-circuit kernel dispatch, mapped in a single batch.
+
+        The pre-arena bulk path, retained as the fused :meth:`step_all`'s
+        reference twin: each circuit's spring targets and speculative
+        prices come from its own kernel; only ``map_coordinates`` is
+        shared.  Reports carry migrations only — the full
+        :class:`CircuitCost` breakdowns (which need the consumer-latency
+        DP) are skipped in this bulk path.
+        """
+        reports = [ReoptimizationReport() for _ in circuits]
+        kernels, hosts_list, active = self._collect_active(circuits)
+        if not active:
+            return reports
+        chunks = [
+            self._full_targets(kernel, hosts)
+            for kernel, hosts in zip(kernels, hosts_list)
+        ]
         candidates, _ = self.mapper.map_coordinates(np.vstack(chunks))
         offset = 0
         for kernel, hosts, i in zip(kernels, hosts_list, active):

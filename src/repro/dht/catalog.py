@@ -261,6 +261,66 @@ class CoordinateCatalog:
         ]
         return hits, stats
 
+    def nearest_batch(
+        self,
+        coordinates: np.ndarray,
+        scan_width: int = 8,
+        exclude: set[int] | None = None,
+    ) -> tuple[list[CatalogEntry | None], list[CatalogQueryStats]]:
+        """Batched :meth:`nearest`: one ring walk per distinct owner.
+
+        All Hilbert keys are computed in one batched encode pass, and
+        every key still routes through the DHT individually — per-key
+        ``dht_hops`` remain the reported metric.  The neighborhood walk,
+        however, depends only on ``(owner, scan_width, exclude)``, so
+        targets whose lookups land on the same catalog owner share one
+        walk instead of repeating it.  Each target then ranks the shared
+        candidate list with its own distance, preserving the per-key
+        answer exactly, including insertion-order tie-breaking.
+
+        Args:
+            coordinates: ``(m, dims)`` array of query points.
+            scan_width: neighborhood half-width (entries per direction).
+            exclude: physical node ids to ignore.
+
+        Returns:
+            ``(entries, stats)`` lists parallel to ``coordinates``;
+            ``entries[i]`` is None if nothing is published.
+        """
+        coordinates = np.asarray(coordinates, dtype=float)
+        if coordinates.ndim != 2:
+            raise ValueError("coordinates must be an (m, dims) array")
+        exclude = exclude or set()
+        spare_bits = max(self.ring.id_bits - self.mapper.key_bits, 0)
+        base_keys = self.mapper.keys_for(coordinates)
+        routes = [self.ring.lookup(int(base) << spare_bits) for base in base_keys]
+
+        scans: dict[int, tuple[list[CatalogEntry], int]] = {}
+        for route in routes:
+            if route.owner not in scans:
+                scans[route.owner] = self._scan_from(
+                    route.owner, scan_width, exclude
+                )
+
+        results: list[CatalogEntry | None] = []
+        stats_list: list[CatalogQueryStats] = []
+        for point, route in zip(coordinates, routes):
+            entries, scanned = scans[route.owner]
+            stats_list.append(
+                CatalogQueryStats(
+                    dht_hops=route.hops,
+                    ring_entries_scanned=scanned,
+                    candidates=len(entries),
+                )
+            )
+            if entries:
+                results.append(
+                    min(entries, key=lambda e: self.distance(point, e.as_array()))
+                )
+            else:
+                results.append(None)
+        return results, stats_list
+
     def _neighborhood(
         self,
         coordinate: np.ndarray | list[float],
@@ -273,14 +333,30 @@ class CoordinateCatalog:
         key = self.mapper.key_for(coordinate) << max(spare_bits, 0)
         route = self.ring.lookup(key)
         stats = CatalogQueryStats(dht_hops=route.hops)
+        entries, stats.ring_entries_scanned = self._scan_from(
+            route.owner, scan_width, exclude or set()
+        )
+        stats.candidates = len(entries)
+        return entries, stats
 
-        exclude = exclude or set()
+    def _scan_from(
+        self, owner: int, scan_width: int, exclude: set[int]
+    ) -> tuple[list[CatalogEntry], int]:
+        """Walk the ring neighborhood of ``owner``, gathering entries.
+
+        The walk is a pure function of ``(owner, scan_width, exclude)``
+        and the current store contents — :meth:`nearest_batch` relies on
+        this to share one walk across queries landing on the same owner.
+
+        Returns ``(entries, ring_entries_scanned)``.
+        """
         collected: dict[int, CatalogEntry] = {}
+        scanned = 0
 
         # Walk successors and predecessors from the owner, gathering
         # published entries until scan_width per direction is reached.
         for direction in ("successor", "predecessor"):
-            node_id = route.owner
+            node_id = owner
             gathered = 0
             visited = 0
             while gathered < scan_width and visited < len(self.ring):
@@ -290,7 +366,7 @@ class CoordinateCatalog:
                     stored = list(reversed(stored))
                 for _, value in stored:
                     if isinstance(value, CatalogEntry):
-                        stats.ring_entries_scanned += 1
+                        scanned += 1
                         if value.physical_node not in exclude:
                             if value.physical_node not in collected:
                                 collected[value.physical_node] = value
@@ -300,8 +376,7 @@ class CoordinateCatalog:
                 node_id = getattr(node, direction)
                 visited += 1
 
-        stats.candidates = len(collected)
-        return list(collected.values()), stats
+        return list(collected.values()), scanned
 
     # -- ground truth ----------------------------------------------------
 

@@ -12,16 +12,24 @@ what the network really carries under churn, hotspots, and migration.
   nodes, extending conservation to
   ``sent == delivered + in_flight + buffered``.
 * :mod:`repro.runtime.dataplane` — the :class:`DataPlane` coordinator:
-  compiles installed circuits into flat CSR kernels, steps sources and
+  compiles *all* installed circuits into one global CSR arena (flat op
+  and link arrays with per-circuit segments), steps sources and
   operators in batch per tick, applies per-node capacity backpressure
   (and controller shed limits) with explicit drop accounting, re-homes
   in-flight tuples when the re-optimizer migrates a service, exports
   per-tick measured link/node statistics for the control plane, and
   can drift the realized operator parameters away from the compiled
   estimates (:class:`ParameterDrift`).
+* :mod:`repro.runtime.arena` — the arena building blocks:
+  :class:`CircuitArena` segment bookkeeping (append on install,
+  tombstone on uninstall, compact past a dead-row threshold — tenant
+  churn never forces a full recompile) and :class:`ScratchArena`
+  reusable per-tick scratch buffers (preallocated, grown
+  geometrically; never hold a view across ticks).
 """
 
 from repro.core.load_model import LoadModel
+from repro.runtime.arena import ArenaSegment, CircuitArena, ScratchArena
 from repro.runtime.dataplane import (
     DataPlane,
     ParameterDrift,
@@ -37,6 +45,9 @@ from repro.runtime.transport import (
 
 __all__ = [
     "LoadModel",
+    "ArenaSegment",
+    "CircuitArena",
+    "ScratchArena",
     "DataPlane",
     "ParameterDrift",
     "RuntimeConfig",

@@ -1,0 +1,233 @@
+"""Global circuit arena: shared segment bookkeeping + reusable scratch.
+
+Two small, dependency-free building blocks behind the arena runtime
+path (PR 7):
+
+:class:`ScratchArena`
+    A pool of named, geometrically grown numpy buffers reused across
+    ticks.  Hot per-tick kernels (transport batch extraction, per-op
+    cost accumulators, admission bookkeeping) ask for a view of the
+    size they need this tick instead of allocating fresh arrays.
+
+    **Buffer-reuse contract**: a view handed out by :meth:`array` /
+    :meth:`zeros` is valid only until the *next* request for the same
+    name — in practice, within the current tick.  Never hold a view
+    into a scratch buffer across ticks; copy if a value must survive.
+
+:class:`CircuitArena`
+    Segment bookkeeping for the one global CSR op/link table the data
+    plane compiles every installed circuit into.  Each circuit owns a
+    contiguous *segment* of op rows and link rows; installs append a
+    new segment at the end, uninstalls *tombstone* the segment (rows
+    stay allocated, marked dead), and once the dead fraction crosses
+    ``compact_threshold`` the owner gathers the live rows (order
+    preserved) using the mapping this class computes.
+
+    Segment-boundary invariant: live segments appear in arrays in
+    circuit-install order, each occupying contiguous ``[op_base,
+    op_base + num_ops)`` / ``[link_base, link_base + num_links)`` row
+    ranges; link rows are grouped by source op in op-row order.
+    Compaction preserves this invariant (it only removes dead holes).
+
+The actual column arrays (operator kinds/parameters, CSR link table,
+join state) live with their owner — :class:`~repro.runtime.dataplane.
+DataPlane` — which consults this bookkeeping for append offsets,
+liveness masks, and compaction gathers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ScratchArena", "ArenaSegment", "CircuitArena"]
+
+
+class ScratchArena:
+    """Named reusable scratch buffers with geometric growth.
+
+    Example::
+
+        scratch = ScratchArena()
+        buf = scratch.zeros("op_cost", num_ops)   # zeroed view, len num_ops
+        idx = scratch.array("due_idx", m, np.int64)  # uninitialized view
+
+    Views are only valid until the same name is requested again (never
+    hold one across ticks).  Buffers never shrink; growth doubles, so
+    total allocation work is O(max size ever requested).
+    """
+
+    def __init__(self) -> None:
+        self._pool: dict[str, np.ndarray] = {}
+
+    def array(self, name: str, size: int, dtype=np.float64) -> np.ndarray:
+        """An *uninitialized* length-``size`` view of the named buffer."""
+        buf = self._pool.get(name)
+        if buf is None or buf.size < size or buf.dtype != np.dtype(dtype):
+            cap = max(16, int(size))
+            if buf is not None and buf.dtype == np.dtype(dtype):
+                cap = max(cap, 2 * buf.size)
+            buf = np.empty(cap, dtype=dtype)
+            self._pool[name] = buf
+        return buf[:size]
+
+    def zeros(self, name: str, size: int, dtype=np.float64) -> np.ndarray:
+        """A zero-filled length-``size`` view of the named buffer."""
+        out = self.array(name, size, dtype)
+        out.fill(0)
+        return out
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes currently held by the pool (observability)."""
+        return sum(buf.nbytes for buf in self._pool.values())
+
+
+@dataclass
+class ArenaSegment:
+    """One circuit's contiguous row ranges in the global arena.
+
+    Attributes:
+        name: circuit name owning the segment.
+        op_base: first op row of the segment.
+        num_ops: op-row count.
+        link_base: first link row of the segment.
+        num_links: link-row count.
+        host_version: the circuit ``_placement_version`` the cached
+            host column was last refreshed at (-1 = never).
+    """
+
+    name: str
+    op_base: int
+    num_ops: int
+    link_base: int
+    num_links: int
+    host_version: int = -1
+
+
+class CircuitArena:
+    """Segment bookkeeping of the global circuit arena (see module doc)."""
+
+    def __init__(self, compact_threshold: float = 0.25) -> None:
+        if not 0.0 < compact_threshold <= 1.0:
+            raise ValueError("compact_threshold must be in (0, 1]")
+        self.compact_threshold = compact_threshold
+        self.segments: dict[str, ArenaSegment] = {}
+        self.num_ops = 0  # total op rows, live + tombstoned
+        self.num_links = 0
+        self.dead_ops = 0
+        self.dead_links = 0
+        self.op_alive = np.zeros(0, dtype=bool)
+        self.link_alive = np.zeros(0, dtype=bool)
+
+    # -- structural changes -------------------------------------------------
+
+    def reset(self, segments: list[tuple[str, int, int]]) -> None:
+        """Rebuild bookkeeping from scratch (after a full recompile).
+
+        ``segments`` is ``[(name, num_ops, num_links), ...]`` in
+        install order; every row is live.
+        """
+        self.segments = {}
+        op_base = link_base = 0
+        for name, n_ops, n_links in segments:
+            self.segments[name] = ArenaSegment(
+                name, op_base, n_ops, link_base, n_links
+            )
+            op_base += n_ops
+            link_base += n_links
+        self.num_ops = op_base
+        self.num_links = link_base
+        self.dead_ops = self.dead_links = 0
+        self.op_alive = np.ones(op_base, dtype=bool)
+        self.link_alive = np.ones(link_base, dtype=bool)
+
+    def append(self, name: str, n_ops: int, n_links: int) -> ArenaSegment:
+        """Claim a new segment at the end of the arena; returns it."""
+        if name in self.segments:
+            raise ValueError(f"circuit {name!r} already has a segment")
+        seg = ArenaSegment(name, self.num_ops, n_ops, self.num_links, n_links)
+        self.segments[name] = seg
+        self.num_ops += n_ops
+        self.num_links += n_links
+        self.op_alive = np.concatenate(
+            (self.op_alive, np.ones(n_ops, dtype=bool))
+        )
+        self.link_alive = np.concatenate(
+            (self.link_alive, np.ones(n_links, dtype=bool))
+        )
+        return seg
+
+    def tombstone(self, name: str) -> ArenaSegment:
+        """Mark a segment's rows dead; returns the (removed) segment."""
+        seg = self.segments.pop(name)
+        self.op_alive[seg.op_base : seg.op_base + seg.num_ops] = False
+        self.link_alive[seg.link_base : seg.link_base + seg.num_links] = False
+        self.dead_ops += seg.num_ops
+        self.dead_links += seg.num_links
+        return seg
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def tombstone_fraction(self) -> float:
+        """Dead-row fraction (ops + links pooled)."""
+        total = self.num_ops + self.num_links
+        return (self.dead_ops + self.dead_links) / total if total else 0.0
+
+    @property
+    def needs_compaction(self) -> bool:
+        return self.tombstone_fraction > self.compact_threshold
+
+    def live_op_rows(self) -> np.ndarray:
+        """Live op-row indices, ascending (== install order)."""
+        return np.flatnonzero(self.op_alive)
+
+    def live_link_rows(self) -> np.ndarray:
+        """Live link-row indices, ascending (grouped by live op)."""
+        return np.flatnonzero(self.link_alive)
+
+    def op_mapping(self) -> np.ndarray:
+        """Identity-except-dead op mapping (dead rows -> -1).
+
+        The shape the transport/state remap helpers expect: in-flight
+        tuples of live ops keep their row, dead ops' tuples drop.
+        """
+        mapping = np.full(max(self.num_ops, 1), -1, dtype=np.int64)
+        live = self.live_op_rows()
+        mapping[live] = live
+        return mapping
+
+    # -- compaction ---------------------------------------------------------
+
+    def compaction(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Compute the live-row gather and old->new mappings.
+
+        Returns ``(op_gather, link_gather, op_map, link_map)`` where
+        the gathers are ascending live-row indices and the maps send
+        old rows to new compact rows (-1 for dead).  The caller gathers
+        every column with these, then calls :meth:`apply_compaction`.
+        """
+        op_gather = self.live_op_rows()
+        link_gather = self.live_link_rows()
+        op_map = np.full(max(self.num_ops, 1), -1, dtype=np.int64)
+        op_map[op_gather] = np.arange(op_gather.size)
+        link_map = np.full(max(self.num_links, 1), -1, dtype=np.int64)
+        link_map[link_gather] = np.arange(link_gather.size)
+        return op_gather, link_gather, op_map, link_map
+
+    def apply_compaction(self) -> None:
+        """Rewrite segment bases assuming live rows were gathered."""
+        op_base = link_base = 0
+        # Dict order is install order, which equals row order.
+        for seg in self.segments.values():
+            seg.op_base = op_base
+            seg.link_base = link_base
+            op_base += seg.num_ops
+            link_base += seg.num_links
+        self.num_ops = op_base
+        self.num_links = link_base
+        self.dead_ops = self.dead_links = 0
+        self.op_alive = np.ones(op_base, dtype=bool)
+        self.link_alive = np.ones(link_base, dtype=bool)

@@ -78,6 +78,30 @@ tick via :meth:`DataPlane.accounting`::
 (``buffered`` is 0 without the reliable transport) so no tuple is ever
 silently lost.
 
+The global circuit arena (PR 7)
+-------------------------------
+
+All circuits compile into **one** contiguous set of flat arrays (the
+global CSR arena): op columns and link rows span every installed
+circuit, and each circuit owns a contiguous *segment* of them
+(:class:`~repro.runtime.arena.CircuitArena` keeps the bookkeeping).
+Each tick therefore runs a constant number of array kernels over all
+circuits at once — there is no per-circuit Python dispatch in the hot
+path.  With ``RuntimeConfig.incremental`` (the default), installs
+append a new segment, uninstalls tombstone the old one (in-flight /
+state / estimator columns survive untouched), and the arena compacts
+in one gather pass when the dead fraction crosses
+``RuntimeConfig.compact_threshold`` — tenant churn never triggers a
+full recompile.  ``incremental=False`` retains the legacy
+rebuild-everything sync as the reference; both modes are pinned
+tick-for-tick equivalent (compaction included) by
+``tests/property/test_arena_properties.py``, and full recompiles are
+observable via ``TrafficRecord.recompiles``.  Per-tick scratch
+(transport extraction, cost accumulators, admission bookkeeping) comes
+from a :class:`~repro.runtime.arena.ScratchArena` — preallocated,
+grown geometrically, reused across ticks; never hold a view into a
+scratch buffer across ticks.
+
 Scalar reference
 ----------------
 
@@ -98,6 +122,7 @@ per-candidate draw order.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass
 
@@ -111,12 +136,15 @@ from repro.core.load_model import (
     LoadModel,
 )
 from repro.query.operators import ServiceKind
+from repro.runtime.arena import CircuitArena, ScratchArena
 from repro.runtime.transport import (
     ArrayTransport,
     HeapTransport,
     ReliableHeapTransport,
     ReliableTransport,
 )
+
+_LOG = logging.getLogger(__name__)
 
 __all__ = ["ParameterDrift", "RuntimeConfig", "TrafficRecord", "DataPlane"]
 
@@ -254,6 +282,16 @@ class RuntimeConfig:
             unified load currency measured per node every tick and
             priced at admission.  None uses :meth:`LoadModel.unit`
             (every tuple costs 1: cost == count).
+        incremental: maintain the global circuit arena incrementally
+            (installs append a segment, uninstalls tombstone one,
+            compaction past :class:`~repro.runtime.arena.CircuitArena`'s
+            threshold) — the primary path.  False retains the legacy
+            reference: a full recompile of every flat array on any
+            change of the installed set.  Both paths are tick-for-tick
+            equivalent (operator hashes are salted by a stable global
+            op id, not the physical row).
+        compact_threshold: tombstone fraction above which the
+            incremental arena compacts its dead rows.
     """
 
     window: int = 20
@@ -265,6 +303,8 @@ class RuntimeConfig:
     retransmit_buffer: int = 4096
     drift: tuple[ParameterDrift, ...] = ()
     load_model: LoadModel | None = None
+    incremental: bool = True
+    compact_threshold: float = 0.25
 
     def __post_init__(self) -> None:
         if self.window < 0:
@@ -307,6 +347,10 @@ class TrafficRecord:
             over all nodes (Σ of :attr:`DataPlane.tick_node_cpu`).
         cpu_dropped: CPU cost units of admission demand rejected this
             tick (capacity + shed rejections at their admission price).
+        recompiles: full kernel recompiles triggered by this tick's
+            sync (0 on the incremental arena path except for same-name
+            circuit replacement; 1 per changed set on the legacy path)
+            — the observable for compile churn.
     """
 
     tick: int
@@ -324,6 +368,7 @@ class TrafficRecord:
     buffered: int = 0
     cpu_cost: float = 0.0
     cpu_dropped: float = 0.0
+    recompiles: int = 0
 
 
 class DataPlane:
@@ -374,124 +419,276 @@ class DataPlane:
         self._state_merge_limit = 1024
         # Per-(circuit, link) stats survive recompiles in this fold.
         self._link_stats_folded: dict[tuple[str, str, str], list] = {}
-        self._compile(remap_from=None)
+        # Global circuit arena: segment bookkeeping, stable global op
+        # ids (hash salts that survive row moves), reusable scratch.
+        self._arena = CircuitArena(self.config.compact_threshold)
+        self._scratch = ScratchArena()
+        self._next_gid = 0
+        self._host_cache: np.ndarray | None = None
+        # Full-recompile observability (satellite: compile churn).
+        self.recompiles = 0
+        self._tick_recompiles = 0
+        self._compile(remap_from=None, reason="initial")
 
     # -- compilation -------------------------------------------------------
 
-    def _compile(self, remap_from: dict | None) -> int:
-        """(Re)build the flat kernels from the overlay's circuit set.
+    def _derive_circuit(self, circuit) -> dict:
+        """Compile one circuit into segment-local flat columns.
 
-        ``remap_from`` is the previous ``(circuit, sid) -> op`` index
-        when recompiling; surviving state (in-flight tuples, join
-        state, aggregate credit) is re-addressed, and tuples of
-        uninstalled circuits are dropped with accounting.  Returns the
-        number dropped.
+        Shared by the full recompile (which assembles every segment)
+        and the incremental install path (which appends one), so both
+        derive identical operator parameters.  All op/link indices in
+        the returned columns are segment-local; callers shift them by
+        the segment base.
         """
-        old_credit = getattr(self, "_agg_credit", None)
-        if remap_from is not None:
-            self._fold_link_stats()
-
-        circuits = list(self.overlay.circuits.values())
-        op_index: dict[tuple[str, str], int] = {}
-        rows: list[tuple[object, list[str], int]] = []
-        for circuit in circuits:
-            sids = list(circuit.services.keys())
-            rows.append((circuit, sids, len(op_index)))
-            for sid in sids:
-                op_index[(circuit.name, sid)] = len(op_index)
-        num_ops = len(op_index)
-
-        kind = np.zeros(num_ops, dtype=np.int8)
-        in_deg = np.zeros(num_ops, dtype=np.int64)
-        out_lists: list[list[tuple[int, int]]] = [[] for _ in range(num_ops)]
-        op_sel = np.ones(num_ops, dtype=np.float64)
-        op_factor = np.full(num_ops, 0.5, dtype=np.float64)
-        op_pmatch = np.ones(num_ops, dtype=np.float64)
-        op_domain = np.ones(num_ops, dtype=np.float64)
-        slack = np.zeros(num_ops, dtype=np.int64)
+        sids = list(circuit.services.keys())
+        local = {(circuit.name, sid): i for i, sid in enumerate(sids)}
+        n = len(sids)
+        kind = np.zeros(n, dtype=np.int8)
+        in_deg = np.zeros(n, dtype=np.int64)
+        out_lists: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        op_sel = np.ones(n, dtype=np.float64)
+        op_factor = np.full(n, 0.5, dtype=np.float64)
+        op_pmatch = np.ones(n, dtype=np.float64)
+        op_domain = np.ones(n, dtype=np.float64)
+        slack = np.zeros(n, dtype=np.int64)
         src_ops: list[int] = []
         src_rate: list[float] = []
         src_domain: list[int] = []
 
-        w = self.config.window
-        for circuit in circuits:
-            incoming: dict[str, list] = {sid: [] for sid in circuit.services}
-            outgoing: dict[str, list] = {sid: [] for sid in circuit.services}
-            for link in circuit.links:
-                incoming[link.target].append(link)
-                outgoing[link.source].append(link)
+        incoming: dict[str, list] = {sid: [] for sid in circuit.services}
+        outgoing: dict[str, list] = {sid: [] for sid in circuit.services}
+        for link in circuit.links:
+            incoming[link.target].append(link)
+            outgoing[link.source].append(link)
 
-            # Key domain realizing the largest implied join selectivity,
-            # as in CircuitExecutor.from_query: the binding join matches
-            # on key equality alone, the others thin further via the
-            # deterministic match bucket.
-            needs = []
-            for sid, service in circuit.services.items():
-                if service.kind is not ServiceKind.JOIN or len(incoming[sid]) != 2:
-                    continue
+        # Key domain realizing the largest implied join selectivity,
+        # as in CircuitExecutor.from_query: the binding join matches
+        # on key equality alone, the others thin further via the
+        # deterministic match bucket.
+        w = self.config.window
+        needs = []
+        for sid, service in circuit.services.items():
+            if service.kind is not ServiceKind.JOIN or len(incoming[sid]) != 2:
+                continue
+            r0, r1 = (l.rate for l in incoming[sid])
+            outs = outgoing[sid]
+            ro = outs[0].rate if outs else 0.0
+            if r0 > 0 and r1 > 0 and ro > 0:
+                needs.append(r0 * r1 * (2 * w + 1) / ro)
+        domain = int(np.clip(int(min(needs)), 1, 1 << 31)) if needs else 2 * w + 1
+
+        for sid, service in circuit.services.items():
+            op = local[(circuit.name, sid)]
+            op_domain[op] = domain
+            in_deg[op] = len(incoming[sid])
+            for port, link in enumerate(incoming[sid]):
+                src = local[(circuit.name, link.source)]
+                out_lists[src].append((op, port))
+            if service.kind is ServiceKind.JOIN and len(incoming[sid]) == 2:
+                kind[op] = _JOIN
                 r0, r1 = (l.rate for l in incoming[sid])
                 outs = outgoing[sid]
                 ro = outs[0].rate if outs else 0.0
-                if r0 > 0 and r1 > 0 and ro > 0:
-                    needs.append(r0 * r1 * (2 * w + 1) / ro)
-            domain = int(np.clip(int(min(needs)), 1, 1 << 31)) if needs else 2 * w + 1
+                if r0 > 0 and r1 > 0:
+                    p = ro * domain / (r0 * r1 * (2 * w + 1))
+                    op_pmatch[op] = min(1.0, p)
+            elif service.kind is ServiceKind.FILTER:
+                kind[op] = _FILTER
+                inr = sum(l.rate for l in incoming[sid])
+                outs = outgoing[sid]
+                if service.spec.selectivity is not None:
+                    op_sel[op] = service.spec.selectivity
+                elif outs and inr > 0:
+                    op_sel[op] = min(1.0, outs[0].rate / inr)
+            elif service.kind is ServiceKind.AGGREGATE:
+                kind[op] = _AGG
+                inr = sum(l.rate for l in incoming[sid])
+                outs = outgoing[sid]
+                if outs and inr > 0:
+                    op_factor[op] = min(1.0, outs[0].rate / inr)
+            else:
+                kind[op] = _RELAY
+            if not incoming[sid] and outgoing[sid]:
+                src_ops.append(op)
+                src_rate.append(outgoing[sid][0].rate)
+                src_domain.append(domain)
 
-            for sid, service in circuit.services.items():
-                op = op_index[(circuit.name, sid)]
-                op_domain[op] = domain
-                in_deg[op] = len(incoming[sid])
-                for port, link in enumerate(incoming[sid]):
-                    src = op_index[(circuit.name, link.source)]
-                    out_lists[src].append((op, port))
-                if service.kind is ServiceKind.JOIN and len(incoming[sid]) == 2:
-                    kind[op] = _JOIN
-                    r0, r1 = (l.rate for l in incoming[sid])
-                    outs = outgoing[sid]
-                    ro = outs[0].rate if outs else 0.0
-                    if r0 > 0 and r1 > 0:
-                        p = ro * domain / (r0 * r1 * (2 * w + 1))
-                        op_pmatch[op] = min(1.0, p)
-                elif service.kind is ServiceKind.FILTER:
-                    kind[op] = _FILTER
-                    inr = sum(l.rate for l in incoming[sid])
-                    outs = outgoing[sid]
-                    if service.spec.selectivity is not None:
-                        op_sel[op] = service.spec.selectivity
-                    elif outs and inr > 0:
-                        op_sel[op] = min(1.0, outs[0].rate / inr)
-                elif service.kind is ServiceKind.AGGREGATE:
-                    kind[op] = _AGG
-                    inr = sum(l.rate for l in incoming[sid])
-                    outs = outgoing[sid]
-                    if outs and inr > 0:
-                        op_factor[op] = min(1.0, outs[0].rate / inr)
-                else:
-                    kind[op] = _RELAY
-                if not incoming[sid] and outgoing[sid]:
-                    src_ops.append(op)
-                    src_rate.append(outgoing[sid][0].rate)
-                    src_domain.append(domain)
+        self._assign_slack(circuit, incoming, local, slack)
 
-            self._assign_slack(circuit, incoming, op_index, slack)
-
-        # Flatten out-links in CSR form: link ids are grouped by source op.
+        # Segment-local CSR: link rows grouped by source op in op order.
         out_deg = np.array([len(lst) for lst in out_lists], dtype=np.int64)
-        out_offsets = np.zeros(num_ops + 1, dtype=np.int64)
+        out_offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(out_deg, out=out_offsets[1:])
         num_links = int(out_offsets[-1])
         link_dst = np.zeros(num_links, dtype=np.int64)
         link_port = np.zeros(num_links, dtype=np.int64)
-        link_src_op = np.zeros(num_links, dtype=np.int64)
+        link_src = np.zeros(num_links, dtype=np.int64)
         link_names: list[tuple[str, str, str]] = []
-        names_of_op = [key for key, _ in sorted(op_index.items(), key=lambda kv: kv[1])]
         for op, lst in enumerate(out_lists):
             base = out_offsets[op]
             for i, (dst, port) in enumerate(lst):
                 link_dst[base + i] = dst
                 link_port[base + i] = port
-                link_src_op[base + i] = op
-                cname, src_sid = names_of_op[op]
-                link_names.append((cname, src_sid, names_of_op[dst][1]))
+                link_src[base + i] = op
+                link_names.append((circuit.name, sids[op], sids[dst]))
+        return {
+            "sids": sids,
+            "kind": kind,
+            "in_deg": in_deg,
+            "op_sel": op_sel,
+            "op_factor": op_factor,
+            "op_pmatch": op_pmatch,
+            "op_domain": op_domain,
+            "slack": slack,
+            "out_deg": out_deg,
+            "out_offsets": out_offsets,
+            "link_dst": link_dst,
+            "link_port": link_port,
+            "link_src": link_src,
+            "link_names": link_names,
+            "src_ops": src_ops,
+            "src_rate": src_rate,
+            "src_domain": src_domain,
+        }
+
+    def _compile(self, remap_from: dict | None, reason: str = "replaced") -> int:
+        """Full (re)build of the arena from the overlay's circuit set.
+
+        ``remap_from`` is the previous ``(circuit, sid) -> op`` index
+        when recompiling; surviving state (in-flight tuples, join
+        state, aggregate credit, compiled parameters, global op ids)
+        is carried over, and tuples of uninstalled circuits are
+        dropped with accounting.  Returns the number dropped.
+
+        Compiled parameters of identity-surviving circuits are
+        *preserved* (not re-derived), matching the incremental path:
+        an executing data plane keeps its compiled realized behavior
+        across structural changes of *other* circuits.
+        """
+        old_credit = getattr(self, "_agg_credit", None)
+        old_num_ops = getattr(self, "_num_ops", 0)
+        survivors: dict[tuple[str, str], int] = {}
+        old_cols = old_src = None
+        if remap_from is not None:
+            self._fold_link_stats()
+            self.recompiles += 1
+            self._tick_recompiles += 1
+            _LOG.debug(
+                "data-plane full recompile (%s): %d circuits installed",
+                reason,
+                len(self.overlay.circuits),
+            )
+            old_by_name = {c.name: c for c in self._compiled_circuits}
+            for key, old_i in remap_from.items():
+                if old_by_name.get(key[0]) is self.overlay.circuits.get(key[0]):
+                    survivors[key] = old_i
+            old_cols = (
+                self._op_sel,
+                self._op_factor,
+                self._op_pmatch,
+                self._op_domain,
+                self._slack,
+                self._gid,
+            )
+            old_src = (self._src_pos, self._src_rate, self._src_domain)
+
+        circuits = list(self.overlay.circuits.values())
+        segs = [self._derive_circuit(c) for c in circuits]
+        op_index: dict[tuple[str, str], int] = {}
+        rows: list[tuple[object, list[str], int]] = []
+        names_of_op: list[tuple[str, str]] = []
+        for circuit, seg in zip(circuits, segs):
+            rows.append((circuit, seg["sids"], len(op_index)))
+            for sid in seg["sids"]:
+                op_index[(circuit.name, sid)] = len(op_index)
+                names_of_op.append((circuit.name, sid))
+        num_ops = len(op_index)
+
+        def cat(key: str, dtype) -> np.ndarray:
+            if not segs:
+                return np.zeros(0, dtype=dtype)
+            return np.concatenate([s[key] for s in segs])
+
+        kind = cat("kind", np.int8)
+        in_deg = cat("in_deg", np.int64)
+        op_sel = cat("op_sel", np.float64)
+        op_factor = cat("op_factor", np.float64)
+        op_pmatch = cat("op_pmatch", np.float64)
+        op_domain = cat("op_domain", np.float64)
+        slack = cat("slack", np.int64)
+        out_deg = cat("out_deg", np.int64)
+
+        # Global CSR assembly: each segment's link rows shift by its
+        # bases; grouping by source op in row order is preserved.
+        op_bases = np.zeros(len(segs), dtype=np.int64)
+        link_bases = np.zeros(len(segs), dtype=np.int64)
+        ob = lb = 0
+        for i, seg in enumerate(segs):
+            op_bases[i] = ob
+            link_bases[i] = lb
+            ob += len(seg["sids"])
+            lb += int(seg["out_offsets"][-1])
+        num_links = lb
+        if segs:
+            link_dst = np.concatenate(
+                [s["link_dst"] + b for s, b in zip(segs, op_bases)]
+            )
+            link_src_op = np.concatenate(
+                [s["link_src"] + b for s, b in zip(segs, op_bases)]
+            )
+            link_port = cat("link_port", np.int64)
+            out_offsets = np.concatenate(
+                [s["out_offsets"][:-1] + b for s, b in zip(segs, link_bases)]
+            )
+            src_ops = np.concatenate(
+                [
+                    np.asarray(s["src_ops"], dtype=np.int64) + b
+                    for s, b in zip(segs, op_bases)
+                ]
+            )
+            src_rate = np.concatenate(
+                [np.asarray(s["src_rate"], dtype=np.float64) for s in segs]
+            )
+            src_domain = np.concatenate(
+                [np.asarray(s["src_domain"], dtype=np.float64) for s in segs]
+            )
+        else:
+            link_dst = np.zeros(0, dtype=np.int64)
+            link_src_op = np.zeros(0, dtype=np.int64)
+            link_port = np.zeros(0, dtype=np.int64)
+            out_offsets = np.zeros(0, dtype=np.int64)
+            src_ops = np.zeros(0, dtype=np.int64)
+            src_rate = np.zeros(0, dtype=np.float64)
+            src_domain = np.zeros(0, dtype=np.float64)
+        link_names: list[tuple[str, str, str]] = []
+        for seg in segs:
+            link_names.extend(seg["link_names"])
+        src_pos = {int(op): i for i, op in enumerate(src_ops)}
+
+        # Stable global op ids: survivors keep theirs (the hash salt
+        # must not change when rows move), fresh ops draw new ones in
+        # op order from the persistent counter — identically on the
+        # full-rebuild and incremental paths, so twin planes agree.
+        gid = np.zeros(num_ops, dtype=np.int64)
+        for key, new_i in op_index.items():
+            old_i = survivors.get(key)
+            if old_i is None:
+                gid[new_i] = self._next_gid
+                self._next_gid += 1
+                continue
+            gid[new_i] = old_cols[5][old_i]
+            op_sel[new_i] = old_cols[0][old_i]
+            op_factor[new_i] = old_cols[1][old_i]
+            op_pmatch[new_i] = old_cols[2][old_i]
+            op_domain[new_i] = old_cols[3][old_i]
+            slack[new_i] = old_cols[4][old_i]
+            old_pos = old_src[0].get(old_i)
+            if old_pos is not None:
+                new_pos = src_pos.get(new_i)
+                if new_pos is not None:
+                    src_rate[new_pos] = old_src[1][old_pos]
+                    src_domain[new_pos] = old_src[2][old_pos]
 
         self._op_index = op_index
         self._circuit_rows = rows
@@ -501,7 +698,7 @@ class DataPlane:
         self._op_names = names_of_op
         self._is_sink = (out_deg == 0) & (in_deg > 0)
         self._out_deg = out_deg
-        self._out_offsets = out_offsets[:-1]
+        self._out_offsets = out_offsets
         self._link_dst = link_dst
         self._link_port = link_port
         self._link_src_op = link_src_op
@@ -514,10 +711,11 @@ class DataPlane:
         self._op_domain = op_domain
         self._in_deg = in_deg
         self._slack = slack
-        self._src_ops = np.asarray(src_ops, dtype=np.int64)
-        self._src_rate = np.asarray(src_rate, dtype=np.float64)
-        self._src_domain = np.asarray(src_domain, dtype=np.float64)
-        self._src_pos = {int(op): i for i, op in enumerate(src_ops)}
+        self._gid = gid
+        self._src_ops = src_ops
+        self._src_rate = src_rate
+        self._src_domain = src_domain
+        self._src_pos = src_pos
         self._agg_credit = np.zeros(num_ops, dtype=np.float64)
         self.tick_link_tuples = np.zeros(num_links, dtype=np.int64)
         self._compiled_names = tuple(self.overlay.circuits.keys())
@@ -525,9 +723,24 @@ class DataPlane:
         # still a different object and must trigger a recompile.
         self._compiled_circuits = tuple(circuits)
 
+        # Reset arena bookkeeping: everything compact and live.
+        self._arena.reset(
+            [
+                (c.name, len(seg["sids"]), int(seg["out_offsets"][-1]))
+                for c, seg in zip(circuits, segs)
+            ]
+        )
+        self._arena_rows = [
+            (c, seg["sids"], self._arena.segments[c.name])
+            for c, seg in zip(circuits, segs)
+        ]
+        self._host_cache = None
+        self._live_links: np.ndarray | None = None
+        self._live_link_names: list[tuple[str, str, str]] = link_names
+
         dropped = 0
         if remap_from is not None:
-            mapping = np.full(max(len(remap_from), 1), -1, dtype=np.int64)
+            mapping = np.full(max(old_num_ops, 1), -1, dtype=np.int64)
             for key, old_i in remap_from.items():
                 new_i = op_index.get(key)
                 if new_i is not None:
@@ -593,7 +806,254 @@ class DataPlane:
             and all(a is b for a, b in zip(current, self._compiled_circuits))
         ):
             return 0
-        return self._compile(remap_from=self._op_index)
+        old_by_name = dict(zip(self._compiled_names, self._compiled_circuits))
+        if not self.config.incremental:
+            new = {c.name for c in current}
+            old = set(self._compiled_names)
+            parts = []
+            if new - old:
+                parts.append(f"installed {len(new - old)}")
+            if old - new:
+                parts.append(f"uninstalled {len(old - new)}")
+            if any(
+                old_by_name.get(c.name) is not None
+                and old_by_name[c.name] is not c
+                for c in current
+            ):
+                parts.append("replaced")
+            return self._compile(
+                remap_from=self._op_index, reason=", ".join(parts) or "changed"
+            )
+        for circuit in current:
+            old = old_by_name.get(circuit.name)
+            if old is not None and old is not circuit:
+                # Same-name replacement: the new object's structure may
+                # differ arbitrarily, so rebuild the arena — counted and
+                # logged as a recompile (the churn observable).
+                return self._compile(remap_from=self._op_index, reason="replaced")
+        dropped = 0
+        installed = self.overlay.circuits
+        for name in self._compiled_names:
+            if name not in installed:
+                dropped += self._uninstall_segment(name)
+        for circuit in current:
+            if circuit.name not in old_by_name:
+                self._install_segment(circuit)
+        if self._arena.needs_compaction:
+            self._compact_arena()
+        self._compiled_names = tuple(installed.keys())
+        self._compiled_circuits = current
+        return dropped
+
+    # -- incremental arena maintenance -------------------------------------
+
+    def _refresh_live_links(self) -> None:
+        """Recompute the live-link index + published key list.
+
+        Called after any incremental structural change; the fresh list
+        identity signals estimator column caches to rebuild.
+        """
+        self._live_links = self._arena.live_link_rows()
+        self._live_link_names = [self._link_names[i] for i in self._live_links]
+
+    def _install_segment(self, circuit) -> None:
+        """Append one circuit as a new live segment at the arena end."""
+        seg_cols = self._derive_circuit(circuit)
+        sids = seg_cols["sids"]
+        n = len(sids)
+        n_links = int(seg_cols["out_offsets"][-1])
+        seg = self._arena.append(circuit.name, n, n_links)
+        base, link_base = seg.op_base, seg.link_base
+        cat = np.concatenate
+        self._kind = cat((self._kind, seg_cols["kind"]))
+        self._in_deg = cat((self._in_deg, seg_cols["in_deg"]))
+        self._op_sel = cat((self._op_sel, seg_cols["op_sel"]))
+        self._op_factor = cat((self._op_factor, seg_cols["op_factor"]))
+        self._op_pmatch = cat((self._op_pmatch, seg_cols["op_pmatch"]))
+        self._op_domain = cat((self._op_domain, seg_cols["op_domain"]))
+        self._slack = cat((self._slack, seg_cols["slack"]))
+        self._out_deg = cat((self._out_deg, seg_cols["out_deg"]))
+        self._out_offsets = cat(
+            (self._out_offsets, seg_cols["out_offsets"][:-1] + link_base)
+        )
+        self._is_sink = cat(
+            (
+                self._is_sink,
+                (seg_cols["out_deg"] == 0) & (seg_cols["in_deg"] > 0),
+            )
+        )
+        self._kind_cost = self._model.kind_costs()[self._kind]
+        self._gid = cat(
+            (
+                self._gid,
+                np.arange(self._next_gid, self._next_gid + n, dtype=np.int64),
+            )
+        )
+        self._next_gid += n
+        self._agg_credit = cat((self._agg_credit, np.zeros(n)))
+        self._link_dst = cat((self._link_dst, seg_cols["link_dst"] + base))
+        self._link_port = cat((self._link_port, seg_cols["link_port"]))
+        self._link_src_op = cat((self._link_src_op, seg_cols["link_src"] + base))
+        self._link_names.extend(seg_cols["link_names"])
+        self._link_tuples = cat(
+            (self._link_tuples, np.zeros(n_links, dtype=np.int64))
+        )
+        self._link_size = cat((self._link_size, np.zeros(n_links)))
+        for i, sid in enumerate(sids):
+            self._op_index[(circuit.name, sid)] = base + i
+            self._op_names.append((circuit.name, sid))
+        if seg_cols["src_ops"]:
+            self._src_ops = cat(
+                (
+                    self._src_ops,
+                    np.asarray(seg_cols["src_ops"], dtype=np.int64) + base,
+                )
+            )
+            self._src_rate = cat(
+                (
+                    self._src_rate,
+                    np.asarray(seg_cols["src_rate"], dtype=np.float64),
+                )
+            )
+            self._src_domain = cat(
+                (
+                    self._src_domain,
+                    np.asarray(seg_cols["src_domain"], dtype=np.float64),
+                )
+            )
+            self._src_pos = {int(op): i for i, op in enumerate(self._src_ops)}
+        self._num_ops = self._arena.num_ops
+        if self._host_cache is not None:
+            self._host_cache = cat(
+                (self._host_cache, np.zeros(n, dtype=np.int64))
+            )
+        self._arena_rows.append((circuit, sids, seg))
+        self._refresh_live_links()
+
+    def _uninstall_segment(self, name: str) -> int:
+        """Tombstone one circuit's segment; returns in-flight drops."""
+        seg = self._arena.tombstone(name)
+        op_end = seg.op_base + seg.num_ops
+        link_end = seg.link_base + seg.num_links
+        # Fold the segment's measured per-link stats before zeroing.
+        for i in range(seg.link_base, link_end):
+            if self._link_tuples[i] or self._link_size[i]:
+                entry = self._link_stats_folded.setdefault(
+                    self._link_names[i], [0, 0.0]
+                )
+                entry[0] += int(self._link_tuples[i])
+                entry[1] += float(self._link_size[i])
+        self._link_tuples[seg.link_base : link_end] = 0
+        self._link_size[seg.link_base : link_end] = 0.0
+        self._agg_credit[seg.op_base : op_end] = 0.0
+        for row in range(seg.op_base, op_end):
+            self._op_index.pop(self._op_names[row], None)
+        # Sources stay *compact* (not tombstoned): the per-tick Poisson
+        # draw consumes the source-rate vector in row order, which must
+        # match the legacy rebuild's install-order vector exactly.
+        src_dead = (self._src_ops >= seg.op_base) & (self._src_ops < op_end)
+        if src_dead.any():
+            keep = ~src_dead
+            self._src_ops = self._src_ops[keep]
+            self._src_rate = self._src_rate[keep]
+            self._src_domain = self._src_domain[keep]
+            self._src_pos = {int(op): i for i, op in enumerate(self._src_ops)}
+        dropped = 0
+        if self._transport is not None:
+            dropped = self._transport.remap_ops(self._arena.op_mapping())
+            self.dropped_uninstalled += dropped
+        self._drop_dead_state()
+        self._arena_rows = [r for r in self._arena_rows if r[2] is not seg]
+        self._refresh_live_links()
+        return dropped
+
+    def _drop_dead_state(self) -> None:
+        """Drop join state owned by tombstoned ops.
+
+        Survivor rows keep their composite keys and relative order (the
+        mapping is the identity on live ops), so a mask is enough — no
+        comp rewrite, no re-sort.
+        """
+        alive = self._arena.op_alive
+        if self._mode == "array":
+            if self._st_comp.size:
+                keep = alive[(self._st_comp >> _U(33)).astype(np.int64)]
+                if not keep.all():
+                    self._st_comp = self._st_comp[keep]
+                    self._st_ts = self._st_ts[keep]
+                    self._st_size = self._st_size[keep]
+            if self._stb_comp.size:
+                keep = alive[(self._stb_comp >> _U(33)).astype(np.int64)]
+                if not keep.all():
+                    self._stb_comp = self._stb_comp[keep]
+                    self._stb_ts = self._stb_ts[keep]
+                    self._stb_size = self._stb_size[keep]
+                    self._stb_sorted = None
+        elif self._mode == "heap" and self._tables:
+            self._tables = {
+                key: entries
+                for key, entries in self._tables.items()
+                if alive[key[0]]
+            }
+
+    def _compact_arena(self) -> None:
+        """Gather live rows over every column; unobservable in records.
+
+        Global op ids (the hash salts) move with their rows, state and
+        in-flight tuples are remapped with the order-preserving
+        old->new mapping, and the published live-link key list keeps
+        its identity (contents are unchanged), so estimator caches and
+        every subsequent :class:`TrafficRecord` are unaffected.
+        """
+        op_gather, link_gather, op_map, _link_map = self._arena.compaction()
+        for attr in (
+            "_kind",
+            "_in_deg",
+            "_op_sel",
+            "_op_factor",
+            "_op_pmatch",
+            "_op_domain",
+            "_slack",
+            "_out_deg",
+            "_is_sink",
+            "_kind_cost",
+            "_gid",
+            "_agg_credit",
+        ):
+            setattr(self, attr, getattr(self, attr)[op_gather])
+        self._link_dst = op_map[self._link_dst[link_gather]]
+        self._link_src_op = op_map[self._link_src_op[link_gather]]
+        self._link_port = self._link_port[link_gather]
+        self._link_names = [self._link_names[i] for i in link_gather]
+        self._link_tuples = self._link_tuples[link_gather]
+        self._link_size = self._link_size[link_gather]
+        # Live link rows stay grouped by (live) source op in row order,
+        # so offsets rebuild from the gathered out-degrees.
+        offsets = np.zeros(op_gather.size + 1, dtype=np.int64)
+        np.cumsum(self._out_deg, out=offsets[1:])
+        self._out_offsets = offsets[:-1]
+        self._op_names = [self._op_names[i] for i in op_gather]
+        self._op_index = {name: i for i, name in enumerate(self._op_names)}
+        self._src_ops = op_map[self._src_ops]
+        self._src_pos = {int(op): i for i, op in enumerate(self._src_ops)}
+        if self._transport is not None:
+            self._transport.remap_ops(op_map)  # all live: drops nothing
+        self._remap_state(op_map)
+        if self._host_cache is not None:
+            self._host_cache = self._host_cache[op_gather]
+        live_names = self._live_link_names
+        self._arena.apply_compaction()
+        self._num_ops = self._arena.num_ops
+        self._live_links = self._arena.live_link_rows()
+        # Contents and order of the live links are unchanged by
+        # compaction; keeping the published list identity keeps
+        # estimator column caches valid (compaction is unobservable).
+        self._live_link_names = live_names
+        _LOG.debug(
+            "arena compacted: %d ops / %d links live",
+            self._num_ops,
+            len(self._link_names),
+        )
 
     def _remap_state(self, mapping: np.ndarray) -> None:
         """Re-address join state after a recompile (both layouts)."""
@@ -627,7 +1087,9 @@ class DataPlane:
             bound = self.config.retransmit_buffer
             if mode == "array":
                 self._transport = (
-                    ReliableTransport(bound) if reliable else ArrayTransport()
+                    ReliableTransport(bound, scratch=self._scratch)
+                    if reliable
+                    else ArrayTransport(self._scratch)
                 )
                 # Two-level join state: sorted base + append buffer,
                 # merged once the buffer exceeds _state_merge_limit.
@@ -655,13 +1117,35 @@ class DataPlane:
         Resolved fresh each tick, which is what re-homes in-flight
         tuples across migrations for free: delivery looks the target
         service's node up *now*, not at send time.
+
+        On the arena path the column is cached and refreshed per
+        segment only when the owning circuit's placement-version
+        counter changed (``Circuit.assign`` bumps it), eliminating the
+        per-tick Python loop over every service; the legacy path keeps
+        the full rebuild as the reference.
         """
-        host = np.zeros(self._num_ops, dtype=np.int64)
-        for circuit, sids, base in self._circuit_rows:
+        if not self.config.incremental:
+            host = np.zeros(self._num_ops, dtype=np.int64)
+            for circuit, sids, base in self._circuit_rows:
+                placement = circuit.placement
+                for i, sid in enumerate(sids):
+                    host[base + i] = placement[sid]
+            return host
+        cache = self._host_cache
+        if cache is None or cache.size != self._num_ops:
+            cache = self._host_cache = np.zeros(self._num_ops, dtype=np.int64)
+            for _, _, seg in self._arena_rows:
+                seg.host_version = -1
+        for circuit, sids, seg in self._arena_rows:
+            version = circuit._placement_version
+            if seg.host_version == version:
+                continue
             placement = circuit.placement
+            base = seg.op_base
             for i, sid in enumerate(sids):
-                host[base + i] = placement[sid]
-        return host
+                cache[base + i] = placement[sid]
+            seg.host_version = version
+        return cache
 
     def _draw_tick(self) -> tuple[np.ndarray, np.ndarray]:
         """The tick's source randomness (shared by both step paths)."""
@@ -703,8 +1187,16 @@ class DataPlane:
         self._snap_processed = self.processed_by_node.copy()
 
     def _end_tick_stats(self) -> None:
-        """Publish this tick's per-link / per-node measured statistics."""
-        self.tick_link_tuples = self._link_tuples - self._snap_link
+        """Publish this tick's per-link / per-node measured statistics.
+
+        With tombstoned arena rows, only *live* link rows are published
+        (in row order, matching :meth:`link_keys`); dead rows carry no
+        traffic but must not leak into the control plane's estimator.
+        """
+        diff = self._link_tuples - self._snap_link
+        self.tick_link_tuples = (
+            diff if self._live_links is None else diff[self._live_links]
+        )
         self.tick_node_drops = self.dropped_by_node - self._snap_drops
         self.tick_node_processed = self.processed_by_node - self._snap_processed
 
@@ -816,6 +1308,7 @@ class DataPlane:
     def step(self) -> TrafficRecord:
         """Advance one tick through the batched kernels."""
         self._use_mode("array")
+        self._tick_recompiles = 0
         dropped_sync = self._sync()
         self.tick += 1
         now = self.tick
@@ -826,7 +1319,9 @@ class DataPlane:
         lat = self.overlay.latencies.values
         cap = self._effective_cap()
         node_used = (
-            np.zeros(self.overlay.num_nodes) if cap is not None else None
+            self._scratch.zeros("node_used", self.overlay.num_nodes)
+            if cap is not None
+            else None
         )
         reliable = self.config.reliable
         self._tick_usage = 0.0
@@ -837,9 +1332,10 @@ class DataPlane:
         tick_lat: list[np.ndarray] = []
 
         self._evict_state_array(now)
-        # Per-op measured CPU cost of this tick; admission prices are
-        # frozen now, from the post-eviction state (twin-identical).
-        self._tick_op_cost = np.zeros(self._num_ops)
+        # Per-op measured CPU cost of this tick (reused scratch; views
+        # into it never outlive the tick); admission prices are frozen
+        # now, from the post-eviction state (twin-identical).
+        self._tick_op_cost = self._scratch.zeros("op_cost", self._num_ops)
         adm = self._admission_costs() if cap is not None else None
 
         # 0. Reliable redelivery: buffered tuples whose target service's
@@ -962,6 +1458,7 @@ class DataPlane:
             buffered=self._transport.buffered,
             cpu_cost=tick_cpu,
             cpu_dropped=t_cpu_dropped,
+            recompiles=self._tick_recompiles,
         )
 
     @staticmethod
@@ -1058,7 +1555,7 @@ class DataPlane:
             outs.append((op[m], key[m], ts[m], size[m], pos[m], np.zeros(int(m.sum()), dtype=np.int64)))
         m = k == _FILTER
         if m.any():
-            b = _filter_bucket(key[m], op[m])
+            b = _filter_bucket(key[m], self._gid[op[m]])
             keep = b < self._op_sel[op[m]]
             if keep.any():
                 outs.append(
@@ -1176,7 +1673,10 @@ class DataPlane:
             ssize = np.concatenate([h[3] for h in hits])
         ats = ts[rep]
         ok = np.abs(ats - sts) <= self.config.window
-        ok &= _pair_bucket(key[rep], ats, sts, op[rep]) < self._op_pmatch[op[rep]]
+        ok &= (
+            _pair_bucket(key[rep], ats, sts, self._gid[op[rep]])
+            < self._op_pmatch[op[rep]]
+        )
         if not ok.any():
             return None
         return (
@@ -1237,6 +1737,7 @@ class DataPlane:
         per-key join tables — the "before" side of E18.
         """
         self._use_mode("heap")
+        self._tick_recompiles = 0
         dropped_sync = self._sync()
         self.tick += 1
         now = self.tick
@@ -1337,7 +1838,7 @@ class DataPlane:
                 if kindx == _RELAY:
                     outs = [(key, ts, size)]
                 elif kindx == _FILTER:
-                    if _filter_bucket_int(key, opx) < self._op_sel[opx]:
+                    if _filter_bucket_int(key, int(self._gid[opx])) < self._op_sel[opx]:
                         outs = [(key, ts, size)]
                     else:
                         outs = []
@@ -1358,8 +1859,9 @@ class DataPlane:
                         self._tick_op_cost[opx] += self._model.probe_cost * len(
                             entries
                         )
+                    gidx = int(self._gid[opx])
                     for sts, ssz in entries:
-                        if abs(ts - sts) <= w and _pair_bucket_int(key, ts, sts, opx) < pm:
+                        if abs(ts - sts) <= w and _pair_bucket_int(key, ts, sts, gidx) < pm:
                             outs.append((key, max(ts, sts), size + ssz))
                     self._tables.setdefault((opx, portx, key), []).append((ts, size))
                 for k2, t2, s2 in outs:
@@ -1395,6 +1897,7 @@ class DataPlane:
             buffered=self._transport.buffered,
             cpu_cost=tick_cpu,
             cpu_dropped=t_cpu_dropped,
+            recompiles=self._tick_recompiles,
         )
 
     def _evict_state_scalar(self, now: int) -> None:
@@ -1500,13 +2003,14 @@ class DataPlane:
         }
 
     def link_keys(self) -> list[tuple[str, str, str]]:
-        """The compiled links' (circuit, source, target) keys, in the
+        """The *live* links' (circuit, source, target) keys, in the
         order :attr:`tick_link_tuples` reports counts.
 
-        The returned list object is reused until the next recompile, so
+        The returned list object is reused until the next structural
+        change (compaction keeps it: live contents are unchanged), so
         estimators can cache index maps keyed by its identity.
         """
-        return self._link_names
+        return self._live_link_names
 
     def true_link_rates(self) -> dict[tuple[str, str, str], float]:
         """Expected realized tuples/tick per link, from current params.
@@ -1557,9 +2061,14 @@ class DataPlane:
                 pending[dst] -= 1
                 if pending[dst] == 0:
                     ready.append(dst)
+        rows = (
+            range(len(self._link_names))
+            if self._live_links is None
+            else self._live_links
+        )
         return {
             name: float(out_rate[self._link_src_op[i]])
-            for i, name in enumerate(self._link_names)
+            for i, name in zip(rows, self._live_link_names)
         }
 
     def measured_usage_rate(self) -> float:
@@ -1571,7 +2080,12 @@ class DataPlane:
         out: dict[tuple[str, str, str], dict[str, float]] = {}
         for name, (tuples, sized) in self._link_stats_folded.items():
             out[name] = {"tuples": float(tuples), "size": sized}
-        for i, name in enumerate(self._link_names):
+        rows = (
+            range(len(self._link_names))
+            if self._live_links is None
+            else self._live_links
+        )
+        for i, name in zip(rows, self._live_link_names):
             entry = out.setdefault(name, {"tuples": 0.0, "size": 0.0})
             entry["tuples"] += float(self._link_tuples[i])
             entry["size"] += float(self._link_size[i])

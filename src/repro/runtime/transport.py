@@ -49,6 +49,8 @@ import heapq
 
 import numpy as np
 
+from repro.runtime.arena import ScratchArena
+
 __all__ = [
     "ArrayTransport",
     "HeapTransport",
@@ -65,11 +67,19 @@ class ArrayTransport:
     live region is ``[0, count)``.  :meth:`due` masks
     ``arrival <= now`` in one comparison, returns the extracted columns,
     and compacts the remainder — no per-tuple work anywhere.
+
+    Extraction writes into reusable :class:`~repro.runtime.arena.
+    ScratchArena` buffers (shared with the owning data plane when one
+    is passed) instead of allocating six fresh arrays per delivery
+    round.  Buffer-reuse contract: the batch returned by :meth:`due` is
+    only valid until the next :meth:`due` call — consume (or copy) it
+    within the round, never hold it across ticks.
     """
 
     _INITIAL = 1024
 
-    def __init__(self) -> None:
+    def __init__(self, scratch: ScratchArena | None = None) -> None:
+        self._scratch = scratch or ScratchArena()
         self._cap = self._INITIAL
         self._arrival = np.empty(self._cap, dtype=np.int64)
         self._op = np.empty(self._cap, dtype=np.int64)
@@ -161,14 +171,17 @@ class ArrayTransport:
         hits = int(mask.sum())
         if hits == 0:
             return None
-        batch = {
-            "op": self._op[:c][mask].copy(),
-            "port": self._port[:c][mask].copy(),
-            "key": self._key[:c][mask].copy(),
-            "ts": self._ts[:c][mask].copy(),
-            "size": self._size[:c][mask].copy(),
-            "seq": self._seq[:c][mask].copy(),
-        }
+        # Extract the due rows into reusable scratch views (valid until
+        # the next due() call) — one gather per column, no allocation
+        # on the steady-state path.
+        idx = np.flatnonzero(mask)
+        scratch = self._scratch
+        batch = {}
+        for name in ("op", "port", "key", "ts", "size", "seq"):
+            col = getattr(self, "_" + name)
+            out = scratch.array("due_" + name, hits, col.dtype)
+            np.take(col[:c], idx, out=out)
+            batch[name] = out
         keep = ~mask
         survivors = int(keep.sum())
         for name in ("_arrival", "_op", "_port", "_key", "_ts", "_size", "_seq"):
@@ -295,8 +308,10 @@ class ReliableTransport(ArrayTransport):
 
     _BUF_INITIAL = 256
 
-    def __init__(self, max_buffer: int = 4096) -> None:
-        super().__init__()
+    def __init__(
+        self, max_buffer: int = 4096, scratch: ScratchArena | None = None
+    ) -> None:
+        super().__init__(scratch)
         if max_buffer < 0:
             raise ValueError("max_buffer must be non-negative")
         self.max_buffer = max_buffer

@@ -46,6 +46,9 @@ class TickRecord:
             to processed tuple counts under the unit load model).
         cpu_dropped: CPU cost units of admission demand rejected this
             tick (capacity + shed, at the admission price).
+        recompiles: full data-plane kernel recompiles this tick (0 on
+            the incremental arena path except for same-name circuit
+            replacement) — the observable for compile churn.
     """
 
     tick: int
@@ -69,6 +72,7 @@ class TickRecord:
     control_triggers: int = 0
     cpu_cost: float = 0.0
     cpu_dropped: float = 0.0
+    recompiles: int = 0
 
 
 @dataclass

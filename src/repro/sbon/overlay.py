@@ -86,8 +86,26 @@ class Overlay:
             [node.memory_capacity for node in self._nodes]
         )
         self._background_synced = True
+        # CPU-cost reference a cost-unit background feed was normalized
+        # with (set_background_cost); None until the load process speaks
+        # the unified cost currency.
+        self._cpu_ref: float | None = None
         # (circuit name, service id) -> hosting node index.
         self._host_of: dict[tuple[str, str], int] = {}
+        # Segmented usage link index (PR 7): per-circuit contiguous
+        # (src host, dst host, rate) rows in grow-only columns.
+        # Installs append a segment, uninstalls tombstone it (compacting
+        # past 25% dead), migrations rewrite one segment in place; only
+        # invalidate_usage_cache forces a full rebuild.
+        self._u_src = np.zeros(0, dtype=int)
+        self._u_dst = np.zeros(0, dtype=int)
+        self._u_rate = np.zeros(0)
+        self._u_alive = np.zeros(0, dtype=bool)
+        self._u_len = 0
+        self._u_dead = 0
+        self._u_seg: dict[str, tuple[int, int]] = {}  # name -> (base, count)
+        self._u_stale = False
+        # Cached (live src, live dst, live rates) triple for the reduce.
         self._usage_index: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # -- construction ------------------------------------------------------
@@ -182,6 +200,38 @@ class Overlay:
             raise ValueError("load vector has wrong shape")
         self._background = loads.astype(float, copy=True)
         self._background_synced = False
+
+    def set_background_cost(
+        self, costs: np.ndarray | list[float], cpu_ref: float
+    ) -> None:
+        """Update background demand given in CPU *cost units per tick*.
+
+        The unified-currency twin of :meth:`set_background_loads`: a
+        load process that speaks the runtime's cost currency
+        (``LoadProcess(cpu_capacity=...)``) hands its raw per-node cost
+        output here together with the per-tick cost capacity it walks
+        against; the overlay normalizes once (``cost / cpu_ref``) and
+        stores the fraction, so :meth:`loads` / :meth:`loads_scalar`
+        and every downstream consumer behave identically to the
+        fraction-fed path.  ``cpu_ref`` is remembered and served by
+        :meth:`cpu_reference` so the control plane can share the same
+        reference instead of guessing its own.
+        """
+        if cpu_ref <= 0:
+            raise ValueError("cpu_ref must be positive")
+        costs = np.asarray(costs, dtype=float)
+        if costs.shape != (self.num_nodes,):
+            raise ValueError("cost vector has wrong shape")
+        self._cpu_ref = float(cpu_ref)
+        self.set_background_loads(np.clip(costs / cpu_ref, 0.0, 1.0))
+
+    def cpu_reference(self) -> float | None:
+        """The CPU-cost reference of the background feed, if cost-typed.
+
+        None until :meth:`set_background_cost` has been called — i.e.
+        while background load arrives as plain fractions.
+        """
+        return self._cpu_ref
 
     def set_measured_cpu(self, fractions: np.ndarray | list[float]) -> None:
         """Feed measured per-node CPU load into the load dimension.
@@ -346,7 +396,7 @@ class Overlay:
                 ),
             )
         self.circuits[circuit.name] = circuit
-        self._usage_index = None
+        self._usage_append(circuit)
 
     def uninstall(self, circuit_name: str) -> None:
         """Tear a circuit down, releasing its load everywhere."""
@@ -356,7 +406,7 @@ class Overlay:
         for sid in circuit.unpinned_ids():
             self._evict_service(circuit_name, sid)
         del self.circuits[circuit_name]
-        self._usage_index = None
+        self._usage_remove(circuit_name)
 
     def apply_migration(self, circuit_name: str, service_id: str, to_node: int) -> None:
         """Move one hosted service to a new node (post-reoptimization)."""
@@ -372,7 +422,7 @@ class Overlay:
             ),
         )
         circuit.assign(service_id, to_node)
-        self._usage_index = None
+        self._usage_rewrite(circuit_name)
 
     # -- factories ---------------------------------------------------------
 
@@ -416,37 +466,123 @@ class Overlay:
     # -- reporting ---------------------------------------------------------
 
     def invalidate_usage_cache(self) -> None:
-        """Drop the cached usage link index (after external rate edits).
+        """Rebuild the usage link index from scratch on next use.
 
-        Install/uninstall/migration invalidate it automatically; call
-        this when circuit *link rates* change in place (the control
-        plane's calibration), which the lifecycle hooks cannot see.
+        Install/uninstall/migration maintain the segmented index
+        incrementally; call this when circuit *link rates* change in
+        place (the control plane's calibration), which the lifecycle
+        hooks cannot see.
         """
+        self._u_stale = True
         self._usage_index = None
 
-    def _link_index(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Cached (source hosts, target hosts, rates) over all circuits.
+    # -- segmented usage index (PR 7) ---------------------------------------
 
-        Rebuilt lazily after any install / uninstall / migration; the
-        steady-state tick reuses it.
+    def _u_grow(self, extra: int) -> None:
+        """Ensure column capacity for ``extra`` more rows (doubling)."""
+        need = self._u_len + extra
+        if need <= self._u_src.size:
+            return
+        cap = max(need, 2 * self._u_src.size, 16)
+        for attr in ("_u_src", "_u_dst", "_u_rate", "_u_alive"):
+            old = getattr(self, attr)
+            buf = np.zeros(cap, dtype=old.dtype)
+            buf[: self._u_len] = old[: self._u_len]
+            setattr(self, attr, buf)
+
+    def _usage_write(self, circuit: Circuit, base: int) -> None:
+        """Write a circuit's link rows at ``base`` (segment-sized slot)."""
+        placement = circuit.placement
+        for j, link in enumerate(circuit.links):
+            self._u_src[base + j] = placement[link.source]
+            self._u_dst[base + j] = placement[link.target]
+            self._u_rate[base + j] = link.rate
+
+    def _usage_append(self, circuit: Circuit) -> None:
+        """Claim and fill a fresh tail segment for a newly installed circuit."""
+        m = len(circuit.links)
+        self._u_grow(m)
+        base = self._u_len
+        self._usage_write(circuit, base)
+        self._u_alive[base : base + m] = True
+        self._u_len = base + m
+        self._u_seg[circuit.name] = (base, m)
+        self._usage_index = None
+
+    def _usage_remove(self, name: str) -> None:
+        """Tombstone an uninstalled circuit's segment; maybe compact."""
+        seg = self._u_seg.pop(name, None)
+        if seg is None:  # unknown to the index — fall back to a rebuild
+            self.invalidate_usage_cache()
+            return
+        base, m = seg
+        self._u_alive[base : base + m] = False
+        self._u_dead += m
+        if self._u_len and self._u_dead / self._u_len > 0.25:
+            self._u_compact()
+        self._usage_index = None
+
+    def _usage_rewrite(self, name: str) -> None:
+        """Rewrite one circuit's segment in place (migration, same shape)."""
+        circuit = self.circuits[name]
+        seg = self._u_seg.get(name)
+        if seg is None or seg[1] != len(circuit.links):
+            self.invalidate_usage_cache()
+            return
+        self._usage_write(circuit, seg[0])
+        self._usage_index = None
+
+    def _u_compact(self) -> None:
+        """Slide live rows left over the tombstoned holes, in order."""
+        live = np.flatnonzero(self._u_alive[: self._u_len])
+        for attr in ("_u_src", "_u_dst", "_u_rate"):
+            col = getattr(self, attr)
+            col[: live.size] = col[live]  # fancy index copies first: safe
+        self._u_alive[: live.size] = True
+        self._u_alive[live.size : self._u_len] = False
+        self._u_len = int(live.size)
+        self._u_dead = 0
+        base = 0
+        # Dict order is install order, which equals row order.
+        for name, (_, m) in list(self._u_seg.items()):
+            self._u_seg[name] = (base, m)
+            base += m
+
+    def _u_rebuild(self) -> None:
+        """Full rebuild from the installed circuits (invalidate path)."""
+        self._u_len = 0
+        self._u_dead = 0
+        self._u_seg = {}
+        self._u_alive[:] = False
+        for circuit in self.circuits.values():
+            if not circuit.is_fully_placed():
+                raise ValueError(f"circuit {circuit.name} is not fully placed")
+            self._usage_append(circuit)
+        self._u_stale = False
+
+    def _link_index(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached (source hosts, target hosts, rates) over live rows.
+
+        Maintained incrementally by install / uninstall / migration;
+        the steady-state tick reuses the cached triple untouched.
         """
+        if self._u_stale:
+            self._u_rebuild()
         if self._usage_index is None:
-            sources: list[int] = []
-            targets: list[int] = []
-            rates: list[float] = []
-            for circuit in self.circuits.values():
-                if not circuit.is_fully_placed():
-                    raise ValueError(f"circuit {circuit.name} is not fully placed")
-                placement = circuit.placement
-                for link in circuit.links:
-                    sources.append(placement[link.source])
-                    targets.append(placement[link.target])
-                    rates.append(link.rate)
-            self._usage_index = (
-                np.asarray(sources, dtype=int),
-                np.asarray(targets, dtype=int),
-                np.asarray(rates, dtype=float),
-            )
+            if self._u_dead:
+                rows = np.flatnonzero(self._u_alive[: self._u_len])
+                self._usage_index = (
+                    self._u_src[rows],
+                    self._u_dst[rows],
+                    self._u_rate[rows],
+                )
+            else:
+                n = self._u_len
+                self._usage_index = (
+                    self._u_src[:n],
+                    self._u_dst[:n],
+                    self._u_rate[:n],
+                )
         return self._usage_index
 
     def total_network_usage(self) -> float:

@@ -72,12 +72,19 @@ class SimulationConfig:
             circuits with true latencies/loads (omniscient variant);
             if False it uses cost-space estimates (deployable variant).
         load_weight: load-penalty weight in re-optimization decisions.
+        fused_reopt: if True (default) bulk re-optimization runs the
+            fused cross-circuit arena pass (:meth:`Reoptimizer.
+            step_all`); if False, the per-circuit kernel reference
+            (:meth:`Reoptimizer.step_all_percircuit`).  Bit-identical
+            by construction — the flag exists for twin testing and the
+            E21 benchmark.
     """
 
     reopt_interval: int = 10
     migration_threshold: float = 0.02
     use_ground_truth_for_reopt: bool = False
     load_weight: float = 1.0
+    fused_reopt: bool = True
 
     def __post_init__(self) -> None:
         if self.reopt_interval < 0:
@@ -150,14 +157,23 @@ class Simulation:
         migrations = 0
         failures = 0
 
-        # 1. Background load drift.
+        # 1. Background load drift.  A cost-typed process (cpu_capacity
+        # set) hands the overlay raw cost units plus its reference, so
+        # load stays one currency end to end; fraction-typed processes
+        # keep the legacy write.  Either way the step consumed the same
+        # RNG draw, so scalar/vector twins stay aligned.
         if self.load_process is not None:
             loads = (
                 self.load_process.step_scalar()
                 if scalar
                 else self.load_process.step()
             )
-            self.overlay.set_background_loads(loads)
+            if self.load_process.cpu_capacity is not None:
+                self.overlay.set_background_cost(
+                    self.load_process.loads_cost(), self.load_process.cpu_capacity
+                )
+            else:
+                self.overlay.set_background_loads(loads)
 
         # 2. Latency drift.
         if self.latency_drift is not None:
@@ -240,6 +256,7 @@ class Simulation:
             control_triggers=int(control.replace_triggered) if control else 0,
             cpu_cost=traffic.cpu_cost if traffic else 0.0,
             cpu_dropped=traffic.cpu_dropped if traffic else 0.0,
+            recompiles=traffic.recompiles if traffic else 0,
         )
         self.series.append(record)
         return record
@@ -324,9 +341,12 @@ class Simulation:
         for node in exclude:
             reopt.mapper.exclude(node)
         circuits = list(self.overlay.circuits.values())
-        reports = (
-            reopt.step_all_scalar(circuits) if scalar else reopt.step_all(circuits)
-        )
+        if scalar:
+            reports = reopt.step_all_scalar(circuits)
+        elif self.config.fused_reopt:
+            reports = reopt.step_all(circuits)
+        else:
+            reports = reopt.step_all_percircuit(circuits)
         migrations = 0
         for circuit, report in zip(circuits, reports):
             for migration in report.migrations:

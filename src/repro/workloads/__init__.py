@@ -16,6 +16,8 @@ from repro.workloads.scenarios import (
     figure4_scenario,
     perfect_cost_space,
     planted_latency_matrix,
+    TenantChurnScenario,
+    tenant_churn_scenario,
 )
 
 __all__ = [
@@ -36,4 +38,6 @@ __all__ = [
     "figure4_scenario",
     "perfect_cost_space",
     "planted_latency_matrix",
+    "TenantChurnScenario",
+    "tenant_churn_scenario",
 ]

@@ -48,6 +48,7 @@ from repro.control import ControlConfig, Controller
 from repro.core.circuit import Circuit, Service
 from repro.core.cost_space import CostSpace, CostSpaceSpec
 from repro.core.load_model import LoadModel
+from repro.core.optimizer import IntegratedOptimizer
 from repro.core.weighting import squared
 from repro.network.dynamics import (
     ChurnProcess,
@@ -81,6 +82,8 @@ __all__ = [
     "planted_latency_matrix",
     "ChaosScenario",
     "chaos_scenario",
+    "TenantChurnScenario",
+    "tenant_churn_scenario",
     "DriftScenario",
     "selectivity_drift_scenario",
     "closed_loop_recovery",
@@ -516,6 +519,142 @@ def chaos_scenario(
         pinned_nodes=pinned,
         hotspot_nodes=busiest,
     )
+
+
+# ---------------------------------------------------------------------------
+# Tenant churn: circuits arrive and depart every tick (arena stress, E21)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TenantChurnScenario:
+    """Rolling tenant arrivals/departures over a live data plane.
+
+    The structural-churn fixture behind the arena runtime path (PR 7):
+    the driver calls :meth:`churn_tick` between simulation steps, so
+    every data-plane tick starts with circuits freshly installed and
+    uninstalled — the worst case for full recompilation and exactly
+    what incremental segment install/tombstone amortizes.
+
+    Circuit construction is fully deterministic in ``(seed, tenant
+    index)``, so two scenarios built with the same arguments but
+    different :class:`~repro.runtime.dataplane.RuntimeConfig` modes
+    (incremental arena vs legacy full-recompile) see bit-identical
+    workloads — the property tests drive such twins in lockstep.
+
+    Attributes:
+        overlay: the assembled overlay with the initial tenants.
+        simulation: tick loop driving the data plane (no node churn or
+            drift; the only dynamics are background load and tenants).
+        data_plane: the executing data plane.
+        optimizer: the placement optimizer used for every install.
+        params: workload shape of each tenant query.
+        num_nodes: overlay size (circuit factory input).
+        seed: base seed (circuit factory input).
+        installed: names of currently installed tenants, oldest first.
+        next_id: index the next arriving tenant will take.
+    """
+
+    overlay: Overlay
+    simulation: Simulation
+    data_plane: DataPlane
+    optimizer: "IntegratedOptimizer"
+    params: WorkloadParams
+    num_nodes: int
+    seed: int
+    installed: list[str]
+    next_id: int = 0
+
+    def install_next(self) -> str:
+        """Install the next tenant's circuit; returns its name."""
+        name = f"t{self.next_id}"
+        query, stats = random_query(
+            self.num_nodes,
+            self.params,
+            name=name,
+            seed=self.seed * 131 + self.next_id,
+        )
+        self.overlay.install(self.optimizer.optimize(query, stats))
+        self.installed.append(name)
+        self.next_id += 1
+        return name
+
+    def uninstall_oldest(self) -> str | None:
+        """Uninstall the longest-lived tenant; returns its name."""
+        if not self.installed:
+            return None
+        name = self.installed.pop(0)
+        self.overlay.uninstall(name)
+        return name
+
+    def churn_tick(self, installs: int = 1, uninstalls: int = 1) -> None:
+        """One round of tenant churn (departures first, then arrivals)."""
+        for _ in range(uninstalls):
+            self.uninstall_oldest()
+        for _ in range(installs):
+            self.install_next()
+
+
+def tenant_churn_scenario(
+    num_nodes: int = 36,
+    initial_circuits: int = 8,
+    node_capacity: float | None = 60.0,
+    reopt_interval: int = 0,
+    incremental: bool = True,
+    compact_threshold: float = 0.25,
+    seed: int = 0,
+) -> TenantChurnScenario:
+    """Tenants come and go every tick; the data plane must keep up.
+
+    Builds a geometric overlay, installs ``initial_circuits`` optimized
+    tenant circuits, and returns a scenario whose :meth:`~
+    TenantChurnScenario.churn_tick` rolls the tenant population between
+    simulation steps.  ``incremental`` / ``compact_threshold`` select
+    the data plane's arena mode — the E21 benchmark and the arena
+    property tests run incremental/legacy twins of this fixture.
+    Re-optimization is off by default: the fixture isolates *structural*
+    churn cost (install/uninstall/compaction), not placement quality.
+    """
+    radius = max(0.3, 2.2 / np.sqrt(num_nodes))
+    topology = random_geometric_topology(num_nodes, radius=radius, seed=seed)
+    overlay = Overlay.build(topology, vector_dims=2, embedding_rounds=30, seed=seed)
+
+    params = WorkloadParams(
+        num_producers=3,
+        rate_bounds=(3.0, 8.0),
+        selectivity_bounds=(0.2, 0.6),
+    )
+    load = LoadProcess(num_nodes, mean_load=0.1, sigma=0.04, seed=seed + 1)
+    data_plane = DataPlane(
+        overlay,
+        RuntimeConfig(
+            seed=seed + 4,
+            node_capacity=node_capacity,
+            incremental=incremental,
+            compact_threshold=compact_threshold,
+        ),
+    )
+    simulation = Simulation(
+        overlay,
+        load_process=load,
+        config=SimulationConfig(
+            reopt_interval=reopt_interval, migration_threshold=0.01
+        ),
+        data_plane=data_plane,
+    )
+    scenario = TenantChurnScenario(
+        overlay=overlay,
+        simulation=simulation,
+        data_plane=data_plane,
+        optimizer=overlay.integrated_optimizer(),
+        params=params,
+        num_nodes=num_nodes,
+        seed=seed,
+        installed=[],
+    )
+    for _ in range(initial_circuits):
+        scenario.install_next()
+    return scenario
 
 
 # ---------------------------------------------------------------------------

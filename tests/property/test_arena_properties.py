@@ -1,0 +1,424 @@
+"""Properties of the global circuit arena runtime path (PR 7).
+
+The arena discipline extends PR-1/PR-2 twin-testing one level up: the
+incremental arena data plane (segment install/tombstone/compaction,
+cached host columns, scratch buffers) must reproduce the legacy
+full-recompile path *tick for tick* — every TrafficRecord/TickRecord
+field except ``recompiles`` (mode-dependent by design) bit-for-bit for
+counts and cost, 1e-9 for measured usage — under chaos, mid-run
+install/uninstall, and rolling tenant churn.  Compaction must be
+unobservable: compacting at any tick leaves every subsequent record
+identical to a twin that never compacts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.dynamics import ChurnProcess, LatencyDriftProcess, LoadProcess
+from repro.network.topology import grid_topology
+from repro.runtime.arena import ArenaSegment, CircuitArena, ScratchArena
+from repro.runtime.dataplane import DataPlane, RuntimeConfig
+from repro.sbon.overlay import Overlay
+from repro.sbon.simulator import Simulation, SimulationConfig
+from repro.workloads.queries import WorkloadParams, random_query
+from repro.workloads.scenarios import tenant_churn_scenario
+
+PARAMS = WorkloadParams(
+    num_producers=3, rate_bounds=(3.0, 8.0), selectivity_bounds=(0.2, 0.6)
+)
+
+TRAFFIC_FIELDS = (
+    "tick",
+    "emitted",
+    "delivered",
+    "dropped",
+    "processed",
+    "in_flight",
+    "latency_p50",
+    "latency_p95",
+    "latency_p99",
+    "shed",
+    "redelivered",
+    "buffered",
+    "cpu_cost",
+    "cpu_dropped",
+)
+
+
+def assert_records_equal(ra, rb):
+    """All fields equal except ``recompiles``; usage to 1e-9 rel."""
+    for name in TRAFFIC_FIELDS:
+        if hasattr(ra, name):
+            assert getattr(ra, name) == getattr(rb, name), name
+    ua = ra.usage if hasattr(ra, "usage") else ra.data_usage
+    ub = rb.usage if hasattr(rb, "usage") else rb.data_usage
+    assert ua == pytest.approx(ub, rel=1e-9, abs=1e-9)
+
+
+def traffic_overlay(seed=0, num_circuits=3, side=5):
+    n = side * side
+    overlay = Overlay.build(
+        grid_topology(side, side), vector_dims=2, embedding_rounds=20, seed=seed
+    )
+    pinned = set()
+    optimizer = overlay.integrated_optimizer()
+    for i in range(num_circuits):
+        query, stats = random_query(n, PARAMS, name=f"q{i}", seed=seed * 10 + i)
+        overlay.install(optimizer.optimize(query, stats))
+        pinned |= {p.node for p in query.producers} | {query.consumer.node}
+    return overlay, pinned
+
+
+def chaotic_simulation(seed=0, capacity=40.0, fused=True, **runtime_kwargs):
+    overlay, pinned = traffic_overlay(seed)
+    n = overlay.num_nodes
+    plane = DataPlane(
+        overlay, RuntimeConfig(seed=99, node_capacity=capacity, **runtime_kwargs)
+    )
+    return Simulation(
+        overlay,
+        load_process=LoadProcess(n, sigma=0.1, seed=1),
+        latency_drift=LatencyDriftProcess(overlay.latencies, drift_sigma=0.03, seed=2),
+        churn=ChurnProcess(
+            n, fail_prob=0.01, recover_prob=0.2, protected=pinned, seed=3
+        ),
+        config=SimulationConfig(
+            reopt_interval=3, migration_threshold=0.0, fused_reopt=fused
+        ),
+        data_plane=plane,
+    )
+
+
+def churn_overlay_pair(seed=6):
+    """Twin overlays + planes, one incremental and one legacy."""
+    ov_a, _ = traffic_overlay(seed=seed)
+    ov_b, _ = traffic_overlay(seed=seed)
+    a = DataPlane(ov_a, RuntimeConfig(seed=5, incremental=True))
+    b = DataPlane(ov_b, RuntimeConfig(seed=5, incremental=False))
+    return ov_a, ov_b, a, b
+
+
+# ---------------------------------------------------------------------------
+# Scratch arena unit behavior
+# ---------------------------------------------------------------------------
+
+
+class TestScratchArena:
+    def test_views_reuse_one_growing_buffer(self):
+        scratch = ScratchArena()
+        a = scratch.array("x", 10, np.int64)
+        assert a.size == 10 and a.dtype == np.int64
+        b = scratch.array("x", 4, np.int64)
+        # Same backing memory: no allocation for a smaller request.
+        assert b.base is a.base or b.base is a or a.base is b.base
+        before = scratch.allocated_bytes
+        scratch.array("x", 8, np.int64)
+        assert scratch.allocated_bytes == before
+
+    def test_growth_is_geometric(self):
+        scratch = ScratchArena()
+        scratch.array("x", 100, np.float64)
+        buf0 = scratch._pool["x"]
+        scratch.array("x", buf0.size + 1, np.float64)
+        assert scratch._pool["x"].size >= 2 * buf0.size
+
+    def test_zeros_is_zeroed_even_after_dirty_use(self):
+        scratch = ScratchArena()
+        view = scratch.array("z", 16, np.float64)
+        view.fill(7.0)
+        again = scratch.zeros("z", 16)
+        np.testing.assert_array_equal(again, np.zeros(16))
+
+    def test_dtype_change_reallocates(self):
+        scratch = ScratchArena()
+        scratch.array("x", 8, np.int64)
+        f = scratch.array("x", 8, np.float64)
+        assert f.dtype == np.float64
+
+
+# ---------------------------------------------------------------------------
+# Circuit arena bookkeeping
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitArena:
+    def test_append_tombstone_compaction_roundtrip(self):
+        arena = CircuitArena(compact_threshold=0.25)
+        arena.reset([("a", 3, 4), ("b", 2, 2), ("c", 4, 5)])
+        assert arena.num_ops == 9 and arena.num_links == 11
+        seg = arena.tombstone("b")
+        assert isinstance(seg, ArenaSegment) and seg.op_base == 3
+        assert arena.dead_ops == 2 and arena.dead_links == 2
+        # Identity-except-dead mapping drops exactly b's rows.
+        mapping = arena.op_mapping()
+        assert list(mapping[3:5]) == [-1, -1]
+        assert list(mapping[:3]) == [0, 1, 2] and list(mapping[5:]) == [5, 6, 7, 8]
+        op_gather, link_gather, op_map, link_map = arena.compaction()
+        np.testing.assert_array_equal(op_gather, [0, 1, 2, 5, 6, 7, 8])
+        assert list(op_map[op_gather]) == list(range(7))
+        assert link_gather.size == 9 and list(link_map[link_gather]) == list(range(9))
+        arena.apply_compaction()
+        assert arena.num_ops == 7 and arena.dead_ops == 0
+        assert arena.segments["c"].op_base == 3  # slid left over the hole
+        assert arena.tombstone_fraction == 0.0
+
+    def test_threshold_gate(self):
+        arena = CircuitArena(compact_threshold=0.5)
+        arena.reset([("a", 5, 5), ("b", 5, 5)])
+        arena.tombstone("a")
+        assert not arena.needs_compaction  # exactly at 0.5, not above
+        arena2 = CircuitArena(compact_threshold=0.25)
+        arena2.reset([("a", 5, 5), ("b", 5, 5)])
+        arena2.tombstone("a")
+        assert arena2.needs_compaction
+
+    def test_append_after_tombstone_extends_tail(self):
+        arena = CircuitArena()
+        arena.reset([("a", 2, 1)])
+        arena.tombstone("a")
+        seg = arena.append("b", 3, 2)
+        assert seg.op_base == 2 and seg.link_base == 1
+        assert arena.live_op_rows().tolist() == [2, 3, 4]
+
+    def test_duplicate_segment_rejected(self):
+        arena = CircuitArena()
+        arena.append("a", 1, 0)
+        with pytest.raises(ValueError):
+            arena.append("a", 1, 0)
+
+
+# ---------------------------------------------------------------------------
+# Incremental arena vs legacy full-recompile equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestArenaEquivalence:
+    def test_twins_agree_under_chaos(self):
+        a = chaotic_simulation(seed=5, incremental=True)
+        b = chaotic_simulation(seed=5, incremental=False)
+        for _ in range(30):
+            assert_records_equal(a.step(), b.step())
+        assert a.data_plane.accounting() == b.data_plane.accounting()
+        assert a.data_plane.accounting()["balanced"]
+
+    def test_arena_vs_scalar_under_chaos(self):
+        a = chaotic_simulation(seed=7, incremental=True)
+        b = chaotic_simulation(seed=7, incremental=False)
+        for _ in range(25):
+            assert_records_equal(a.step(), b.step_scalar())
+        assert a.data_plane.accounting() == b.data_plane.accounting()
+
+    def test_twins_agree_across_install_uninstall_midrun(self):
+        ov_a, ov_b, a, b = churn_overlay_pair(seed=6)
+        for _ in range(8):
+            assert_records_equal(a.step(), b.step())
+        ov_a.uninstall("q1")
+        ov_b.uninstall("q1")
+        for _ in range(5):
+            assert_records_equal(a.step(), b.step())
+        assert a.dropped_uninstalled == b.dropped_uninstalled > 0
+        for name in ("q8", "q9"):
+            query, stats = random_query(25, PARAMS, name=name, seed=77 + len(name))
+            ov_a.install(ov_a.integrated_optimizer().optimize(query, stats))
+            ov_b.install(ov_b.integrated_optimizer().optimize(query, stats))
+        ov_a.uninstall("q0")
+        ov_b.uninstall("q0")
+        for _ in range(10):
+            assert_records_equal(a.step(), b.step())
+        assert a.accounting() == b.accounting()
+        assert a.accounting()["balanced"]
+        # The incremental plane never fully recompiled; the legacy one did.
+        assert a.recompiles == 0
+        assert b.recompiles >= 2
+
+    def test_twins_agree_under_tenant_churn(self):
+        a = tenant_churn_scenario(num_nodes=20, initial_circuits=5, seed=11)
+        b = tenant_churn_scenario(
+            num_nodes=20, initial_circuits=5, seed=11, incremental=False
+        )
+        for tick in range(24):
+            a.simulation.step()
+            b.simulation.step()
+            if tick % 2 == 0:
+                a.churn_tick()
+                b.churn_tick()
+        for ra, rb in zip(a.simulation.series.records, b.simulation.series.records):
+            assert_records_equal(ra, rb)
+        assert a.data_plane.accounting()["balanced"]
+        assert b.data_plane.accounting()["balanced"]
+        # Compile churn is observable and mode-shaped: the legacy twin
+        # recompiles once for the initial installs (the plane is built
+        # before the tenants arrive) plus once per churn round.
+        assert a.data_plane.recompiles == 0
+        assert b.data_plane.recompiles == 13
+        assert sum(r.recompiles for r in b.simulation.series.records) == 13
+
+    def test_replacement_recompiles_both_modes(self):
+        """Same-name circuit replacement forces a logged full recompile."""
+        ov, _ = traffic_overlay(seed=4)
+        plane = DataPlane(ov, RuntimeConfig(seed=7, incremental=True))
+        plane.step()
+        assert plane.recompiles == 0
+        ov.circuits["q1"] = ov.circuits["q1"].copy()  # equal but not identical
+        ov.invalidate_usage_cache()
+        record = plane.step()
+        assert plane.recompiles == 1
+        assert record.recompiles == 1
+        acct = plane.accounting()
+        assert acct["balanced"]
+
+
+# ---------------------------------------------------------------------------
+# Fused cross-circuit re-optimization
+# ---------------------------------------------------------------------------
+
+
+class TestFusedReopt:
+    def test_fused_step_all_matches_percircuit(self):
+        from repro.core.reoptimizer import Reoptimizer
+
+        ov_a, _ = traffic_overlay(seed=12, num_circuits=4)
+        ov_b, _ = traffic_overlay(seed=12, num_circuits=4)
+        ra = Reoptimizer(
+            ov_a.cost_space,
+            mapper=ov_a.exhaustive_mapper(),
+            migration_threshold=0.0,
+            kernel_cache={},
+        )
+        rb = Reoptimizer(
+            ov_b.cost_space,
+            mapper=ov_b.exhaustive_mapper(),
+            migration_threshold=0.0,
+            kernel_cache={},
+        )
+        for _ in range(4):  # repeated passes exercise the arena cache
+            reps_a = ra.step_all(list(ov_a.circuits.values()))
+            reps_b = rb.step_all_percircuit(list(ov_b.circuits.values()))
+            for pa, pb in zip(reps_a, reps_b):
+                assert [
+                    (m.service_id, m.from_node, m.to_node) for m in pa.migrations
+                ] == [
+                    (m.service_id, m.from_node, m.to_node) for m in pb.migrations
+                ]
+                for ma, mb in zip(pa.migrations, pb.migrations):
+                    assert ma.cost_before == mb.cost_before
+                    assert ma.cost_after == mb.cost_after
+        for name, circuit in ov_a.circuits.items():
+            assert circuit.placement == ov_b.circuits[name].placement
+
+    def test_fused_arena_sees_calibrated_rates(self):
+        from repro.core.reoptimizer import (
+            _ARENA_KEY,
+            Reoptimizer,
+            refresh_kernel_rates,
+        )
+
+        ov, _ = traffic_overlay(seed=13, num_circuits=3)
+        cache = {}
+        reopt = Reoptimizer(
+            ov.cost_space, mapper=ov.exhaustive_mapper(), kernel_cache=cache
+        )
+        circuits = list(ov.circuits.values())
+        reopt.step_all(circuits)
+        arena = cache[_ARENA_KEY]
+        target = circuits[0]
+        new_rates = np.array([l.rate for l in target.links]) * 3.0
+        assert refresh_kernel_rates(cache, target, new_rates)
+        assert arena.rates_stale()
+        reopt.step_all(circuits)  # lazily refreshed, not rebuilt
+        assert cache[_ARENA_KEY] is arena
+        assert not arena.rates_stale()
+        ref, kernel = cache[target.name]
+        k = arena.kernels.index(kernel)
+        s0, s1 = arena.seg_offsets[k], arena.seg_offsets[k + 1]
+        np.testing.assert_array_equal(arena.seg_weight[s0:s1], kernel.seg_weight)
+
+    def test_fused_simulation_twin(self):
+        a = chaotic_simulation(seed=15, fused=True)
+        b = chaotic_simulation(seed=15, fused=False)
+        for _ in range(25):
+            ra, rb = a.step(), b.step()
+            assert (ra.migrations, ra.failures) == (rb.migrations, rb.failures)
+            assert_records_equal(ra, rb)
+            assert ra.network_usage == rb.network_usage
+        for name, circuit in a.overlay.circuits.items():
+            assert circuit.placement == b.overlay.circuits[name].placement
+
+
+# ---------------------------------------------------------------------------
+# Compaction unobservability
+# ---------------------------------------------------------------------------
+
+
+class TestCompactionUnobservable:
+    def test_compaction_timing_never_changes_records(self):
+        # Twin A compacts eagerly (tiny threshold); twin B never does
+        # (threshold 1.0 can't be exceeded).  Identical churn schedule;
+        # every record must match bit for bit.
+        a = tenant_churn_scenario(
+            num_nodes=20, initial_circuits=5, seed=2, compact_threshold=0.01
+        )
+        b = tenant_churn_scenario(
+            num_nodes=20, initial_circuits=5, seed=2, compact_threshold=1.0
+        )
+        compacted = False
+        for tick in range(20):
+            a.simulation.step()
+            b.simulation.step()
+            a.churn_tick()
+            b.churn_tick()
+            if a.data_plane._arena.num_ops < b.data_plane._arena.num_ops:
+                compacted = True
+        assert compacted, "eager twin never compacted — fixture too small"
+        assert b.data_plane._arena.dead_ops > 0, "lazy twin unexpectedly compacted"
+        for ra, rb in zip(a.simulation.series.records, b.simulation.series.records):
+            assert_records_equal(ra, rb)
+            assert ra.recompiles == rb.recompiles == 0
+        # link_keys() identity survives compaction (estimator contract).
+        assert a.data_plane.accounting() == b.data_plane.accounting()
+
+    def test_conservation_every_tick_under_churn_and_compaction(self):
+        s = tenant_churn_scenario(
+            num_nodes=20, initial_circuits=6, seed=9, compact_threshold=0.05
+        )
+        for tick in range(25):
+            s.simulation.step()
+            acct = s.data_plane.accounting()
+            assert acct["balanced"], (tick, acct)
+            if tick >= 5:  # warm up so tuples actually reach consumers
+                s.churn_tick(installs=1, uninstalls=1)
+        assert s.data_plane.dropped_uninstalled > 0
+        assert s.simulation.series.total_delivered() > 0
+
+
+# ---------------------------------------------------------------------------
+# Gid stability (the hash-salt identity behind all of the above)
+# ---------------------------------------------------------------------------
+
+
+class TestGidStability:
+    def test_gids_survive_install_uninstall_and_compaction(self):
+        ov, _ = traffic_overlay(seed=3)
+        plane = DataPlane(
+            ov, RuntimeConfig(seed=5, incremental=True, compact_threshold=0.01)
+        )
+        plane.step()
+        by_key = {
+            key: int(plane._gid[row]) for key, row in plane._op_index.items()
+        }
+        ov.uninstall("q0")
+        query, stats = random_query(25, PARAMS, name="q7", seed=55)
+        ov.install(ov.integrated_optimizer().optimize(query, stats))
+        for _ in range(3):
+            plane.step()
+        for key, row in plane._op_index.items():
+            if key in by_key:
+                assert int(plane._gid[row]) == by_key[key]
+        # Fresh ops got fresh gids — no salt collision with the dead q0.
+        q0_gids = {g for k, g in by_key.items() if k[0] == "q0"}
+        q7_gids = {
+            int(plane._gid[row])
+            for key, row in plane._op_index.items()
+            if key[0] == "q7"
+        }
+        assert not (q0_gids & q7_gids)

@@ -121,3 +121,80 @@ class TestKNearestAndRadius:
     def test_negative_radius_rejected(self):
         with pytest.raises(ValueError):
             self._populated().within_radius([0.0, 0.0], radius=-1.0)
+
+
+class TestNearestBatch:
+    """The shared-neighborhood batch scan must match per-key nearest()."""
+
+    def _populated(self, seed=0, n=40) -> CoordinateCatalog:
+        catalog = make_catalog()
+        rng = np.random.default_rng(seed)
+        for node, point in enumerate(rng.uniform(0, 100, size=(n, 2))):
+            catalog.publish(node, point)
+        return catalog
+
+    def test_matches_per_key_nearest(self):
+        catalog = self._populated()
+        rng = np.random.default_rng(1)
+        queries = rng.uniform(0, 100, size=(25, 2))
+        batch_entries, batch_stats = catalog.nearest_batch(queries, scan_width=6)
+        for query, entry, stats in zip(queries, batch_entries, batch_stats):
+            ref_entry, ref_stats = catalog.nearest(query, scan_width=6)
+            assert entry is ref_entry or entry == ref_entry
+            assert entry.physical_node == ref_entry.physical_node
+            assert stats.dht_hops == ref_stats.dht_hops
+            assert stats.ring_entries_scanned == ref_stats.ring_entries_scanned
+            assert stats.candidates == ref_stats.candidates
+
+    def test_tie_break_matches_per_key(self):
+        # Two nodes in the same spot: batch and per-key must pick the
+        # same one (min keeps the first of equal-distance candidates,
+        # in neighborhood insertion order).
+        catalog = make_catalog()
+        catalog.publish(1, [50.0, 50.0])
+        catalog.publish(2, [50.0, 50.0])
+        queries = np.array([[50.0, 50.0], [49.0, 51.0]])
+        batch_entries, _ = catalog.nearest_batch(queries)
+        for query, entry in zip(queries, batch_entries):
+            ref, _ = catalog.nearest(query)
+            assert entry.physical_node == ref.physical_node
+
+    def test_exclusion_matches_per_key(self):
+        catalog = self._populated(seed=2, n=20)
+        queries = np.random.default_rng(3).uniform(0, 100, size=(10, 2))
+        exclude = {0, 3, 7}
+        batch_entries, _ = catalog.nearest_batch(queries, exclude=exclude)
+        for query, entry in zip(queries, batch_entries):
+            ref, _ = catalog.nearest(query, exclude=exclude)
+            assert entry.physical_node == ref.physical_node
+            assert entry.physical_node not in exclude
+
+    def test_empty_catalog_returns_nones(self):
+        entries, stats = make_catalog().nearest_batch(np.zeros((3, 2)))
+        assert entries == [None, None, None]
+        assert all(s.candidates == 0 for s in stats)
+
+    def test_shared_owner_shares_one_walk(self):
+        # Queries in the same quantization cell land on the same owner;
+        # the batch path must do one walk, not one per query.
+        catalog = self._populated(seed=4, n=30)
+        queries = np.tile([[37.0, 42.0]], (8, 1))
+        calls = 0
+        original = catalog._scan_from
+
+        def counting(*args, **kwargs):
+            nonlocal calls
+            calls += 1
+            return original(*args, **kwargs)
+
+        catalog._scan_from = counting
+        try:
+            entries, _ = catalog.nearest_batch(queries)
+        finally:
+            catalog._scan_from = original
+        assert calls == 1
+        assert len({e.physical_node for e in entries}) == 1
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            self._populated().nearest_batch(np.zeros(4))

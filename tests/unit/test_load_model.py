@@ -240,6 +240,75 @@ class TestLoadProcessCostUnits:
             LoadProcess(4, cpu_capacity=0.0)
 
 
+class TestCostWiredBackground:
+    """The fraction-typed background plumbing is retired end to end.
+
+    A cost-typed load process (``cpu_capacity`` set) feeds the overlay
+    raw cost units through :meth:`Overlay.set_background_cost`; with
+    aligned capacities the run must match a fraction-typed twin tick
+    for tick, and the overlay must share its ``cpu_ref`` with the
+    controller.
+    """
+
+    def make_sim(self, cpu_capacity, mean, sigma=0.05, seed=4):
+        from repro.sbon.simulator import Simulation, SimulationConfig
+
+        overlay = planted_overlay(n=12, seed=7)
+        overlay.install_circuit(chain_circuit())
+        plane = DataPlane(overlay, RuntimeConfig(seed=seed))
+        load = LoadProcess(
+            12, mean_load=mean, sigma=sigma, seed=11, cpu_capacity=cpu_capacity
+        )
+        sim = Simulation(
+            overlay,
+            load_process=load,
+            config=SimulationConfig(reopt_interval=0),
+            data_plane=plane,
+        )
+        return overlay, sim
+
+    def test_cost_wired_run_matches_fraction_twin(self):
+        # Same walk in two currencies: cost units against capacity C
+        # normalize to exactly the fraction twin's background.
+        C = 80.0
+        ov_cost, sim_cost = self.make_sim(cpu_capacity=C, mean=0.15 * C, sigma=0.05 * C)
+        ov_frac, sim_frac = self.make_sim(cpu_capacity=None, mean=0.15, sigma=0.05)
+        for _ in range(15):
+            rc, rf = sim_cost.step(), sim_frac.step()
+            assert rc.mean_load == pytest.approx(rf.mean_load, rel=1e-12)
+            assert rc.max_load == pytest.approx(rf.max_load, rel=1e-12)
+            assert (rc.emitted, rc.delivered, rc.dropped) == (
+                rf.emitted,
+                rf.delivered,
+                rf.dropped,
+            )
+            np.testing.assert_allclose(
+                ov_cost.loads(), ov_frac.loads(), rtol=1e-12
+            )
+        assert ov_cost.cpu_reference() == C
+        assert ov_frac.cpu_reference() is None
+
+    def test_overlay_ref_reaches_controller(self):
+        C = 64.0
+        _, sim = self.make_sim(cpu_capacity=C, mean=0.1 * C)
+        sim.step()
+        ctl = Controller(sim.data_plane, ControlConfig())
+        # No cfg.cpu_ref, no node_capacity: the overlay's shared ref wins.
+        assert ctl.cpu_reference() == C
+
+    def test_set_background_cost_validation(self):
+        overlay = planted_overlay(n=4)
+        with pytest.raises(ValueError):
+            overlay.set_background_cost(np.zeros(4), cpu_ref=0.0)
+        with pytest.raises(ValueError):
+            overlay.set_background_cost(np.zeros(3), cpu_ref=10.0)
+        overlay.set_background_cost(np.array([5.0, 10.0, 0.0, 20.0]), cpu_ref=10.0)
+        np.testing.assert_allclose(
+            overlay.loads(), np.clip([0.5, 1.0, 0.0, 2.0], 0, 1), atol=1e-12
+        )
+        assert overlay.cpu_reference() == 10.0
+
+
 class TestControllerCpuLoop:
     def make_plane(self, rate=6.0, model=None, capacity=None, seed=2):
         overlay = planted_overlay()

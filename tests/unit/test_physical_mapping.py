@@ -100,6 +100,41 @@ class TestCatalogMapper:
         with pytest.raises(RuntimeError):
             mapper.map_coordinate(CostCoordinate((1.0, 1.0)))
 
+    def test_batched_matches_per_key_mapping(self):
+        # map_coordinates (shared-neighborhood batch) must reproduce a
+        # loop of map_coordinate exactly: same nodes, same hop counts.
+        space = grid_space()
+        catalog = build_catalog(space, bits=8, ring_size=32)
+        mapper = CatalogMapper(space, catalog, scan_width=6, excluded={3})
+        rng = np.random.default_rng(7)
+        targets = rng.uniform(0, 40, size=(12, 2))
+        nodes, hops = mapper.map_coordinates(targets)
+        for i, row in enumerate(targets):
+            node, hop = mapper.map_coordinate(CostCoordinate(tuple(row)))
+            assert int(nodes[i]) == node
+            assert int(hops[i]) == hop
+
+    def test_batched_empty_catalog_raises(self):
+        space = grid_space()
+        catalog = build_catalog(space, alive=[False] * 25)
+        mapper = CatalogMapper(space, catalog)
+        with pytest.raises(RuntimeError):
+            mapper.map_coordinates(np.zeros((2, 2)))
+
+    def test_batched_validates_dimensionality(self):
+        space = grid_space()
+        catalog = build_catalog(space)
+        mapper = CatalogMapper(space, catalog)
+        with pytest.raises(ValueError):
+            mapper.map_coordinates(np.zeros((2, 5)))
+
+    def test_batched_empty_targets(self):
+        space = grid_space()
+        catalog = build_catalog(space)
+        mapper = CatalogMapper(space, catalog)
+        nodes, hops = mapper.map_coordinates(np.zeros((0, 2)))
+        assert len(nodes) == 0 and len(hops) == 0
+
 
 class TestMapCircuit:
     def _setup(self):
