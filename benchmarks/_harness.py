@@ -16,9 +16,30 @@ PRs and CI uploads it as an artifact.
 from __future__ import annotations
 
 import json
+import platform
+import sys
 from pathlib import Path
 
+import numpy as np
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def env_metadata() -> dict:
+    """Environment stamp for benchmark artifacts.
+
+    Timings are only comparable within an environment; this records
+    enough to tell apples from oranges across CI runs and machines.
+    ``check_regression.py`` compares only the ``results`` key, so extra
+    metadata never perturbs baselines.
+    """
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "implementation": sys.implementation.name,
+    }
 
 
 def format_table(title: str, headers: list[str], rows: list[list]) -> str:
@@ -71,6 +92,11 @@ def write_bench_json(exp_id: str, entries: list[dict], quick: bool = False) -> P
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{exp_id}.json"
-    payload = {"experiment": exp_id, "quick": quick, "results": entries}
+    payload = {
+        "experiment": exp_id,
+        "quick": quick,
+        "env": env_metadata(),
+        "results": entries,
+    }
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path

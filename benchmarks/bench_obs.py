@@ -1,0 +1,246 @@
+"""E22 — observability overhead: the watcher may not slow the watched.
+
+PR 8 threads sampled tuple tracing, a labeled metrics registry, and a
+phase profiler through the data plane, transport, and controller.  The
+layer's contract is twofold, and this benchmark pins both halves on a
+large chaos tick (churn + drift + backpressure + reliable transport +
+closed-loop control):
+
+1. **Neutrality** — the per-tick traffic records of a plane with no
+   observability, a plane with a disabled :class:`Observability`
+   attached, and a plane with 1% tracing + metrics + profiling all
+   enabled are identical, tick for tick.  Watching changes nothing.
+2. **Bounded cost** — the disabled layer costs at most ``OFF_CEILING``
+   of the bare tick (one attribute check per tick), and the fully
+   enabled layer at most ``ON_CEILING`` (vectorized sampling hashes,
+   one flush per metric per tick, two clock reads per phase).
+
+Timing is interleaved round-robin: within each of ``ROUNDS`` rounds
+all three stacks run the same ``ROUND_TICKS`` ticks back to back (the
+twins stay in lockstep, so a round's workload is identical across
+stacks), the overhead ratio is computed per round, and the asserted
+ratio is the **min across rounds** — the min-of-runs principle applied
+to paired ratios: scheduler/cache noise only ever inflates a round's
+ratio, so the least-noisy round bounds the structural overhead.  Set
+``BENCH_QUICK=1`` for the small CI smoke sizes with looser ceilings —
+ratios are noisier when the bare tick is short.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import lru_cache
+
+import numpy as np
+
+from _harness import report, write_bench_json
+from repro.control import ControlConfig, Controller
+from repro.core.circuit import Circuit, Service
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.network.dynamics import ChurnProcess, LatencyDriftProcess
+from repro.network.latency import LatencyMatrix
+from repro.obs import Observability
+from repro.query.operators import ServiceSpec
+from repro.runtime.dataplane import DataPlane, RuntimeConfig
+from repro.sbon.overlay import Overlay
+
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+
+NODES = 120 if QUICK else 1000
+CIRCUITS = 20 if QUICK else 100
+JOINS = 1
+WARMUP_TICKS = 2 if QUICK else 5
+ROUNDS = 3 if QUICK else 5
+ROUND_TICKS = 5 if QUICK else 10
+#: Disabled-but-attached observability may cost at most this multiple
+#: of the bare tick.
+OFF_CEILING = 1.25 if QUICK else 1.02
+#: 1% tracing + metrics + profiler may cost at most this multiple.
+ON_CEILING = 1.8 if QUICK else 1.15
+TRACE_RATE = 0.01
+
+
+def _make_overlay(n: int, num_circuits: int, seed: int = 0):
+    """Planted join chains on a Euclidean substrate (E21 idiom).
+
+    Returns the overlay plus the producer/sink nodes to protect from
+    churn so sources keep emitting through the chaos.
+    """
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, 200.0, size=(n, 2))
+    diff = points[:, None, :] - points[None, :, :]
+    latencies = LatencyMatrix(np.sqrt((diff ** 2).sum(axis=-1)))
+    spec = CostSpaceSpec.latency_load(vector_dims=2)
+    space = CostSpace.from_embedding(spec, points, {"cpu_load": np.zeros(n)})
+    overlay = Overlay(latencies, space)
+    pinned: set[int] = set()
+    for c in range(num_circuits):
+        circuit = Circuit(name=f"c{c}")
+        producers = rng.choice(n, size=JOINS + 1, replace=False)
+        pinned |= {int(p) for p in producers}
+        for a, node in enumerate(producers):
+            circuit.add_service(
+                Service(f"c{c}/p{a}", ServiceSpec.relay(), int(node), frozenset((f"P{a}",)))
+            )
+        prev = f"c{c}/p0"
+        prev_rate = float(rng.uniform(4.0, 10.0))
+        for j in range(JOINS):
+            sid = f"c{c}/j{j}"
+            circuit.add_service(
+                Service(sid, ServiceSpec.join(), None, frozenset((f"P{j}", f"X{j}")))
+            )
+            other_rate = float(rng.uniform(4.0, 10.0))
+            circuit.add_link(prev, sid, prev_rate)
+            circuit.add_link(f"c{c}/p{j + 1}", sid, other_rate)
+            circuit.assign(sid, int(rng.integers(n)))
+            prev = sid
+            prev_rate = float(rng.uniform(0.3, 0.8)) * min(prev_rate, other_rate)
+        sink = f"c{c}/sink"
+        sink_node = int(rng.integers(n))
+        pinned.add(sink_node)
+        circuit.add_service(
+            Service(sink, ServiceSpec.relay(), sink_node, frozenset(("ALL",)))
+        )
+        circuit.add_link(prev, sink, prev_rate)
+        overlay.install_circuit(circuit)
+    return overlay, pinned
+
+
+class _ChaosStack:
+    """One chaos tick: churn + drift + data plane + controller.
+
+    Three instances with identical seeds perform identical work; only
+    the attached observability differs.
+    """
+
+    def __init__(self, obs: Observability | None, seed: int = 7) -> None:
+        self.overlay, pinned = _make_overlay(NODES, CIRCUITS, seed=seed)
+        self.plane = DataPlane(
+            self.overlay,
+            RuntimeConfig(seed=seed + 1, node_capacity=60.0, reliable=True),
+        )
+        self.obs = obs
+        if obs is not None:
+            self.plane.attach_obs(obs)
+        self.controller = Controller(
+            self.plane,
+            ControlConfig(warmup=3, calibrate_interval=4, drop_threshold=0.2),
+        )
+        if obs is not None:
+            self.controller.events = obs.events
+        self.churn = ChurnProcess(
+            NODES, fail_prob=0.02, recover_prob=0.3, protected=pinned, seed=seed + 2
+        )
+        self.drift = LatencyDriftProcess(
+            self.overlay.latencies, drift_sigma=0.02, seed=seed + 3
+        )
+
+    def tick(self):
+        self.churn.step()
+        self.overlay.apply_liveness(self.churn.alive_mask())
+        self.overlay.latencies = self.drift.step()
+        traffic = self.plane.step()
+        self.controller.step(traffic)
+        return traffic
+
+
+@lru_cache(maxsize=1)
+def overhead_timings():
+    """(bare_s, off_ratio, on_ratio): bare tick cost and the min
+    per-round paired overhead ratios of the attached-disabled and the
+    fully enabled stacks.
+
+    Neutrality is asserted on every tick the benchmark runs: the three
+    stacks' traffic records must be equal, warmup and timed alike.
+    """
+    bare = _ChaosStack(obs=None)
+    off = _ChaosStack(obs=Observability())  # constructed, all disabled
+    on_obs = Observability(
+        tracing=True, trace_rate=TRACE_RATE, metrics=True, profiling=True
+    )
+    on = _ChaosStack(obs=on_obs)
+
+    def run(stack, n):
+        t0 = time.perf_counter()
+        records = [stack.tick() for _ in range(n)]
+        return time.perf_counter() - t0, records
+
+    _, rb = run(bare, WARMUP_TICKS)
+    _, ro = run(off, WARMUP_TICKS)
+    _, rn = run(on, WARMUP_TICKS)
+    assert rb == ro == rn, "warmup records diverged"
+
+    rounds = np.empty((ROUNDS, 3))
+    for r in range(ROUNDS):
+        for i, stack in enumerate((bare, off, on)):
+            elapsed, recs = run(stack, ROUND_TICKS)
+            rounds[r, i] = elapsed / ROUND_TICKS
+            if i == 0:
+                base_recs = recs
+            else:
+                assert recs == base_recs, "obs perturbed the traffic records"
+
+    assert bare.plane.accounting()["balanced"]
+    assert on_obs.tracer.num_events > 0, "1% sampling traced nothing"
+    res = on.plane.trace_completeness()
+    assert res["ok"], res["violations"]
+    bare_s = float(rounds[:, 0].min())
+    off_ratio = float((rounds[:, 1] / rounds[:, 0]).min())
+    on_ratio = float((rounds[:, 2] / rounds[:, 0]).min())
+    return bare_s, off_ratio, on_ratio
+
+
+def test_disabled_obs_is_free():
+    _, off_ratio, _ = overhead_timings()
+    assert off_ratio <= OFF_CEILING, (
+        f"disabled obs costs {off_ratio:.3f}x the bare tick "
+        f"(ceiling {OFF_CEILING}x)"
+    )
+
+
+def test_enabled_obs_is_bounded():
+    _, _, on_ratio = overhead_timings()
+    assert on_ratio <= ON_CEILING, (
+        f"tracing+metrics+profiler cost {on_ratio:.3f}x the bare tick "
+        f"(ceiling {ON_CEILING}x)"
+    )
+
+
+def test_report_obs():
+    bare_s, off_ratio, on_ratio = overhead_timings()
+    off_s, on_s = bare_s * off_ratio, bare_s * on_ratio
+    rows = [
+        ["chaos tick, no obs", NODES, bare_s * 1e3, bare_s * 1e3, 1.0],
+        ["chaos tick, obs attached+disabled", NODES, bare_s * 1e3, off_s * 1e3,
+         1.0 / off_ratio],
+        [f"chaos tick, {TRACE_RATE:.0%} trace+metrics+profile", NODES,
+         bare_s * 1e3, on_s * 1e3, 1.0 / on_ratio],
+    ]
+    report(
+        "E22",
+        f"Observability overhead on the {NODES}-node/{CIRCUITS}-circuit chaos tick"
+        + (" [quick]" if QUICK else ""),
+        ["configuration", "n", "bare (ms)", "with obs (ms)", "ratio"],
+        rows,
+    )
+    write_bench_json(
+        "E22",
+        [
+            {
+                "op": "chaos_tick_obs_off",
+                "n": NODES,
+                "before_s": bare_s,
+                "after_s": off_s,
+                "speedup": bare_s / off_s,
+            },
+            {
+                "op": "chaos_tick_obs_on",
+                "n": NODES,
+                "before_s": bare_s,
+                "after_s": on_s,
+                "speedup": bare_s / on_s,
+            },
+        ],
+        quick=QUICK,
+    )

@@ -115,8 +115,16 @@ def cmd_simulate(args) -> int:
         overlay.install(optimizer.optimize(query, stats))
     print(f"installed {args.queries} circuits; initial usage "
           f"{overlay.total_network_usage():.1f}")
+    obs = None
+    want_obs = args.trace or args.profile or args.metrics_out is not None
     data_plane = None
-    if args.data_plane or args.control or args.reliable or args.cpu_cost:
+    if (
+        args.data_plane
+        or args.control
+        or args.reliable
+        or args.cpu_cost
+        or want_obs
+    ):
         from repro.runtime import DataPlane, LoadModel, RuntimeConfig
 
         data_plane = DataPlane(
@@ -128,12 +136,22 @@ def cmd_simulate(args) -> int:
                 load_model=LoadModel() if args.cpu_cost else None,
             ),
         )
+    if want_obs:
+        from repro.obs import Observability
+
+        obs = Observability(
+            tracing=args.trace,
+            trace_rate=args.trace_rate,
+            metrics=args.metrics_out is not None,
+            profiling=args.profile,
+        )
     sim = Simulation(
         overlay,
         load_process=LoadProcess(overlay.num_nodes, seed=args.seed),
         config=SimulationConfig(reopt_interval=args.reopt_interval),
         data_plane=data_plane,
         control=bool(args.control),
+        obs=obs,
     )
     series = sim.run(args.ticks)
     summary = series.summary()
@@ -172,6 +190,18 @@ def cmd_simulate(args) -> int:
             print(f"{'cpu write-back':15s}: skipped — no cost-rate reference; "
                   f"pass --node-capacity so measured CPU load can reach "
                   f"placement")
+    if obs is not None:
+        if obs.tracer is not None:
+            spans = obs.tracer.spans()
+            print(f"{'tracing':15s}: {obs.tracer.num_events} events over "
+                  f"{len(spans)} sampled spans "
+                  f"(rate {obs.tracer.sample_rate:g})")
+        if obs.profiler is not None:
+            print("\n" + obs.profiler.report())
+        if args.metrics_out is not None:
+            written = obs.export(args.metrics_out)
+            names = ", ".join(sorted(p.name for p in written.values()))
+            print(f"\n{'telemetry':15s}: wrote {names} to {args.metrics_out}/")
     return 0
 
 
@@ -257,6 +287,26 @@ def main(argv: list[str] | None = None) -> int:
         "--reliable", action="store_true",
         help="buffer tuples bound to failed nodes for retransmission "
         "instead of dropping them (implies --data-plane)",
+    )
+    p_sim.add_argument(
+        "--trace", action="store_true",
+        help="record hash-sampled tuple spans through the data plane "
+        "(implies --data-plane; export with --metrics-out)",
+    )
+    p_sim.add_argument(
+        "--trace-rate", type=float, default=0.01,
+        help="fraction of wire tuples traced (default 0.01)",
+    )
+    p_sim.add_argument(
+        "--profile", action="store_true",
+        help="time simulator phases and data-plane kernel stages "
+        "(implies --data-plane); prints the phase table",
+    )
+    p_sim.add_argument(
+        "--metrics-out", metavar="DIR", default=None,
+        help="export telemetry (metrics.prom/metrics.jsonl, plus "
+        "traces.jsonl, profile.json, events.jsonl for the enabled "
+        "instruments) under DIR; implies --data-plane",
     )
 
     p_exe = sub.add_parser("execute", help="execute a circuit on streams")

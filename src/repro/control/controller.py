@@ -230,6 +230,12 @@ class Controller:
         self.buffer_evacuations = 0
         self.shed_nodes: set[int] = set()
         self._last_trigger: int | None = None
+        # Structured-event sink (repro.obs.events.EventLog) or None;
+        # the simulator wires an attached Observability's log in here.
+        self.events = None
+        # Why the most recent re-placement trigger fired:
+        # "drop_ewma", "latency_ewma", or "drop_ewma+latency_ewma".
+        self.last_trigger_reason: str | None = None
 
     # -- tick entry points ---------------------------------------------------
 
@@ -272,6 +278,41 @@ class Controller:
         shed_new, shed_released = self._shed_policy(armed)
         triggered, excluded = self._trigger_policy(armed)
         evacuate = self._buffer_policy(armed)
+
+        events = self.events
+        if events is not None:
+            tick = traffic.tick
+            if calibrated or calibrated_cpu:
+                events.emit(
+                    tick,
+                    "calibration",
+                    links=int(calibrated),
+                    cpu_nodes=int(calibrated_cpu),
+                )
+            if shed_new:
+                events.emit(
+                    tick,
+                    "shed_set",
+                    nodes=list(shed_new),
+                    limit=cfg.shed_limit,
+                )
+            if shed_released:
+                events.emit(tick, "shed_release", nodes=list(shed_released))
+            if triggered:
+                events.emit(
+                    tick,
+                    "replace_triggered",
+                    reason=self.last_trigger_reason,
+                    drop_ewma=self.drop_ewma,
+                    latency_ewma_ms=self.latency_ewma,
+                    excluded_nodes=list(excluded),
+                )
+            if evacuate:
+                events.emit(
+                    tick,
+                    "buffer_evacuate",
+                    services=[list(pair) for pair in evacuate],
+                )
 
         return ControlRecord(
             tick=traffic.tick,
@@ -443,16 +484,19 @@ class Controller:
             and self.ticks - self._last_trigger < cfg.trigger_cooldown
         ):
             return False, ()
-        breach = (
-            cfg.drop_threshold is not None and self.drop_ewma > cfg.drop_threshold
-        ) or (
+        reasons = []
+        if cfg.drop_threshold is not None and self.drop_ewma > cfg.drop_threshold:
+            reasons.append("drop_ewma")
+        if (
             cfg.latency_threshold_ms is not None
             and self.latency_ewma > cfg.latency_threshold_ms
-        )
-        if not breach:
+        ):
+            reasons.append("latency_ewma")
+        if not reasons:
             return False, ()
         self._last_trigger = self.ticks
         self.triggers += 1
+        self.last_trigger_reason = "+".join(reasons)
         excluded: tuple[int, ...] = ()
         if cfg.exclude_drop_rate is not None:
             drops = self.node_drops.rates()

@@ -450,6 +450,12 @@ class Reoptimizer:
         self.migration_threshold = migration_threshold
         self.load_weight = load_weight
         self._kernels = kernel_cache if kernel_cache is not None else {}
+        # Decision counters (observability): accepted vs hysteresis-
+        # rejected candidate moves, and fused-arena rebuilds.  Pure
+        # increments — they never influence a decision.
+        self.accepts = 0
+        self.rejects = 0
+        self.arena_builds = 0
 
     def _kernel(self, circuit: Circuit) -> _CircuitKernel:
         # Keyed by name, validated by object identity via weakref: a
@@ -593,6 +599,9 @@ class Reoptimizer:
                     )
                 )
                 current_total = new_total
+                self.accepts += 1
+            else:
+                self.rejects += 1
         return migrations, current_total
 
     def local_step(self, circuit: Circuit) -> ReoptimizationReport:
@@ -667,8 +676,10 @@ class Reoptimizer:
                     )
                 )
                 current_cost = new_cost
+                self.accepts += 1
             else:
                 circuit.assign(sid, old_node)  # revert
+                self.rejects += 1
 
         report.cost_after = current_cost
         return report
@@ -695,6 +706,7 @@ class Reoptimizer:
         if not isinstance(arena, _ReoptArena) or not arena.matches(kernels):
             arena = _ReoptArena(kernels)
             self._kernels[_ARENA_KEY] = arena
+            self.arena_builds += 1
         elif arena.rates_stale():
             arena.refresh_rates()
         return arena

@@ -428,6 +428,10 @@ class DataPlane:
         # Full-recompile observability (satellite: compile churn).
         self.recompiles = 0
         self._tick_recompiles = 0
+        # Attached observability layer (repro.obs.Observability), or
+        # None.  Handles are resolved once per tick; with no layer the
+        # hot loop pays a single attribute check.
+        self._obs = None
         self._compile(remap_from=None, reason="initial")
 
     # -- compilation -------------------------------------------------------
@@ -1308,8 +1312,17 @@ class DataPlane:
     def step(self) -> TrafficRecord:
         """Advance one tick through the batched kernels."""
         self._use_mode("array")
+        trace = self._trace_handle()
+        prof = self._prof_handle()
+        self._transport.trace = trace
+        if trace is not None:
+            trace.begin_tick(self.tick + 1)
         self._tick_recompiles = 0
+        if prof is not None:
+            prof.begin("compile")
         dropped_sync = self._sync()
+        if prof is not None:
+            prof.end()
         self.tick += 1
         now = self.tick
         self._apply_drift(now)
@@ -1342,10 +1355,16 @@ class DataPlane:
         # current host is alive again rejoin this tick's first round.
         t_redelivered = 0
         if reliable:
+            if prof is not None:
+                prof.begin("redeliver")
             t_redelivered = self._transport.redeliver(alive[host], now)
             self.redelivered += t_redelivered
+            if prof is not None:
+                prof.end()
 
         # 1. Sources emit (one Poisson draw + one uniform draw, total).
+        if prof is not None:
+            prof.begin("sources")
         counts, u = self._draw_tick()
         if counts.size and counts.sum():
             live = np.repeat(alive[host[self._src_ops]], counts)
@@ -1357,13 +1376,22 @@ class DataPlane:
                 t_emitted = m
                 self.emitted += m
                 self._send_array(
-                    ops, keys, np.full(m, now, dtype=np.int64), np.ones(m), now, host, lat
+                    ops, keys, np.full(m, now, dtype=np.int64), np.ones(m), now, host, lat,
+                    trace=trace, emit=True,
                 )
+        if prof is not None:
+            prof.end()
 
         # 2. Delivery rounds until nothing further is due this tick.
+        if prof is not None:
+            prof.begin("delivery")
         while True:
+            if prof is not None:
+                prof.begin("extract")
             batch = self._transport.due(now)
             if batch is None:
+                if prof is not None:
+                    prof.end()
                 break
             order = np.lexsort((batch["seq"], batch["port"], batch["op"]))
             op = batch["op"][order]
@@ -1373,6 +1401,11 @@ class DataPlane:
             size = batch["size"][order]
             seq = batch["seq"][order]
             node = host[op]
+            if prof is not None:
+                prof.end()
+                prof.begin("admission")
+            if trace is not None:
+                trace.record(trace.DELIVER, seq, op, node)
 
             live = alive[node]
             ndead = int(op.size - live.sum())
@@ -1384,34 +1417,68 @@ class DataPlane:
                     )
                     self.dropped_overflow += overflow
                     t_dropped += overflow
+                    if trace is not None:
+                        # buffer() accepts a canonical-order prefix, so
+                        # the accepted/overflowed split is positional.
+                        accept = ndead - overflow
+                        dseq, dop, dnode = seq[dead], op[dead], node[dead]
+                        trace.record(
+                            trace.BUFFER, dseq[:accept], dop[:accept], dnode[:accept]
+                        )
+                        trace.record(
+                            trace.DROP_OVERFLOW,
+                            dseq[accept:], dop[accept:], dnode[accept:],
+                        )
                 else:
                     self.dropped_dead += ndead
                     t_dropped += ndead
+                    if trace is not None:
+                        dead = ~live
+                        trace.record(trace.DROP_DEAD, seq[dead], op[dead], node[dead])
                 op, port, key, ts, size, node = (
                     a[live] for a in (op, port, key, ts, size, node)
                 )
+                if trace is not None:
+                    seq = seq[live]
             if cap is not None and op.size:
                 costs = adm[op, np.minimum(port, 1)]
                 keep = self._capacity_filter(node, node_used, cap, costs)
                 ncap = int(op.size - keep.sum())
                 if ncap:
                     rejected = node[~keep]
-                    nshed = int(self._shed_attribution(rejected).sum())
+                    shed_mask = self._shed_attribution(rejected)
+                    nshed = int(shed_mask.sum())
                     self.dropped_shed += nshed
                     t_shed += nshed
                     self.dropped_capacity += ncap - nshed
                     t_dropped += ncap
                     t_cpu_dropped += float(costs[~keep].sum())
                     np.add.at(self.dropped_by_node, rejected, 1)
+                    if trace is not None:
+                        rseq, rop = seq[~keep], op[~keep]
+                        trace.record(
+                            trace.DROP_SHED,
+                            rseq[shed_mask], rop[shed_mask], rejected[shed_mask],
+                        )
+                        trace.record(
+                            trace.DROP_CAPACITY,
+                            rseq[~shed_mask], rop[~shed_mask], rejected[~shed_mask],
+                        )
                     op, port, key, ts, size = (
                         a[keep] for a in (op, port, key, ts, size)
                     )
+                    if trace is not None:
+                        seq = seq[keep]
+            if prof is not None:
+                prof.end()
             m = op.size
             if m == 0:
                 continue
             t_processed += m
             self.processed += m
             np.add.at(self.processed_by_node, host[op], 1)
+            if trace is not None:
+                trace.record(trace.PROCESS, seq, op, host[op])
             # Base per-tuple kind costs; aggregates and joins add their
             # batch / probe terms inside _process_array.
             self._tick_op_cost += np.bincount(
@@ -1429,11 +1496,21 @@ class DataPlane:
             rest = ~sink
             if rest.any():
                 pos = np.flatnonzero(rest)
+                if prof is not None:
+                    prof.begin("operators")
                 out = self._process_array(
                     op[rest], port[rest], key[rest], ts[rest], size[rest], pos, now
                 )
+                if prof is not None:
+                    prof.end()
                 if out is not None:
-                    self._send_array(*out, now, host, lat)
+                    if prof is not None:
+                        prof.begin("fanout")
+                    self._send_array(*out, now, host, lat, trace=trace)
+                    if prof is not None:
+                        prof.end()
+        if prof is not None:
+            prof.end()
 
         self._usage_total += self._tick_usage
         self._end_tick_stats()
@@ -1442,6 +1519,8 @@ class DataPlane:
             np.concatenate(tick_lat) if tick_lat else np.empty(0, dtype=np.float64)
         )
         p50, p95, p99 = self._percentiles(lat_all)
+        if self._obs is not None:
+            self._obs.data_plane_tick(self, lat_all)
         return TrafficRecord(
             tick=now,
             emitted=t_emitted,
@@ -1701,7 +1780,9 @@ class DataPlane:
         if self._stb_comp.size >= self._state_merge_limit:
             self._merge_state()
 
-    def _send_array(self, ops, keys, ts, sizes, now, host, lat) -> None:
+    def _send_array(
+        self, ops, keys, ts, sizes, now, host, lat, trace=None, emit=False
+    ) -> None:
         """Fan outputs out over their CSR out-links and hand to transport."""
         if ops.size == 0:
             return
@@ -1721,6 +1802,10 @@ class DataPlane:
         dt = np.rint(l / self.config.tick_ms).astype(np.int64)
         seq = np.arange(self._next_seq, self._next_seq + total, dtype=np.int64)
         self._next_seq += total
+        if trace is not None:
+            # A wire tuple's span is keyed by its target op (like every
+            # delivery-side event); the node column carries the sender.
+            trace.record(trace.EMIT if emit else trace.SEND, seq, dst, u)
         np.add.at(self._link_tuples, link, 1)
         np.add.at(self._link_size, link, sizes[rep])
         self._tick_usage += float(l.sum())
@@ -1737,8 +1822,17 @@ class DataPlane:
         per-key join tables — the "before" side of E18.
         """
         self._use_mode("heap")
+        trace = self._trace_handle()
+        prof = self._prof_handle()
+        self._transport.trace = trace
+        if trace is not None:
+            trace.begin_tick(self.tick + 1)
         self._tick_recompiles = 0
+        if prof is not None:
+            prof.begin("compile")
         dropped_sync = self._sync()
+        if prof is not None:
+            prof.end()
         self.tick += 1
         now = self.tick
         self._apply_drift(now)
@@ -1770,10 +1864,16 @@ class DataPlane:
         # 0. Reliable redelivery (per-tuple walk over the buffer).
         t_redelivered = 0
         if reliable:
+            if prof is not None:
+                prof.begin("redeliver")
             t_redelivered = self._transport.redeliver(alive[host], now)
             self.redelivered += t_redelivered
+            if prof is not None:
+                prof.end()
 
         # 1. Sources emit, consuming the same per-tick draws.
+        if prof is not None:
+            prof.begin("sources")
         counts, u = self._draw_tick()
         offset = 0
         for s in range(counts.size):
@@ -1785,11 +1885,15 @@ class DataPlane:
                 continue
             dom = float(self._src_domain[s])
             for x in seg:
-                self._send_scalar(opx, int(x * dom), now, 1.0, now, 0, host, latm)
+                self._send_scalar(opx, int(x * dom), now, 1.0, now, 0, host, latm, trace)
             t_emitted += c
             self.emitted += c
+        if prof is not None:
+            prof.end()
 
         # 2. Delivery rounds, one tuple at a time in canonical order.
+        if prof is not None:
+            prof.begin("delivery")
         round_ = 1
         while True:
             batch = self._transport.due(now, round_)
@@ -1799,6 +1903,8 @@ class DataPlane:
             agg_rank: dict[int, int] = {}
             for _arr, _rnd, _seq, opx, portx, key, ts, size in batch:
                 node = int(host[opx])
+                if trace is not None:
+                    trace.record_one(trace.DELIVER, _seq, opx, node)
                 if not alive[node]:
                     if reliable:
                         if not self._transport.buffer_one(
@@ -1806,9 +1912,17 @@ class DataPlane:
                         ):
                             self.dropped_overflow += 1
                             t_dropped += 1
+                            if trace is not None:
+                                trace.record_one(
+                                    trace.DROP_OVERFLOW, _seq, opx, node
+                                )
+                        elif trace is not None:
+                            trace.record_one(trace.BUFFER, _seq, opx, node)
                     else:
                         self.dropped_dead += 1
                         t_dropped += 1
+                        if trace is not None:
+                            trace.record_one(trace.DROP_DEAD, _seq, opx, node)
                     continue
                 if cap is not None:
                     cost = float(adm[opx, min(portx, 1)])
@@ -1818,8 +1932,14 @@ class DataPlane:
                         ):
                             self.dropped_shed += 1
                             t_shed += 1
+                            if trace is not None:
+                                trace.record_one(trace.DROP_SHED, _seq, opx, node)
                         else:
                             self.dropped_capacity += 1
+                            if trace is not None:
+                                trace.record_one(
+                                    trace.DROP_CAPACITY, _seq, opx, node
+                                )
                         t_dropped += 1
                         t_cpu_dropped += cost
                         self.dropped_by_node[node] += 1
@@ -1828,6 +1948,8 @@ class DataPlane:
                 t_processed += 1
                 self.processed += 1
                 self.processed_by_node[node] += 1
+                if trace is not None:
+                    trace.record_one(trace.PROCESS, _seq, opx, node)
                 self._tick_op_cost[opx] += self._kind_cost[opx]
                 if self._is_sink[opx]:
                     t_delivered += 1
@@ -1865,7 +1987,7 @@ class DataPlane:
                             outs.append((key, max(ts, sts), size + ssz))
                     self._tables.setdefault((opx, portx, key), []).append((ts, size))
                 for k2, t2, s2 in outs:
-                    self._send_scalar(opx, k2, t2, s2, now, round_, host, latm)
+                    self._send_scalar(opx, k2, t2, s2, now, round_, host, latm, trace)
             for opx, r in agg_rank.items():
                 self._agg_credit[opx] = (
                     self._agg_credit[opx] + r * float(self._op_factor[opx])
@@ -1876,11 +1998,16 @@ class DataPlane:
                         self._model.aggregate_batch_cost * float(r) * r
                     )
             round_ += 1
+        if prof is not None:
+            prof.end()
 
         self._usage_total += self._tick_usage
         self._end_tick_stats()
         tick_cpu = self._finish_tick_cpu(host, t_cpu_dropped)
-        p50, p95, p99 = self._percentiles(np.asarray(tick_lat, dtype=np.float64))
+        lat_all = np.asarray(tick_lat, dtype=np.float64)
+        p50, p95, p99 = self._percentiles(lat_all)
+        if self._obs is not None:
+            self._obs.data_plane_tick(self, lat_all)
         return TrafficRecord(
             tick=now,
             emitted=t_emitted,
@@ -1913,7 +2040,9 @@ class DataPlane:
         for key in dead_keys:
             del self._tables[key]
 
-    def _send_scalar(self, opx, key, ts, size, now, round_, host, latm) -> None:
+    def _send_scalar(
+        self, opx, key, ts, size, now, round_, host, latm, trace=None
+    ) -> None:
         base = int(self._out_offsets[opx])
         for li in range(base, base + int(self._out_deg[opx])):
             dst = int(self._link_dst[li])
@@ -1921,6 +2050,13 @@ class DataPlane:
             dt = int(np.rint(l / self.config.tick_ms))
             seq = self._next_seq
             self._next_seq += 1
+            if trace is not None:
+                trace.record_one(
+                    trace.EMIT if round_ == 0 else trace.SEND,
+                    seq,
+                    dst,
+                    int(host[opx]),
+                )
             self._link_tuples[li] += 1
             self._link_size[li] += size
             self._tick_usage += l
@@ -1986,6 +2122,67 @@ class DataPlane:
     def measured_cpu_rate(self) -> float:
         """Mean measured CPU cost per tick, summed over all nodes."""
         return self.cpu_cost_total / self.tick if self.tick else 0.0
+
+    # -- observability -----------------------------------------------------
+
+    def attach_obs(self, obs) -> None:
+        """Attach an observability layer (``repro.obs.Observability``).
+
+        Attach before the first tick — the trace-completeness invariant
+        assumes every live tuple's birth was recorded.
+        """
+        self._obs = obs
+
+    def _trace_handle(self):
+        """The active tracer, resolved once per tick (None = no tracing)."""
+        obs = self._obs
+        if obs is None:
+            return None
+        tracer = obs.tracer
+        return tracer if tracer is not None and tracer.enabled else None
+
+    def _prof_handle(self):
+        """The active profiler, resolved once per tick (None = off)."""
+        obs = self._obs
+        if obs is None:
+            return None
+        prof = obs.profiler
+        return prof if prof is not None and prof.enabled else None
+
+    def trace_completeness(self) -> dict:
+        """Check the attached tracer's completeness invariant now.
+
+        Every sampled span must have exactly one birth and terminate at
+        most once; open spans must be exactly the sampled part of the
+        live in-flight + buffered population.  At ``sample_rate=1.0``
+        the per-terminal event counts are additionally reconciled
+        against the drop/processed accounting — the per-span refinement
+        of :meth:`accounting`'s conservation balance.
+        """
+        tracer = None if self._obs is None else self._obs.tracer
+        if tracer is None:
+            raise RuntimeError("no tracer attached (see attach_obs)")
+        tr = self._transport
+        if tr is None:
+            return tracer.check_completeness(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+            )
+        totals = None
+        if tracer.sample_rate >= 1.0:
+            totals = {
+                "births": tr.sent,
+                "process": self.processed,
+                "drop_dead": self.dropped_dead,
+                "drop_capacity": self.dropped_capacity,
+                "drop_shed": self.dropped_shed,
+                "drop_uninstall": self.dropped_uninstalled,
+                "drop_overflow": self.dropped_overflow,
+                "redeliver": self.redelivered,
+                "buffer": getattr(tr, "buffered_total", 0),
+            }
+        return tracer.check_completeness(
+            tr.inflight_seqs(), tr.buffered_seqs(), totals
+        )
 
     def buffered_backlog(self) -> dict[tuple[str, str], int]:
         """Retransmit-buffer backlog per service, keyed (circuit, sid).

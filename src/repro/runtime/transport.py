@@ -92,6 +92,9 @@ class ArrayTransport:
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        # Duck-typed tracer handle (see repro.obs.trace); None means no
+        # tracing and every hook is a single attribute check.
+        self.trace = None
 
     @property
     def in_flight(self) -> int:
@@ -105,6 +108,14 @@ class ArrayTransport:
     def buffered_by_op(self, num_ops: int) -> np.ndarray:
         """Retransmit-buffer backlog per target op (all zero here)."""
         return np.zeros(num_ops, dtype=np.int64)
+
+    def inflight_seqs(self) -> np.ndarray:
+        """Sequence numbers currently in the in-flight pool (copy)."""
+        return self._seq[: self._count].copy()
+
+    def buffered_seqs(self) -> np.ndarray:
+        """Sequence numbers parked in the retransmit buffer (none here)."""
+        return np.empty(0, dtype=np.int64)
 
     def _grow(self, needed: int) -> None:
         cap = self._cap
@@ -207,6 +218,10 @@ class ArrayTransport:
         keep = new_op >= 0
         dropped = int(c - keep.sum())
         if dropped:
+            if self.trace is not None:
+                self.trace.record_drop_uninstall(
+                    self._seq[:c][~keep], self._op[:c][~keep]
+                )
             survivors = int(keep.sum())
             for name in ("_arrival", "_op", "_port", "_key", "_ts", "_size", "_seq"):
                 col = getattr(self, name)
@@ -235,6 +250,9 @@ class HeapTransport:
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        # Duck-typed tracer handle (see repro.obs.trace); None means no
+        # tracing and every hook is a single attribute check.
+        self.trace = None
 
     @property
     def in_flight(self) -> int:
@@ -248,6 +266,14 @@ class HeapTransport:
     def buffered_by_op(self, num_ops: int) -> np.ndarray:
         """Retransmit-buffer backlog per target op (all zero here)."""
         return np.zeros(num_ops, dtype=np.int64)
+
+    def inflight_seqs(self) -> np.ndarray:
+        """Sequence numbers currently in the in-flight heap."""
+        return np.array([entry[2] for entry in self._heap], dtype=np.int64)
+
+    def buffered_seqs(self) -> np.ndarray:
+        """Sequence numbers parked in the retransmit buffer (none here)."""
+        return np.empty(0, dtype=np.int64)
 
     def send_one(
         self,
@@ -280,6 +306,8 @@ class HeapTransport:
             new = int(mapping[op])
             if new < 0:
                 dropped += 1
+                if self.trace is not None:
+                    self.trace.record_drop_uninstall_one(seq, op)
                 continue
             kept.append((arrival, round_, seq, new, port, key, ts, size))
         if dropped:
@@ -330,6 +358,10 @@ class ReliableTransport(ArrayTransport):
     def buffered_by_op(self, num_ops: int) -> np.ndarray:
         """Retransmit-buffer backlog per target op (one bincount)."""
         return np.bincount(self._b_op[: self._b_count], minlength=num_ops)
+
+    def buffered_seqs(self) -> np.ndarray:
+        """Sequence numbers parked in the retransmit buffer (copy)."""
+        return self._b_seq[: self._b_count].copy()
 
     def _grow_buffer(self, needed: int) -> None:
         cap = self._b_cap
@@ -393,6 +425,8 @@ class ReliableTransport(ArrayTransport):
         hits = int(mask.sum())
         if hits == 0:
             return 0
+        if self.trace is not None:
+            self.trace.record_redeliver(self._b_seq[:c][mask], self._b_op[:c][mask])
         self._append(
             np.full(hits, now, dtype=np.int64),
             self._b_op[:c][mask],
@@ -421,6 +455,10 @@ class ReliableTransport(ArrayTransport):
         keep = new_op >= 0
         b_dropped = int(c - keep.sum())
         if b_dropped:
+            if self.trace is not None:
+                self.trace.record_drop_uninstall(
+                    self._b_seq[:c][~keep], self._b_op[:c][~keep]
+                )
             survivors = int(keep.sum())
             for name in ("_b_op", "_b_port", "_b_key", "_b_ts", "_b_size", "_b_seq"):
                 col = getattr(self, name)
@@ -465,6 +503,10 @@ class ReliableHeapTransport(HeapTransport):
             counts[entry[0]] += 1
         return counts
 
+    def buffered_seqs(self) -> np.ndarray:
+        """Sequence numbers parked in the retransmit buffer."""
+        return np.array([entry[5] for entry in self._buffer], dtype=np.int64)
+
     def buffer_one(
         self, op: int, port: int, key: int, ts: int, size: float, seq: int
     ) -> bool:
@@ -482,6 +524,8 @@ class ReliableHeapTransport(HeapTransport):
         for entry in self._buffer:
             op, port, key, ts, size, seq = entry
             if alive_of_op[op]:
+                if self.trace is not None:
+                    self.trace.record_redeliver_one(seq, op)
                 heapq.heappush(self._heap, (now, 1, seq, op, port, key, ts, size))
                 hits += 1
             else:
@@ -498,6 +542,8 @@ class ReliableHeapTransport(HeapTransport):
             new = int(mapping[entry[0]])
             if new < 0:
                 b_dropped += 1
+                if self.trace is not None:
+                    self.trace.record_drop_uninstall_one(entry[5], entry[0])
                 continue
             kept.append((new,) + entry[1:])
         self._buffer = kept

@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-__all__ = ["TickRecord", "TimeSeries"]
+__all__ = ["TickRecord", "TimeSeries", "SCHEMA_VERSION"]
+
+# Version of the exported TickRecord dict/JSONL schema.  Bump whenever a
+# field is added, removed, renamed, or changes meaning; consumers key on
+# the ``schema`` field every exported row carries.
+SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -74,6 +80,12 @@ class TickRecord:
     cpu_dropped: float = 0.0
     recompiles: int = 0
 
+    def to_dict(self) -> dict:
+        """All fields plus the ``schema`` version marker."""
+        out = {"schema": SCHEMA_VERSION}
+        out.update(asdict(self))
+        return out
+
 
 @dataclass
 class TimeSeries:
@@ -88,6 +100,12 @@ class TimeSeries:
 
     def __len__(self) -> int:
         return len(self.records)
+
+    def to_jsonl(self, path) -> None:
+        """One versioned JSON object per tick record."""
+        with open(path, "w") as fh:
+            for record in self.records:
+                fh.write(json.dumps(record.to_dict()) + "\n")
 
     def usage_series(self) -> np.ndarray:
         return np.array([r.network_usage for r in self.records])

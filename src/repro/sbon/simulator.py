@@ -103,6 +103,7 @@ class Simulation:
         config: SimulationConfig | None = None,
         data_plane: DataPlane | bool | None = None,
         control: Controller | bool | None = None,
+        obs=None,
     ):
         self.overlay = overlay
         self.load_process = load_process
@@ -117,6 +118,16 @@ class Simulation:
             self.data_plane = data_plane
         self.series = TimeSeries()
         self.tick = 0
+        # Re-optimizer decision counters, accumulated across the fresh
+        # per-pass Reoptimizer instances (observability only).
+        self.reopt_accepts = 0
+        self.reopt_rejects = 0
+        self.reopt_arena_builds = 0
+        # Observability layer (repro.obs.Observability) or None; wired
+        # into the data plane and (below) the controller's event log.
+        self.obs = obs
+        if obs is not None and self.data_plane is not None:
+            self.data_plane.attach_obs(obs)
         # Circuit kernels compiled by the re-optimizer survive across
         # ticks (structure is immutable; only placements change — and
         # the controller's calibration re-prices them in place).
@@ -133,6 +144,8 @@ class Simulation:
             self.controller = control
             if self.controller.kernel_cache is None:
                 self.controller.kernel_cache = self._kernel_cache
+        if obs is not None and self.controller is not None:
+            self.controller.events = obs.events
 
     def _make_reoptimizer(self) -> Reoptimizer:
         mapper = self.overlay.exhaustive_mapper()
@@ -151,11 +164,21 @@ class Simulation:
             kernel_cache=self._kernel_cache,
         )
 
+    def _harvest_reopt(self, reopt: Reoptimizer) -> None:
+        """Fold a fresh pass instance's decision counters into the sim."""
+        self.reopt_accepts += reopt.accepts
+        self.reopt_rejects += reopt.rejects
+        self.reopt_arena_builds += reopt.arena_builds
+
     def _advance(self, scalar: bool) -> TickRecord:
         """Advance one tick via the vectorized or the scalar-reference path."""
         self.tick += 1
         migrations = 0
         failures = 0
+        obs = self.obs
+        prof = None
+        if obs is not None and obs.profiler is not None and obs.profiler.enabled:
+            prof = obs.profiler
 
         # 1. Background load drift.  A cost-typed process (cpu_capacity
         # set) hands the overlay raw cost units plus its reference, so
@@ -163,6 +186,8 @@ class Simulation:
         # keep the legacy write.  Either way the step consumed the same
         # RNG draw, so scalar/vector twins stay aligned.
         if self.load_process is not None:
+            if prof is not None:
+                prof.begin("load")
             loads = (
                 self.load_process.step_scalar()
                 if scalar
@@ -174,17 +199,25 @@ class Simulation:
                 )
             else:
                 self.overlay.set_background_loads(loads)
+            if prof is not None:
+                prof.end()
 
         # 2. Latency drift.
         if self.latency_drift is not None:
+            if prof is not None:
+                prof.begin("drift")
             self.overlay.latencies = (
                 self.latency_drift.step_scalar()
                 if scalar
                 else self.latency_drift.step()
             )
+            if prof is not None:
+                prof.end()
 
         # 3. Churn: fail nodes, evacuate their services.
         if self.churn is not None:
+            if prof is not None:
+                prof.begin("churn")
             newly_failed = (
                 self.churn.step_scalar() if scalar else self.churn.step()
             )
@@ -192,27 +225,39 @@ class Simulation:
             self.overlay.apply_liveness(self.churn.alive_mask())
             if newly_failed:
                 self._evacuate(newly_failed, scalar=scalar)
+            if prof is not None:
+                prof.end()
 
         # 4. Refresh cost space; maybe re-optimize.
+        if prof is not None:
+            prof.begin("reopt")
         self.overlay.refresh_cost_space()
         if (
             self.config.reopt_interval
             and self.tick % self.config.reopt_interval == 0
         ):
             migrations += self._reoptimize_all(scalar=scalar)
+        if prof is not None:
+            prof.end()
 
         # 5. Execute the data plane: real tuples flow over the (possibly
         # just-migrated) placements, re-homing in-flight traffic.
         traffic = None
         if self.data_plane is not None:
+            if prof is not None:
+                prof.begin("data_plane")
             traffic = (
                 self.data_plane.step_scalar() if scalar else self.data_plane.step()
             )
+            if prof is not None:
+                prof.end()
 
         # 6. Close the loop: the controller ingests the measurements,
         # calibrates estimates, and may demand a re-placement now.
         control = None
         if self.controller is not None and traffic is not None:
+            if prof is not None:
+                prof.begin("control")
             control = (
                 self.controller.step_scalar(traffic)
                 if scalar
@@ -226,8 +271,12 @@ class Simulation:
                 migrations += self._evacuate_buffered(
                     control.evacuate_services, scalar=scalar
                 )
+            if prof is not None:
+                prof.end()
 
         # 7. Record.
+        if prof is not None:
+            prof.begin("record")
         loads = self.overlay.loads_scalar() if scalar else self.overlay.loads()
         usage = (
             self.overlay.total_network_usage_scalar()
@@ -259,6 +308,10 @@ class Simulation:
             recompiles=traffic.recompiles if traffic else 0,
         )
         self.series.append(record)
+        if prof is not None:
+            prof.end()
+        if obs is not None:
+            obs.simulation_tick(self, record)
         return record
 
     def step(self) -> TickRecord:
@@ -296,6 +349,7 @@ class Simulation:
                     self.overlay.apply_migration(
                         circuit.name, migration.service_id, migration.to_node
                     )
+        self._harvest_reopt(reopt)
 
     def _evacuate_buffered(
         self, services: tuple[tuple[str, str], ...], scalar: bool = False
@@ -324,6 +378,7 @@ class Simulation:
                     circuit.name, migration.service_id, migration.to_node
                 )
                 migrations += 1
+        self._harvest_reopt(reopt)
         return migrations
 
     def _reoptimize_all(
@@ -356,4 +411,5 @@ class Simulation:
                     circuit.name, migration.service_id, migration.to_node
                 )
                 migrations += 1
+        self._harvest_reopt(reopt)
         return migrations

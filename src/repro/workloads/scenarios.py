@@ -449,6 +449,8 @@ def chaos_scenario(
     hotspot_start: int = 8,
     hotspot_duration: int = 30,
     seed: int = 0,
+    obs=None,
+    control: bool = False,
 ) -> ChaosScenario:
     """Everything at once: traffic + hotspot + drift + churn + migration.
 
@@ -511,6 +513,8 @@ def chaos_scenario(
         churn=churn,
         config=SimulationConfig(reopt_interval=reopt_interval, migration_threshold=0.01),
         data_plane=data_plane,
+        obs=obs,
+        control=control,
     )
     return ChaosScenario(
         overlay=overlay,

@@ -1,0 +1,188 @@
+"""Observability invariants: behavioral neutrality and trace completeness.
+
+The PR-8 discipline: the obs layer watches the data plane but may never
+steer it.  Two properties pin that down under chaos (churn + drift +
+backpressure + reliable transport + control plane):
+
+1. **Neutrality** — a simulation with full observability attached
+   produces a TickRecord stream identical, tick for tick, to a twin
+   with no observability at all.  RNG draws, seq assignment, admission
+   order: nothing may shift.
+2. **Completeness** — at ``sample_rate=1.0`` every traced tuple's span
+   must be closed by a terminal event or still be accounted for in the
+   transport (in flight or retransmit-buffered), every tick, and the
+   per-event totals must reconcile with the data plane's conservation
+   counters.  At partial rates the per-span invariant still holds for
+   every sampled tuple.
+
+Both hold for the vectorized twin and the scalar reference, and the two
+twins' canonical event streams are identical at rate 1.0.
+"""
+
+import numpy as np
+
+from repro.network.dynamics import ChurnProcess, LatencyDriftProcess, LoadProcess
+from repro.network.topology import grid_topology
+from repro.obs import Observability
+from repro.runtime import DataPlane, RuntimeConfig
+from repro.sbon.overlay import Overlay
+from repro.sbon.simulator import Simulation, SimulationConfig
+from repro.workloads.queries import WorkloadParams, random_query
+
+PARAMS = WorkloadParams(
+    num_producers=3, rate_bounds=(3.0, 8.0), selectivity_bounds=(0.2, 0.6)
+)
+
+TICKS = 30
+
+
+def observed_simulation(seed=0, obs=None, reliable=True, capacity=40.0):
+    """Chaotic sim: churn, drift, control plane, reliable transport."""
+    overlay = Overlay.build(
+        grid_topology(5, 5), vector_dims=2, embedding_rounds=20, seed=seed
+    )
+    n = overlay.num_nodes
+    pinned = set()
+    optimizer = overlay.integrated_optimizer()
+    for i in range(3):
+        query, stats = random_query(n, PARAMS, name=f"q{i}", seed=seed * 10 + i)
+        overlay.install(optimizer.optimize(query, stats))
+        pinned |= {p.node for p in query.producers} | {query.consumer.node}
+    plane = DataPlane(
+        overlay, RuntimeConfig(seed=99, node_capacity=capacity, reliable=reliable)
+    )
+    return Simulation(
+        overlay,
+        load_process=LoadProcess(n, sigma=0.1, seed=1),
+        latency_drift=LatencyDriftProcess(overlay.latencies, drift_sigma=0.03, seed=2),
+        churn=ChurnProcess(
+            n, fail_prob=0.05, recover_prob=0.3, protected=pinned, seed=3
+        ),
+        config=SimulationConfig(reopt_interval=3, migration_threshold=0.0),
+        data_plane=plane,
+        control=True,
+        obs=obs,
+    )
+
+
+def full_obs(rate=1.0):
+    return Observability(
+        tracing=True, trace_rate=rate, metrics=True, profiling=True
+    )
+
+
+class TestBehavioralNeutrality:
+    """obs-on and obs-off twins emit identical TickRecord streams."""
+
+    def test_vectorized_twin_unperturbed(self):
+        sim_on = observed_simulation(seed=4, obs=full_obs())
+        sim_off = observed_simulation(seed=4, obs=None)
+        for _ in range(TICKS):
+            assert sim_on.step() == sim_off.step()
+
+    def test_scalar_twin_unperturbed(self):
+        sim_on = observed_simulation(seed=5, obs=full_obs())
+        sim_off = observed_simulation(seed=5, obs=None)
+        for _ in range(TICKS):
+            assert sim_on.step_scalar() == sim_off.step_scalar()
+
+    def test_partial_rate_unperturbed(self):
+        sim_on = observed_simulation(seed=6, obs=full_obs(rate=0.05))
+        sim_off = observed_simulation(seed=6, obs=None)
+        for _ in range(TICKS):
+            assert sim_on.step() == sim_off.step()
+
+
+class TestTraceCompleteness:
+    """Every sampled span is terminal or transport-accounted, every tick."""
+
+    def test_vectorized_full_rate_with_totals(self):
+        sim = observed_simulation(seed=4, obs=full_obs())
+        for t in range(TICKS):
+            sim.step()
+            res = sim.data_plane.trace_completeness()
+            assert res["ok"], (t, res["violations"])
+        assert res["spans"] > 0
+        assert sim.data_plane.accounting()["balanced"]
+
+    def test_scalar_full_rate_with_totals(self):
+        sim = observed_simulation(seed=4, obs=full_obs())
+        for t in range(TICKS):
+            sim.step_scalar()
+            res = sim.data_plane.trace_completeness()
+            assert res["ok"], (t, res["violations"])
+        assert res["spans"] > 0
+
+    def test_vectorized_partial_rate(self):
+        sim = observed_simulation(seed=7, obs=full_obs(rate=0.05))
+        for t in range(TICKS):
+            sim.step()
+            res = sim.data_plane.trace_completeness()
+            assert res["ok"], (t, res["violations"])
+        assert sim.data_plane._obs.tracer.num_events > 0
+
+    def test_scalar_partial_rate(self):
+        sim = observed_simulation(seed=7, obs=full_obs(rate=0.05))
+        for t in range(TICKS):
+            sim.step_scalar()
+            res = sim.data_plane.trace_completeness()
+            assert res["ok"], (t, res["violations"])
+
+
+class TestTwinTraceEquality:
+    """Vectorized and scalar twins record the same canonical events."""
+
+    def test_canonical_streams_identical(self):
+        obs_v, obs_s = full_obs(), full_obs()
+        sim_v = observed_simulation(seed=4, obs=obs_v)
+        sim_s = observed_simulation(seed=4, obs=obs_s)
+        for _ in range(TICKS):
+            sim_v.step()
+            sim_s.step_scalar()
+        ev_v = obs_v.tracer.events_canonical()
+        assert len(ev_v) > 0
+        assert ev_v == obs_s.tracer.events_canonical()
+
+    def test_canonical_streams_identical_partial_rate(self):
+        obs_v, obs_s = full_obs(rate=0.1), full_obs(rate=0.1)
+        sim_v = observed_simulation(seed=8, obs=obs_v)
+        sim_s = observed_simulation(seed=8, obs=obs_s)
+        for _ in range(TICKS):
+            sim_v.step()
+            sim_s.step_scalar()
+        ev_v = obs_v.tracer.events_canonical()
+        assert len(ev_v) > 0
+        assert ev_v == obs_s.tracer.events_canonical()
+
+
+class TestUninstallTracing:
+    """In-flight tuples orphaned by an uninstall get DROP_UNINSTALL spans."""
+
+    def _run(self, step):
+        overlay = Overlay.build(
+            grid_topology(4, 4), vector_dims=2, embedding_rounds=20, seed=1
+        )
+        optimizer = overlay.integrated_optimizer()
+        for i in range(2):
+            query, stats = random_query(16, PARAMS, name=f"q{i}", seed=1 + i)
+            overlay.install(optimizer.optimize(query, stats))
+        obs = full_obs()
+        plane = DataPlane(overlay, RuntimeConfig(seed=8))
+        plane.attach_obs(obs)
+        for _ in range(10):
+            step(plane)
+        overlay.uninstall("q0")
+        step(plane)
+        assert plane.dropped_uninstalled > 0
+        tracer = obs.tracer
+        events = tracer.events()
+        n_uninst = int(np.count_nonzero(events["event"] == tracer.DROP_UNINSTALL))
+        assert n_uninst == plane.dropped_uninstalled
+        res = plane.trace_completeness()
+        assert res["ok"], res["violations"]
+
+    def test_vectorized(self):
+        self._run(lambda plane: plane.step())
+
+    def test_scalar(self):
+        self._run(lambda plane: plane.step_scalar())
