@@ -1,0 +1,169 @@
+"""E23 — elastic scaling: replicated segments at batch speed.
+
+Two claims, one experiment id:
+
+1. **Throughput** — key-partitioned replication multiplies the arena's
+   operator count (every scaled join becomes k replicas plus a merge
+   relay) and puts the SplitMix64 key-bucket router on every split
+   link, yet the batched kernels must still beat the per-tuple scalar
+   twin by ≥10× on a traffic tick where every circuit's first join
+   runs replicated.  The twins ride identical RNG draws (the router
+   hashes keys, drawing none), scale up *and* back down mid-warmup
+   through live ``replace_circuit`` events, and the conservation
+   balance is asserted on every tick — including the scale-event ticks
+   that re-home in-flight tuples and per-key state.
+
+2. **Elasticity quality** — under the flash-crowd (``lambda_spike``)
+   hotspot the autoscaled loop must eliminate at least half of the
+   move-only controller's p95 measured CPU overload (the PR 9
+   acceptance headline; see ``tests/integration/test_scaling_loop``).
+
+Set ``BENCH_QUICK=1`` for the small CI smoke sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import lru_cache
+
+import numpy as np
+
+from _harness import report, write_bench_json
+from bench_dataplane import DP_CIRCUITS, DP_NODES, _traffic_overlay
+from repro.core.rewriting import replicate_operator
+from repro.runtime.dataplane import DataPlane, RuntimeConfig
+from repro.workloads.scenarios import scaling_overload_comparison
+
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+WARMUP_TICKS = 12 if QUICK else 24
+TIMED_TICKS = 3
+#: Quick mode shrinks the Python-loop / kernel gap; assert less there.
+SC_SPEEDUP_FLOOR = 2.0 if QUICK else 10.0
+#: Replicas per scaled join during the timed ticks.
+SCALE_K = 3
+OVERLOAD_TICKS = 60 if QUICK else 80
+OVERLOAD_WINDOW = 25 if QUICK else 35
+
+
+def _scale_all(overlay, k: int) -> int:
+    """Rescale every circuit's first join to ``k`` replicas in place."""
+    scaled = 0
+    for name in list(overlay.circuits):
+        result = replicate_operator(overlay.circuits[name], f"{name}/j0", k)
+        if result.applied:
+            overlay.replace_circuit(result.circuit)
+            scaled += 1
+    return scaled
+
+
+def _assert_tick_equal(rv, rs) -> None:
+    assert (rv.emitted, rv.delivered, rv.dropped, rv.processed, rv.in_flight) == (
+        rs.emitted, rs.delivered, rs.dropped, rs.processed, rs.in_flight
+    ), (rv, rs)
+
+
+@lru_cache(maxsize=1)
+def scaling_tick_timings() -> tuple[float, float, int, int]:
+    """(scalar s, vectorized s, tuples/tick, scaled joins) on twin planes.
+
+    Both twins scale every circuit's first join up to ``SCALE_K``
+    replicas a third of the way through warmup, fold half of them back
+    down two thirds through (exercising merge-down state re-homing),
+    and re-split them before the timed ticks — so the timed tick runs
+    the router on every scaled circuit while warmup covered both
+    scale-event directions.  Conservation is asserted on every tick.
+    """
+    fast_overlay, slow_overlay = _traffic_overlay(), _traffic_overlay()
+    fast = DataPlane(fast_overlay, RuntimeConfig(seed=3))
+    slow = DataPlane(slow_overlay, RuntimeConfig(seed=3))
+    scaled = 0
+    for t in range(WARMUP_TICKS):
+        if t == WARMUP_TICKS // 3:
+            scaled = _scale_all(fast_overlay, SCALE_K)
+            assert _scale_all(slow_overlay, SCALE_K) == scaled
+            assert scaled == DP_CIRCUITS
+        if t == 2 * WARMUP_TICKS // 3:
+            # Fold back and immediately re-split on the next branch: the
+            # merge-down path re-homes every replica's keyed state.
+            assert _scale_all(fast_overlay, 1) == scaled
+            assert _scale_all(slow_overlay, 1) == scaled
+        if t == 2 * WARMUP_TICKS // 3 + 1:
+            _scale_all(fast_overlay, SCALE_K)
+            _scale_all(slow_overlay, SCALE_K)
+        _assert_tick_equal(fast.step(), slow.step_scalar())
+        assert fast.accounting()["balanced"], t
+        assert slow.accounting()["balanced"], t
+
+    t0 = time.perf_counter()
+    fast_records = [fast.step() for _ in range(TIMED_TICKS)]
+    t_vector = (time.perf_counter() - t0) / TIMED_TICKS
+    t0 = time.perf_counter()
+    slow_records = [slow.step_scalar() for _ in range(TIMED_TICKS)]
+    t_scalar = (time.perf_counter() - t0) / TIMED_TICKS
+
+    for rv, rs in zip(fast_records, slow_records):
+        _assert_tick_equal(rv, rs)
+    assert fast.accounting() == slow.accounting()
+    assert fast.accounting()["balanced"]
+    per_tick = int(np.mean([r.processed + r.emitted for r in fast_records]))
+    return t_scalar, t_vector, per_tick, scaled
+
+
+def test_report_scaling_tick():
+    t_scalar, t_vector, per_tick, scaled = scaling_tick_timings()
+    rows = [
+        [
+            f"replicated tick ({DP_CIRCUITS} circuits, {scaled} joins at "
+            f"k={SCALE_K}, ~{per_tick} tuples)",
+            DP_NODES,
+            t_scalar * 1e3,
+            t_vector * 1e3,
+            t_scalar / t_vector,
+        ]
+    ]
+    report(
+        "E23",
+        "Elastic scaling: per-tuple routing reference vs batched key-bucket router"
+        + (" [quick]" if QUICK else ""),
+        ["kernel", "n", "scalar ms", "vectorized ms", "speedup"],
+        rows,
+    )
+    overload = scaling_overload_comparison(
+        ticks=OVERLOAD_TICKS, eval_window=OVERLOAD_WINDOW, seed=0
+    )
+    write_bench_json(
+        "E23",
+        [
+            {
+                "op": "scaling_tick",
+                "n": DP_NODES,
+                "circuits": DP_CIRCUITS,
+                "scaled_joins": scaled,
+                "replicas": SCALE_K,
+                "tuples_per_tick": per_tick,
+                "before_s": t_scalar,
+                "after_s": t_vector,
+                "speedup": t_scalar / t_vector,
+            },
+            {
+                "op": "scaling_overload_p95",
+                "move_only": overload["move_only"],
+                "autoscaled": overload["autoscaled"],
+                "improvement": overload["improvement"],
+                "scale_ups": overload["scale_ups"],
+                "scale_downs": overload["scale_downs"],
+            },
+        ],
+        quick=QUICK,
+    )
+    assert t_scalar / t_vector >= SC_SPEEDUP_FLOOR
+
+
+def test_autoscaler_halves_p95_overload():
+    """The elasticity acceptance: scaling relieves what moving cannot."""
+    overload = scaling_overload_comparison(
+        ticks=OVERLOAD_TICKS, eval_window=OVERLOAD_WINDOW, seed=0
+    )
+    assert overload["move_only"] > 0, overload
+    assert overload["improvement"] >= 0.5, overload

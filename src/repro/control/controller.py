@@ -54,6 +54,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.control.estimator import RateEstimator
+from repro.core.load_model import LoadModel
 from repro.core.reoptimizer import refresh_kernel_rates
 
 __all__ = ["ControlConfig", "ControlRecord", "Controller"]
@@ -230,6 +231,13 @@ class Controller:
         self.buffer_evacuations = 0
         self.shed_nodes: set[int] = set()
         self._last_trigger: int | None = None
+        # Load-model drift fit: accumulate the normal equations of
+        # measured per-node cost against per-(node, kind) processed
+        # counts; solved at each calibration (see cost_drift).
+        self._drift_xtx = np.zeros((4, 4))
+        self._drift_xty = np.zeros(4)
+        self._drift_ticks = 0
+        self.cost_drift: np.ndarray | None = None
         # Structured-event sink (repro.obs.events.EventLog) or None;
         # the simulator wires an attached Observability's log in here.
         self.events = None
@@ -258,6 +266,11 @@ class Controller:
         getattr(self.node_drops, observe)(dp.tick_node_drops.astype(float))
         getattr(self.node_processed, observe)(dp.tick_node_processed.astype(float))
         getattr(self.node_cpu, observe)(dp.tick_node_cpu)
+        x = dp.tick_node_kind_processed.astype(float)
+        if x.shape[0] == dp.tick_node_cpu.shape[0]:
+            self._drift_xtx += x.T @ x
+            self._drift_xty += x.T @ dp.tick_node_cpu
+            self._drift_ticks += 1
 
         denom = traffic.processed + traffic.dropped
         frac = traffic.dropped / denom if denom else 0.0
@@ -274,6 +287,7 @@ class Controller:
         if armed and self.ticks % cfg.calibrate_interval == 0:
             calibrated = self.calibrate()
             calibrated_cpu = self.calibrate_cpu()
+            self.fit_cost_drift()
 
         shed_new, shed_released = self._shed_policy(armed)
         triggered, excluded = self._trigger_policy(armed)
@@ -445,6 +459,37 @@ class Controller:
         self.overlay.refresh_cost_space()
         self.cpu_calibrations += 1
         return int(len(cpu))
+
+    def fit_cost_drift(self) -> np.ndarray | None:
+        """Regress measured node cost on per-kind processed counts.
+
+        Least-squares over the accumulated normal equations gives the
+        *fitted* per-tuple cost of each operator kind; dividing by the
+        load model's *priced* base coefficients yields the drift ratio
+        published as :attr:`cost_drift` (NaN for kinds never observed).
+        A ratio near 1 means the pricing the autoscaler's breach signal
+        relies on tracks reality; join/aggregate ratios above 1 are
+        expected when their dynamic probe/batch terms are active, since
+        the fit folds those into the base coefficient.  Runs at each
+        calibration; returns the fresh ratios (None before any data).
+        """
+        if self._drift_ticks == 0:
+            return None
+        seen = np.diag(self._drift_xtx) > 0
+        fitted = np.full(4, np.nan)
+        if seen.any():
+            sub = self._drift_xtx[np.ix_(seen, seen)]
+            coef, *_ = np.linalg.lstsq(sub, self._drift_xty[seen], rcond=None)
+            fitted[seen] = coef
+        model = self.data_plane.config.load_model or LoadModel.unit()
+        self.cost_drift = fitted / model.kind_costs()
+        if self.events is not None:
+            self.events.emit(
+                self.ticks,
+                "cost_drift",
+                ratios=[None if np.isnan(r) else float(r) for r in self.cost_drift],
+            )
+        return self.cost_drift
 
     # -- policies ------------------------------------------------------------
 

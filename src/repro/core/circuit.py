@@ -19,7 +19,53 @@ from repro.query.operators import ServiceKind, ServiceSpec, processing_load
 from repro.query.plan import JoinNode, LeafNode, LogicalPlan, PlanNode
 from repro.query.selectivity import Statistics
 
-__all__ = ["Service", "CircuitLink", "Circuit", "effective_statistics"]
+__all__ = [
+    "ReplicaInfo",
+    "Service",
+    "CircuitLink",
+    "Circuit",
+    "effective_statistics",
+]
+
+
+@dataclass(frozen=True)
+class ReplicaInfo:
+    """Replication metadata carried by key-partitioned replica services.
+
+    A replicated family is the base service split into ``count``
+    key-range replicas plus one downstream merge relay.  The *family*
+    link rates of the unreplicated original are stored here exactly
+    (not divided and re-multiplied, which would drift in float64) so
+    the data plane can derive window domains and match probabilities
+    bitwise-identically to the unreplicated circuit — the key-partition
+    exactness invariant depends on it.
+
+    Attributes:
+        base: service id of the original (unreplicated) service.
+        index: replica index in ``0..count-1``; ``-1`` marks the merge
+            relay that re-interleaves the replicas' outputs.
+        count: number of replicas in the family (the split factor k).
+        in_rates: the original service's input-link rates, in port
+            order — the family rates each replica derives its operator
+            parameters from.
+        out_rate: the original service's (first) output-link rate.
+    """
+
+    base: str
+    index: int
+    count: int
+    in_rates: tuple[float, ...]
+    out_rate: float
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("replica count must be >= 1")
+        if not -1 <= self.index < self.count:
+            raise ValueError("replica index must be -1 (merge) or in [0, count)")
+
+    @property
+    def is_merge(self) -> bool:
+        return self.index < 0
 
 
 @dataclass(frozen=True)
@@ -34,12 +80,16 @@ class Service:
             output reflects — the *reuse key* for multi-query
             optimization (two services with equal kind and producer set
             compute the same stream).
+        replica: replication metadata when this service is one replica
+            (or the merge relay) of a key-partitioned family; None for
+            ordinary services.
     """
 
     service_id: str
     spec: ServiceSpec
     pinned_node: int | None
     producers: frozenset[str]
+    replica: ReplicaInfo | None = None
 
     @property
     def is_pinned(self) -> bool:
@@ -49,8 +99,20 @@ class Service:
     def kind(self) -> ServiceKind:
         return self.spec.kind
 
-    def reuse_key(self) -> tuple[ServiceKind, frozenset[str]]:
-        """Key under which identical services can be merged (§2.2)."""
+    def reuse_key(self) -> tuple:
+        """Key under which identical services can be merged (§2.2).
+
+        A replica computes only its key slice of the stream, so the key
+        carries the replica identity — multi-query reuse must never
+        merge a replica with the unreplicated original or a sibling.
+        """
+        if self.replica is not None:
+            return (
+                self.spec.kind,
+                self.producers,
+                self.replica.index,
+                self.replica.count,
+            )
         return (self.spec.kind, self.producers)
 
 

@@ -6,8 +6,8 @@ reordering of services, the decomposition of existing services into
 sub-services to reduce load, or the re-composition of services to
 reduce network communication."
 
-Three rewrites are implemented, each strictly local (it only touches
-services that share a host, or a single service):
+Four rewrite groups are implemented, each strictly local (it only
+touches services that share a host, or a single service family):
 
 * :func:`recompose_colocated_joins` — two adjacent JOIN services hosted
   on the *same* node are merged into one multi-way join service.  The
@@ -20,6 +20,18 @@ services that share a host, or a single service):
   try the alternative associations of their three inputs and keep the
   one with the lowest intermediate rate (a classic local join
   reordering, valid because the host runs both services).
+* :func:`replicate_operator` / :func:`merge_replicas` — elastic
+  scaling (PR 9): split a CPU-hot join/aggregate into ``k``
+  key-partitioned replicas plus one downstream merge relay, or fold a
+  family back into its single base service.  Upstream links are
+  expanded in place into one link per replica — the data plane's
+  hash-router delivers each tuple to exactly one of them by SplitMix64
+  key bucket — and the merge relay re-interleaves the replicas'
+  outputs onto the base's original out-links.  The original *family*
+  rates are carried exactly on :class:`~repro.core.circuit.ReplicaInfo`
+  (never divided and re-multiplied) so the compiled operator
+  parameters are bitwise-identical to the unreplicated circuit's: a
+  k=1→k→1 round-trip restores the exact original behavior.
 
 All rewrites take and return :class:`~repro.core.circuit.Circuit`
 objects; they never touch services on other hosts.
@@ -29,7 +41,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.circuit import Circuit, Service
+from repro.core.circuit import Circuit, ReplicaInfo, Service
 from repro.query.operators import ServiceKind, ServiceSpec
 from repro.query.selectivity import Statistics, rate_of_subset
 
@@ -39,6 +51,11 @@ __all__ = [
     "recompose_colocated_joins",
     "decompose_join",
     "reorder_adjacent_joins",
+    "replicate_operator",
+    "merge_replicas",
+    "replica_families",
+    "replica_sid",
+    "merge_sid",
 ]
 
 
@@ -257,4 +274,255 @@ def reorder_adjacent_joins(
     rewritten.links.append(link_cls(upstream, downstream, rates[best_key]))
     return RewriteResult(
         rewritten, True, f"re-associated {upstream} to join {sorted(group)}"
+    )
+
+
+# -- elastic scaling: key-partitioned replication (PR 9) -------------------
+
+_REPLICABLE = (ServiceKind.JOIN, ServiceKind.AGGREGATE)
+
+
+def replica_sid(base: str, index: int) -> str:
+    """Service id of replica ``index`` of ``base``."""
+    return f"{base}@r{index}"
+
+
+def merge_sid(base: str) -> str:
+    """Service id of the merge relay of ``base``'s replica family."""
+    return f"{base}@merge"
+
+
+def replica_families(circuit: Circuit) -> dict[str, dict]:
+    """Replica families present in a circuit, keyed by base service id.
+
+    Each value is ``{"replicas": [sid, ...] (index order), "merge":
+    sid | None, "count": k}``.  Used by the rewrite primitives, the
+    autoscaler, and the replica-count metric.
+    """
+    families: dict[str, dict] = {}
+    for sid, service in circuit.services.items():
+        info = service.replica
+        if info is None:
+            continue
+        fam = families.setdefault(
+            info.base, {"replicas": [None] * info.count, "merge": None, "count": info.count}
+        )
+        if info.is_merge:
+            fam["merge"] = sid
+        else:
+            fam["replicas"][info.index] = sid
+    return families
+
+
+def _resolve_base(circuit: Circuit, service_id: str) -> str | None:
+    """The family base a service id refers to, or None if unreplicated."""
+    service = circuit.services.get(service_id)
+    if service is not None and service.replica is not None:
+        return service.replica.base
+    if service is None and service_id in replica_families(circuit):
+        return service_id
+    return None
+
+
+def _unreplicate(circuit: Circuit, base: str) -> Circuit:
+    """Fold a replica family back into its single base service.
+
+    The base reappears at replica 0's position in the service order
+    (and on replica 0's host); the stored family rates restore every
+    original link exactly.
+    """
+    fam = replica_families(circuit)[base]
+    replicas: list[str] = fam["replicas"]
+    family = set(replicas)
+    if fam["merge"] is not None:
+        family.add(fam["merge"])
+    r0 = circuit.services[replicas[0]]
+    info = r0.replica
+    restored = Service(
+        service_id=base,
+        spec=r0.spec,
+        pinned_node=None,
+        producers=r0.producers,
+    )
+    flat = Circuit(name=circuit.name)
+    for sid, service in circuit.services.items():
+        if sid == replicas[0]:
+            flat.services[base] = restored
+        elif sid not in family:
+            flat.services[sid] = service
+    port = 0
+    out_seen = False
+    for link in circuit.links:
+        if link.target in family:
+            if link.source in family:
+                continue  # internal replica -> merge link
+            if link.target == replicas[0]:
+                flat.add_link(link.source, base, info.in_rates[port])
+                port += 1
+            # Split copies to the other replicas collapse away.
+        elif link.source in family:
+            # Merge out-links carry the original downstream rates.
+            flat.add_link(base, link.target, link.rate)
+            out_seen = True
+        else:
+            flat.add_link(link.source, link.target, link.rate)
+    assert out_seen, "replica family had no downstream links"
+    for sid, node in circuit.placement.items():
+        if sid == replicas[0]:
+            flat.placement[base] = node
+        elif sid not in family:
+            flat.placement[sid] = node
+    return flat
+
+
+def _replicate(
+    circuit: Circuit, base: str, k: int, hints: list[int | None] | None
+) -> Circuit:
+    """Split an unreplicated service into ``k`` replicas plus a merge.
+
+    ``hints`` optionally places replica ``i`` on ``hints[i]``; missing
+    hints (and the merge relay) default to the base's current host.
+    """
+    service = circuit.services[base]
+    in_links = [l for l in circuit.links if l.target == base]
+    out_links = [l for l in circuit.links if l.source == base]
+    in_rates = tuple(l.rate for l in in_links)
+    out_rate = out_links[0].rate
+    rep_sids = [replica_sid(base, i) for i in range(k)]
+    m_sid = merge_sid(base)
+
+    rewritten = Circuit(name=circuit.name)
+    for sid, svc in circuit.services.items():
+        if sid == base:
+            for i in range(k):
+                rewritten.services[rep_sids[i]] = Service(
+                    service_id=rep_sids[i],
+                    spec=service.spec,
+                    pinned_node=None,
+                    producers=service.producers,
+                    replica=ReplicaInfo(base, i, k, in_rates, out_rate),
+                )
+            rewritten.services[m_sid] = Service(
+                service_id=m_sid,
+                spec=ServiceSpec.relay(),
+                pinned_node=None,
+                producers=service.producers,
+                replica=ReplicaInfo(base, -1, k, in_rates, out_rate),
+            )
+        else:
+            rewritten.services[sid] = svc
+    out_seen = False
+    for link in circuit.links:
+        if link.target == base:
+            # Expand in place into one split link per replica, so each
+            # replica's in-port order equals the base's in-port order.
+            for sid in rep_sids:
+                rewritten.add_link(link.source, sid, link.rate / k)
+        elif link.source == base:
+            if not out_seen:
+                for sid in rep_sids:
+                    rewritten.add_link(sid, m_sid, out_rate / k)
+                out_seen = True
+            rewritten.add_link(m_sid, link.target, link.rate)
+        else:
+            rewritten.add_link(link.source, link.target, link.rate)
+
+    home = circuit.placement.get(base)
+    for sid, node in circuit.placement.items():
+        if sid != base:
+            rewritten.placement[sid] = node
+    for i, sid in enumerate(rep_sids):
+        node = hints[i] if hints is not None and i < len(hints) else None
+        node = home if node is None else node
+        if node is not None:
+            rewritten.placement[sid] = node
+    if home is not None:
+        rewritten.placement[m_sid] = home
+    return rewritten
+
+
+def replicate_operator(
+    circuit: Circuit,
+    service_id: str,
+    k: int,
+    placement: list[int | None] | None = None,
+) -> RewriteResult:
+    """Scale a join/aggregate to ``k`` key-partitioned replicas.
+
+    ``service_id`` may name an unreplicated service, the base of an
+    existing family, or any member of one — rescaling an existing
+    family folds it flat first and re-splits with the new ``k``
+    (replica sids for indices below the old count are preserved, as
+    are their hosts unless ``placement`` overrides them).  ``k == 1``
+    on a family merges it back (see :func:`merge_replicas`).
+
+    Only unpinned JOIN / AGGREGATE services with both inputs and
+    outputs replicate; everything else returns ``applied=False``.
+    Join families partition their state by key, so the merged output
+    is exactly the unreplicated circuit's (canonical order);
+    aggregate families are rate-preserving (the credit decimation is
+    batch-order dependent across replicas).
+    """
+    if k < 1:
+        raise ValueError("replica count must be >= 1")
+    base = _resolve_base(circuit, service_id)
+    if base is not None:
+        fam = replica_families(circuit)[base]
+        current = fam["count"]
+        if k == current:
+            return RewriteResult(circuit.copy(), False, f"{base} already at k={k}")
+        hints = placement
+        if hints is None:
+            hints = [circuit.placement.get(sid) for sid in fam["replicas"]]
+        flat = _unreplicate(circuit, base)
+        if k == 1:
+            return RewriteResult(
+                flat, True, f"merged {base} back to a single instance"
+            )
+        return RewriteResult(
+            _replicate(flat, base, k, hints),
+            True,
+            f"rescaled {base} from {current} to {k} replicas",
+        )
+    service = circuit.services.get(service_id)
+    if service is None:
+        raise KeyError(f"no service {service_id}")
+    if service.kind not in _REPLICABLE:
+        return RewriteResult(
+            circuit.copy(), False, "only join/aggregate services replicate"
+        )
+    if service.is_pinned:
+        return RewriteResult(
+            circuit.copy(), False, "pinned services cannot replicate"
+        )
+    has_in = any(l.target == service_id for l in circuit.links)
+    has_out = any(l.source == service_id for l in circuit.links)
+    if not has_in or not has_out:
+        return RewriteResult(
+            circuit.copy(), False, "sources and sinks cannot replicate"
+        )
+    if k == 1:
+        return RewriteResult(
+            circuit.copy(), False, "k=1 is the unreplicated form"
+        )
+    return RewriteResult(
+        _replicate(circuit, service_id, k, placement),
+        True,
+        f"split {service_id} into {k} key-partitioned replicas",
+    )
+
+
+def merge_replicas(circuit: Circuit, service_id: str) -> RewriteResult:
+    """Fold a replica family back into its single base service.
+
+    ``service_id`` may name the family base or any member.  Returns
+    ``applied=False`` when the service is not replicated.
+    """
+    base = _resolve_base(circuit, service_id)
+    if base is None:
+        return RewriteResult(circuit.copy(), False, f"{service_id} is not replicated")
+    return RewriteResult(
+        _unreplicate(circuit, base),
+        True,
+        f"merged {base}'s replicas back to a single instance",
     )

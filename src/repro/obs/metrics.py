@@ -148,6 +148,14 @@ class KeyedMetric:
         cols = self._columns(keys)
         np.add.at(self._values, cols, arr)
 
+    def set(self, keys: list, arr: np.ndarray) -> None:
+        """Overwrite the keyed values (gauge semantics): columns not in
+        ``keys`` keep their last-set value."""
+        if not keys:
+            return
+        cols = self._columns(keys)
+        self._values[cols] = arr
+
     def items(self) -> list[tuple[tuple, float]]:
         return [(key, float(self._values[col])) for key, col in self._index.items()]
 
@@ -263,6 +271,11 @@ class MetricsRegistry:
         self, name: str, labels: tuple[str, ...], help: str = ""
     ) -> KeyedMetric:
         return self._get(name, lambda: KeyedMetric(name, "counter", labels, help))
+
+    def keyed_gauge(
+        self, name: str, labels: tuple[str, ...], help: str = ""
+    ) -> KeyedMetric:
+        return self._get(name, lambda: KeyedMetric(name, "gauge", labels, help))
 
     def histogram(self, name: str, edges, help: str = "") -> Histogram:
         return self._get(name, lambda: Histogram(name, edges, help))

@@ -137,6 +137,17 @@ from repro.core.load_model import (
 )
 from repro.query.operators import ServiceKind
 from repro.runtime.arena import CircuitArena, ScratchArena
+from repro.runtime.hashing import (
+    M1,
+    M2,
+    M3,
+    MASK64,
+    U64,
+    mix64,
+    mix64_int,
+    route_bucket,
+    route_bucket_int,
+)
 from repro.runtime.transport import (
     ArrayTransport,
     HeapTransport,
@@ -152,30 +163,15 @@ __all__ = ["ParameterDrift", "RuntimeConfig", "TrafficRecord", "DataPlane"]
 # shared with the LoadModel's kind-cost convention.
 _RELAY, _FILTER, _AGG, _JOIN = KIND_RELAY, KIND_FILTER, KIND_AGGREGATE, KIND_JOIN
 
-_MASK64 = (1 << 64) - 1
-_M1 = 0x9E3779B97F4A7C15
-_M2 = 0xBF58476D1CE4E5B9
-_M3 = 0x94D049BB133111EB
-_U = np.uint64
-
-
-def _mix64(x: np.ndarray) -> np.ndarray:
-    """SplitMix64 finalizer over a uint64 array (wrapping arithmetic)."""
-    x = x ^ (x >> _U(30))
-    x = x * _U(_M2)
-    x = x ^ (x >> _U(27))
-    x = x * _U(_M3)
-    return x ^ (x >> _U(31))
-
-
-def _mix64_int(x: int) -> int:
-    """SplitMix64 finalizer for one Python int (must match :func:`_mix64`)."""
-    x &= _MASK64
-    x ^= x >> 30
-    x = (x * _M2) & _MASK64
-    x ^= x >> 27
-    x = (x * _M3) & _MASK64
-    return x ^ (x >> 31)
+# SplitMix64 primitives live in repro.runtime.hashing (shared with the
+# transports' scale-event re-routing); the historical aliases remain.
+_MASK64 = MASK64
+_M1 = M1
+_M2 = M2
+_M3 = M3
+_U = U64
+_mix64 = mix64
+_mix64_int = mix64_int
 
 
 def _filter_bucket(key: np.ndarray, salt: np.ndarray) -> np.ndarray:
@@ -227,6 +223,12 @@ class ParameterDrift:
         end: realized value after ``begin + duration``.
         begin: first tick of the ramp.
         duration: ramp length in ticks (0 = step change at ``begin``).
+        gated: when True the spec is inert until its ramp begins
+            (``tick <= begin`` applies *no* value instead of ``start``).
+            Lets two specs share one parameter sequentially — e.g. a
+            flash-crowd ramp-up followed by a gated ramp-down — without
+            the later spec's pre-``begin`` plateau clobbering the
+            earlier one's trajectory.
     """
 
     circuit: str
@@ -236,6 +238,7 @@ class ParameterDrift:
     end: float
     begin: int = 0
     duration: int = 1
+    gated: bool = False
 
     _PARAMS = ("selectivity", "match_probability", "aggregate_factor", "source_rate")
 
@@ -397,6 +400,9 @@ class DataPlane:
         n = overlay.num_nodes
         self.dropped_by_node = np.zeros(n, dtype=np.int64)
         self.processed_by_node = np.zeros(n, dtype=np.int64)
+        # Per-(node, kind) processed counts, flat (node * 4 + kind) —
+        # the regressors of the controller's cost-drift fit.
+        self.processed_node_kind = np.zeros(n * 4, dtype=np.int64)
         # Measured CPU cost, in the load model's cost units.
         self.cpu_cost_total = 0.0
         self.cpu_dropped_total = 0.0
@@ -407,6 +413,10 @@ class DataPlane:
         self.tick_node_drops = np.zeros(n, dtype=np.int64)
         self.tick_node_processed = np.zeros(n, dtype=np.int64)
         self.tick_node_cpu = np.zeros(n)
+        self.tick_node_kind_processed = np.zeros((n, 4), dtype=np.int64)
+        # Per-op measured CPU cost of the last finished tick (a copy;
+        # the underlying scratch is reused).  The autoscaler's signal.
+        self.tick_op_cpu = np.zeros(0)
         if self.config.node_capacity is None:
             self._cap = None
         else:
@@ -424,7 +434,14 @@ class DataPlane:
         self._arena = CircuitArena(self.config.compact_threshold)
         self._scratch = ScratchArena()
         self._next_gid = 0
+        # Persistent gid registry: (circuit, service-family) -> salt;
+        # replica siblings share their base's entry (see _resolve_gid).
+        self._gid_by_key: dict[tuple[str, str], int] = {}
         self._host_cache: np.ndarray | None = None
+        # Optional sink capture for exactness tests: set to a list and
+        # every sink delivery appends (service, key, ts, size).  None
+        # keeps the hot loop at a single attribute check.
+        self.sink_log: list | None = None
         # Full-recompile observability (satellite: compile churn).
         self.recompiles = 0
         self._tick_recompiles = 0
@@ -462,9 +479,28 @@ class DataPlane:
 
         incoming: dict[str, list] = {sid: [] for sid in circuit.services}
         outgoing: dict[str, list] = {sid: [] for sid in circuit.services}
+        port_of: dict[int, int] = {}
         for link in circuit.links:
+            port_of[id(link)] = len(incoming[link.target])
             incoming[link.target].append(link)
             outgoing[link.source].append(link)
+
+        def family_rates(sid, service):
+            """(in-rates tuple, out-rate) a service derives params from.
+
+            Replicas use the *family* rates stored on their
+            :class:`ReplicaInfo` — not their split in-links — so every
+            compiled operator parameter (domain, pmatch, factor) is
+            bitwise-identical to the unreplicated circuit's.
+            """
+            info = getattr(service, "replica", None)
+            if info is not None and not info.is_merge:
+                return info.in_rates, info.out_rate
+            outs = outgoing[sid]
+            return (
+                tuple(l.rate for l in incoming[sid]),
+                outs[0].rate if outs else 0.0,
+            )
 
         # Key domain realizing the largest implied join selectivity,
         # as in CircuitExecutor.from_query: the binding join matches
@@ -473,49 +509,71 @@ class DataPlane:
         w = self.config.window
         needs = []
         for sid, service in circuit.services.items():
-            if service.kind is not ServiceKind.JOIN or len(incoming[sid]) != 2:
+            if service.kind is not ServiceKind.JOIN:
                 continue
-            r0, r1 = (l.rate for l in incoming[sid])
-            outs = outgoing[sid]
-            ro = outs[0].rate if outs else 0.0
+            rin, ro = family_rates(sid, service)
+            if len(rin) != 2:
+                continue
+            r0, r1 = rin
             if r0 > 0 and r1 > 0 and ro > 0:
                 needs.append(r0 * r1 * (2 * w + 1) / ro)
         domain = int(np.clip(int(min(needs)), 1, 1 << 31)) if needs else 2 * w + 1
 
+        op_replicas = np.ones(n, dtype=np.int64)
+        tgt_group = np.ones(n, dtype=np.int64)
+        tgt_index = np.zeros(n, dtype=np.int64)
+        gid_keys: list[tuple[str, str]] = []
         for sid, service in circuit.services.items():
             op = local[(circuit.name, sid)]
+            info = getattr(service, "replica", None)
+            if info is not None and not info.is_merge:
+                op_replicas[op] = info.count
+                tgt_group[op] = info.count
+                tgt_index[op] = info.index
+                # Siblings share the base's gid, so their hash salts —
+                # and thus per-key match decisions — equal the
+                # unreplicated op's (key-partition exactness).
+                gid_keys.append((circuit.name, info.base))
+            else:
+                gid_keys.append((circuit.name, sid))
             op_domain[op] = domain
             in_deg[op] = len(incoming[sid])
             for port, link in enumerate(incoming[sid]):
                 src = local[(circuit.name, link.source)]
                 out_lists[src].append((op, port))
-            if service.kind is ServiceKind.JOIN and len(incoming[sid]) == 2:
+            rin, ro = family_rates(sid, service)
+            if service.kind is ServiceKind.JOIN and len(rin) == 2:
                 kind[op] = _JOIN
-                r0, r1 = (l.rate for l in incoming[sid])
-                outs = outgoing[sid]
-                ro = outs[0].rate if outs else 0.0
+                r0, r1 = rin
                 if r0 > 0 and r1 > 0:
                     p = ro * domain / (r0 * r1 * (2 * w + 1))
                     op_pmatch[op] = min(1.0, p)
             elif service.kind is ServiceKind.FILTER:
                 kind[op] = _FILTER
-                inr = sum(l.rate for l in incoming[sid])
-                outs = outgoing[sid]
+                inr = sum(rin)
                 if service.spec.selectivity is not None:
                     op_sel[op] = service.spec.selectivity
-                elif outs and inr > 0:
-                    op_sel[op] = min(1.0, outs[0].rate / inr)
+                elif outgoing[sid] and inr > 0:
+                    op_sel[op] = min(1.0, ro / inr)
             elif service.kind is ServiceKind.AGGREGATE:
                 kind[op] = _AGG
-                inr = sum(l.rate for l in incoming[sid])
-                outs = outgoing[sid]
-                if outs and inr > 0:
-                    op_factor[op] = min(1.0, outs[0].rate / inr)
+                inr = sum(rin)
+                if outgoing[sid] and inr > 0:
+                    op_factor[op] = min(1.0, ro / inr)
             else:
                 kind[op] = _RELAY
             if not incoming[sid] and outgoing[sid]:
+                first = outgoing[sid][0]
+                rate = first.rate
+                tgt = circuit.services[first.target]
+                tgt_info = getattr(tgt, "replica", None)
+                if tgt_info is not None and not tgt_info.is_merge:
+                    # Out-links were expanded into k split links; the
+                    # source's emission rate is the family in-rate of
+                    # the port this link lands on, not the /k share.
+                    rate = tgt_info.in_rates[port_of[id(first)]]
                 src_ops.append(op)
-                src_rate.append(outgoing[sid][0].rate)
+                src_rate.append(rate)
                 src_domain.append(domain)
 
         self._assign_slack(circuit, incoming, local, slack)
@@ -536,6 +594,11 @@ class DataPlane:
                 link_port[base + i] = port
                 link_src[base + i] = op
                 link_names.append((circuit.name, sids[op], sids[dst]))
+        # Hash-router columns: a link into replica i of a k-family only
+        # accepts tuples whose key bucket is i (group 1 links accept
+        # everything).
+        link_group = tgt_group[link_dst]
+        link_index = tgt_index[link_dst]
         return {
             "sids": sids,
             "kind": kind,
@@ -544,16 +607,20 @@ class DataPlane:
             "op_factor": op_factor,
             "op_pmatch": op_pmatch,
             "op_domain": op_domain,
+            "op_replicas": op_replicas,
             "slack": slack,
             "out_deg": out_deg,
             "out_offsets": out_offsets,
             "link_dst": link_dst,
             "link_port": link_port,
             "link_src": link_src,
+            "link_group": link_group,
+            "link_index": link_index,
             "link_names": link_names,
             "src_ops": src_ops,
             "src_rate": src_rate,
             "src_domain": src_domain,
+            "gid_keys": gid_keys,
         }
 
     def _compile(self, remap_from: dict | None, reason: str = "replaced") -> int:
@@ -574,6 +641,7 @@ class DataPlane:
         old_num_ops = getattr(self, "_num_ops", 0)
         survivors: dict[tuple[str, str], int] = {}
         old_cols = old_src = None
+        old_services: dict[tuple[str, str], object] = {}
         if remap_from is not None:
             self._fold_link_stats()
             self.recompiles += 1
@@ -583,6 +651,11 @@ class DataPlane:
                 reason,
                 len(self.overlay.circuits),
             )
+            # Service snapshot of the outgoing compile — scale-event
+            # detection diffs replica families old vs new.
+            for c in self._compiled_circuits:
+                for sid, svc in c.services.items():
+                    old_services[(c.name, sid)] = svc
             old_by_name = {c.name: c for c in self._compiled_circuits}
             for key, old_i in remap_from.items():
                 if old_by_name.get(key[0]) is self.overlay.circuits.get(key[0]):
@@ -620,8 +693,11 @@ class DataPlane:
         op_factor = cat("op_factor", np.float64)
         op_pmatch = cat("op_pmatch", np.float64)
         op_domain = cat("op_domain", np.float64)
+        op_replicas = cat("op_replicas", np.int64)
         slack = cat("slack", np.int64)
         out_deg = cat("out_deg", np.int64)
+        link_group = cat("link_group", np.int64)
+        link_index = cat("link_index", np.int64)
 
         # Global CSR assembly: each segment's link rows shift by its
         # bases; grouping by source op in row order is preserved.
@@ -671,15 +747,19 @@ class DataPlane:
         src_pos = {int(op): i for i, op in enumerate(src_ops)}
 
         # Stable global op ids: survivors keep theirs (the hash salt
-        # must not change when rows move), fresh ops draw new ones in
-        # op order from the persistent counter — identically on the
+        # must not change when rows move), fresh ops resolve through
+        # the persistent gid-key registry — identically on the
         # full-rebuild and incremental paths, so twin planes agree.
+        # Replica siblings share their base's gid key, so a family's
+        # salts equal the unreplicated op's across every scale event.
+        gid_keys_all: list[tuple[str, str]] = []
+        for seg in segs:
+            gid_keys_all.extend(seg["gid_keys"])
         gid = np.zeros(num_ops, dtype=np.int64)
         for key, new_i in op_index.items():
             old_i = survivors.get(key)
             if old_i is None:
-                gid[new_i] = self._next_gid
-                self._next_gid += 1
+                gid[new_i] = self._resolve_gid(gid_keys_all[new_i])
                 continue
             gid[new_i] = old_cols[5][old_i]
             op_sel[new_i] = old_cols[0][old_i]
@@ -713,9 +793,13 @@ class DataPlane:
         self._op_factor = op_factor
         self._op_pmatch = op_pmatch
         self._op_domain = op_domain
+        self._op_replicas = op_replicas
         self._in_deg = in_deg
         self._slack = slack
         self._gid = gid
+        self._link_group = link_group
+        self._link_index = link_index
+        self._has_partitioned = bool((link_group > 1).any())
         self._src_ops = src_ops
         self._src_rate = src_rate
         self._src_domain = src_domain
@@ -744,18 +828,122 @@ class DataPlane:
 
         dropped = 0
         if remap_from is not None:
+            key_split, credit_moves = self._scale_transitions(
+                old_services, remap_from, op_index
+            )
             mapping = np.full(max(old_num_ops, 1), -1, dtype=np.int64)
             for key, old_i in remap_from.items():
                 new_i = op_index.get(key)
                 if new_i is not None:
                     mapping[old_i] = new_i
-                    if old_credit is not None:
+                    # Members of a changed replica family re-home by key
+                    # bucket instead (a rescale keeps low-index sids in
+                    # both compiles — the plain copy would leave their
+                    # state on a stale key range).
+                    if old_credit is not None and old_i not in key_split:
                         self._agg_credit[new_i] = old_credit[old_i]
+            if old_credit is not None:
+                for old_i, dest in credit_moves:
+                    self._agg_credit[dest] = (
+                        self._agg_credit[dest] + old_credit[old_i]
+                    ) % 1.0
             if self._transport is not None:
-                dropped = self._transport.remap_ops(mapping)
+                dropped = self._transport.remap_ops(mapping, key_split or None)
                 self.dropped_uninstalled += dropped
-            self._remap_state(mapping)
+            self._remap_state(mapping, key_split or None)
         return dropped
+
+    def _resolve_gid(self, gid_key: tuple[str, str]) -> int:
+        """Persistent gid of a (circuit, service-family) key.
+
+        First appearance draws from the monotone counter and registers;
+        later compiles — including replaced circuits and scale events —
+        get the same salt back, keeping hash decisions stable across
+        the topology change.
+        """
+        g = self._gid_by_key.get(gid_key)
+        if g is None:
+            g = self._next_gid
+            self._next_gid += 1
+            self._gid_by_key[gid_key] = g
+        return g
+
+    def _scale_transitions(
+        self,
+        old_services: dict,
+        remap_from: dict,
+        op_index: dict,
+    ) -> tuple[dict, list]:
+        """Diff replica families across a recompile into key routes.
+
+        Returns ``(key_split, credit_moves)``: ``key_split[old_op] =
+        (targets, port)`` re-homes that op's in-flight tuples and join
+        state by key bucket (the same routing rule the hash-router
+        applies at send time), covering scale-up (base splits to the
+        family), rescale (every old member re-buckets into the new
+        family), and merge-down (members fold into the restored base;
+        the old merge relay's in-flight output forwards to the base's
+        downstream target).  ``credit_moves`` carries aggregate credit
+        of split ops into the first target.  Called from the remap
+        block of :meth:`_compile` once the new arrays are assigned.
+        """
+        new_fams: dict[tuple[str, str], list[int]] = {}
+        for circuit in self._compiled_circuits:
+            for sid, svc in circuit.services.items():
+                info = getattr(svc, "replica", None)
+                if info is None or info.is_merge:
+                    continue
+                fam = new_fams.setdefault(
+                    (circuit.name, info.base), [-1] * info.count
+                )
+                fam[info.index] = op_index[(circuit.name, sid)]
+        complete = {k for k, rows in new_fams.items() if all(r >= 0 for r in rows)}
+
+        key_split: dict[int, tuple[np.ndarray, int | None]] = {}
+        credit_moves: list[tuple[int, int]] = []
+        for key, old_i in remap_from.items():
+            svc = old_services.get(key)
+            if svc is None:
+                continue
+            info = getattr(svc, "replica", None)
+            if info is None:
+                if key in complete and key not in op_index:
+                    # Scale-up: the unreplicated base became a family.
+                    targets = np.asarray(new_fams[key], dtype=np.int64)
+                    key_split[old_i] = (targets, None)
+                    credit_moves.append((old_i, int(targets[0])))
+                continue
+            fam_key = (key[0], info.base)
+            if info.is_merge:
+                if fam_key in complete:
+                    continue  # rescale: the merge relay survives by sid
+                base_row = op_index.get(fam_key)
+                if base_row is not None and int(self._out_deg[base_row]) > 0:
+                    # Merge-down: relay output in flight forwards past
+                    # the restored base to its downstream target (it is
+                    # base *output*, not join input).
+                    li = int(self._out_offsets[base_row])
+                    key_split[old_i] = (
+                        np.asarray([int(self._link_dst[li])], dtype=np.int64),
+                        int(self._link_port[li]),
+                    )
+                continue
+            if fam_key in complete:
+                rows = new_fams[fam_key]
+                if len(rows) == info.count and key in op_index:
+                    continue  # family unchanged; plain mapping applies
+                targets = np.asarray(rows, dtype=np.int64)
+                key_split[old_i] = (targets, None)
+                credit_moves.append((old_i, int(targets[0])))
+            else:
+                base_row = op_index.get(fam_key)
+                if base_row is not None:
+                    key_split[old_i] = (
+                        np.asarray([base_row], dtype=np.int64),
+                        None,
+                    )
+                    credit_moves.append((old_i, base_row))
+        return key_split, credit_moves
 
     def _assign_slack(self, circuit, incoming, op_index, slack) -> None:
         """Per-join state-retention slack = path staleness at compile.
@@ -875,6 +1063,7 @@ class DataPlane:
         self._op_factor = cat((self._op_factor, seg_cols["op_factor"]))
         self._op_pmatch = cat((self._op_pmatch, seg_cols["op_pmatch"]))
         self._op_domain = cat((self._op_domain, seg_cols["op_domain"]))
+        self._op_replicas = cat((self._op_replicas, seg_cols["op_replicas"]))
         self._slack = cat((self._slack, seg_cols["slack"]))
         self._out_deg = cat((self._out_deg, seg_cols["out_deg"]))
         self._out_offsets = cat(
@@ -890,14 +1079,19 @@ class DataPlane:
         self._gid = cat(
             (
                 self._gid,
-                np.arange(self._next_gid, self._next_gid + n, dtype=np.int64),
+                np.asarray(
+                    [self._resolve_gid(k) for k in seg_cols["gid_keys"]],
+                    dtype=np.int64,
+                ).reshape(n),
             )
         )
-        self._next_gid += n
         self._agg_credit = cat((self._agg_credit, np.zeros(n)))
         self._link_dst = cat((self._link_dst, seg_cols["link_dst"] + base))
         self._link_port = cat((self._link_port, seg_cols["link_port"]))
         self._link_src_op = cat((self._link_src_op, seg_cols["link_src"] + base))
+        self._link_group = cat((self._link_group, seg_cols["link_group"]))
+        self._link_index = cat((self._link_index, seg_cols["link_index"]))
+        self._has_partitioned = bool((self._link_group > 1).any())
         self._link_names.extend(seg_cols["link_names"])
         self._link_tuples = cat(
             (self._link_tuples, np.zeros(n_links, dtype=np.int64))
@@ -1017,6 +1211,7 @@ class DataPlane:
             "_op_factor",
             "_op_pmatch",
             "_op_domain",
+            "_op_replicas",
             "_slack",
             "_out_deg",
             "_is_sink",
@@ -1028,6 +1223,9 @@ class DataPlane:
         self._link_dst = op_map[self._link_dst[link_gather]]
         self._link_src_op = op_map[self._link_src_op[link_gather]]
         self._link_port = self._link_port[link_gather]
+        self._link_group = self._link_group[link_gather]
+        self._link_index = self._link_index[link_gather]
+        self._has_partitioned = bool((self._link_group > 1).any())
         self._link_names = [self._link_names[i] for i in link_gather]
         self._link_tuples = self._link_tuples[link_gather]
         self._link_size = self._link_size[link_gather]
@@ -1059,8 +1257,17 @@ class DataPlane:
             len(self._link_names),
         )
 
-    def _remap_state(self, mapping: np.ndarray) -> None:
-        """Re-address join state after a recompile (both layouts)."""
+    def _remap_state(
+        self, mapping: np.ndarray, key_split: dict | None = None
+    ) -> None:
+        """Re-address join state after a recompile (both layouts).
+
+        ``key_split`` (see the transports) re-homes split ops' state by
+        key bucket — the partition each key's state lands on is the
+        replica the router will deliver that key's future tuples to,
+        which is what keeps replicated join results exact across scale
+        events.
+        """
         if self._mode == "array":
             self._merge_state()
             if not self._st_comp.size:
@@ -1068,6 +1275,15 @@ class DataPlane:
             ops = (self._st_comp >> _U(33)).astype(np.int64)
             rest = self._st_comp & _U((1 << 33) - 1)
             new_ops = mapping[ops]
+            if key_split:
+                keys = (self._st_comp & _U((1 << 32) - 1)).astype(np.int64)
+                for old, (targets, _port) in key_split.items():
+                    mask = ops == old
+                    if not mask.any():
+                        continue
+                    new_ops[mask] = targets[
+                        route_bucket(keys[mask], len(targets))
+                    ]
             keep = new_ops >= 0
             comp = (new_ops[keep].astype(_U) << _U(33)) | rest[keep]
             order = np.argsort(comp, kind="stable")
@@ -1075,11 +1291,22 @@ class DataPlane:
             self._st_ts = self._st_ts[keep][order]
             self._st_size = self._st_size[keep][order]
         elif self._mode == "heap" and self._tables:
+            split = key_split or {}
             tables: dict = {}
             for (op, side, key), entries in self._tables.items():
-                new = int(mapping[op])
-                if new >= 0:
-                    tables[(new, side, key)] = entries
+                route = split.get(op)
+                if route is not None:
+                    targets = route[0]
+                    new = int(targets[route_bucket_int(key, len(targets))])
+                else:
+                    new = int(mapping[op])
+                    if new < 0:
+                        continue
+                # Key ranges of split siblings are disjoint, so no two
+                # sources collide; extend defensively all the same.
+                dest = tables.setdefault((new, side, key), entries)
+                if dest is not entries:
+                    dest.extend(entries)
             self._tables = tables
 
     # -- shared per-tick helpers -------------------------------------------
@@ -1172,6 +1399,8 @@ class DataPlane:
             op = self._op_index.get((spec.circuit, spec.service))
             if op is None:
                 continue
+            if spec.gated and now <= spec.begin:
+                continue
             value = spec.value(now)
             if spec.param == "selectivity":
                 self._op_sel[op] = min(1.0, value)
@@ -1189,6 +1418,7 @@ class DataPlane:
         self._snap_link = self._link_tuples.copy()
         self._snap_drops = self.dropped_by_node.copy()
         self._snap_processed = self.processed_by_node.copy()
+        self._snap_node_kind = self.processed_node_kind.copy()
 
     def _end_tick_stats(self) -> None:
         """Publish this tick's per-link / per-node measured statistics.
@@ -1203,6 +1433,9 @@ class DataPlane:
         )
         self.tick_node_drops = self.dropped_by_node - self._snap_drops
         self.tick_node_processed = self.processed_by_node - self._snap_processed
+        self.tick_node_kind_processed = (
+            self.processed_node_kind - self._snap_node_kind
+        ).reshape(self.overlay.num_nodes, 4)
 
     def _finish_tick_cpu(self, host: np.ndarray, cpu_dropped: float) -> float:
         """Scatter the tick's per-op CPU cost to hosting nodes.
@@ -1216,6 +1449,7 @@ class DataPlane:
             host, weights=self._tick_op_cost, minlength=self.overlay.num_nodes
         )
         self.tick_node_cpu = node_cpu
+        self.tick_op_cpu = self._tick_op_cost.copy()
         self.cpu_by_node += node_cpu
         tick_cpu = float(self._tick_op_cost.sum())
         self.cpu_cost_total += tick_cpu
@@ -1264,8 +1498,11 @@ class DataPlane:
             joins = self._kind == _JOIN
             if joins.any():
                 counts = self._state_counts()
+                # A k-replica join sees only its domain/k key slice, so
+                # the expected candidates per admitted tuple scale by k.
                 expected = counts[:, ::-1] / np.maximum(
-                    self._op_domain[:, None], 1.0
+                    self._op_domain[:, None] / self._op_replicas[:, None],
+                    1.0,
                 )
                 adm[joins] += model.probe_cost * expected[joins]
         return np.round(adm * 256.0) / 256.0
@@ -1477,6 +1714,11 @@ class DataPlane:
             t_processed += m
             self.processed += m
             np.add.at(self.processed_by_node, host[op], 1)
+            np.add.at(
+                self.processed_node_kind,
+                host[op] * 4 + self._kind[op].astype(np.int64),
+                1,
+            )
             if trace is not None:
                 trace.record(trace.PROCESS, seq, op, host[op])
             # Base per-tuple kind costs; aggregates and joins add their
@@ -1493,6 +1735,17 @@ class DataPlane:
                 tick_lat.append(
                     (now - ts[sink]).astype(np.float64) * self.config.tick_ms
                 )
+                if self.sink_log is not None:
+                    so, sk, st, ssz = op[sink], key[sink], ts[sink], size[sink]
+                    self.sink_log.extend(
+                        (
+                            self._op_names[int(so[i])][1],
+                            int(sk[i]),
+                            int(st[i]),
+                            float(ssz[i]),
+                        )
+                        for i in range(ns)
+                    )
             rest = ~sink
             if rest.any():
                 pos = np.flatnonzero(rest)
@@ -1795,6 +2048,23 @@ class DataPlane:
         starts = np.concatenate(([0], cum[:-1]))
         within = np.arange(total) - starts[rep]
         link = self._out_offsets[ops[rep]] + within
+        if self._has_partitioned:
+            # Hash-router: a link into replica i of a k-family only
+            # carries tuples whose key bucket is i, so each tuple
+            # traverses exactly one split link (group-1 links carry
+            # everything).  Zero RNG draws — both step paths route
+            # identically — and the filter runs before sequence
+            # assignment so seq stays dense in canonical order.
+            group = self._link_group[link]
+            if (group > 1).any():
+                route = (group == 1) | (
+                    route_bucket(keys[rep], group) == self._link_index[link]
+                )
+                rep = rep[route]
+                link = link[route]
+                total = int(link.size)
+                if total == 0:
+                    return
         dst = self._link_dst[link]
         u = host[ops[rep]]
         v = host[dst]
@@ -1948,6 +2218,7 @@ class DataPlane:
                 t_processed += 1
                 self.processed += 1
                 self.processed_by_node[node] += 1
+                self.processed_node_kind[node * 4 + int(self._kind[opx])] += 1
                 if trace is not None:
                     trace.record_one(trace.PROCESS, _seq, opx, node)
                 self._tick_op_cost[opx] += self._kind_cost[opx]
@@ -1955,6 +2226,10 @@ class DataPlane:
                     t_delivered += 1
                     self.sink_delivered += 1
                     tick_lat.append(float(now - ts) * tick_ms)
+                    if self.sink_log is not None:
+                        self.sink_log.append(
+                            (self._op_names[opx][1], key, ts, float(size))
+                        )
                     continue
                 kindx = int(self._kind[opx])
                 if kindx == _RELAY:
@@ -2045,6 +2320,9 @@ class DataPlane:
     ) -> None:
         base = int(self._out_offsets[opx])
         for li in range(base, base + int(self._out_deg[opx])):
+            g = int(self._link_group[li])
+            if g > 1 and route_bucket_int(key, g) != int(self._link_index[li]):
+                continue  # hash-router: not this replica's key slice
             dst = int(self._link_dst[li])
             l = float(latm[host[opx], host[dst]])
             dt = int(np.rint(l / self.config.tick_ms))
@@ -2243,6 +2521,11 @@ class DataPlane:
                     * join_in[op, 1]
                     * (2 * w + 1)
                     * self._op_pmatch[op]
+                    # A k-replica join matches within its key slice: its
+                    # compiled (family) parameters over 1/k-rate inputs
+                    # predict family_out/k², one factor of k too low for
+                    # the replica's actual family_out/k share.
+                    * self._op_replicas[op]
                     / self._op_domain[op]
                 )
             else:
@@ -2252,9 +2535,11 @@ class DataPlane:
             for li in range(base, base + int(self._out_deg[op])):
                 dst = int(self._link_dst[li])
                 port = int(self._link_port[li])
-                in_sum[dst] += out
+                # A partitioned link carries its replica's key share.
+                share = out / float(self._link_group[li])
+                in_sum[dst] += share
                 if port < 2:
-                    join_in[dst, port] += out
+                    join_in[dst, port] += share
                 pending[dst] -= 1
                 if pending[dst] == 0:
                     ready.append(dst)
@@ -2264,7 +2549,7 @@ class DataPlane:
             else self._live_links
         )
         return {
-            name: float(out_rate[self._link_src_op[i]])
+            name: float(out_rate[self._link_src_op[i]] / self._link_group[i])
             for i, name in zip(rows, self._live_link_names)
         }
 

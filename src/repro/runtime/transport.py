@@ -50,6 +50,7 @@ import heapq
 import numpy as np
 
 from repro.runtime.arena import ScratchArena
+from repro.runtime.hashing import route_bucket, route_bucket_int
 
 __all__ = [
     "ArrayTransport",
@@ -202,7 +203,7 @@ class ArrayTransport:
         self.delivered += hits
         return batch
 
-    def remap_ops(self, mapping: np.ndarray) -> int:
+    def remap_ops(self, mapping: np.ndarray, key_split: dict | None = None) -> int:
         """Re-address in-flight tuples after a recompile.
 
         ``mapping[old_op]`` is the new operator index, or -1 when the
@@ -210,11 +211,28 @@ class ArrayTransport:
         operators are dropped *with accounting* (they count as both
         delivered-out-of-the-pool and dropped); everything else is
         re-homed in place.  Returns the number dropped.
+
+        ``key_split`` handles scale events: ``key_split[old_op] =
+        (targets, port)`` re-routes that op's tuples by key bucket to
+        ``targets[bucket(key, len(targets))]`` (overriding ``mapping``),
+        overwriting the port when one is given — the same rule the
+        hash-router applies at send time, so re-homed in-flight tuples
+        land on the replica that owns their key.
         """
         c = self._count
         if c == 0:
             return 0
-        new_op = mapping[self._op[:c]]
+        ops = self._op[:c]
+        new_op = mapping[ops]
+        if key_split:
+            keys = self._key[:c]
+            for old, (targets, port) in key_split.items():
+                mask = ops == old
+                if not mask.any():
+                    continue
+                new_op[mask] = targets[route_bucket(keys[mask], len(targets))]
+                if port is not None:
+                    self._port[:c][mask] = port
         keep = new_op >= 0
         dropped = int(c - keep.sum())
         if dropped:
@@ -298,17 +316,25 @@ class HeapTransport:
         self.delivered += len(out)
         return out
 
-    def remap_ops(self, mapping: np.ndarray) -> int:
+    def remap_ops(self, mapping: np.ndarray, key_split: dict | None = None) -> int:
         """Re-address in-flight tuples after a recompile (see twin)."""
         kept = []
         dropped = 0
+        split = key_split or {}
         for arrival, round_, seq, op, port, key, ts, size in self._heap:
-            new = int(mapping[op])
-            if new < 0:
-                dropped += 1
-                if self.trace is not None:
-                    self.trace.record_drop_uninstall_one(seq, op)
-                continue
+            route = split.get(op)
+            if route is not None:
+                targets, new_port = route
+                new = int(targets[route_bucket_int(key, len(targets))])
+                if new_port is not None:
+                    port = new_port
+            else:
+                new = int(mapping[op])
+                if new < 0:
+                    dropped += 1
+                    if self.trace is not None:
+                        self.trace.record_drop_uninstall_one(seq, op)
+                    continue
             kept.append((arrival, round_, seq, new, port, key, ts, size))
         if dropped:
             heapq.heapify(kept)
@@ -445,13 +471,23 @@ class ReliableTransport(ArrayTransport):
         self.redelivered += hits
         return hits
 
-    def remap_ops(self, mapping: np.ndarray) -> int:
+    def remap_ops(self, mapping: np.ndarray, key_split: dict | None = None) -> int:
         """Re-address pool *and* buffer; buffered orphans drop too."""
-        dropped = super().remap_ops(mapping)
+        dropped = super().remap_ops(mapping, key_split)
         c = self._b_count
         if c == 0:
             return dropped
-        new_op = mapping[self._b_op[:c]]
+        ops = self._b_op[:c]
+        new_op = mapping[ops]
+        if key_split:
+            keys = self._b_key[:c]
+            for old, (targets, port) in key_split.items():
+                mask = ops == old
+                if not mask.any():
+                    continue
+                new_op[mask] = targets[route_bucket(keys[mask], len(targets))]
+                if port is not None:
+                    self._b_port[:c][mask] = port
         keep = new_op >= 0
         b_dropped = int(c - keep.sum())
         if b_dropped:
@@ -534,18 +570,27 @@ class ReliableHeapTransport(HeapTransport):
         self.redelivered += hits
         return hits
 
-    def remap_ops(self, mapping: np.ndarray) -> int:
-        dropped = super().remap_ops(mapping)
+    def remap_ops(self, mapping: np.ndarray, key_split: dict | None = None) -> int:
+        dropped = super().remap_ops(mapping, key_split)
         kept = []
         b_dropped = 0
+        split = key_split or {}
         for entry in self._buffer:
-            new = int(mapping[entry[0]])
-            if new < 0:
-                b_dropped += 1
-                if self.trace is not None:
-                    self.trace.record_drop_uninstall_one(entry[5], entry[0])
-                continue
-            kept.append((new,) + entry[1:])
+            op, port, key, ts, size, seq = entry
+            route = split.get(op)
+            if route is not None:
+                targets, new_port = route
+                new = int(targets[route_bucket_int(key, len(targets))])
+                if new_port is not None:
+                    port = new_port
+            else:
+                new = int(mapping[op])
+                if new < 0:
+                    b_dropped += 1
+                    if self.trace is not None:
+                        self.trace.record_drop_uninstall_one(seq, op)
+                    continue
+            kept.append((new, port, key, ts, size, seq))
         self._buffer = kept
         if b_dropped:
             self.delivered += b_dropped

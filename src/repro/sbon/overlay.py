@@ -398,6 +398,42 @@ class Overlay:
         self.circuits[circuit.name] = circuit
         self._usage_append(circuit)
 
+    def replace_circuit(self, circuit: Circuit) -> None:
+        """Swap an installed circuit for a rewritten version in place.
+
+        The scale-event path: the autoscaler rewrites a circuit
+        (replicate / merge) and swaps it under the same name.  The old
+        version's unpinned services are evicted, the new version's are
+        hosted, and the ``circuits`` dict entry is updated *in place* —
+        preserving the dict's key order, which is the order the data
+        plane's per-tick source draw consumes, so an executing twin
+        pair stays tick-for-tick equivalent across the swap.  The data
+        plane notices the new object identity on its next ``_sync`` and
+        recompiles with keyed state re-homing.
+        """
+        old = self.circuits.get(circuit.name)
+        if old is None:
+            raise KeyError(f"no circuit {circuit.name} installed")
+        if not circuit.is_fully_placed():
+            raise ValueError("circuit must be fully placed before installation")
+        for sid in old.unpinned_ids():
+            self._evict_service(circuit.name, sid)
+        for sid in circuit.unpinned_ids():
+            self._host_service(
+                circuit.host_of(sid),
+                HostedService(
+                    circuit_name=circuit.name,
+                    service_id=sid,
+                    spec=circuit.services[sid].spec,
+                    input_rate=circuit.input_rate(sid),
+                ),
+            )
+        self.circuits[circuit.name] = circuit
+        # Link count usually changes (split links appear/disappear), so
+        # the usage segment is rebuilt rather than rewritten.
+        self._usage_remove(circuit.name)
+        self._usage_append(circuit)
+
     def uninstall(self, circuit_name: str) -> None:
         """Tear a circuit down, releasing its load everywhere."""
         if circuit_name not in self.circuits:

@@ -103,6 +103,7 @@ class Simulation:
         config: SimulationConfig | None = None,
         data_plane: DataPlane | bool | None = None,
         control: Controller | bool | None = None,
+        autoscaler=None,
         obs=None,
     ):
         self.overlay = overlay
@@ -146,6 +147,13 @@ class Simulation:
                 self.controller.kernel_cache = self._kernel_cache
         if obs is not None and self.controller is not None:
             self.controller.events = obs.events
+        # Optional elastic-scaling policy (repro.scaling.AutoScaler):
+        # steps right after the controller, so scale decisions see the
+        # same tick's measured CPU the controller just ingested.
+        self.autoscaler = autoscaler
+        if obs is not None and self.autoscaler is not None:
+            self.autoscaler.events = obs.events
+            self.autoscaler.registry = obs.registry
 
     def _make_reoptimizer(self) -> Reoptimizer:
         mapper = self.overlay.exhaustive_mapper()
@@ -271,6 +279,18 @@ class Simulation:
                 migrations += self._evacuate_buffered(
                     control.evacuate_services, scalar=scalar
                 )
+            if prof is not None:
+                prof.end()
+
+        # 6b. Elastic scaling: the autoscaler folds this tick's measured
+        # per-family CPU into its EWMAs and may re-split or merge a
+        # replica family (the data plane recompiles on its next sync,
+        # re-homing in-flight tuples and per-key state).  Decisions are
+        # RNG-free, so scalar/vector twins scale identically.
+        if self.autoscaler is not None and traffic is not None:
+            if prof is not None:
+                prof.begin("scaling")
+            self.autoscaler.step()
             if prof is not None:
                 prof.end()
 

@@ -1,0 +1,15 @@
+"""Elastic operator scaling: key-partitioned replicas + autoscaler.
+
+The rewrite primitives live in :mod:`repro.core.rewriting`
+(:func:`~repro.core.rewriting.replicate_operator`,
+:func:`~repro.core.rewriting.merge_replicas`); the data plane executes
+replicated segments with deterministic key-bucket routing.  This
+package adds the policy layer: :class:`~repro.scaling.autoscaler.
+AutoScaler` watches the measured per-family CPU cost and decides when
+to split a hot join/aggregate into more key-partitioned replicas — and
+when to fold a cold family back down.
+"""
+
+from repro.scaling.autoscaler import AutoScaler, AutoScalerConfig
+
+__all__ = ["AutoScaler", "AutoScalerConfig"]
