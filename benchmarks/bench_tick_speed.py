@@ -1,0 +1,179 @@
+"""E24 — absolute tick speed: epoch-ring + high-water vs the PR 9 baseline.
+
+Earlier benchmarks pinned *relative* floors (vectorized vs per-tuple
+scalar); this one starts the absolute-time trajectory the ROADMAP's
+"raw speed" direction calls for.  It times one full traffic tick of
+the batched data plane in both join-state/admission configurations on
+the same machine, same process, interleaved:
+
+* **baseline** — ``join_state="twolevel"``, ``admission="frozen"``,
+  ``jit="numpy"``: the exact PR 9 hot path (O(state) ``np.insert``
+  merges, tick-start full state scans), measured fresh rather than
+  read from a stale file so the comparison is apples to apples.
+* **current** — the defaults: epoch-ring join state, high-water
+  admission ledger, ``jit="auto"``.
+
+Per-tick :class:`TrafficRecord` equality is asserted for every timed
+tick — the speedup is measured on bit-identical work.  Timing uses the
+minimum over interleaved multi-tick blocks: scheduler noise only ever
+*adds* time, so the block minimum is the stable estimator on a shared
+machine (medians of the same data swing by ±10%).
+
+Full mode asserts the ≥1.3× floor at 1000 nodes / 100 circuits and
+also reports the 4000 / 1000 scale, where the baseline's O(state)
+re-sorts hurt more.  ``after_s`` lands in ``BENCH_E24.json`` so
+``check_regression.py`` tracks the absolute trend release over
+release.  Set ``BENCH_QUICK=1`` for the small CI smoke sizes (no
+floor assert there: tiny state flatters the baseline).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import lru_cache
+
+import numpy as np
+
+from _harness import report, write_bench_json
+from repro.core.circuit import Circuit, Service
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.core.load_model import LoadModel
+from repro.network.latency import LatencyMatrix
+from repro.query.operators import ServiceSpec
+from repro.runtime.dataplane import DataPlane, RuntimeConfig
+from repro.sbon.overlay import Overlay
+
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+#: (nodes, circuits, joins per circuit) rows of the trajectory table.
+SCALES = [(150, 20, 2)] if QUICK else [(1000, 100, 3), (4000, 1000, 3)]
+#: Ticks to reach steady-state join-state occupancy before timing.
+WARMUP_TICKS = 30 if QUICK else 100
+#: Ticks per timed block; blocks alternate baseline/current.
+BLOCK_TICKS = 3 if QUICK else 5
+BLOCK_ROUNDS = 6 if QUICK else 12
+#: Asserted in full mode at the (1000, 100) row only.
+TICK_SPEEDUP_FLOOR = 1.3
+
+
+def _overlay(n: int, num_circuits: int, joins: int, seed: int = 0) -> Overlay:
+    """Random-plane overlay carrying join-chain circuits (E18 shape)."""
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, 200.0, size=(n, 2))
+    diff = points[:, None, :] - points[None, :, :]
+    latencies = LatencyMatrix(np.sqrt((diff ** 2).sum(axis=-1)))
+    spec = CostSpaceSpec.latency_load(vector_dims=2)
+    space = CostSpace.from_embedding(spec, points, {"cpu_load": np.zeros(n)})
+    overlay = Overlay(latencies, space)
+    for c in range(num_circuits):
+        circuit = Circuit(name=f"c{c}")
+        producers = rng.choice(n, size=joins + 1, replace=False)
+        for a, node in enumerate(producers):
+            circuit.add_service(
+                Service(f"c{c}/p{a}", ServiceSpec.relay(), int(node), frozenset((f"P{a}",)))
+            )
+        prev = f"c{c}/p0"
+        prev_rate = float(rng.uniform(4.0, 10.0))
+        for j in range(joins):
+            sid = f"c{c}/j{j}"
+            circuit.add_service(
+                Service(sid, ServiceSpec.join(), None, frozenset((f"P{j}", f"X{j}")))
+            )
+            other_rate = float(rng.uniform(4.0, 10.0))
+            circuit.add_link(prev, sid, prev_rate)
+            circuit.add_link(f"c{c}/p{j + 1}", sid, other_rate)
+            circuit.assign(sid, int(rng.integers(n)))
+            prev = sid
+            prev_rate = float(rng.uniform(0.3, 0.8)) * min(prev_rate, other_rate)
+        sink = f"c{c}/sink"
+        circuit.add_service(
+            Service(sink, ServiceSpec.relay(), int(rng.integers(n)), frozenset(("ALL",)))
+        )
+        circuit.add_link(prev, sink, prev_rate)
+        overlay.install_circuit(circuit)
+    return overlay
+
+
+@lru_cache(maxsize=None)
+def tick_speed_timings(n: int, circuits: int, joins: int):
+    """(baseline s/tick, current s/tick, tuples/tick) at one scale.
+
+    Twin planes share the overlay and RNG seed; admission prices are
+    live (default :class:`LoadModel`, probe cost active) but capacity
+    is effectively unbounded so the timed work is the pure tick
+    machinery, not drop bookkeeping.  Every timed tick's record is
+    asserted equal across the twins.
+    """
+    overlay = _overlay(n, circuits, joins)
+    model = LoadModel()
+    cap = 1e9
+    baseline = DataPlane(
+        overlay,
+        RuntimeConfig(
+            seed=3, node_capacity=cap, load_model=model,
+            join_state="twolevel", admission="frozen", jit="numpy",
+        ),
+    )
+    current = DataPlane(
+        overlay, RuntimeConfig(seed=3, node_capacity=cap, load_model=model)
+    )
+    tuples = 0
+    for _ in range(WARMUP_TICKS):
+        r0 = baseline.step()
+        r1 = current.step()
+        assert r0 == r1
+    t_base: list[float] = []
+    t_cur: list[float] = []
+    for _ in range(BLOCK_ROUNDS):
+        t0 = time.perf_counter()
+        records_base = [baseline.step() for _ in range(BLOCK_TICKS)]
+        t_base.append((time.perf_counter() - t0) / BLOCK_TICKS)
+        t0 = time.perf_counter()
+        records_cur = [current.step() for _ in range(BLOCK_TICKS)]
+        t_cur.append((time.perf_counter() - t0) / BLOCK_TICKS)
+        assert records_base == records_cur
+        tuples = int(np.mean([r.processed + r.emitted for r in records_cur]))
+    assert baseline.accounting()["balanced"]
+    assert current.accounting()["balanced"]
+    return min(t_base), min(t_cur), tuples
+
+
+def test_report_tick_speed():
+    rows = []
+    entries = []
+    for n, circuits, joins in SCALES:
+        t_before, t_after, tuples = tick_speed_timings(n, circuits, joins)
+        rows.append(
+            [
+                f"tick ({circuits} circuits, ~{tuples} tuples)",
+                n,
+                t_before * 1e3,
+                t_after * 1e3,
+                t_before / t_after,
+            ]
+        )
+        entries.append(
+            {
+                "op": "tick",
+                "n": n,
+                "circuits": circuits,
+                "tuples_per_tick": tuples,
+                "before_s": t_before,
+                "after_s": t_after,
+                "speedup": t_before / t_after,
+            }
+        )
+    report(
+        "E24",
+        "Absolute tick speed: epoch-ring + high-water vs PR 9 two-level baseline"
+        + (" [quick]" if QUICK else ""),
+        ["kernel", "n", "baseline ms", "current ms", "speedup"],
+        rows,
+    )
+    write_bench_json("E24", entries, quick=QUICK)
+    if not QUICK:
+        gate = next(e for e in entries if e["n"] == 1000)
+        assert gate["speedup"] >= TICK_SPEEDUP_FLOOR, (
+            f"epoch-ring + high-water tick only {gate['speedup']:.2f}x vs the "
+            f"two-level/frozen baseline (floor {TICK_SPEEDUP_FLOOR}x)"
+        )

@@ -8,10 +8,19 @@ committed at ``HEAD``, matching entries on ``(op, n)``:
 
 * absolute ``after_s`` more than 2x the committed baseline -> **fail**
   (exit 1);
-* between 1x and 2x -> **warn** (regression within noise tolerance);
+* between 1.1x and 2x -> **warn** (a real-looking slowdown, still within
+  the failure tolerance);
+* at or below the 1.1x noise floor -> **ok**, printed with the measured
+  ratio so the absolute ``after_s`` trend stays visible run over run
+  (shared CI runners routinely jitter single-digit percents; flagging
+  those as warnings only trains people to ignore the output);
 * entries without a committed counterpart at the same size -> skipped
   (quick-mode CI runs use smaller sizes than the committed full-mode
   baselines, so cross-size pairs are never compared).
+
+The summary line reports the aggregate after_s drift across all
+compared entries, so a broad sub-noise slowdown is still surfaced even
+when no single entry crosses the warn bar.
 
 Run after a benchmark pass, e.g.::
 
@@ -30,6 +39,9 @@ BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 RESULTS_DIR = BENCH_DIR / "results"
 FAIL_RATIO = 2.0
+# Below this ratio a slowdown is indistinguishable from shared-runner
+# jitter; report the trend instead of warning.
+NOISE_RATIO = 1.1
 
 
 def committed_baseline(path: Path) -> dict | None:
@@ -58,6 +70,7 @@ def main() -> int:
     failures: list[str] = []
     warnings: list[str] = []
     compared = skipped = 0
+    total_after = total_base = 0.0
 
     for path in fresh_files:
         fresh = json.loads(path.read_text())
@@ -76,6 +89,8 @@ def main() -> int:
                 continue
             compared += 1
             ratio = entry["after_s"] / ref["after_s"]
+            total_after += entry["after_s"]
+            total_base += ref["after_s"]
             line = (
                 f"{path.name} {key[0]} (n={key[1]}): "
                 f"after_s {entry['after_s']:.6f}s vs baseline "
@@ -83,7 +98,7 @@ def main() -> int:
             )
             if ratio > FAIL_RATIO:
                 failures.append(line)
-            elif ratio > 1.0:
+            elif ratio > NOISE_RATIO:
                 warnings.append(line)
             else:
                 print(f"  ok    {line}")
@@ -92,9 +107,17 @@ def main() -> int:
         print(f"  WARN  {line}")
     for line in failures:
         print(f"  FAIL  {line}")
+    if compared and total_base > 0:
+        drift = total_after / total_base
+        print(
+            f"check_regression: aggregate after_s {total_after:.6f}s vs "
+            f"baseline {total_base:.6f}s ({drift:.3f}x across "
+            f"{compared} entries)"
+        )
     print(
         f"check_regression: {compared} compared, {skipped} skipped, "
-        f"{len(warnings)} warnings, {len(failures)} failures"
+        f"{len(warnings)} warnings (> {NOISE_RATIO}x), "
+        f"{len(failures)} failures (> {FAIL_RATIO}x)"
     )
     return 1 if failures else 0
 

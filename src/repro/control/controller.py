@@ -54,7 +54,13 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.control.estimator import RateEstimator
-from repro.core.load_model import LoadModel
+from repro.core.load_model import (
+    KIND_AGGREGATE,
+    KIND_FILTER,
+    KIND_JOIN,
+    KIND_RELAY,
+    LoadModel,
+)
 from repro.core.reoptimizer import refresh_kernel_rates
 
 __all__ = ["ControlConfig", "ControlRecord", "Controller"]
@@ -102,6 +108,14 @@ class ControlConfig:
         buffer_evacuate_backlog: retransmit-buffered tuples per service
             above which the controller forces that service's
             re-placement (None disables the policy).
+        drift_calibrate: fold the fitted per-kind effective costs back
+            into the data plane's live load model at each calibration.
+            Observed kinds' base coefficients absorb the fitted cost
+            (re-quantized to the dyadic 1/256 grid) and their dynamic
+            probe/batch coefficients are zeroed, so admission prices
+            track the measured effective cost and the loop converges —
+            once priced and fitted costs coincide the drift ratios
+            settle at 1 and no further pushes happen.
     """
 
     alpha: float = 0.3
@@ -120,6 +134,7 @@ class ControlConfig:
     cpu_ref: float | None = None
     cpu_calibrate: bool = True
     buffer_evacuate_backlog: int | None = None
+    drift_calibrate: bool = False
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha <= 1:
@@ -288,6 +303,8 @@ class Controller:
             calibrated = self.calibrate()
             calibrated_cpu = self.calibrate_cpu()
             self.fit_cost_drift()
+            if cfg.drift_calibrate:
+                self.apply_cost_drift()
 
         shed_new, shed_released = self._shed_policy(armed)
         triggered, excluded = self._trigger_policy(armed)
@@ -481,7 +498,7 @@ class Controller:
             sub = self._drift_xtx[np.ix_(seen, seen)]
             coef, *_ = np.linalg.lstsq(sub, self._drift_xty[seen], rcond=None)
             fitted[seen] = coef
-        model = self.data_plane.config.load_model or LoadModel.unit()
+        model = self.data_plane.load_model
         self.cost_drift = fitted / model.kind_costs()
         if self.events is not None:
             self.events.emit(
@@ -490,6 +507,64 @@ class Controller:
                 ratios=[None if np.isnan(r) else float(r) for r in self.cost_drift],
             )
         return self.cost_drift
+
+    def apply_cost_drift(self) -> LoadModel | None:
+        """Fold the fitted effective costs back into the live load model.
+
+        Each observed kind's base coefficient is replaced by the fitted
+        per-tuple cost re-quantized to the dyadic 1/256 grid (floored at
+        1/256), and the dynamic coefficient the fit folded in (probe /
+        batch) is zeroed once the fold moves that base — after that the
+        priced and fitted costs coincide, so subsequent drift ratios
+        settle at 1 instead of re-adding the dynamic term to the base at
+        every calibration.  Unseen kinds keep their
+        priced coefficients and dynamic terms.  The accumulated normal
+        equations are reset so the next fit measures the new pricing
+        regime cleanly.  Returns the model pushed to the data plane
+        (None when there is no drift estimate or nothing changed).
+        """
+        drift = self.cost_drift
+        if drift is None or not np.isfinite(drift).any():
+            return None
+        model = self.data_plane.load_model
+        base = model.kind_costs()
+        quant = np.round(base * drift * 256.0) / 256.0
+        new = np.where(np.isfinite(drift), np.maximum(quant, 1.0 / 256.0), base)
+        fields = {
+            "relay_cost": float(new[KIND_RELAY]),
+            "filter_cost": float(new[KIND_FILTER]),
+            "aggregate_cost": float(new[KIND_AGGREGATE]),
+            "join_cost": float(new[KIND_JOIN]),
+        }
+        # Retire a dynamic coefficient only when the fold actually moved
+        # its base — a ratio of exactly 1 (e.g. joins observed before
+        # any state built up, so zero probes were charged) means there
+        # was nothing to fold yet, and zeroing the term then would lock
+        # in under-pricing once state does accumulate.
+        if np.isfinite(drift[KIND_AGGREGATE]) and (
+            fields["aggregate_cost"] != model.aggregate_cost
+        ):
+            fields["aggregate_batch_cost"] = 0.0
+        if np.isfinite(drift[KIND_JOIN]) and (
+            fields["join_cost"] != model.join_cost
+        ):
+            fields["probe_cost"] = 0.0
+        calibrated = replace(model, **fields)
+        self._drift_xtx[:] = 0.0
+        self._drift_xty[:] = 0.0
+        self._drift_ticks = 0
+        if calibrated == model:
+            return None
+        self.data_plane.set_load_model(calibrated)
+        if self.events is not None:
+            self.events.emit(
+                self.ticks,
+                "load_model_calibrated",
+                kind_costs=[float(c) for c in calibrated.kind_costs()],
+                probe_cost=calibrated.probe_cost,
+                batch_cost=calibrated.aggregate_batch_cost,
+            )
+        return calibrated
 
     # -- policies ------------------------------------------------------------
 

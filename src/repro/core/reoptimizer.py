@@ -456,6 +456,14 @@ class Reoptimizer:
         self.accepts = 0
         self.rejects = 0
         self.arena_builds = 0
+        # (circuit name, service id) pairs excluded from this pass's
+        # accept sweeps — the simulator populates it with the
+        # autoscaler's cooldown families so placement doesn't migrate
+        # operators whose replicas were just re-split (their state and
+        # in-flight tuples are still settling).  Frozen services are
+        # skipped before pricing, not priced-and-rejected, so the
+        # accept/reject counters and the running total stay unbiased.
+        self.frozen: set[tuple[str, str]] = set()
 
     def _kernel(self, circuit: Circuit) -> _CircuitKernel:
         # Keyed by name, validated by object identity via weakref: a
@@ -549,11 +557,14 @@ class Reoptimizer:
             )
         )
 
+        frozen = self.frozen
         for k, sid in enumerate(kernel.unpinned_sids):
             row = kernel.unpinned_rows[k]
             old_node = int(hosts[row])
             candidate = int(candidates[k])
             if candidate == old_node:
+                continue
+            if frozen and (circuit.name, sid) in frozen:
                 continue
             lo, hi = kernel.inc_lo[k], kernel.inc_hi[k]
             if moved[kernel.inc_nbr[lo:hi]].any():
@@ -655,6 +666,8 @@ class Reoptimizer:
         }
 
         for sid in circuit.unpinned_ids():
+            if self.frozen and (circuit.name, sid) in self.frozen:
+                continue
             target = CostCoordinate.from_arrays(
                 targets[sid], np.zeros(scalar_dims)
             )

@@ -136,6 +136,7 @@ from repro.core.load_model import (
     LoadModel,
 )
 from repro.query.operators import ServiceKind
+from repro.runtime import jit as jit_kernels
 from repro.runtime.arena import CircuitArena, ScratchArena
 from repro.runtime.hashing import (
     M1,
@@ -295,6 +296,30 @@ class RuntimeConfig:
             op id, not the physical row).
         compact_threshold: tombstone fraction above which the
             incremental arena compacts its dead rows.
+        join_state: vectorized join-state layout.  ``"epoch"`` (the
+            primary path) buckets state rows into a ring of sorted
+            epoch chunks: inserts append to a small buffer, flushes
+            sort only the batch, adjacent chunks merge geometrically
+            (each row is copied O(log state) times over its life, not
+            once per merge), and window eviction drops whole expired
+            chunks — probes mask per-candidate liveness so probe
+            order, match ranks, and probe-cost charges stay
+            bit-identical.  ``"twolevel"`` retains the PR-7 sorted
+            base + append buffer reference layout.  The scalar
+            per-key tables are untouched by this knob.
+        admission: how the tick-start admission prices obtain their
+            per-(op, side) state counts.  ``"highwater"`` (primary)
+            maintains an exact incremental ledger — O(batch) on
+            insert, O(ops) at the tick boundary — that equals the
+            full scan at every tick start, so prices stay bit-exact.
+            ``"frozen"`` retains the O(state) full-scan reference.
+        jit: kernel tier for the three irreducible hot kernels (join
+            probe binary search, admission gate, transport
+            arrival-compaction).  ``"auto"`` uses numba when
+            importable and silently falls back to NumPy; ``"numba"``
+            demands numba (raises when absent); ``"numpy"`` always
+            runs the reference.  The tier may never change results
+            (see :mod:`repro.runtime.jit`).
     """
 
     window: int = 20
@@ -308,6 +333,9 @@ class RuntimeConfig:
     load_model: LoadModel | None = None
     incremental: bool = True
     compact_threshold: float = 0.25
+    join_state: str = "epoch"
+    admission: str = "highwater"
+    jit: str = "auto"
 
     def __post_init__(self) -> None:
         if self.window < 0:
@@ -320,6 +348,12 @@ class RuntimeConfig:
             raise ValueError("eviction_slack must be non-negative")
         if self.retransmit_buffer < 0:
             raise ValueError("retransmit_buffer must be non-negative")
+        if self.join_state not in ("epoch", "twolevel"):
+            raise ValueError("join_state must be 'epoch' or 'twolevel'")
+        if self.admission not in ("highwater", "frozen"):
+            raise ValueError("admission must be 'highwater' or 'frozen'")
+        if self.jit not in ("auto", "numba", "numpy"):
+            raise ValueError("jit must be 'auto', 'numba', or 'numpy'")
 
 
 @dataclass(frozen=True)
@@ -374,6 +408,63 @@ class TrafficRecord:
     recompiles: int = 0
 
 
+class _EpochChunk:
+    """One sorted generation of the epoch-ring join state.
+
+    Rows are sorted by composite key; within equal keys they sit in
+    insertion order, and every row of an older chunk was inserted
+    before every equal-key row of a younger one — the invariant that
+    lets cross-chunk rank offsets reproduce the reference's
+    insertion-order match enumeration exactly.  ``e`` is the stored
+    expiry tick (``ts + window + slack``, clamped up to the insert
+    tick so dead-on-arrival rows stay probe-visible for the remainder
+    of their insert tick, exactly like the reference, which only
+    evicts at tick starts); a row is live at tick ``now`` iff
+    ``e >= now``.  ``max_e`` gates the O(1) whole-chunk drop;
+    ``min_e`` gates the probe fast path (a chunk with ``min_e >= now``
+    holds no dead rows, so probes skip the liveness mask entirely).
+
+    Because a chunk is immutable between merges, probes amortise a
+    run-index over its lifetime: the distinct composite keys plus the
+    row offset of every run (:meth:`index`).  One binary-search sweep
+    over the distinct keys then replaces the reference's two sweeps
+    over all rows — the dominant probe cost at scale.
+    """
+
+    __slots__ = ("comp", "ts", "size", "e", "max_e", "min_e", "_runs")
+
+    def __init__(
+        self,
+        comp: np.ndarray,
+        ts: np.ndarray,
+        size: np.ndarray,
+        e: np.ndarray,
+    ) -> None:
+        self.comp = comp
+        self.ts = ts
+        self.size = size
+        self.e = e
+        self.max_e = int(e.max()) if e.size else -1
+        self.min_e = int(e.min()) if e.size else -1
+        self._runs: tuple[np.ndarray, np.ndarray] | None = None
+
+    def index(self) -> tuple[np.ndarray, np.ndarray]:
+        """(distinct comps, run starts + end sentinel), cached.
+
+        ``starts`` has one more entry than ``uniq``: run ``i`` spans
+        rows ``starts[i]:starts[i + 1]``.
+        """
+        if self._runs is None:
+            comp = self.comp
+            if comp.size:
+                head = np.flatnonzero(comp[1:] != comp[:-1]) + 1
+                starts = np.concatenate(([0], head, [comp.size]))
+                self._runs = (comp[starts[:-1]], starts)
+            else:
+                self._runs = (comp, np.zeros(1, dtype=np.int64))
+        return self._runs
+
+
 class DataPlane:
     """Executes every installed circuit on the overlay, tick for tick."""
 
@@ -424,9 +515,36 @@ class DataPlane:
         # Controller-set per-node shed limits (inf = inactive).
         self._shed = np.full(n, np.inf)
         self._shed_active = 0
-        # Two-level join-state merge bound (append buffer size at which
-        # the sorted base absorbs it); overridable for layout tests.
+        # Join-state batch bound: the append-buffer size at which the
+        # two-level base absorbs it / the epoch ring flushes a chunk;
+        # overridable for layout tests (small values force many epoch
+        # boundaries).
         self._state_merge_limit = 1024
+        # Epoch-ring layout flag (array path only; the scalar per-key
+        # tables ignore it).
+        self._epoch = self.config.join_state == "epoch"
+        # Epoch append-buffer seal bound.  Separate from the two-level
+        # merge limit on purpose: the reference layout keeps PR 9's
+        # exact batching, while the ring amortises better with larger
+        # seals (the buffer is probed through a cached sort either
+        # way).  Layout tests shrink both to force epoch churn.
+        self._epoch_flush_limit = 2048
+        # Two-generation rebalance ratio: the young generation folds
+        # into the old one once old <= young * ratio.  None switches to
+        # the binary-counter ladder (more levels, rarer big merges) —
+        # kept for layout experiments.
+        self._epoch_gen_ratio: int | None = 4
+        # High-water admission ledger: exact per-(op, side) live-state
+        # counts plus a circular death histogram indexed by expiry tick
+        # modulo the horizon.  Rebuilt lazily (dirty flag) after any
+        # structural remap.
+        self._hw_counts = np.zeros(0, dtype=np.int64)
+        self._hw_deaths = np.zeros((0, 0), dtype=np.int64)
+        self._hw_h = 1
+        self._hw_clock = 0
+        self._hw_dirty = True
+        # Kernel tier (numba or the NumPy reference; see runtime.jit).
+        self._jit = jit_kernels.resolve(self.config.jit)
         # Per-(circuit, link) stats survive recompiles in this fold.
         self._link_stats_folded: dict[tuple[str, str, str], list] = {}
         # Global circuit arena: segment bookkeeping, stable global op
@@ -1174,6 +1292,7 @@ class DataPlane:
         """
         alive = self._arena.op_alive
         if self._mode == "array":
+            self._hw_dirty = True
             if self._st_comp.size:
                 keep = alive[(self._st_comp >> _U(33)).astype(np.int64)]
                 if not keep.all():
@@ -1187,6 +1306,29 @@ class DataPlane:
                     self._stb_ts = self._stb_ts[keep]
                     self._stb_size = self._stb_size[keep]
                     self._stb_sorted = None
+            if self._epoch:
+                ring = []
+                for ch in self._ring:
+                    keep = alive[(ch.comp >> _U(33)).astype(np.int64)]
+                    if keep.all():
+                        ring.append(ch)
+                    elif keep.any():
+                        ring.append(
+                            _EpochChunk(
+                                ch.comp[keep], ch.ts[keep],
+                                ch.size[keep], ch.e[keep],
+                            )
+                        )
+                self._ring = ring
+                if self._epb_comp.size:
+                    keep = alive[(self._epb_comp >> _U(33)).astype(np.int64)]
+                    if not keep.all():
+                        self._epb_comp = self._epb_comp[keep]
+                        self._epb_ts = self._epb_ts[keep]
+                        self._epb_size = self._epb_size[keep]
+                        self._epb_e = self._epb_e[keep]
+                        self._epb_sorted = None
+                        self._epb_runs = None
         elif self._mode == "heap" and self._tables:
             self._tables = {
                 key: entries
@@ -1268,7 +1410,57 @@ class DataPlane:
         which is what keeps replicated join results exact across scale
         events.
         """
-        if self._mode == "array":
+        if self._mode == "array" and self._epoch:
+            self._hw_dirty = True
+            self._flush_epoch(merge=False)
+            if not self._ring:
+                return
+            # Chunks concatenated in ring order preserve global
+            # insertion order within equal composite keys, so one
+            # stable re-sort by the rewritten keys rebuilds a single
+            # chunk with the exact reference enumeration order (split
+            # siblings own disjoint key ranges, so no two old sources
+            # collide under one new key).
+            comp0 = np.concatenate([ch.comp for ch in self._ring])
+            ts0 = np.concatenate([ch.ts for ch in self._ring])
+            size0 = np.concatenate([ch.size for ch in self._ring])
+            self._ring = []
+            ops = (comp0 >> _U(33)).astype(np.int64)
+            rest = comp0 & _U((1 << 33) - 1)
+            new_ops = mapping[ops]
+            if key_split:
+                keys = (comp0 & _U((1 << 32) - 1)).astype(np.int64)
+                for old, (targets, _port) in key_split.items():
+                    mask = ops == old
+                    if not mask.any():
+                        continue
+                    new_ops[mask] = targets[
+                        route_bucket(keys[mask], len(targets))
+                    ]
+            keep = new_ops >= 0
+            # Stored expiries are recomputed against the *new* slack
+            # column (placement-dependent, refreshed by the compile);
+            # the reference derives its eviction threshold from the
+            # live slack every tick, so the remapped ring must too.
+            new_ops = new_ops[keep]
+            ts0 = ts0[keep]
+            e = ts0 + self.config.window + self._slack[new_ops]
+            live = e >= self.tick
+            if not live.all():
+                new_ops, ts0, e = new_ops[live], ts0[live], e[live]
+                keep = np.flatnonzero(keep)[live]
+            comp = (new_ops.astype(_U) << _U(33)) | rest[keep]
+            if comp.size:
+                order = np.argsort(comp, kind="stable")
+                self._ring = [
+                    _EpochChunk(
+                        comp[order], ts0[order],
+                        size0[keep][order],
+                        e[order].astype(np.int32),
+                    )
+                ]
+        elif self._mode == "array":
+            self._hw_dirty = True
             self._merge_state()
             if not self._st_comp.size:
                 return
@@ -1318,12 +1510,16 @@ class DataPlane:
             bound = self.config.retransmit_buffer
             if mode == "array":
                 self._transport = (
-                    ReliableTransport(bound, scratch=self._scratch)
+                    ReliableTransport(
+                        bound, scratch=self._scratch, kernels=self._jit
+                    )
                     if reliable
-                    else ArrayTransport(self._scratch)
+                    else ArrayTransport(self._scratch, kernels=self._jit)
                 )
                 # Two-level join state: sorted base + append buffer,
                 # merged once the buffer exceeds _state_merge_limit.
+                # (Allocated in both layouts: the epoch ring keeps the
+                # reference arrays empty.)
                 self._st_comp = np.empty(0, dtype=np.uint64)
                 self._st_ts = np.empty(0, dtype=np.int64)
                 self._st_size = np.empty(0, dtype=np.float64)
@@ -1331,6 +1527,21 @@ class DataPlane:
                 self._stb_ts = np.empty(0, dtype=np.int64)
                 self._stb_size = np.empty(0, dtype=np.float64)
                 self._stb_sorted: tuple[np.ndarray, np.ndarray] | None = None
+                # Epoch-ring join state: a ring of sorted chunks (older
+                # first) plus an append buffer carrying stored expiry
+                # ticks; see _flush_epoch / _probe_epoch.  Tick columns
+                # (ts, e) are int32 — tick counts stay far below 2^31
+                # and halving their width halves the merge and gather
+                # bandwidth of the hottest columns (_pair_bucket casts
+                # operands through uint64, so hashes are unchanged, and
+                # arithmetic against int64 upcasts before any output).
+                self._ring: list[_EpochChunk] = []
+                self._epb_comp = np.empty(0, dtype=np.uint64)
+                self._epb_ts = np.empty(0, dtype=np.int32)
+                self._epb_size = np.empty(0, dtype=np.float64)
+                self._epb_e = np.empty(0, dtype=np.int32)
+                self._epb_sorted: tuple[np.ndarray, np.ndarray] | None = None
+                self._epb_runs: tuple[np.ndarray, np.ndarray] | None = None
             else:
                 self._transport = (
                     ReliableHeapTransport(bound) if reliable else HeapTransport()
@@ -1465,9 +1676,28 @@ class DataPlane:
         return np.minimum(self._cap, self._shed)
 
     def _state_counts(self) -> np.ndarray:
-        """Windowed join-state entries per (op, side), committed mode."""
+        """Windowed join-state entries per (op, side), committed mode.
+
+        The O(state) full scan — the ``admission="frozen"`` reference
+        and the rebuild source of the high-water ledger.  On the epoch
+        ring only live rows (``e >= now``) count: they are exactly the
+        rows the eager-evicting reference layouts still hold.
+        """
         counts = np.zeros(2 * self._num_ops)
         if self._mode == "array":
+            if self._epoch:
+                now = self.tick
+                for ch in self._ring:
+                    live = ch.e >= now
+                    idx = (ch.comp[live] >> _U(32)).astype(np.int64)
+                    if idx.size:
+                        counts += np.bincount(idx, minlength=2 * self._num_ops)
+                if self._epb_comp.size:
+                    live = self._epb_e >= now
+                    idx = (self._epb_comp[live] >> _U(32)).astype(np.int64)
+                    if idx.size:
+                        counts += np.bincount(idx, minlength=2 * self._num_ops)
+                return counts.reshape(self._num_ops, 2)
             for comp in (self._st_comp, self._stb_comp):
                 if comp.size:
                     idx = (comp >> _U(32)).astype(np.int64)
@@ -1476,6 +1706,105 @@ class DataPlane:
             for (op, side, _key), entries in self._tables.items():
                 counts[2 * op + side] += len(entries)
         return counts.reshape(self._num_ops, 2)
+
+    # -- high-water admission ledger ---------------------------------------
+    #
+    # ``admission="highwater"`` replaces the tick-start O(state) scan
+    # with an exact incremental ledger: per-(op, side) live counts plus
+    # a circular death histogram indexed by stored expiry tick modulo
+    # the expiry horizon (window + max slack + margin).  Inserts are a
+    # bincount plus one scatter-add into the histogram — O(batch) with
+    # no sort; the tick boundary retires exactly one histogram row —
+    # O(ops).  At every tick start the ledger equals the full scan, so
+    # the 1/256-quantized admission prices are bit-identical to the
+    # frozen-scan reference.  Structural remaps (compaction,
+    # recompiles, scale events, uninstalls) mark the ledger dirty; the
+    # next price computation rebuilds it from state.
+
+    @property
+    def _hw_on(self) -> bool:
+        """Ledger maintenance needed?  Only join probe prices read it."""
+        return (
+            self.config.admission == "highwater"
+            and self._model.probe_cost != 0
+        )
+
+    def _hw_state_counts(self) -> np.ndarray:
+        """Ledger view of :meth:`_state_counts`, rebuilt when dirty."""
+        if self._hw_dirty or self._hw_counts.size != 2 * self._num_ops:
+            self._hw_rebuild()
+        return self._hw_counts.astype(np.float64).reshape(self._num_ops, 2)
+
+    def _hw_rebuild(self) -> None:
+        """Recount live state and re-derive the death histogram."""
+        num2 = 2 * self._num_ops
+        now = self.tick
+        # Every live row's stored expiry sits in [now, now + window +
+        # max slack], so a circular histogram over that horizon (plus a
+        # margin row so "just inserted" and "about to retire" never
+        # alias) indexes deaths by ``e % horizon``.  Slack changes
+        # funnel through remap, which marks the ledger dirty — the
+        # horizon is re-derived here every rebuild.
+        slack_max = int(self._slack.max()) if self._slack.size else 0
+        self._hw_h = self.config.window + slack_max + 2
+        self._hw_deaths = np.zeros((self._hw_h, num2), dtype=np.int64)
+        self._hw_clock = now
+        counts = np.zeros(num2, dtype=np.int64)
+        if self._epoch:
+            levels = [(ch.comp, ch.e) for ch in self._ring]
+            if self._epb_comp.size:
+                levels.append((self._epb_comp, self._epb_e))
+        else:
+            levels = []
+            for comp, ts in (
+                (self._st_comp, self._st_ts),
+                (self._stb_comp, self._stb_ts),
+            ):
+                if comp.size:
+                    ops = (comp >> _U(33)).astype(np.int64)
+                    levels.append(
+                        (comp, ts + self.config.window + self._slack[ops])
+                    )
+        for comp, e in levels:
+            live = e >= now
+            if not live.all():
+                comp = comp[live]
+                e = e[live]
+            opside = (comp >> _U(32)).astype(np.int64)
+            if opside.size:
+                counts += np.bincount(opside, minlength=num2)
+                np.add.at(self._hw_deaths, (e % self._hw_h, opside), 1)
+        self._hw_counts = counts
+        self._hw_dirty = False
+
+    def _hw_insert(self, comp: np.ndarray, e_sched: np.ndarray) -> None:
+        """Fold one insert batch into the ledger (O(batch), no sort)."""
+        num2 = 2 * self._num_ops
+        if self._hw_dirty or self._hw_counts.size != num2:
+            self._hw_dirty = True
+            return
+        if e_sched.size and int(e_sched.max()) - self._hw_clock >= self._hw_h:
+            # Horizon outgrown (e.g. slack raised without a remap in
+            # between) — fall back to a rebuild at the next pricing.
+            self._hw_dirty = True
+            return
+        opside = (comp >> _U(32)).astype(np.int64)
+        self._hw_counts += np.bincount(opside, minlength=num2)
+        np.add.at(self._hw_deaths, (e_sched % self._hw_h, opside), 1)
+
+    def _hw_advance(self, now: int) -> None:
+        """Retire expired histogram rows at the tick boundary (O(ops))."""
+        if self._hw_dirty or now <= self._hw_clock:
+            return
+        if now - self._hw_clock >= self._hw_h:
+            self._hw_counts -= self._hw_deaths.sum(axis=0)
+            self._hw_deaths[:] = 0
+        else:
+            for t in range(self._hw_clock, now):
+                row = self._hw_deaths[t % self._hw_h]
+                self._hw_counts -= row
+                row[:] = 0
+        self._hw_clock = now
 
     def _admission_costs(self) -> np.ndarray:
         """Expected per-tuple admission cost of every (op, in-port).
@@ -1497,7 +1826,12 @@ class DataPlane:
         if model.probe_cost:
             joins = self._kind == _JOIN
             if joins.any():
-                counts = self._state_counts()
+                counts = (
+                    self._hw_state_counts()
+                    if self._mode == "array"
+                    and self.config.admission == "highwater"
+                    else self._state_counts()
+                )
                 # A k-replica join sees only its domain/k key slice, so
                 # the expected candidates per admitted tuple scale by k.
                 expected = counts[:, ::-1] / np.maximum(
@@ -1523,6 +1857,30 @@ class DataPlane:
         self._shed[node] = np.inf if limit is None else float(limit)
         is_active = limit is not None
         self._shed_active += int(is_active) - int(was_active)
+
+    @property
+    def load_model(self) -> LoadModel:
+        """The model currently pricing admission and cost attribution.
+
+        Starts as ``config.load_model`` (unit model when None) and moves
+        with :meth:`set_load_model` — readers wanting the live pricing
+        basis (e.g. the controller's drift feedback) must use this, not
+        the frozen config.
+        """
+        return self._model
+
+    def set_load_model(self, model: LoadModel) -> None:
+        """Swap the active load model (the controller's calibration hook).
+
+        Takes effect at the next tick's admission pricing and cost
+        attribution: the per-op kind-cost column is re-gathered and the
+        high-water ledger invalidated (its schedule is model-gated).
+        Keep coefficients dyadic (1/256 grid) to preserve the
+        exact-accumulation discipline.
+        """
+        self._model = model
+        self._kind_cost = model.kind_costs()[self._kind]
+        self._hw_dirty = True
 
     def _shed_attribution(self, nodes: np.ndarray) -> np.ndarray:
         """True where an admission drop at ``nodes`` is shed-attributed.
@@ -1679,7 +2037,7 @@ class DataPlane:
                     seq = seq[live]
             if cap is not None and op.size:
                 costs = adm[op, np.minimum(port, 1)]
-                keep = self._capacity_filter(node, node_used, cap, costs)
+                keep = self._jit.capacity_gate(node, node_used, cap, costs)
                 ncap = int(op.size - keep.sum())
                 if ncap:
                     rejected = node[~keep]
@@ -1802,46 +2160,42 @@ class DataPlane:
     ) -> np.ndarray:
         """First-come-first-served per-node admission in canonical order.
 
-        A tuple is admitted while its node's admitted *cost* so far this
-        tick is below the cap, so the admitted set per node is a prefix
-        in canonical order (costs are positive, the running total only
-        grows).  With unit costs the condition degenerates to the
-        historical count rule ``rank + used < cap``.
+        The NumPy reference implementation lives in
+        :func:`repro.runtime.jit.capacity_gate_numpy`; the hot loop
+        dispatches through the configured kernel tier instead, which
+        must admit the identical canonical-order prefix per node.
         """
-        order = np.argsort(nodes, kind="stable")
-        sn = nodes[order]
-        sc = costs[order]
-        _, starts, cnts = np.unique(sn, return_index=True, return_counts=True)
-        cum = np.cumsum(sc)
-        group_base = np.repeat(cum[starts] - sc[starts], cnts)
-        # Group-local running cost before self; once it crosses the cap
-        # every later tuple's total is larger too, so the admitted set
-        # is a prefix and "before" equals the admitted cost within it.
-        before = cum - group_base - sc
-        keep_sorted = before + node_used[sn] < cap[sn]
-        keep = np.empty(nodes.size, dtype=bool)
-        keep[order] = keep_sorted
-        np.add.at(node_used, nodes[keep], costs[keep])
-        return keep
+        return jit_kernels.capacity_gate_numpy(nodes, node_used, cap, costs)
 
     def _evict_state_array(self, now: int) -> None:
-        if self._st_comp.size:
-            ops = (self._st_comp >> _U(33)).astype(np.int64)
-            thr = now - self.config.window - self._slack[ops]
-            keep = self._st_ts >= thr
-            if not keep.all():
-                self._st_comp = self._st_comp[keep]
-                self._st_ts = self._st_ts[keep]
-                self._st_size = self._st_size[keep]
-        if self._stb_comp.size:
-            ops = (self._stb_comp >> _U(33)).astype(np.int64)
-            thr = now - self.config.window - self._slack[ops]
-            keep = self._stb_ts >= thr
-            if not keep.all():
-                self._stb_comp = self._stb_comp[keep]
-                self._stb_ts = self._stb_ts[keep]
-                self._stb_size = self._stb_size[keep]
-                self._stb_sorted = None
+        if self._epoch:
+            # O(expired): drop whole chunks whose youngest row expired;
+            # partially-expired chunks stay — their dead rows are
+            # invisible to probes (liveness mask) and to the admission
+            # counts, and are physically shed at the next merge that
+            # touches them.
+            if self._ring and any(ch.max_e < now for ch in self._ring):
+                self._ring = [ch for ch in self._ring if ch.max_e >= now]
+        else:
+            if self._st_comp.size:
+                ops = (self._st_comp >> _U(33)).astype(np.int64)
+                thr = now - self.config.window - self._slack[ops]
+                keep = self._st_ts >= thr
+                if not keep.all():
+                    self._st_comp = self._st_comp[keep]
+                    self._st_ts = self._st_ts[keep]
+                    self._st_size = self._st_size[keep]
+            if self._stb_comp.size:
+                ops = (self._stb_comp >> _U(33)).astype(np.int64)
+                thr = now - self.config.window - self._slack[ops]
+                keep = self._stb_ts >= thr
+                if not keep.all():
+                    self._stb_comp = self._stb_comp[keep]
+                    self._stb_ts = self._stb_ts[keep]
+                    self._stb_size = self._stb_size[keep]
+                    self._stb_sorted = None
+        if self._hw_on:
+            self._hw_advance(now)
 
     def _merge_state(self) -> None:
         """Absorb the append buffer into the sorted base (one copy).
@@ -1871,6 +2225,143 @@ class DataPlane:
             order = np.argsort(self._stb_comp, kind="stable")
             self._stb_sorted = (order, self._stb_comp[order])
         return self._stb_sorted
+
+    def _epb_sorted_view(self) -> tuple[np.ndarray, np.ndarray]:
+        """(stable order, sorted comps) view of the epoch buffer, cached."""
+        if self._epb_sorted is None:
+            order = np.argsort(self._epb_comp, kind="stable")
+            self._epb_sorted = (order, self._epb_comp[order])
+        return self._epb_sorted
+
+    def _epb_runs_view(self) -> tuple[np.ndarray, np.ndarray]:
+        """(distinct comps, run starts + sentinel) of the sorted buffer.
+
+        Same layout as :meth:`_EpochChunk.index`, so buffer probes use
+        the identical one-sweep run lookup as ring chunks.
+        """
+        if self._epb_runs is None:
+            _order, comp = self._epb_sorted_view()
+            head = np.flatnonzero(comp[1:] != comp[:-1]) + 1
+            starts = np.concatenate(([0], head, [comp.size]))
+            self._epb_runs = (comp[starts[:-1]], starts)
+        return self._epb_runs
+
+    def _flush_epoch(self, merge: bool = True) -> None:
+        """Seal the append buffer into a fresh youngest chunk.
+
+        Only the batch is sorted (stable, preserving insertion order
+        within equal keys — every row here is younger than every
+        equal-key row already in the ring).  With ``merge`` the ring
+        then rebalances under the two-generation discipline: the
+        sealed chunk folds into the young generation (O(young)), and
+        the young generation folds into the old one only once it
+        reaches a quarter of its size — so probes see at most three
+        sorted levels (old, young, buffer) while each row is copied
+        only O(ratio) times into the old generation over its life,
+        instead of the reference's every-merge O(state) rewrite.
+        """
+        if self._epb_comp.size:
+            order, comp = self._epb_sorted_view()
+            live = self._epb_e >= self.tick
+            if live.all():
+                chunk = _EpochChunk(
+                    comp, self._epb_ts[order],
+                    self._epb_size[order], self._epb_e[order],
+                )
+            else:
+                keep = order[live[order]]
+                chunk = _EpochChunk(
+                    self._epb_comp[keep], self._epb_ts[keep],
+                    self._epb_size[keep], self._epb_e[keep],
+                )
+            if chunk.comp.size:
+                self._ring.append(chunk)
+            self._epb_comp = np.empty(0, dtype=np.uint64)
+            self._epb_ts = np.empty(0, dtype=np.int32)
+            self._epb_size = np.empty(0, dtype=np.float64)
+            self._epb_e = np.empty(0, dtype=np.int32)
+            self._epb_sorted = None
+            self._epb_runs = None
+        if merge:
+            ring = self._ring
+            ratio = self._epoch_gen_ratio
+            if ratio is None:
+                # Binary-counter ladder: absorb while the youngest is
+                # at least as large as its elder.
+                while (
+                    len(ring) >= 2
+                    and ring[-2].comp.size <= ring[-1].comp.size
+                ):
+                    young = ring.pop()
+                    merged = self._merge_chunks(ring.pop(), young, shed=True)
+                    if merged is not None:
+                        ring.append(merged)
+                return
+            if len(ring) > 2:
+                sealed = ring.pop()
+                young = self._merge_chunks(ring.pop(), sealed)
+                if young is not None:
+                    ring.append(young)
+            if (
+                len(ring) == 2
+                and ring[1].comp.size * ratio >= ring[0].comp.size
+            ):
+                young = ring.pop()
+                merged = self._merge_chunks(ring.pop(), young, shed=True)
+                if merged is not None:
+                    ring.append(merged)
+
+    def _merge_chunks(
+        self, old: _EpochChunk, young: _EpochChunk, shed: bool = False
+    ) -> _EpochChunk | None:
+        """Merge two adjacent generations (older rows before equal keys).
+
+        With ``shed``, the older side drops its expired rows first —
+        they are invisible to probes and counts, so dropping them here
+        is unobservable; young-side generations skip the check (their
+        dead rows are shed when they eventually reach the old
+        generation).  The two sorted runs then interleave: one
+        ``side="right"`` searchsorted of the younger (smaller) run
+        into the older one places younger rows after equal-key older
+        rows, preserving global insertion order within equal composite
+        keys, and integer placement vectors move both runs (int fancy
+        indexing runs several times faster than np.insert's boolean
+        masks at these sizes).
+        """
+        now = self.tick
+        a, b = old, young
+        if a.max_e < now:
+            a = None
+        elif shed and a.min_e < now:
+            keep = np.flatnonzero(a.e >= now)
+            if keep.size < a.comp.size:
+                a = _EpochChunk(
+                    a.comp[keep], a.ts[keep], a.size[keep], a.e[keep]
+                )
+        if b is not None and b.max_e < now:
+            b = None
+        if a is None:
+            return b
+        if b is None:
+            return a
+        na, nb = a.comp.size, b.comp.size
+        pos_b = np.arange(nb) + np.searchsorted(a.comp, b.comp, side="right")
+        is_b = np.zeros(na + nb, dtype=bool)
+        is_b[pos_b] = True
+        pos_a = np.flatnonzero(~is_b)
+        comp = np.empty(na + nb, dtype=np.uint64)
+        ts = np.empty(na + nb, dtype=np.int32)
+        size = np.empty(na + nb, dtype=np.float64)
+        e = np.empty(na + nb, dtype=np.int32)
+        for out, left, right in (
+            (comp, a.comp, b.comp),
+            (ts, a.ts, b.ts),
+            (size, a.size, b.size),
+            (e, a.e, b.e),
+        ):
+            out[pos_a] = left
+            out[pos_b] = right
+        return _EpochChunk(comp, ts, size, e)
 
     def _process_array(self, op, port, key, ts, size, pos, now):
         """Run one round's kept non-sink arrivals through the operators.
@@ -1950,13 +2441,14 @@ class DataPlane:
         query reproduces the per-tuple reference's insertion-order
         enumeration exactly.
         """
+        if self._epoch:
+            return self._probe_epoch(op, key, ts, size, pos, side)
         if op.size == 0 or (not self._st_comp.size and not self._stb_comp.size):
             return None
         qcomp = (op.astype(_U) << _U(33)) | (_U(side) << _U(32)) | key.astype(_U)
         hits: list[tuple] = []
 
-        lo = np.searchsorted(self._st_comp, qcomp, side="left")
-        hi = np.searchsorted(self._st_comp, qcomp, side="right")
+        lo, hi = self._jit.probe_ranges(self._st_comp, qcomp)
         base_cnt = hi - lo
         probes = base_cnt
         total = int(base_cnt.sum())
@@ -1969,8 +2461,7 @@ class DataPlane:
 
         if self._stb_comp.size:
             border, bcomp = self._buffer_sorted()
-            blo = np.searchsorted(bcomp, qcomp, side="left")
-            bhi = np.searchsorted(bcomp, qcomp, side="right")
+            blo, bhi = self._jit.probe_ranges(bcomp, qcomp)
             cnt = bhi - blo
             probes = probes + cnt
             btotal = int(cnt.sum())
@@ -2020,12 +2511,158 @@ class DataPlane:
             rank[ok],
         )
 
+    def _probe_epoch(self, op, key, ts, size, pos, side: int):
+        """Epoch-ring variant of :meth:`_probe_array`.
+
+        Each chunk is probed oldest-first; per-query rank offsets
+        accumulate the *enumerated* candidate count across levels, so
+        live candidates carry strictly increasing ranks in global
+        insertion order — dead rows in partially-expired chunks bump
+        the offsets but never match, and ranks only order outputs, so
+        the canonical ``(input position, match rank)`` output order is
+        bit-identical to the eager-evicting reference.  Probe costs
+        charge live candidates only (exactly the rows the reference
+        still holds).
+        """
+        if op.size == 0 or (not self._ring and not self._epb_comp.size):
+            return None
+        qcomp = (op.astype(_U) << _U(33)) | (_U(side) << _U(32)) | key.astype(_U)
+        now = self.tick
+        arange_q = np.arange(op.size)
+        hits: list[tuple] = []
+        probes = np.zeros(op.size, dtype=np.int64)
+        base = np.zeros(op.size, dtype=np.int64)
+
+        enumerated = False
+
+        def level(lo, cnt, ts_col, size_col, e_col, all_live, order=None):
+            nonlocal enumerated
+            total = int(cnt.sum())
+            if not total:
+                return
+            rep = np.repeat(arange_q, cnt)
+            starts = np.concatenate(([0], np.cumsum(cnt)[:-1]))
+            within = np.arange(total) - starts[rep]
+            sidx = lo[rep] + within
+            if order is not None:
+                sidx = order[sidx]
+            rank = base[rep] + within if enumerated else within
+            enumerated = True
+            if all_live:
+                hits.append((rep, rank, ts_col[sidx], size_col[sidx]))
+                probes[:] += cnt
+            else:
+                live = e_col[sidx] >= now
+                nlive = int(np.count_nonzero(live))
+                if nlive == total:
+                    hits.append((rep, rank, ts_col[sidx], size_col[sidx]))
+                    probes[:] += cnt
+                elif nlive:
+                    # Dead candidates are the minority: charge the
+                    # full enumeration, then refund them.
+                    probes[:] += cnt
+                    probes[:] -= np.bincount(
+                        rep[~live], minlength=op.size
+                    )
+                    keep = np.flatnonzero(live)
+                    sidx = sidx[keep]
+                    hits.append(
+                        (rep[keep], rank[keep],
+                         ts_col[sidx], size_col[sidx])
+                    )
+            base[:] += cnt
+
+        for ch in self._ring:
+            # One binary-search sweep over the chunk's distinct keys
+            # (amortised over its immutable lifetime) instead of the
+            # two row-level sweeps of the reference layout.
+            uniq, starts = ch.index()
+            if not uniq.size:
+                continue
+            j = np.searchsorted(uniq, qcomp, side="left")
+            jc = np.minimum(j, uniq.size - 1)
+            eq = uniq[jc] == qcomp
+            level(
+                starts[jc], (starts[jc + 1] - starts[jc]) * eq,
+                ch.ts, ch.size, ch.e, ch.min_e >= now,
+            )
+        if self._epb_comp.size:
+            border, _bcomp = self._epb_sorted_view()
+            uniq, starts = self._epb_runs_view()
+            j = np.searchsorted(uniq, qcomp, side="left")
+            jc = np.minimum(j, uniq.size - 1)
+            eq = uniq[jc] == qcomp
+            level(
+                starts[jc], (starts[jc + 1] - starts[jc]) * eq,
+                self._epb_ts, self._epb_size, self._epb_e,
+                int(self._epb_e.min()) >= now, border,
+            )
+
+        if self._model.probe_cost and probes.any():
+            # Probes are charged whether or not they produced a match:
+            # every live candidate state row examined costs c₂.
+            self._tick_op_cost += np.bincount(
+                op, weights=self._model.probe_cost * probes,
+                minlength=self._num_ops,
+            )
+        if not hits:
+            return None
+        if len(hits) == 1:
+            rep, rank, sts, ssize = hits[0]
+        else:
+            rep = np.concatenate([h[0] for h in hits])
+            rank = np.concatenate([h[1] for h in hits])
+            sts = np.concatenate([h[2] for h in hits])
+            ssize = np.concatenate([h[3] for h in hits])
+        ats = ts[rep]
+        ok = np.abs(ats - sts) <= self.config.window
+        ok &= (
+            _pair_bucket(key[rep], ats, sts, self._gid[op[rep]])
+            < self._op_pmatch[op[rep]]
+        )
+        if not ok.any():
+            return None
+        return (
+            op[rep][ok],
+            key[rep][ok],
+            np.maximum(ats, sts)[ok],
+            (size[rep] + ssize)[ok],
+            pos[rep][ok],
+            rank[ok],
+        )
+
     def _insert_state_array(self, op, key, ts, size, side: int) -> None:
         """Append new join state to the buffer level (O(batch), not
-        O(state)); the sorted base absorbs it on the periodic merge."""
+        O(state)); the sorted base / epoch ring absorbs it on the
+        periodic merge or flush."""
         if op.size == 0:
             return
         comp = (op.astype(_U) << _U(33)) | (_U(side) << _U(32)) | key.astype(_U)
+        if self._epoch:
+            # Stored expiry, clamped up to the insert tick: rows dead
+            # on arrival stay probe-visible until the next tick start,
+            # exactly as under eager tick-start eviction.
+            e = np.maximum(
+                ts + self.config.window + self._slack[op], self.tick
+            )
+            # Cast BEFORE concatenating: mixing an int32 column with an
+            # int64 batch would silently upcast the whole buffer.
+            self._epb_comp = np.concatenate((self._epb_comp, comp))
+            self._epb_ts = np.concatenate((self._epb_ts, ts.astype(np.int32)))
+            self._epb_size = np.concatenate((self._epb_size, size))
+            self._epb_e = np.concatenate((self._epb_e, e.astype(np.int32)))
+            self._epb_sorted = None
+            self._epb_runs = None
+            if self._hw_on:
+                self._hw_insert(comp, e)
+            if self._epb_comp.size >= self._epoch_flush_limit:
+                self._flush_epoch()
+            return
+        if self._hw_on:
+            e = np.maximum(
+                ts + self.config.window + self._slack[op], self.tick
+            )
+            self._hw_insert(comp, e)
         self._stb_comp = np.concatenate((self._stb_comp, comp))
         self._stb_ts = np.concatenate((self._stb_ts, ts))
         self._stb_size = np.concatenate((self._stb_size, size))

@@ -49,6 +49,7 @@ import heapq
 
 import numpy as np
 
+from repro.runtime import jit as jit_kernels
 from repro.runtime.arena import ScratchArena
 from repro.runtime.hashing import route_bucket, route_bucket_int
 
@@ -79,8 +80,16 @@ class ArrayTransport:
 
     _INITIAL = 1024
 
-    def __init__(self, scratch: ScratchArena | None = None) -> None:
+    def __init__(
+        self,
+        scratch: ScratchArena | None = None,
+        kernels: jit_kernels.Kernels | None = None,
+    ) -> None:
         self._scratch = scratch or ScratchArena()
+        # Arrival-compaction kernel tier (see repro.runtime.jit); the
+        # owning data plane passes its resolved trio, standalone use
+        # defaults to the NumPy reference.
+        self._jit = kernels or jit_kernels.Kernels("numpy")
         self._cap = self._INITIAL
         self._arrival = np.empty(self._cap, dtype=np.int64)
         self._op = np.empty(self._cap, dtype=np.int64)
@@ -179,14 +188,16 @@ class ArrayTransport:
         c = self._count
         if c == 0:
             return None
-        mask = self._arrival[:c] <= now
-        hits = int(mask.sum())
+        # One partition pass over the arrival column (the configured
+        # kernel tier; the NumPy reference is a mask + two flatnonzero
+        # sweeps) yields the stable due / survivor index split.
+        idx, keep = self._jit.due_partition(self._arrival[:c], now)
+        hits = idx.size
         if hits == 0:
             return None
         # Extract the due rows into reusable scratch views (valid until
         # the next due() call) — one gather per column, no allocation
         # on the steady-state path.
-        idx = np.flatnonzero(mask)
         scratch = self._scratch
         batch = {}
         for name in ("op", "port", "key", "ts", "size", "seq"):
@@ -194,8 +205,7 @@ class ArrayTransport:
             out = scratch.array("due_" + name, hits, col.dtype)
             np.take(col[:c], idx, out=out)
             batch[name] = out
-        keep = ~mask
-        survivors = int(keep.sum())
+        survivors = keep.size
         for name in ("_arrival", "_op", "_port", "_key", "_ts", "_size", "_seq"):
             col = getattr(self, name)
             col[:survivors] = col[:c][keep]
@@ -363,9 +373,12 @@ class ReliableTransport(ArrayTransport):
     _BUF_INITIAL = 256
 
     def __init__(
-        self, max_buffer: int = 4096, scratch: ScratchArena | None = None
+        self,
+        max_buffer: int = 4096,
+        scratch: ScratchArena | None = None,
+        kernels: jit_kernels.Kernels | None = None,
     ) -> None:
-        super().__init__(scratch)
+        super().__init__(scratch, kernels)
         if max_buffer < 0:
             raise ValueError("max_buffer must be non-negative")
         self.max_buffer = max_buffer

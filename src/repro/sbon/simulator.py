@@ -410,11 +410,17 @@ class Simulation:
         single batched pass (:meth:`Reoptimizer.step_all`).  ``exclude``
         removes nodes from the candidate pool for this pass only — the
         controller passes its measured drop hot spots here so a
-        triggered re-placement is backpressure-aware.
+        triggered re-placement is backpressure-aware.  Operator
+        families the autoscaler re-split within its cooldown are frozen
+        for the pass — their replicas keep the spread homes the scaler
+        chose until the hold expires, instead of being herded back by
+        the next placement sweep.
         """
         reopt = self._make_reoptimizer()
         for node in exclude:
             reopt.mapper.exclude(node)
+        if self.autoscaler is not None:
+            reopt.frozen = self.autoscaler.frozen_services()
         circuits = list(self.overlay.circuits.values())
         if scalar:
             reports = reopt.step_all_scalar(circuits)

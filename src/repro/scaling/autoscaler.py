@@ -68,6 +68,16 @@ class AutoScalerConfig:
         cold_ticks: consecutive cold ticks required to scale down.
         cooldown: ticks after any scale event during which the family
             holds its k (counters keep accumulating).
+        reopt_hold: ticks after a scale event during which the family's
+            members are reported by :meth:`AutoScaler.frozen_services`
+            so the re-optimizer leaves them in place while per-key
+            state and in-flight tuples settle onto the new replica
+            homes.  Defaults to 0 (off): the placement pass is itself
+            CPU-aware (measured CPU is calibrated into the cost
+            space), so freezing it measurably *delays* overload relief
+            on the flash-crowd benchmark — enable only for
+            latency-dominated deployments where placement churn after
+            scale events is the binding concern.
         k_max: replica-count ceiling per family.
         target_util: sizing target — after a scale event each replica
             should carry about ``target_util * budget``.
@@ -80,6 +90,7 @@ class AutoScalerConfig:
     breach_ticks: int = 3
     cold_ticks: int = 5
     cooldown: int = 10
+    reopt_hold: int = 0
     k_max: int = 8
     target_util: float = 0.7
     alpha: float = 0.4
@@ -93,6 +104,8 @@ class AutoScalerConfig:
             raise ValueError("down_threshold must be below up_threshold")
         if self.k_max < 1:
             raise ValueError("k_max must be >= 1")
+        if self.reopt_hold < 0:
+            raise ValueError("reopt_hold must be >= 0")
 
 
 class AutoScaler:
@@ -121,6 +134,7 @@ class AutoScaler:
         self._breach: dict[tuple[str, str], int] = {}
         self._cold: dict[tuple[str, str], int] = {}
         self._hold_until: dict[tuple[str, str], int] = {}
+        self._reopt_hold_until: dict[tuple[str, str], int] = {}
 
     # -- candidate discovery -------------------------------------------
 
@@ -152,6 +166,27 @@ class AutoScaler:
                     and sid in has_out
                 ):
                     out.append((circuit, sid, 1, [sid]))
+        return out
+
+    def frozen_services(self) -> set[tuple[str, str]]:
+        """Member sids of families still inside a ``reopt_hold`` window.
+
+        The simulator feeds these to the re-optimizer (its ``frozen``
+        set) so a freshly re-split family is not migrated while its
+        per-key state and in-flight tuples are still settling onto the
+        new replica homes — without the hold-down the two control loops
+        can fight over the same operators: a scale-up spreads replicas
+        onto cold nodes and the very next placement pass herds them
+        back.  Empty unless ``config.reopt_hold`` > 0 (see the config
+        docstring for why the default leaves the placement pass free).
+        """
+        out: set[tuple[str, str]] = set()
+        if not self._reopt_hold_until:
+            return out
+        for circuit, base, _k, members in self._candidates():
+            if self.tick < self._reopt_hold_until.get((circuit.name, base), 0):
+                for sid in members:
+                    out.add((circuit.name, sid))
         return out
 
     def _family_cpu(self, circuit_name: str, members: list[str]) -> float | None:
@@ -253,6 +288,10 @@ class AutoScaler:
                     self.overlay.replace_circuit(result.circuit)
                     scaled += 1
                     self._hold_until[key] = self.tick + cfg.cooldown
+                    if cfg.reopt_hold > 0:
+                        self._reopt_hold_until[key] = (
+                            self.tick + cfg.reopt_hold
+                        )
                     self._breach[key] = 0
                     self._cold[key] = 0
                     if k_new > k:

@@ -12,9 +12,26 @@ overload.  Both runs ride identical tuple streams (the spike drifts
 comparison is scaling signal, not noise.
 """
 
+import numpy as np
 import pytest
 
-from repro.workloads.scenarios import scaling_overload_comparison
+from repro.core.circuit import Circuit, Service
+from repro.core.cost_space import CostSpace, CostSpaceSpec
+from repro.core.reoptimizer import Reoptimizer
+from repro.core.rewriting import replicate_operator
+from repro.network.latency import LatencyMatrix
+from repro.query.model import Consumer, Producer, QuerySpec
+from repro.query.operators import ServiceSpec
+from repro.query.plan import JoinNode, LeafNode, LogicalPlan
+from repro.query.selectivity import Statistics
+from repro.runtime import DataPlane, RuntimeConfig
+from repro.sbon.overlay import Overlay
+from repro.scaling import AutoScaler, AutoScalerConfig
+from repro.workloads.scenarios import (
+    cpu_hotspot_scenario,
+    perfect_cost_space,
+    scaling_overload_comparison,
+)
 
 TICKS = 80
 EVAL_WINDOW = 35
@@ -38,3 +55,137 @@ class TestElasticScalingLoop:
         """The crowd passes: the loop both splits and folds families."""
         assert comparison["scale_ups"] > 0
         assert comparison["scale_downs"] > 0
+
+
+def _line_circuit():
+    """A 2-producer join on a line of nodes, placed far off its optimum."""
+    positions = [(10.0 * x, 0.0) for x in range(11)]
+    space = perfect_cost_space(positions)
+    query = QuerySpec(
+        name="q",
+        producers=[
+            Producer("A", node=0, rate=5.0),
+            Producer("B", node=10, rate=5.0),
+        ],
+        consumer=Consumer("C", node=5),
+    )
+    stats = Statistics.build({"A": 5.0, "B": 5.0}, {("A", "B"): 0.2})
+    plan = LogicalPlan(JoinNode(LeafNode("A"), LeafNode("B")))
+    circuit = Circuit.from_plan(plan, query, stats)
+    circuit.assign("q/join0", 0)
+    return space, circuit
+
+
+def _join_overlay(n=10):
+    rng = np.random.default_rng(0)
+    points = rng.uniform(0.0, 100.0, size=(n, 2))
+    diff = points[:, None, :] - points[None, :, :]
+    latencies = LatencyMatrix(np.sqrt((diff ** 2).sum(axis=-1)))
+    spec = CostSpaceSpec.latency_load(vector_dims=2)
+    space = CostSpace.from_embedding(spec, points, {"cpu_load": np.zeros(n)})
+    overlay = Overlay(latencies, space)
+    circuit = Circuit(name="c0")
+    circuit.add_service(Service("c0/pa", ServiceSpec.relay(), 0, frozenset(("A",))))
+    circuit.add_service(Service("c0/pb", ServiceSpec.relay(), 1, frozenset(("B",))))
+    circuit.add_service(Service("c0/j", ServiceSpec.join(), None, frozenset(("A", "B"))))
+    circuit.add_service(Service("c0/sink", ServiceSpec.relay(), 3, frozenset(("ALL",))))
+    circuit.add_link("c0/pa", "c0/j", 5.0)
+    circuit.add_link("c0/pb", "c0/j", 5.0)
+    circuit.add_link("c0/j", "c0/sink", 2.0)
+    circuit.assign("c0/j", 2)
+    overlay.install_circuit(circuit)
+    return overlay
+
+
+class TestScalerReoptHoldDown:
+    """Freshly re-split families hold their homes through placement passes.
+
+    A scale event spreads new replicas onto the least-CPU nodes; while
+    the (opt-in) ``reopt_hold`` window is open, the re-optimizer must
+    not herd those operators back toward the latency optimum (the two
+    control loops would fight, churning state migrations every
+    interval).  The hold defaults off because the CPU-aware placement
+    pass is itself an overload-relief mechanism — see the
+    ``AutoScalerConfig.reopt_hold`` docstring.
+    """
+
+    def test_frozen_blocks_the_accept_sweep(self):
+        space, circuit = _line_circuit()
+        reopt = Reoptimizer(space)
+        reopt.frozen = {("q", "q/join0")}
+        report = reopt.local_step(circuit)
+        assert not report.migrated
+        assert circuit.host_of("q/join0") == 0
+        # Hold released: the same pass now migrates toward the optimum.
+        reopt.frozen = set()
+        assert reopt.local_step(circuit).migrated
+        assert 3 <= circuit.host_of("q/join0") <= 7
+
+    def test_frozen_blocks_the_scalar_reference_too(self):
+        space, circuit = _line_circuit()
+        reopt = Reoptimizer(space)
+        reopt.frozen = {("q", "q/join0")}
+        assert not reopt.local_step_scalar(circuit).migrated
+        assert circuit.host_of("q/join0") == 0
+        reopt.frozen = set()
+        assert reopt.local_step_scalar(circuit).migrated
+
+    def test_frozen_services_follows_the_hold_clock(self):
+        overlay = _join_overlay()
+        plane = DataPlane(overlay, RuntimeConfig(seed=1))
+        scaler = AutoScaler(
+            overlay, plane, AutoScalerConfig(cooldown=6, reopt_hold=6)
+        )
+        assert scaler.frozen_services() == set()
+        result = replicate_operator(overlay.circuits["c0"], "c0/j", 2)
+        assert result.applied
+        overlay.replace_circuit(result.circuit)
+        # As if the split above happened at tick 4 with reopt_hold 6.
+        scaler.tick = 4
+        scaler._reopt_hold_until[("c0", "c0/j")] = 10
+        frozen = scaler.frozen_services()
+        members = {
+            ("c0", sid)
+            for _circuit, base, _k, mem in scaler._candidates()
+            if base == "c0/j"
+            for sid in mem
+        }
+        assert frozen == members
+        assert len(frozen) >= 3  # both replicas plus the merge relay
+        scaler.tick = 10
+        assert scaler.frozen_services() == set()
+        # Default config (reopt_hold=0) never freezes, even mid-cooldown.
+        plain = AutoScaler(overlay, plane, AutoScalerConfig(cooldown=6))
+        plain.tick = 4
+        plain._hold_until[("c0", "c0/j")] = 10
+        assert plain.frozen_services() == set()
+
+    def test_closed_loop_reopt_respects_scaler_cooldown(self):
+        scenario = cpu_hotspot_scenario(
+            mode="cost",
+            num_chains=4,
+            lambda_spike=5.0,
+            autoscale=AutoScalerConfig(
+                budget=200.0,
+                breach_ticks=2,
+                cold_ticks=4,
+                cooldown=8,
+                reopt_hold=8,
+            ),
+            seed=0,
+        )
+        sim = scenario.simulation
+        scaler = scenario.autoscaler
+        for _ in range(TICKS):
+            sim.step()
+            if scaler.scale_ups > 0:
+                break
+        assert scaler.scale_ups > 0, "spike never triggered a scale-up"
+        frozen = scaler.frozen_services()
+        assert frozen, "family not frozen right after its scale event"
+        hosts = {
+            (c, s): sim.overlay.circuits[c].host_of(s) for (c, s) in frozen
+        }
+        sim._reoptimize_all()
+        for (c, s), node in hosts.items():
+            assert sim.overlay.circuits[c].host_of(s) == node, (c, s)

@@ -6,6 +6,7 @@ import pytest
 from repro.core.circuit import Circuit, Service
 from repro.network.topology import grid_topology
 from repro.query.operators import ServiceSpec
+from repro.runtime import jit as jit_kernels
 from repro.runtime.dataplane import DataPlane, RuntimeConfig, _JOIN
 from repro.runtime.transport import ArrayTransport, HeapTransport
 from repro.sbon.overlay import Overlay
@@ -118,6 +119,32 @@ class TestRuntimeConfig:
             RuntimeConfig(node_capacity=-1.0)
         with pytest.raises(ValueError):
             RuntimeConfig(eviction_slack=-2)
+
+    def test_layout_and_tier_switches_validated(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(join_state="btree")
+        with pytest.raises(ValueError):
+            RuntimeConfig(admission="lottery")
+        with pytest.raises(ValueError):
+            RuntimeConfig(jit="cython")
+        # Every retained variant still constructs.
+        for join_state in ("epoch", "twolevel"):
+            for admission in ("highwater", "frozen"):
+                RuntimeConfig(join_state=join_state, admission=admission)
+
+    def test_jit_resolution_contract(self):
+        assert jit_kernels.resolve("numpy").tier == "numpy"
+        auto = jit_kernels.resolve("auto")
+        if jit_kernels.numba_available():
+            assert auto.tier == "numba"
+            assert jit_kernels.resolve("numba").tier == "numba"
+        else:
+            # auto degrades silently; an explicit demand must not.
+            assert auto.tier == "numpy"
+            with pytest.raises(RuntimeError):
+                jit_kernels.resolve("numba")
+        with pytest.raises(ValueError):
+            jit_kernels.resolve_tier("cython")
 
 
 class TestCompile:

@@ -309,6 +309,101 @@ class TestCostWiredBackground:
         assert overlay.cpu_reference() == 10.0
 
 
+def join_circuit(name="j0", a=0, b=1, host=2, sink=3, rate=6.0):
+    circuit = Circuit(name=name)
+    circuit.add_service(Service(f"{name}/pa", ServiceSpec.relay(), a, frozenset(("A",))))
+    circuit.add_service(Service(f"{name}/pb", ServiceSpec.relay(), b, frozenset(("B",))))
+    circuit.add_service(Service(f"{name}/j", ServiceSpec.join(), None, frozenset(("A", "B"))))
+    circuit.add_service(Service(f"{name}/sink", ServiceSpec.relay(), sink, frozenset(("ALL",))))
+    circuit.add_link(f"{name}/pa", f"{name}/j", rate)
+    circuit.add_link(f"{name}/pb", f"{name}/j", rate)
+    circuit.add_link(f"{name}/j", f"{name}/sink", rate * 0.5)
+    circuit.assign(f"{name}/j", host)
+    return circuit
+
+
+class TestDriftCalibration:
+    """The cost-drift feedback loop: fitted costs reprice admission."""
+
+    def make_join_plane(self, seed=3):
+        overlay = planted_overlay()
+        overlay.install_circuit(join_circuit())
+        model = LoadModel()  # probe_cost = 0.5: joins under-priced at base
+        plane = DataPlane(overlay, RuntimeConfig(seed=seed, load_model=model))
+        return plane, model
+
+    def test_admission_prices_track_measured_drift(self):
+        plane, model = self.make_join_plane()
+        ctl = Controller(
+            plane,
+            ControlConfig(
+                warmup=4, calibrate_interval=5, drift_calibrate=True,
+                drop_threshold=None, cpu_calibrate=False,
+            ),
+        )
+        for _ in range(30):
+            ctl.step(plane.step())
+        live = plane.load_model
+        # The fit folded the measured probe term into the join base and
+        # retired the dynamic coefficient; relays were priced right all
+        # along, so their coefficient survives re-quantization exactly.
+        assert live is not model
+        assert live.probe_cost == 0.0
+        assert live.join_cost > model.join_cost
+        assert live.relay_cost == model.relay_cost
+        # Unseen kinds keep their priced coefficients and dynamic terms.
+        assert live.filter_cost == model.filter_cost
+        assert live.aggregate_cost == model.aggregate_cost
+        assert live.aggregate_batch_cost == model.aggregate_batch_cost
+        # Dyadic re-quantization preserved: every coefficient on the
+        # 1/256 grid, so cost accumulation stays exact.
+        for c in live.kind_costs():
+            assert c * 256.0 == round(c * 256.0)
+        # Admission now prices joins at the flat effective cost.
+        adm = plane._admission_costs()
+        np.testing.assert_array_equal(
+            adm[plane._kind == KIND_JOIN], live.join_cost
+        )
+        # Post-push fits see priced == fitted: the drift ratio settles
+        # at 1 (prices track the measured cost) and a further apply is
+        # a no-op rather than a ratchet.
+        assert ctl.cost_drift[KIND_JOIN] == pytest.approx(1.0, abs=1e-9)
+        assert ctl.cost_drift[KIND_RELAY] == pytest.approx(1.0, abs=1e-9)
+        assert ctl.apply_cost_drift() is None
+        assert plane.accounting()["balanced"]
+
+    def test_drift_calibrate_defaults_off(self):
+        plane, model = self.make_join_plane()
+        ctl = Controller(
+            plane,
+            ControlConfig(
+                warmup=4, calibrate_interval=5,
+                drop_threshold=None, cpu_calibrate=False,
+            ),
+        )
+        for _ in range(30):
+            ctl.step(plane.step())
+        assert plane.load_model is model
+        assert ctl.cost_drift is not None
+        assert ctl.cost_drift[KIND_JOIN] > 1.0  # drift measured, not applied
+
+    def test_scalar_twin_applies_identical_model(self):
+        plane_v, _ = self.make_join_plane()
+        plane_s, _ = self.make_join_plane()
+        cfg = ControlConfig(
+            warmup=4, calibrate_interval=5, drift_calibrate=True,
+            drop_threshold=None, cpu_calibrate=False,
+        )
+        vec = Controller(plane_v, cfg)
+        scal = Controller(plane_s, cfg)
+        for _ in range(25):
+            rv = vec.step(plane_v.step())
+            rs = scal.step_scalar(plane_s.step())
+            assert rv == rs
+        assert plane_v.load_model == plane_s.load_model
+        assert plane_v.load_model.probe_cost == 0.0
+
+
 class TestControllerCpuLoop:
     def make_plane(self, rate=6.0, model=None, capacity=None, seed=2):
         overlay = planted_overlay()
